@@ -1,0 +1,131 @@
+//! Criterion microbenchmarks of the simulator's hot paths: TLB lookups,
+//! buddy allocator operations, page walks, end-to-end translation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr};
+use tps_mem::BuddyAllocator;
+use tps_pt::{MmuCaches, PageTable, Walker};
+use tps_sim::{Machine, MachineConfig, Mechanism, RunCounters};
+use tps_tlb::{AnySizeTlb, DualStlb, SetAssocTlb, TlbEntry};
+use tps_wl::Event;
+
+fn bench_tlb_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb_lookup");
+    let entry = |vpn: u64, order: u8| TlbEntry {
+        asid: 0,
+        vpn,
+        order: PageOrder::new(order).unwrap(),
+        pfn: vpn + 0x100,
+        writable: true,
+    };
+    let mut sa = SetAssocTlb::new(16, 4, PageOrder::P4K);
+    for vpn in 0..64 {
+        sa.fill(entry(vpn, 0));
+    }
+    group.bench_function("set_assoc_64e_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 64;
+            black_box(sa.lookup(0, black_box(vpn)))
+        })
+    });
+    let mut fa = AnySizeTlb::new(32);
+    for i in 0..32u64 {
+        fa.fill(entry(i << 4, 4));
+    }
+    group.bench_function("tps_any_size_32e_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 32;
+            black_box(fa.lookup(0, black_box((i << 4) + 3)))
+        })
+    });
+    let mut stlb = DualStlb::new(128, 12);
+    for vpn in 0..1536 {
+        stlb.fill(entry(vpn, 0));
+    }
+    group.bench_function("dual_stlb_1536e_hit", |b| {
+        let mut vpn = 0u64;
+        b.iter(|| {
+            vpn = (vpn + 1) % 1536;
+            black_box(stlb.lookup(0, black_box(vpn)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_buddy(c: &mut Criterion) {
+    c.bench_function("buddy_alloc_free_4k", |b| {
+        let mut buddy = BuddyAllocator::new(256 << 20);
+        b.iter(|| {
+            let a = buddy.alloc(PageOrder::P4K).unwrap();
+            buddy.free(black_box(a), PageOrder::P4K).unwrap();
+        })
+    });
+    c.bench_function("buddy_alloc_free_2m", |b| {
+        let mut buddy = BuddyAllocator::new(256 << 20);
+        b.iter(|| {
+            let a = buddy.alloc(PageOrder::P2M).unwrap();
+            buddy.free(black_box(a), PageOrder::P2M).unwrap();
+        })
+    });
+}
+
+fn bench_walk(c: &mut Criterion) {
+    let mut pt = PageTable::new();
+    for i in 0..512u64 {
+        pt.map(
+            VirtAddr::new(0x4000_0000 + i * 4096),
+            PhysAddr::new(0x4000_0000 + i * 4096),
+            PageOrder::P4K,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
+    }
+    let walker = Walker::default();
+    c.bench_function("page_walk_cold", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(walker.walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), None).unwrap())
+        })
+    });
+    c.bench_function("page_walk_mmu_cached", |b| {
+        let mut caches = MmuCaches::default();
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 512;
+            black_box(
+                walker
+                    .walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), Some(&mut caches))
+                    .unwrap(),
+            )
+        })
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    c.bench_function("machine_access_tps", |b| {
+        let mut machine =
+            Machine::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
+        let mut counters = RunCounters::default();
+        machine.step(Event::Mmap { region: 0, bytes: 16 << 20 }, &mut counters);
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let offset = (x >> 33) % (16 << 20);
+            machine.step(
+                Event::Access { region: 0, offset: offset & !7, write: false },
+                &mut counters,
+            );
+        })
+    });
+}
+
+criterion_group!(
+    name = components;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_tlb_lookup, bench_buddy, bench_walk, bench_end_to_end
+);
+criterion_main!(components);

@@ -1,0 +1,50 @@
+//! Fig. 2: percent of execution time spent page walking, with THP active,
+//! for native, native+SMT, and virtualized execution.
+use tps_bench::{mean, pct, print_table, run_one, run_one_with, scale_from_env};
+use tps_sim::{run_smt, MachineConfig, Mechanism, TimingModel};
+use tps_wl::{build, suite_names};
+
+fn main() {
+    let scale = scale_from_env();
+    let model = TimingModel::default();
+    let mut rows = Vec::new();
+    let (mut n_col, mut s_col, mut v_col) = (Vec::new(), Vec::new(), Vec::new());
+    for name in suite_names() {
+        let native = run_one(name, Mechanism::Thp, scale);
+        let native_frac = model.evaluate(&native, false).walk_active_fraction();
+
+        let config = MachineConfig::for_mechanism(Mechanism::Thp)
+            .with_memory(2 * scale.recommended_memory());
+        let mut a = build(name, scale);
+        let mut b = build(name, scale);
+        let smt = run_smt(config, &mut *a, &mut *b);
+        let smt_frac = model.evaluate(&smt.primary, true).walk_active_fraction();
+
+        let virt = run_one_with(name, Mechanism::Thp, scale, |c| MachineConfig {
+            virtualized: true,
+            ..c
+        });
+        let virt_frac = model.evaluate(&virt, false).walk_active_fraction();
+
+        n_col.push(native_frac);
+        s_col.push(smt_frac);
+        v_col.push(virt_frac);
+        rows.push(vec![
+            name.to_string(),
+            pct(native_frac),
+            pct(smt_frac),
+            pct(virt_frac),
+        ]);
+    }
+    rows.push(vec![
+        "MEAN".into(),
+        pct(mean(&n_col)),
+        pct(mean(&s_col)),
+        pct(mean(&v_col)),
+    ]);
+    print_table(
+        "Fig. 2: % execution time spent page walking (THP baseline)",
+        &["benchmark", "native", "native+SMT", "virtualized"],
+        &rows,
+    );
+}

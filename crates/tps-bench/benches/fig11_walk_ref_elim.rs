@@ -1,0 +1,32 @@
+//! Fig. 11: percent of page-walk memory references eliminated, baseline
+//! reservation-based THP. TPS and RMM nearly tie; TPS wins on gcc
+//! (Range-TLB entry pressure), eager paging is best overall.
+use tps_bench::{mean, pct, print_table, scale_from_env, SuiteCache};
+use tps_sim::Mechanism;
+use tps_wl::suite_names;
+
+fn main() {
+    let mut cache = SuiteCache::new(scale_from_env());
+    let mechs = [Mechanism::Tps, Mechanism::TpsEager, Mechanism::Colt, Mechanism::Rmm];
+    let mut rows = Vec::new();
+    let mut cols = vec![Vec::new(); mechs.len()];
+    for name in suite_names() {
+        let base = cache.get(name, Mechanism::Thp).clone();
+        let mut row = vec![name.to_string(), format!("{}", base.walk_refs)];
+        for (i, mech) in mechs.into_iter().enumerate() {
+            let stats = cache.get(name, mech);
+            let elim = stats.walk_refs_eliminated_vs(&base);
+            cols[i].push(elim.max(0.0));
+            row.push(pct(elim));
+        }
+        rows.push(row);
+    }
+    let mut mean_row = vec!["MEAN (floored)".into(), String::new()];
+    mean_row.extend(cols.iter().map(|c| pct(mean(c))));
+    rows.push(mean_row);
+    print_table(
+        "Fig. 11: % page-walk memory references eliminated (baseline: THP)",
+        &["benchmark", "baseline walk refs", "TPS", "TPS-eager", "CoLT", "RMM"],
+        &rows,
+    );
+}

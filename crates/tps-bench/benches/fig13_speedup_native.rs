@@ -1,0 +1,48 @@
+//! Fig. 13: speedup over the reservation-THP baseline, native execution.
+//! Paper: TPS 15.7 % avg > RMM 9.4 % > CoLT 2.7 %, and TPS captures
+//! ~99 % of the ideal (all-translation-eliminated) speedup.
+use tps_bench::{geomean, print_table, run_one_with, scale_from_env, SuiteCache};
+use tps_sim::{MachineConfig, Mechanism, TimingModel};
+use tps_wl::suite_names;
+
+fn main() {
+    let mut cache = SuiteCache::new(scale_from_env());
+    let scale = cache.scale();
+    let model = TimingModel::default();
+    let mechs = Mechanism::contenders();
+    let mut rows = Vec::new();
+    let mut cols = vec![Vec::new(); mechs.len() + 1];
+    for name in suite_names() {
+        let base = model.evaluate(cache.get(name, Mechanism::Thp), false);
+        let mut row = vec![name.to_string()];
+        for (i, mech) in mechs.into_iter().enumerate() {
+            let t = model.evaluate(cache.get(name, mech), false);
+            let speedup = t.speedup_over(&base);
+            cols[i].push(speedup);
+            row.push(format!("{speedup:.3}x"));
+        }
+        // Ideal: perfect L1 TLB, no walks at all.
+        let ideal_stats = run_one_with(name, Mechanism::Thp, scale, |c| MachineConfig {
+            perfect_l1: true,
+            ..c
+        });
+        let ideal = model.evaluate(&ideal_stats, false).speedup_over(&base);
+        cols[mechs.len()].push(ideal);
+        row.push(format!("{ideal:.3}x"));
+        rows.push(row);
+    }
+    let mut mean_row = vec!["GEOMEAN".into()];
+    mean_row.extend(cols.iter().map(|c| format!("{:.3}x", geomean(c))));
+    rows.push(mean_row);
+    let tps_gain = geomean(&cols[0]) - 1.0;
+    let ideal_gain = geomean(&cols[mechs.len()]) - 1.0;
+    print_table(
+        "Fig. 13: speedup, native (baseline: reservation-based THP)",
+        &["benchmark", "TPS", "CoLT", "RMM", "ideal (no TLB misses)"],
+        &rows,
+    );
+    println!(
+        "TPS captures {:.1}% of the maximal ideal savings",
+        100.0 * tps_gain / ideal_gain.max(1e-12)
+    );
+}

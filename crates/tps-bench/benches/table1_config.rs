@@ -1,0 +1,10 @@
+//! Table I: the simulated processor configuration.
+use tps_bench::print_table;
+
+fn main() {
+    let rows: Vec<Vec<String>> = tps_sim::table1_rows()
+        .into_iter()
+        .map(|(k, v)| vec![k.to_string(), v])
+        .collect();
+    print_table("Table I: Simulated Processor Configuration", &["component", "configuration"], &rows);
+}

@@ -1,0 +1,51 @@
+//! Quick shape probe: prints the Fig. 10/11 elimination ratios for the
+//! whole suite in one table — handy when calibrating workloads or
+//! policies without running the full figure harness.
+//!
+//! ```sh
+//! TPS_SCALE=paper cargo run --release -p tps-bench --bin probe
+//! ```
+use tps_bench::{pct, print_table, run_one};
+use tps_sim::Mechanism;
+use tps_wl::{suite_names, SuiteScale};
+
+fn main() {
+    let scale = match std::env::var("TPS_SCALE").as_deref() {
+        Ok("small") => SuiteScale::Small,
+        Ok("paper") => SuiteScale::Paper,
+        _ => SuiteScale::Test,
+    };
+    let mut rows = Vec::new();
+    for name in suite_names() {
+        let base = run_one(name, Mechanism::Thp, scale);
+        let tps = run_one(name, Mechanism::Tps, scale);
+        let colt = run_one(name, Mechanism::Colt, scale);
+        let rmm = run_one(name, Mechanism::Rmm, scale);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", base.l1_mpki()),
+            format!("{}", base.mem.l1_misses()),
+            pct(tps.l1_misses_eliminated_vs(&base)),
+            pct(colt.l1_misses_eliminated_vs(&base)),
+            pct(rmm.l1_misses_eliminated_vs(&base)),
+            pct(tps.walk_refs_eliminated_vs(&base)),
+            pct(rmm.walk_refs_eliminated_vs(&base)),
+            format!("{}", tps.page_census.len()),
+        ]);
+    }
+    print_table(
+        "probe",
+        &[
+            "bench",
+            "thp-mpki",
+            "thp-miss",
+            "tps-elim",
+            "colt-elim",
+            "rmm-elim",
+            "tps-walkelim",
+            "rmm-walkelim",
+            "tps-sizes",
+        ],
+        &rows,
+    );
+}

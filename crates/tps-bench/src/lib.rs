@@ -1,0 +1,153 @@
+//! Shared harness for the figure/table benchmarks.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper's evaluation. This library holds the common machinery: running
+//! the benchmark suite under each mechanism, simple table printing, and
+//! means.
+//!
+//! Scale selection: set `TPS_SCALE=test|small|paper` (default `small`, the
+//! figure-faithful quick scale; `paper` runs the full-size workloads).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use tps_sim::{Machine, MachineConfig, Mechanism, RunStats};
+use tps_wl::{build, SuiteScale};
+
+/// Reads the suite scale from the `TPS_SCALE` environment variable.
+pub fn scale_from_env() -> SuiteScale {
+    match std::env::var("TPS_SCALE").as_deref() {
+        Ok("test") => SuiteScale::Test,
+        Ok("paper") => SuiteScale::Paper,
+        _ => SuiteScale::Small,
+    }
+}
+
+/// Runs one suite benchmark under one mechanism.
+pub fn run_one(name: &str, mechanism: Mechanism, scale: SuiteScale) -> RunStats {
+    let config = MachineConfig::for_mechanism(mechanism)
+        .with_memory(scale.recommended_memory());
+    let mut machine = Machine::new(config);
+    let mut workload = build(name, scale);
+    machine.run(&mut *workload)
+}
+
+/// Runs one benchmark under one mechanism with a customized config
+/// (memory size and policy/TLB are still taken from the mechanism).
+pub fn run_one_with(
+    name: &str,
+    mechanism: Mechanism,
+    scale: SuiteScale,
+    tweak: impl FnOnce(MachineConfig) -> MachineConfig,
+) -> RunStats {
+    let config = tweak(
+        MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory()),
+    );
+    let mut machine = Machine::new(config);
+    let mut workload = build(name, scale);
+    machine.run(&mut *workload)
+}
+
+/// A lazily filled cache of `(benchmark, mechanism) -> RunStats` so one
+/// figure can reuse another mechanism's runs without re-simulating.
+#[derive(Default)]
+pub struct SuiteCache {
+    scale: Option<SuiteScale>,
+    runs: HashMap<(String, Mechanism), RunStats>,
+}
+
+impl SuiteCache {
+    /// Creates an empty cache for the given scale.
+    pub fn new(scale: SuiteScale) -> Self {
+        SuiteCache {
+            scale: Some(scale),
+            runs: HashMap::new(),
+        }
+    }
+
+    /// The cache's scale.
+    pub fn scale(&self) -> SuiteScale {
+        self.scale.unwrap_or(SuiteScale::Small)
+    }
+
+    /// Returns (running on first use) the stats of one combination.
+    pub fn get(&mut self, name: &str, mechanism: Mechanism) -> &RunStats {
+        let scale = self.scale();
+        self.runs
+            .entry((name.to_string(), mechanism))
+            .or_insert_with(|| run_one(name, mechanism, scale))
+    }
+}
+
+/// Geometric mean of positive values (the paper's speedup aggregation).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Prints a fixed-width table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>width$}", width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn suite_cache_runs_once() {
+        let mut cache = SuiteCache::new(SuiteScale::Test);
+        let a = cache.get("gups", Mechanism::Tps).mem.accesses;
+        let b = cache.get("gups", Mechanism::Tps).mem.accesses;
+        assert_eq!(a, b);
+        assert!(a > 0);
+    }
+}

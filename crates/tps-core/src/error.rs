@@ -1,0 +1,133 @@
+//! Error type shared across the TPS workspace.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the TPS simulation stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TpsError {
+    /// A page order above the supported maximum was requested.
+    InvalidPageOrder(u8),
+    /// A byte count that is not a supported power-of-two page size.
+    InvalidPageSize(u64),
+    /// An address violated an alignment requirement.
+    Misaligned {
+        /// The offending raw address.
+        addr: u64,
+        /// The required alignment shift (log2 bytes).
+        shift: u32,
+    },
+    /// The physical memory allocator could not satisfy a request.
+    OutOfMemory {
+        /// The order that was requested.
+        order: u8,
+    },
+    /// A PTE expected to be a leaf was not one.
+    NotALeaf {
+        /// The page-table level at which the entry was read.
+        level: u8,
+    },
+    /// A virtual address had no mapping and no fault handler created one.
+    Unmapped {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// A write was attempted to a read-only mapping.
+    ProtectionViolation {
+        /// The faulting virtual address.
+        vaddr: u64,
+    },
+    /// A region identifier was not found.
+    UnknownRegion(u64),
+    /// A requested virtual range overlaps an existing mapping.
+    RangeOverlap {
+        /// Start of the conflicting range.
+        start: u64,
+        /// Length of the conflicting range.
+        len: u64,
+    },
+    /// An operation was attempted on a block the allocator does not own.
+    InvalidFree {
+        /// The offending physical address.
+        addr: u64,
+    },
+    /// The range still contains copy-on-write-shared mappings, which this
+    /// model cannot reclaim (fork the region's owner must exit first).
+    SharedMapping {
+        /// A shared virtual address in the range.
+        vaddr: u64,
+    },
+}
+
+impl fmt::Display for TpsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpsError::InvalidPageOrder(o) => write!(f, "page order {o} exceeds the maximum"),
+            TpsError::InvalidPageSize(b) => {
+                write!(f, "{b} bytes is not a supported power-of-two page size")
+            }
+            TpsError::Misaligned { addr, shift } => {
+                write!(f, "address {addr:#x} is not aligned to 2^{shift} bytes")
+            }
+            TpsError::OutOfMemory { order } => {
+                write!(f, "no free physical block of order {order} available")
+            }
+            TpsError::NotALeaf { level } => {
+                write!(f, "entry at level {level} is not a leaf")
+            }
+            TpsError::Unmapped { vaddr } => {
+                write!(f, "virtual address {vaddr:#x} is not mapped")
+            }
+            TpsError::ProtectionViolation { vaddr } => {
+                write!(f, "write to read-only mapping at {vaddr:#x}")
+            }
+            TpsError::UnknownRegion(id) => write!(f, "unknown region id {id}"),
+            TpsError::RangeOverlap { start, len } => {
+                write!(f, "range {start:#x}+{len:#x} overlaps an existing mapping")
+            }
+            TpsError::InvalidFree { addr } => {
+                write!(f, "free of unowned physical block at {addr:#x}")
+            }
+            TpsError::SharedMapping { vaddr } => {
+                write!(f, "range holds shared (CoW) mapping at {vaddr:#x}")
+            }
+        }
+    }
+}
+
+impl Error for TpsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_nonempty() {
+        let errs: Vec<TpsError> = vec![
+            TpsError::InvalidPageOrder(31),
+            TpsError::InvalidPageSize(3000),
+            TpsError::Misaligned { addr: 0x123, shift: 12 },
+            TpsError::OutOfMemory { order: 9 },
+            TpsError::NotALeaf { level: 2 },
+            TpsError::Unmapped { vaddr: 0x1000 },
+            TpsError::ProtectionViolation { vaddr: 0x1000 },
+            TpsError::UnknownRegion(7),
+            TpsError::RangeOverlap { start: 0, len: 4096 },
+            TpsError::InvalidFree { addr: 0x2000 },
+            TpsError::SharedMapping { vaddr: 0x3000 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_numeric));
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<TpsError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! A tiny fixed-capacity fully-associative LRU map.
+//!
+//! Hardware structures in this reproduction (MMU caches, fully-associative
+//! TLBs, range TLBs) are small — at most a few dozen entries — so a linear
+//! scan with a logical timestamp models them faithfully and is plenty fast.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_core::lru::LruCache;
+//! let mut c = LruCache::new(2);
+//! c.insert(1, "a");
+//! c.insert(2, "b");
+//! assert_eq!(c.get(&1), Some(&"a")); // refreshes 1
+//! c.insert(3, "c");                  // evicts 2 (least recently used)
+//! assert!(c.get(&2).is_none());
+//! assert!(c.get(&1).is_some());
+//! ```
+
+/// Fixed-capacity LRU map over small key spaces.
+#[derive(Clone, Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    clock: u64,
+    entries: Vec<(K, V, u64)>,
+}
+
+impl<K: Eq + Copy, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        LruCache {
+            capacity,
+            clock: 0,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.iter_mut().find(|(k, _, _)| k == key).map(
+            |(_, v, stamp)| {
+                *stamp = clock;
+                &*v
+            },
+        )
+    }
+
+    /// Looks up without refreshing recency (for statistics probes).
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v)
+    }
+
+    /// Inserts or updates a key, evicting the least recently used entry if
+    /// the cache is full. Returns the evicted `(key, value)` if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.clock += 1;
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _, _)| *k == key) {
+            slot.1 = value;
+            slot.2 = self.clock;
+            return None;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((key, value, self.clock));
+            return None;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, _, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("cache is full, so non-empty");
+        let (k, v, _) = std::mem::replace(&mut self.entries[victim], (key, value, self.clock));
+        Some((k, v))
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let i = self.entries.iter().position(|(k, _, _)| k == key)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Removes entries failing a predicate (used for TLB shootdowns).
+    pub fn retain(&mut self, mut f: impl FnMut(&K, &V) -> bool) {
+        self.entries.retain(|(k, v, _)| f(k, v));
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries.iter().map(|(k, v, _)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(3);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(3, 30);
+        assert_eq!(c.get(&1), Some(&10)); // 2 is now LRU
+        let evicted = c.insert(4, 40);
+        assert_eq!(evicted, Some((2, 20)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn update_refreshes_and_replaces() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert!(c.insert(1, 11).is_none(), "update is not an eviction");
+        assert_eq!(c.get(&1), Some(&11));
+        c.insert(3, 30); // evicts 2, since 1 was refreshed by update
+        assert!(c.peek(&2).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_refresh() {
+        let mut c = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.peek(&1), Some(&10));
+        c.insert(3, 30); // 1 is still LRU because peek didn't refresh
+        assert!(c.peek(&1).is_none());
+        assert!(c.peek(&2).is_some());
+    }
+
+    #[test]
+    fn remove_and_retain() {
+        let mut c = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i * 10);
+        }
+        assert_eq!(c.remove(&2), Some(20));
+        c.retain(|&k, _| k != 0);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&0).is_none());
+        assert!(c.get(&2).is_none());
+        assert!(c.get(&1).is_some());
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        LruCache::<u32, u32>::new(0);
+    }
+}

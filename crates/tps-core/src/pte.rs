@@ -1,0 +1,407 @@
+//! Page table entry encoding, including the TPS tailored-size encoding.
+//!
+//! TPS needs each leaf PTE to say *how big* the page it maps is. The paper's
+//! space-efficient scheme (Fig. 5) spends a single reserved bit (`T`): if the
+//! page is tailored, its physical base is aligned to the page size, so the
+//! low PFN bits of the PTE are necessarily zero and can be reused. We store,
+//! in PFN bits `[12, 12+rel)`, a run of `rel-1` ones terminated by a zero,
+//! where `rel` is the page order *relative to the leaf level* (1..=8). A
+//! priority encoder (count of trailing ones) recovers `rel` in hardware.
+
+use crate::addr::PhysAddr;
+use crate::error::TpsError;
+use crate::page::{level_base_order, level_for_order, PageOrder};
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Bookkeeping flag bits of a [`Pte`].
+///
+/// The layout mirrors x86-64: bit 0 present, 1 writable, 2 user, 5 accessed,
+/// 6 dirty, 7 page-size (PS), plus the TPS `T` bit in reserved bit 8.
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Default)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// Entry is valid.
+    pub const PRESENT: PteFlags = PteFlags(1 << 0);
+    /// Page is writable.
+    pub const WRITABLE: PteFlags = PteFlags(1 << 1);
+    /// Page is accessible from user mode.
+    pub const USER: PteFlags = PteFlags(1 << 2);
+    /// Set by hardware on first access.
+    pub const ACCESSED: PteFlags = PteFlags(1 << 5);
+    /// Set by hardware on first write.
+    pub const DIRTY: PteFlags = PteFlags(1 << 6);
+    /// Conventional huge-page leaf marker at levels 2/3 (x86 `PS`).
+    pub const HUGE: PteFlags = PteFlags(1 << 7);
+    /// TPS tailored-page marker (`T` in the paper, a reserved bit).
+    pub const TAILORED: PteFlags = PteFlags(1 << 8);
+
+    /// The empty flag set.
+    pub const fn empty() -> Self {
+        PteFlags(0)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// True if every flag in `other` is set in `self`.
+    pub const fn contains(self, other: PteFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl BitOr for PteFlags {
+    type Output = PteFlags;
+    fn bitor(self, rhs: PteFlags) -> PteFlags {
+        PteFlags(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for PteFlags {
+    fn bitor_assign(&mut self, rhs: PteFlags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        for (bit, name) in [
+            (Self::PRESENT, "PRESENT"),
+            (Self::WRITABLE, "WRITABLE"),
+            (Self::USER, "USER"),
+            (Self::ACCESSED, "ACCESSED"),
+            (Self::DIRTY, "DIRTY"),
+            (Self::HUGE, "HUGE"),
+            (Self::TAILORED, "TAILORED"),
+        ] {
+            if self.contains(bit) {
+                names.push(name);
+            }
+        }
+        if names.is_empty() {
+            write!(f, "PteFlags(empty)")
+        } else {
+            write!(f, "PteFlags({})", names.join("|"))
+        }
+    }
+}
+
+/// Decoded information about a leaf PTE.
+#[derive(Copy, Clone, Eq, PartialEq, Debug)]
+pub struct LeafInfo {
+    /// Physical base address of the mapped page (aligned to its size).
+    pub base: PhysAddr,
+    /// The page's order (absolute, relative to 4 KB).
+    pub order: PageOrder,
+    /// Flag bits of the entry.
+    pub flags: PteFlags,
+}
+
+/// A 64-bit page table entry.
+///
+/// Three kinds of entry exist:
+///
+/// * **non-present** (`Pte::EMPTY`),
+/// * **table pointers** (non-leaf; hold the physical address of the next
+///   page-table node),
+/// * **leaves** (map a page). A leaf at level 1 is conventional 4 KB unless
+///   `T` is set; a leaf at level 2/3 sets `HUGE` and is the conventional
+///   2 MB / 1 GB size unless `T` is also set. Tailored leaves encode their
+///   relative order in low PFN bits (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use tps_core::{PageOrder, PhysAddr, Pte, PteFlags};
+/// // 64 KB page (order 4): lives at level 1, relative order 4.
+/// let pte = Pte::leaf(PhysAddr::new(0x4001_0000), PageOrder::new(4).unwrap(),
+///                     PteFlags::WRITABLE);
+/// let leaf = pte.decode_leaf(1).unwrap();
+/// assert_eq!(leaf.order.get(), 4);
+/// assert_eq!(leaf.base.value(), 0x4001_0000);
+/// ```
+#[derive(Copy, Clone, Eq, PartialEq, Hash, Default)]
+pub struct Pte(u64);
+
+/// PFN field mask: bits `[12, 52)`.
+const PFN_FIELD: u64 = ((1u64 << 52) - 1) & !0xfff;
+
+impl Pte {
+    /// The non-present (zero) entry.
+    pub const EMPTY: Pte = Pte(0);
+
+    /// Raw bits (useful for debugging and property tests).
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Constructs an entry from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        Pte(bits)
+    }
+
+    /// A non-leaf entry pointing at the next-level table node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table` is not 4 KB aligned.
+    pub fn table(table: PhysAddr) -> Self {
+        assert!(table.is_aligned(12), "page table nodes are 4 KB aligned");
+        Pte(table.value() | PteFlags::PRESENT.bits() | PteFlags::WRITABLE.bits()
+            | PteFlags::USER.bits())
+    }
+
+    /// A leaf entry mapping a page of the given order at `base`.
+    ///
+    /// The leaf level is implied by the order ([`level_for_order`]). `PRESENT`
+    /// is always set; `HUGE` is set for level-2/3 leaves; `TAILORED` plus the
+    /// size pattern are set for non-conventional orders.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not aligned to the page size.
+    pub fn leaf(base: PhysAddr, order: PageOrder, flags: PteFlags) -> Self {
+        assert!(
+            base.is_aligned(order.shift()),
+            "page base {base} not aligned to {order}"
+        );
+        let level = level_for_order(order);
+        let rel = order.get() - level_base_order(level);
+        let mut bits = base.value() | flags.bits() | PteFlags::PRESENT.bits();
+        if level > 1 {
+            bits |= PteFlags::HUGE.bits();
+        }
+        if rel > 0 {
+            // Tailored: run of rel-1 ones in bits [12, 12+rel-1), zero at
+            // bit 12 + rel - 1 (already zero by alignment).
+            bits |= PteFlags::TAILORED.bits();
+            let ones = (1u64 << (rel - 1)) - 1; // rel-1 ones
+            bits |= ones << 12;
+        }
+        Pte(bits)
+    }
+
+    /// True if the entry is valid.
+    #[inline]
+    pub const fn is_present(self) -> bool {
+        self.0 & PteFlags::PRESENT.bits() != 0
+    }
+
+    /// True if this present entry is a leaf when read at `level`.
+    ///
+    /// Level-1 entries are always leaves; level-2/3 entries are leaves iff
+    /// `HUGE`; level-4 entries are never leaves.
+    pub fn is_leaf(self, level: u8) -> bool {
+        self.is_present()
+            && match level {
+                1 => true,
+                2 | 3 => self.flags().contains(PteFlags::HUGE),
+                _ => false,
+            }
+    }
+
+    /// The flag bits of the entry.
+    #[inline]
+    pub fn flags(self) -> PteFlags {
+        PteFlags(self.0 & (0x1ff | (1 << 63)))
+    }
+
+    /// Physical address of the next-level table (for non-leaf entries).
+    #[inline]
+    pub fn next_table(self) -> PhysAddr {
+        PhysAddr::new(self.0 & PFN_FIELD)
+    }
+
+    /// Decodes a leaf entry read at the given page-table level.
+    ///
+    /// Returns the mapped page's base, absolute order and flags. The tailored
+    /// relative order is recovered with a priority encoder over the trailing
+    /// ones of the PFN field, exactly as the hardware would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpsError::NotALeaf`] if the entry is not present or is a
+    /// table pointer at this level.
+    pub fn decode_leaf(self, level: u8) -> Result<LeafInfo, TpsError> {
+        if !self.is_leaf(level) {
+            return Err(TpsError::NotALeaf { level });
+        }
+        let flags = self.flags();
+        let base_order = level_base_order(level);
+        let order = if flags.contains(PteFlags::TAILORED) {
+            // rel-1 = number of trailing ones of the PFN field.
+            let pfn_bits = (self.0 & PFN_FIELD) >> 12;
+            let rel = pfn_bits.trailing_ones() as u8 + 1;
+            debug_assert!((1..=8).contains(&rel));
+            PageOrder::new(base_order + rel)?
+        } else {
+            PageOrder::new(base_order)?
+        };
+        // Clear flag bits and the size pattern: the page base is aligned to
+        // its size, so simply mask off everything below the page shift.
+        let base = PhysAddr::new(self.0 & PFN_FIELD).align_down(order.shift());
+        Ok(LeafInfo { base, order, flags })
+    }
+
+    /// Returns a copy with the `ACCESSED` bit set.
+    #[must_use]
+    pub fn with_accessed(self) -> Self {
+        Pte(self.0 | PteFlags::ACCESSED.bits())
+    }
+
+    /// Returns a copy with the `DIRTY` bit set.
+    #[must_use]
+    pub fn with_dirty(self) -> Self {
+        Pte(self.0 | PteFlags::DIRTY.bits())
+    }
+}
+
+impl fmt::Debug for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.is_present() {
+            return write!(f, "Pte(not present, {:#x})", self.0);
+        }
+        write!(f, "Pte({:#x}, {:?})", self.0 & PFN_FIELD, self.flags())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aligned_pa(order: u8) -> PhysAddr {
+        // A base somewhere in the middle of memory, aligned to the order.
+        PhysAddr::new(0x8_0000_0000u64).align_down(12 + order as u32)
+    }
+
+    #[test]
+    fn empty_is_not_present() {
+        assert!(!Pte::EMPTY.is_present());
+        assert!(Pte::EMPTY.decode_leaf(1).is_err());
+    }
+
+    #[test]
+    fn table_entry_round_trip() {
+        let t = Pte::table(PhysAddr::new(0x1234_5000));
+        assert!(t.is_present());
+        assert!(!t.is_leaf(4));
+        assert!(!t.is_leaf(2));
+        assert_eq!(t.next_table().value(), 0x1234_5000);
+    }
+
+    #[test]
+    fn conventional_leaves() {
+        for (order, level) in [(0u8, 1u8), (9, 2), (18, 3)] {
+            let o = PageOrder::new(order).unwrap();
+            let pa = aligned_pa(order);
+            let pte = Pte::leaf(pa, o, PteFlags::WRITABLE);
+            let leaf = pte.decode_leaf(level).unwrap();
+            assert_eq!(leaf.order, o, "order {order}");
+            assert_eq!(leaf.base, pa);
+            assert!(!pte.flags().contains(PteFlags::TAILORED));
+        }
+    }
+
+    #[test]
+    fn tailored_leaves_every_order() {
+        for order in 1..=crate::page::MAX_PAGE_ORDER {
+            let o = PageOrder::new(order).unwrap();
+            if !o.is_tailored() {
+                continue;
+            }
+            let level = level_for_order(o);
+            let pa = aligned_pa(order);
+            let pte = Pte::leaf(pa, o, PteFlags::empty());
+            assert!(pte.flags().contains(PteFlags::TAILORED), "order {order}");
+            let leaf = pte.decode_leaf(level).unwrap();
+            assert_eq!(leaf.order, o, "order {order}");
+            assert_eq!(leaf.base, pa, "order {order}");
+        }
+    }
+
+    #[test]
+    fn tailored_pattern_matches_paper() {
+        // 8 KB page (rel=1): T set, bit 12 clear.
+        let pte = Pte::leaf(aligned_pa(1), PageOrder::new(1).unwrap(), PteFlags::empty());
+        assert_eq!((pte.bits() >> 12) & 1, 0);
+        // 32 KB page (rel=3): bits 12,13 set, bit 14 clear.
+        let pte = Pte::leaf(aligned_pa(3), PageOrder::new(3).unwrap(), PteFlags::empty());
+        assert_eq!((pte.bits() >> 12) & 0b111, 0b011);
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn leaf_rejects_misaligned_base() {
+        Pte::leaf(PhysAddr::new(0x1000), PageOrder::new(3).unwrap(), PteFlags::empty());
+    }
+
+    #[test]
+    fn huge_flag_set_only_above_level_one() {
+        let l1 = Pte::leaf(aligned_pa(4), PageOrder::new(4).unwrap(), PteFlags::empty());
+        assert!(!l1.flags().contains(PteFlags::HUGE));
+        let l2 = Pte::leaf(aligned_pa(12), PageOrder::new(12).unwrap(), PteFlags::empty());
+        assert!(l2.flags().contains(PteFlags::HUGE));
+        assert!(l2.is_leaf(2));
+        assert!(!Pte::table(PhysAddr::new(0x1000)).is_leaf(2));
+    }
+
+    #[test]
+    fn accessed_dirty_bits() {
+        let pte = Pte::leaf(aligned_pa(0), PageOrder::P4K, PteFlags::empty());
+        assert!(!pte.flags().contains(PteFlags::ACCESSED));
+        let pte = pte.with_accessed().with_dirty();
+        assert!(pte.flags().contains(PteFlags::ACCESSED));
+        assert!(pte.flags().contains(PteFlags::DIRTY));
+        // Setting A/D must not disturb the decoded mapping.
+        let leaf = pte.decode_leaf(1).unwrap();
+        assert_eq!(leaf.base, aligned_pa(0));
+    }
+
+    #[test]
+    fn flags_debug_nonempty() {
+        assert_eq!(format!("{:?}", PteFlags::empty()), "PteFlags(empty)");
+        assert!(format!("{:?}", PteFlags::PRESENT | PteFlags::DIRTY).contains("DIRTY"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::page::MAX_PAGE_ORDER;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Encode/decode round-trips for every order and any aligned base.
+        #[test]
+        fn leaf_round_trip(order in 0u8..=MAX_PAGE_ORDER, raw in 0u64..(1 << 40)) {
+            let o = PageOrder::new(order).unwrap();
+            let base = PhysAddr::new(raw).align_down(o.shift());
+            let level = level_for_order(o);
+            let writable = raw & 1 == 1;
+            let flags = if writable { PteFlags::WRITABLE } else { PteFlags::empty() };
+            let pte = Pte::leaf(base, o, flags);
+            let leaf = pte.decode_leaf(level).unwrap();
+            prop_assert_eq!(leaf.base, base);
+            prop_assert_eq!(leaf.order, o);
+            prop_assert_eq!(leaf.flags.contains(PteFlags::WRITABLE), writable);
+        }
+
+        /// A/D updates never change the decoded base/order.
+        #[test]
+        fn ad_bits_preserve_mapping(order in 0u8..=MAX_PAGE_ORDER, raw in 0u64..(1 << 40)) {
+            let o = PageOrder::new(order).unwrap();
+            let base = PhysAddr::new(raw).align_down(o.shift());
+            let level = level_for_order(o);
+            let pte = Pte::leaf(base, o, PteFlags::USER).with_accessed().with_dirty();
+            let leaf = pte.decode_leaf(level).unwrap();
+            prop_assert_eq!(leaf.base, base);
+            prop_assert_eq!(leaf.order, o);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Memory compaction daemon model (paper §II-B, §III-B3).
+//!
+//! Compaction migrates scattered *movable* allocations toward low addresses
+//! so free memory coalesces into large contiguous blocks. The OS uses it
+//! when an allocation cannot find the contiguity it wants; TPS benefits
+//! because whatever contiguity compaction recovers can be exploited by the
+//! nearest tailored page size.
+//!
+//! The model frees every movable block and re-allocates the same multiset
+//! largest-first (buddy allocation is lowest-address-first, so the result is
+//! densely packed around the unmovable blocks). The returned relocation list
+//! is what the OS needs to fix up page tables and issue TLB shootdowns; the
+//! page-move count is the cost input to the system-time model.
+
+use crate::buddy::BuddyAllocator;
+use tps_core::{PageOrder, PhysAddr};
+
+/// One block migration performed by compaction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Relocation {
+    /// Where the block was.
+    pub from: PhysAddr,
+    /// Where it is now.
+    pub to: PhysAddr,
+    /// The block's order (unchanged by migration).
+    pub order: PageOrder,
+}
+
+/// Result of a compaction pass.
+#[derive(Clone, Debug, Default)]
+pub struct CompactionOutcome {
+    /// All migrations performed (blocks that did not move are omitted).
+    pub relocations: Vec<Relocation>,
+    /// Total base pages copied (the daemon's work, for cost accounting).
+    pub pages_moved: u64,
+}
+
+impl CompactionOutcome {
+    /// Convenience: number of blocks that moved.
+    pub fn moved_blocks(&self) -> usize {
+        self.relocations.len()
+    }
+}
+
+/// Compacts the movable allocations of `buddy`.
+///
+/// `movable` lists blocks (base, order) currently allocated in `buddy` that
+/// the caller is able to migrate (i.e. it can update whatever mappings point
+/// at them). Unlisted allocations are treated as pinned and are packed
+/// around.
+///
+/// Returns the relocations performed. The caller must apply them to its
+/// page tables / reservation tables.
+///
+/// # Panics
+///
+/// Panics if an entry of `movable` is not a live allocation of `buddy`.
+pub fn compact(
+    buddy: &mut BuddyAllocator,
+    movable: &[(PhysAddr, PageOrder)],
+) -> CompactionOutcome {
+    // Free all movable blocks, largest first is irrelevant for freeing.
+    for &(base, order) in movable {
+        assert!(
+            buddy.is_allocated(base, order),
+            "compaction given a non-live block {base:?} order {order}"
+        );
+        buddy.free(base, order).expect("validated above");
+    }
+    // Re-allocate the same multiset, largest blocks first (classic buddy
+    // re-pack: guarantees success because the multiset fit before).
+    let mut order_sorted: Vec<(PhysAddr, PageOrder)> = movable.to_vec();
+    order_sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut outcome = CompactionOutcome::default();
+    for (from, order) in order_sorted {
+        let to = buddy
+            .alloc(order)
+            .expect("re-allocating a freed multiset cannot fail");
+        if to != from {
+            outcome.pages_moved += order.base_pages();
+            outcome.relocations.push(Relocation { from, to, order });
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::{FragmentParams, Fragmenter};
+
+    fn o(x: u8) -> PageOrder {
+        PageOrder::new(x).unwrap()
+    }
+
+    #[test]
+    fn compaction_restores_contiguity() {
+        let mut buddy = BuddyAllocator::new(64 << 20);
+        let mut frag = Fragmenter::new(FragmentParams {
+            target_free_fraction: 0.5,
+            ..Default::default()
+        });
+        let live = frag.run(&mut buddy);
+        let before = buddy.histogram().coverage(o(10)); // 4 MB coverage
+        let outcome = compact(&mut buddy, &live);
+        let after = buddy.histogram().coverage(o(10));
+        assert!(
+            after > before || (before == 1.0 && after == 1.0),
+            "coverage should improve: {before} -> {after}"
+        );
+        assert!(after > 0.9, "fully movable memory compacts well: {after}");
+        assert!(outcome.pages_moved > 0);
+        buddy.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_block_multiset() {
+        let mut buddy = BuddyAllocator::new(16 << 20);
+        let mut live = Vec::new();
+        for ord in [0u8, 0, 1, 2, 3, 0, 1] {
+            live.push((buddy.alloc(o(ord)).unwrap(), o(ord)));
+        }
+        let used_before = buddy.used_bytes();
+        let outcome = compact(&mut buddy, &live);
+        assert_eq!(buddy.used_bytes(), used_before);
+        // Every relocation target is a live allocation of the same order.
+        for r in &outcome.relocations {
+            assert!(buddy.is_allocated(r.to, r.order));
+        }
+        buddy.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn unmovable_blocks_stay_put() {
+        let mut buddy = BuddyAllocator::new(8 << 20);
+        let pinned = buddy.alloc(o(4)).unwrap();
+        let movable_blk = buddy.alloc(o(2)).unwrap();
+        let outcome = compact(&mut buddy, &[(movable_blk, o(2))]);
+        assert!(buddy.is_allocated(pinned, o(4)), "pinned block untouched");
+        for r in &outcome.relocations {
+            assert_ne!(r.from, pinned);
+        }
+    }
+
+    #[test]
+    fn already_compact_memory_moves_nothing() {
+        let mut buddy = BuddyAllocator::new(8 << 20);
+        let a = buddy.alloc(o(3)).unwrap();
+        let b = buddy.alloc(o(3)).unwrap();
+        // a and b are the lowest possible blocks already; largest-first
+        // re-pack lands them in the same places.
+        let outcome = compact(&mut buddy, &[(a, o(3)), (b, o(3))]);
+        assert_eq!(outcome.moved_blocks(), 0);
+        assert_eq!(outcome.pages_moved, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-live block")]
+    fn rejects_stale_movable_list() {
+        let mut buddy = BuddyAllocator::new(1 << 20);
+        let a = buddy.alloc(o(0)).unwrap();
+        buddy.free(a, o(0)).unwrap();
+        compact(&mut buddy, &[(a, o(0))]);
+    }
+}

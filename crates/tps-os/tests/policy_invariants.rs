@@ -1,0 +1,183 @@
+//! Property tests of the OS model: random mmap/fault/munmap churn under
+//! every policy must preserve the core invariants — translations resolve
+//! to reserved/allocated frames, no two virtual pages share a frame
+//! (without CoW), conservative TPS never bloats, and all memory returns on
+//! unmap.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tps_core::rng::Rng;
+use tps_core::{PageOrder, TpsError, VirtAddr};
+use tps_os::{Os, PolicyConfig, PolicyKind, Vma};
+
+fn churn(
+    kind: PolicyKind,
+    seed: u64,
+    ops: u32,
+) -> Result<(), TestCaseError> {
+    let mut rng = Rng::new(seed);
+    let mut os = Os::new(256 << 20, PolicyConfig::new(kind));
+    os.set_background_noise(64); // aggressive interleaving
+    let pid = os.spawn();
+    let mut vmas: Vec<Vma> = Vec::new();
+    let mut touched: Vec<(u64, u64)> = Vec::new(); // (vma base, offset)
+
+    for _ in 0..ops {
+        let roll = rng.next_f64();
+        if vmas.is_empty() || roll < 0.15 {
+            let bytes = 4096 * (1 + rng.below(512));
+            let vma = os.mmap(pid, bytes).expect("plenty of memory");
+            vmas.push(vma);
+        } else if roll < 0.22 {
+            let i = rng.below(vmas.len() as u64) as usize;
+            let vma = vmas.swap_remove(i);
+            touched.retain(|(b, _)| *b != vma.base().value());
+            os.munmap(pid, vma.base()).expect("vma was live");
+        } else {
+            let vma = &vmas[rng.below(vmas.len() as u64) as usize];
+            let off = rng.below(vma.len());
+            let va = VirtAddr::new(vma.base().value() + off);
+            if os.page_table(pid).lookup(va).is_none() {
+                os.handle_fault(pid, va, rng.chance(0.5)).expect("in-vma fault");
+            }
+            touched.push((vma.base().value(), off));
+        }
+    }
+
+    // Invariant 1: every touched location still translates, inside a live
+    // VMA, and distinct virtual base pages map distinct frames.
+    let mut frame_owner: HashMap<u64, u64> = HashMap::new();
+    for (base, off) in &touched {
+        if !vmas.iter().any(|v| v.base().value() == *base) {
+            continue;
+        }
+        let va = VirtAddr::new(base + off);
+        let pa = os
+            .page_table(pid)
+            .translate(va)
+            .expect("touched page must stay mapped");
+        let vpage = va.align_down(12).value();
+        let ppage = pa.align_down(12).value();
+        if let Some(prev) = frame_owner.insert(ppage, vpage) {
+            prop_assert_eq!(prev, vpage, "frame aliased by two virtual pages");
+        }
+    }
+
+    // Invariant 2: conservative policies never map more than was touched.
+    // (touched_bytes is a lifetime counter — munmap reduces residency but
+    // not it — so the bound is one-sided under churn.)
+    if matches!(kind, PolicyKind::Only4K | PolicyKind::Thp | PolicyKind::Tps) {
+        prop_assert!(
+            os.process(pid).resident_bytes() <= os.process(pid).touched_bytes(),
+            "resident {} exceeds touched {}",
+            os.process(pid).resident_bytes(),
+            os.process(pid).touched_bytes()
+        );
+    }
+
+    // Invariant 3: unmapping everything returns all non-noise memory.
+    for vma in vmas {
+        os.munmap(pid, vma.base()).expect("live vma");
+    }
+    prop_assert_eq!(os.process(pid).resident_bytes(), 0);
+    os.buddy().check_invariants().map_err(TestCaseError::fail)?;
+    // Only kernel-noise blocks may remain allocated.
+    let noise_bytes = os.stats().faults / 64 * (2 << 20);
+    prop_assert!(
+        os.buddy().used_bytes() <= noise_bytes + (2 << 20),
+        "leak: {} bytes used, noise bound {}",
+        os.buddy().used_bytes(),
+        noise_bytes
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn only4k_churn(seed in 0u64..100_000, ops in 50u32..250) {
+        churn(PolicyKind::Only4K, seed, ops)?;
+    }
+
+    #[test]
+    fn thp_churn(seed in 0u64..100_000, ops in 50u32..250) {
+        churn(PolicyKind::Thp, seed, ops)?;
+    }
+
+    #[test]
+    fn tps_churn(seed in 0u64..100_000, ops in 50u32..250) {
+        churn(PolicyKind::Tps, seed, ops)?;
+    }
+
+    #[test]
+    fn tps_eager_churn(seed in 0u64..100_000, ops in 50u32..250) {
+        churn(PolicyKind::TpsEager, seed, ops)?;
+    }
+
+    #[test]
+    fn rmm_churn(seed in 0u64..100_000, ops in 50u32..250) {
+        churn(PolicyKind::Rmm, seed, ops)?;
+    }
+
+    /// TPS under every promotion threshold keeps translations consistent
+    /// between the page table and the reservation table.
+    #[test]
+    fn tps_thresholds_stay_consistent(
+        seed in 0u64..100_000,
+        threshold in prop::sample::select(vec![0.25, 0.5, 0.75, 1.0]),
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut os = Os::new(
+            128 << 20,
+            PolicyConfig::new(PolicyKind::Tps).with_threshold(threshold),
+        );
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 4 << 20).unwrap();
+        for _ in 0..300 {
+            let off = rng.below(vma.len() / 4096) * 4096;
+            let va = VirtAddr::new(vma.base().value() + off);
+            if os.page_table(pid).lookup(va).is_none() {
+                os.handle_fault(pid, va, true).unwrap();
+            }
+            let pt_pa = os.page_table(pid).translate(va).unwrap();
+            let res = os.process(pid).reservations().find(va).unwrap();
+            let res_pa = res.frame_for(va - res.va_base()).unwrap();
+            prop_assert_eq!(pt_pa, res_pa, "PT and reservation disagree");
+        }
+        // Bloat only ever grows with laxer thresholds; exact at 1.0.
+        if threshold == 1.0 {
+            prop_assert_eq!(
+                os.process(pid).resident_bytes(),
+                os.process(pid).touched_bytes()
+            );
+        } else {
+            prop_assert!(os.process(pid).resident_bytes() >= os.process(pid).touched_bytes());
+        }
+    }
+
+    /// Promotion monotonicity: a page order at a VA never shrinks while
+    /// faulting proceeds (pages grow, never spontaneously split).
+    #[test]
+    fn page_orders_grow_monotonically(seed in 0u64..100_000) {
+        let mut rng = Rng::new(seed);
+        let mut os = Os::new(64 << 20, PolicyConfig::new(PolicyKind::Tps));
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 1 << 20).unwrap();
+        let probe = VirtAddr::new(vma.base().value());
+        os.handle_fault(pid, probe, true).unwrap();
+        let mut last = os.page_table(pid).lookup(probe).unwrap().order;
+        for _ in 0..256 {
+            let off = rng.below(vma.len() / 4096) * 4096;
+            let va = VirtAddr::new(vma.base().value() + off);
+            if os.page_table(pid).lookup(va).is_none() {
+                os.handle_fault(pid, va, true).unwrap();
+            }
+            let now = os.page_table(pid).lookup(probe).unwrap().order;
+            prop_assert!(now >= last, "page shrank from {last} to {now}");
+            last = now;
+        }
+        let _ = PageOrder::P4K;
+        let _: Option<TpsError> = None;
+    }
+}

@@ -1,0 +1,716 @@
+//! The 4-level radix page table with tailored-page support.
+
+use std::collections::{BTreeMap, HashMap};
+use tps_core::{
+    level_base_order, level_for_order, LeafInfo, PageOrder, PhysAddr, Pte, PteFlags, TpsError,
+    VirtAddr, PT_ENTRIES,
+};
+
+/// Physical base of the pool from which page-table node frames are drawn.
+///
+/// Placed at 256 GB, far above any DRAM size the simulator models, so node
+/// frames never collide with data frames handed out by the buddy allocator.
+pub const PT_POOL_BASE: u64 = 1 << 38;
+
+/// A process page table: a radix tree of 512-entry nodes.
+///
+/// Supports conventional leaves (4 KB / 2 MB / 1 GB) and TPS tailored leaves
+/// at any order. Tailored leaves are written as `2^rel` identical PTEs — the
+/// true PTE plus alias PTEs — within one node, where `rel` is the order
+/// relative to the leaf level.
+///
+/// All mutation counters (`pte_writes`, node allocations) are exposed so the
+/// OS model can charge system time for page-table maintenance.
+#[derive(Clone, Debug)]
+pub struct PageTable {
+    nodes: HashMap<u64, Vec<Pte>>,
+    root: PhysAddr,
+    next_node: u64,
+    pte_writes: u64,
+    levels: u8,
+    /// Fine-grained A/D tracking (paper §III-C1): when enabled, a tailored
+    /// page's otherwise-unused alias-PTE bits hold a dirty bit vector over
+    /// its constituents, capped at 16 bits. Keyed by page base VA.
+    fine_grained_ad: bool,
+    ad_vectors: HashMap<u64, u16>,
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageTable {
+    /// Creates an empty 4-level page table (root node allocated).
+    pub fn new() -> Self {
+        Self::with_levels(4)
+    }
+
+    /// Creates an empty page table with 4 or 5 levels. Five-level paging
+    /// (Intel LA57) adds one radix level — and thus one more memory access
+    /// to uncached walks, the growing overhead the paper's introduction
+    /// warns about.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `levels` is 4 or 5.
+    pub fn with_levels(levels: u8) -> Self {
+        assert!(levels == 4 || levels == 5, "only 4- or 5-level paging");
+        let mut pt = PageTable {
+            nodes: HashMap::new(),
+            root: PhysAddr::new(PT_POOL_BASE),
+            next_node: 0,
+            pte_writes: 0,
+            levels,
+            fine_grained_ad: false,
+            ad_vectors: HashMap::new(),
+        };
+        let root = pt.alloc_node();
+        pt.root = root;
+        pt
+    }
+
+    /// Number of radix levels (4 or 5).
+    pub fn levels(&self) -> u8 {
+        self.levels
+    }
+
+    /// Enables fine-grained dirty tracking for tailored pages (paper
+    /// §III-C1): the unused bits of alias PTEs collect a ≤16-bit dirty
+    /// vector over the page's constituents, so swapping/writeback need not
+    /// treat the whole tailored page as dirty.
+    pub fn set_fine_grained_ad(&mut self, enabled: bool) {
+        self.fine_grained_ad = enabled;
+    }
+
+    /// The dirty bit vector of the tailored page covering `va`, if
+    /// fine-grained tracking recorded one. Bit `i` covers the page's
+    /// `i`-th sixteenth (or base page, for pages of ≤16 constituents).
+    pub fn dirty_vector(&self, va: VirtAddr) -> Option<u16> {
+        let leaf = self.lookup(va)?;
+        let base = va.align_down(leaf.order.shift());
+        self.ad_vectors.get(&base.value()).copied()
+    }
+
+    /// Physical address of the root (CR3 equivalent).
+    pub fn root(&self) -> PhysAddr {
+        self.root
+    }
+
+    /// Number of live page-table nodes (each 4 KB).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Cumulative count of PTE stores performed (incl. alias PTEs) — cost
+    /// input for the OS system-time model.
+    pub fn pte_writes(&self) -> u64 {
+        self.pte_writes
+    }
+
+    fn alloc_node(&mut self) -> PhysAddr {
+        let pa = PhysAddr::new(PT_POOL_BASE + self.next_node * 4096);
+        self.next_node += 1;
+        self.nodes.insert(pa.value(), vec![Pte::EMPTY; PT_ENTRIES]);
+        pa
+    }
+
+    /// Reads the entry at `(node, index)` the way the walker does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is not a live page-table node or `index >= 512`.
+    pub fn read_entry(&self, node: PhysAddr, index: usize) -> Pte {
+        self.nodes
+            .get(&node.value())
+            .expect("walker reads only live nodes")[index]
+    }
+
+    fn write_entry(&mut self, node: PhysAddr, index: usize, pte: Pte) {
+        self.nodes
+            .get_mut(&node.value())
+            .expect("writes target live nodes")[index] = pte;
+        self.pte_writes += 1;
+    }
+
+    /// Ensures intermediate nodes exist down to `target_level`, returning
+    /// the node at that level for `va`.
+    ///
+    /// If an intermediate slot holds a huge/tailored leaf, returns an error:
+    /// the caller must unmap first (mapping *under* a huge page is a bug).
+    fn descend_to(&mut self, va: VirtAddr, target_level: u8) -> Result<PhysAddr, TpsError> {
+        let mut node = self.root;
+        let mut level = self.levels;
+        while level > target_level {
+            let idx = va.pt_index(level);
+            let pte = self.read_entry(node, idx);
+            if pte.is_present() {
+                if pte.is_leaf(level) {
+                    return Err(TpsError::RangeOverlap {
+                        start: va.align_down(12 + 9 * (level as u32 - 1)).value(),
+                        len: 1u64 << (12 + 9 * (level - 1) as u32),
+                    });
+                }
+                node = pte.next_table();
+            } else {
+                let child = self.alloc_node();
+                self.write_entry(node, idx, Pte::table(child));
+                node = child;
+            }
+            level -= 1;
+        }
+        Ok(node)
+    }
+
+    /// Maps a page of the given order at `va -> pa`.
+    ///
+    /// Writes the true PTE and all alias PTEs for tailored orders. If the
+    /// target slots currently hold smaller-page subtrees (the page-promotion
+    /// path), those subtrees are replaced and their nodes freed.
+    ///
+    /// # Errors
+    ///
+    /// * [`TpsError::Misaligned`] if `va` or `pa` is not aligned to the
+    ///   page size.
+    /// * [`TpsError::RangeOverlap`] if a *larger* leaf already covers `va`.
+    pub fn map(
+        &mut self,
+        va: VirtAddr,
+        pa: PhysAddr,
+        order: PageOrder,
+        flags: PteFlags,
+    ) -> Result<(), TpsError> {
+        if !va.is_aligned(order.shift()) {
+            return Err(TpsError::Misaligned {
+                addr: va.value(),
+                shift: order.shift(),
+            });
+        }
+        if !pa.is_aligned(order.shift()) {
+            return Err(TpsError::Misaligned {
+                addr: pa.value(),
+                shift: order.shift(),
+            });
+        }
+        let level = level_for_order(order);
+        let node = self.descend_to(va, level)?;
+        let rel = order.get() - level_base_order(level);
+        let first = va.pt_index(level) & !((1usize << rel) - 1);
+        debug_assert_eq!(va.pt_index(level), first, "va aligned implies index aligned");
+        self.ad_vectors.remove(&va.value());
+        let pte = Pte::leaf(pa, order, flags);
+        for i in 0..(1usize << rel) {
+            let old = self.read_entry(node, first + i);
+            if old.is_present() && !old.is_leaf(level) {
+                // Promotion over an existing subtree: reclaim its nodes.
+                self.free_subtree(old.next_table(), level - 1);
+            }
+            self.write_entry(node, first + i, pte);
+        }
+        Ok(())
+    }
+
+    /// Recursively frees the node `node` (at `level`) and its descendants.
+    fn free_subtree(&mut self, node: PhysAddr, level: u8) {
+        if let Some(entries) = self.nodes.remove(&node.value()) {
+            if level > 1 {
+                for pte in entries {
+                    if pte.is_present() && !pte.is_leaf(level) {
+                        self.free_subtree(pte.next_table(), level - 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Unmaps the page of the given order at `va` (all alias PTEs cleared).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpsError::Unmapped`] if no leaf of exactly this order is
+    /// mapped at `va`, or [`TpsError::Misaligned`] for a misaligned `va`.
+    pub fn unmap(&mut self, va: VirtAddr, order: PageOrder) -> Result<(), TpsError> {
+        if !va.is_aligned(order.shift()) {
+            return Err(TpsError::Misaligned {
+                addr: va.value(),
+                shift: order.shift(),
+            });
+        }
+        let level = level_for_order(order);
+        let mut node = self.root;
+        for l in (level + 1..=self.levels).rev() {
+            let pte = self.read_entry(node, va.pt_index(l));
+            if !pte.is_present() || pte.is_leaf(l) {
+                return Err(TpsError::Unmapped { vaddr: va.value() });
+            }
+            node = pte.next_table();
+        }
+        let idx = va.pt_index(level);
+        let pte = self.read_entry(node, idx);
+        let leaf = pte
+            .decode_leaf(level)
+            .map_err(|_| TpsError::Unmapped { vaddr: va.value() })?;
+        if leaf.order != order {
+            return Err(TpsError::Unmapped { vaddr: va.value() });
+        }
+        let rel = order.get() - level_base_order(level);
+        let first = idx & !((1usize << rel) - 1);
+        for i in 0..(1usize << rel) {
+            self.write_entry(node, first + i, Pte::EMPTY);
+        }
+        self.ad_vectors.remove(&va.value());
+        Ok(())
+    }
+
+    /// Functional (timing-free) lookup: the leaf covering `va`, if mapped.
+    pub fn lookup(&self, va: VirtAddr) -> Option<LeafInfo> {
+        let mut node = self.root;
+        for level in (1..=self.levels).rev() {
+            let pte = self.read_entry(node, va.pt_index(level));
+            if !pte.is_present() {
+                return None;
+            }
+            if pte.is_leaf(level) {
+                return pte.decode_leaf(level).ok();
+            }
+            node = pte.next_table();
+        }
+        None
+    }
+
+    /// Functional translation of `va` to a physical address.
+    pub fn translate(&self, va: VirtAddr) -> Option<PhysAddr> {
+        let leaf = self.lookup(va)?;
+        Some(PhysAddr::new(
+            leaf.base.value() + va.page_offset(leaf.order.shift()),
+        ))
+    }
+
+    /// Sets the `ACCESSED` (and optionally `DIRTY`) bit on the true PTE for
+    /// `va`. Returns `true` if any bit actually changed (i.e. hardware would
+    /// have performed a memory store).
+    pub fn mark_accessed(&mut self, va: VirtAddr, dirty: bool) -> bool {
+        let mut node = self.root;
+        for level in (1..=self.levels).rev() {
+            let idx = va.pt_index(level);
+            let pte = self.read_entry(node, idx);
+            if !pte.is_present() {
+                return false;
+            }
+            if pte.is_leaf(level) {
+                let mut stored = false;
+                let leaf = pte.decode_leaf(level).expect("leaf checked");
+                if dirty && self.fine_grained_ad && leaf.order.is_tailored() {
+                    // Record which sixteenth of the page was written.
+                    let base = va.align_down(leaf.order.shift());
+                    let off = va.page_offset(leaf.order.shift());
+                    let bit = ((off * 16) >> leaf.order.shift()).min(15) as u16;
+                    let vector = self.ad_vectors.entry(base.value()).or_insert(0);
+                    if *vector & (1 << bit) == 0 {
+                        *vector |= 1 << bit;
+                        stored = true;
+                    }
+                }
+                // A/D bits live in the *true* PTE (the walker may have
+                // landed on an alias slot, but the true PTE is the
+                // authority for bookkeeping).
+                let rel = leaf.order.get() - level_base_order(level);
+                let true_idx = idx & !((1usize << rel) - 1);
+                let true_pte = self.read_entry(node, true_idx);
+                let mut updated = true_pte.with_accessed();
+                if dirty {
+                    updated = updated.with_dirty();
+                }
+                if updated != true_pte {
+                    self.write_entry(node, true_idx, updated);
+                    return true;
+                }
+                return stored;
+            }
+            node = pte.next_table();
+        }
+        false
+    }
+
+    /// Counts distinct mapped pages per order (paper Fig. 18). Alias PTEs
+    /// are not double-counted: only the true PTE (aligned slot) counts.
+    pub fn page_census(&self) -> BTreeMap<PageOrder, u64> {
+        let mut census = BTreeMap::new();
+        self.census_node(self.root, self.levels, &mut census);
+        census
+    }
+
+    fn census_node(&self, node: PhysAddr, level: u8, census: &mut BTreeMap<PageOrder, u64>) {
+        let entries = &self.nodes[&node.value()];
+        let mut idx = 0usize;
+        while idx < PT_ENTRIES {
+            let pte = entries[idx];
+            if pte.is_present() {
+                if pte.is_leaf(level) {
+                    let leaf = pte.decode_leaf(level).expect("leaf checked");
+                    let rel = leaf.order.get() - level_base_order(level);
+                    *census.entry(leaf.order).or_insert(0) += 1;
+                    idx += 1usize << rel; // skip alias PTEs
+                    continue;
+                } else if level > 1 {
+                    self.census_node(pte.next_table(), level - 1, census);
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    /// Total bytes of virtual address space currently mapped.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.page_census()
+            .iter()
+            .map(|(order, count)| order.bytes() * count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(x: u8) -> PageOrder {
+        PageOrder::new(x).unwrap()
+    }
+
+    fn w() -> PteFlags {
+        PteFlags::WRITABLE | PteFlags::USER
+    }
+
+    #[test]
+    fn map_and_translate_4k() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w()).unwrap();
+        assert_eq!(pt.translate(VirtAddr::new(0x1234)).unwrap().value(), 0x5234);
+        assert!(pt.translate(VirtAddr::new(0x2000)).is_none());
+        assert_eq!(pt.node_count(), 4, "root + 3 intermediate nodes");
+    }
+
+    #[test]
+    fn map_and_translate_huge_pages() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap();
+        pt.map(VirtAddr::new(0x8000_0000), PhysAddr::new(0x8000_0000), o(18), w()).unwrap();
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x4012_3456)).unwrap().value(),
+            0x4012_3456
+        );
+        assert_eq!(
+            pt.translate(VirtAddr::new(0xbfff_ffff)).unwrap().value(),
+            0xbfff_ffff
+        );
+    }
+
+    #[test]
+    fn tailored_page_aliases_written() {
+        let mut pt = PageTable::new();
+        // 32 KB page: 8 slots at level 1.
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        // Every 4K sub-page translates correctly, through alias PTEs.
+        for i in 0..8u64 {
+            let va = VirtAddr::new(0x10_0000 + i * 4096 + 42);
+            assert_eq!(
+                pt.translate(va).unwrap().value(),
+                0x20_0000 + i * 4096 + 42
+            );
+        }
+        assert!(pt.translate(VirtAddr::new(0x10_8000)).is_none());
+    }
+
+    #[test]
+    fn misaligned_map_rejected() {
+        let mut pt = PageTable::new();
+        assert!(matches!(
+            pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x8000), o(3), w()),
+            Err(TpsError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            pt.map(VirtAddr::new(0x8000), PhysAddr::new(0x1000), o(3), w()),
+            Err(TpsError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn mapping_under_existing_huge_page_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap();
+        assert!(matches!(
+            pt.map(VirtAddr::new(0x4000_1000), PhysAddr::new(0x5000), o(0), w()),
+            Err(TpsError::RangeOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn promotion_replaces_smaller_pages() {
+        let mut pt = PageTable::new();
+        // Map 8 individual 4K pages, then promote to one 32K page.
+        for i in 0..8u64 {
+            pt.map(
+                VirtAddr::new(0x10_0000 + i * 4096),
+                PhysAddr::new(0x30_0000 + i * 4096),
+                o(0),
+                w(),
+            )
+            .unwrap();
+        }
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x30_0000), o(3), w()).unwrap();
+        let leaf = pt.lookup(VirtAddr::new(0x10_3000)).unwrap();
+        assert_eq!(leaf.order, o(3));
+        assert_eq!(pt.translate(VirtAddr::new(0x10_3abc)).unwrap().value(), 0x30_3abc);
+    }
+
+    #[test]
+    fn promotion_across_levels_frees_subtree() {
+        let mut pt = PageTable::new();
+        // Map 4K pages across a 2M region, then promote to a 4M tailored page.
+        for i in 0..16u64 {
+            pt.map(
+                VirtAddr::new(0x4000_0000 + i * 4096),
+                PhysAddr::new(0x4000_0000 + i * 4096),
+                o(0),
+                w(),
+            )
+            .unwrap();
+        }
+        let nodes_before = pt.node_count();
+        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(10), w()).unwrap();
+        assert!(pt.node_count() < nodes_before, "level-1 node reclaimed");
+        let leaf = pt.lookup(VirtAddr::new(0x4020_0000)).unwrap();
+        assert_eq!(leaf.order, o(10));
+    }
+
+    #[test]
+    fn unmap_clears_all_aliases() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        pt.unmap(VirtAddr::new(0x10_0000), o(3)).unwrap();
+        for i in 0..8u64 {
+            assert!(pt.translate(VirtAddr::new(0x10_0000 + i * 4096)).is_none());
+        }
+        // Unmapping again fails.
+        assert!(pt.unmap(VirtAddr::new(0x10_0000), o(3)).is_err());
+    }
+
+    #[test]
+    fn unmap_wrong_order_rejected() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        assert!(pt.unmap(VirtAddr::new(0x10_0000), o(2)).is_err());
+    }
+
+    #[test]
+    fn accessed_dirty_tracking() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w()).unwrap();
+        assert!(pt.mark_accessed(VirtAddr::new(0x1234), false), "first access stores");
+        assert!(!pt.mark_accessed(VirtAddr::new(0x1234), false), "sticky: no second store");
+        assert!(pt.mark_accessed(VirtAddr::new(0x1234), true), "first write stores dirty");
+        assert!(!pt.mark_accessed(VirtAddr::new(0x1234), true));
+        assert!(!pt.mark_accessed(VirtAddr::new(0x9000), false), "unmapped: no store");
+    }
+
+    #[test]
+    fn census_counts_true_ptes_only() {
+        let mut pt = PageTable::new();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap(); // 32K
+        pt.map(VirtAddr::new(0x20_0000), PhysAddr::new(0x40_0000), o(0), w()).unwrap(); // 4K
+        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap(); // 2M
+        pt.map(VirtAddr::new(0x8000_0000), PhysAddr::new(0x800_0000), o(11), w()).unwrap(); // 8M
+        let census = pt.page_census();
+        assert_eq!(census.get(&o(3)), Some(&1));
+        assert_eq!(census.get(&o(0)), Some(&1));
+        assert_eq!(census.get(&o(9)), Some(&1));
+        assert_eq!(census.get(&o(11)), Some(&1));
+        assert_eq!(
+            pt.mapped_bytes(),
+            (32 << 10) + (4 << 10) + (2 << 20) + (8 << 20)
+        );
+    }
+
+    #[test]
+    fn pte_write_counter_advances() {
+        let mut pt = PageTable::new();
+        let before = pt.pte_writes();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        // 3 intermediate entries + 8 leaf slots.
+        assert_eq!(pt.pte_writes() - before, 3 + 8);
+    }
+}
+
+#[cfg(test)]
+mod ad_vector_tests {
+    use super::*;
+
+    fn o(x: u8) -> PageOrder {
+        PageOrder::new(x).unwrap()
+    }
+
+    fn pt_with_64k_page() -> (PageTable, VirtAddr) {
+        let mut pt = PageTable::new();
+        pt.set_fine_grained_ad(true);
+        let va = VirtAddr::new(0x40_0000);
+        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
+            .unwrap();
+        (pt, va)
+    }
+
+    #[test]
+    fn writes_set_per_sixteenth_bits() {
+        let (mut pt, va) = pt_with_64k_page();
+        // A 64K page has 16 base pages: one bit each.
+        pt.mark_accessed(va, true);
+        pt.mark_accessed(VirtAddr::new(va.value() + 0x5000), true);
+        pt.mark_accessed(VirtAddr::new(va.value() + 0xf000), true);
+        let v = pt.dirty_vector(va).unwrap();
+        assert_eq!(v, (1 << 0) | (1 << 5) | (1 << 15));
+    }
+
+    #[test]
+    fn reads_do_not_set_vector_bits() {
+        let (mut pt, va) = pt_with_64k_page();
+        pt.mark_accessed(va, false);
+        assert!(pt.dirty_vector(va).is_none());
+    }
+
+    #[test]
+    fn large_pages_cap_at_sixteen_bits() {
+        let mut pt = PageTable::new();
+        pt.set_fine_grained_ad(true);
+        let va = VirtAddr::new(0x4000_0000);
+        pt.map(va, PhysAddr::new(0x800_0000), o(11), PteFlags::WRITABLE) // 8 MB
+            .unwrap();
+        // Writing near the end sets bit 15; each bit covers 512 KB.
+        pt.mark_accessed(VirtAddr::new(va.value() + (8 << 20) - 4096), true);
+        pt.mark_accessed(VirtAddr::new(va.value() + 100), true);
+        assert_eq!(pt.dirty_vector(va).unwrap(), (1 << 15) | 1);
+    }
+
+    #[test]
+    fn conventional_pages_are_not_tracked() {
+        let mut pt = PageTable::new();
+        pt.set_fine_grained_ad(true);
+        let va = VirtAddr::new(0x4000_0000);
+        pt.map(va, PhysAddr::new(0x4000_0000), PageOrder::P2M, PteFlags::WRITABLE)
+            .unwrap();
+        pt.mark_accessed(va, true);
+        assert!(pt.dirty_vector(va).is_none(), "2M is conventional: plain D bit");
+    }
+
+    #[test]
+    fn disabled_by_default_and_cleared_on_remap() {
+        let (mut pt, va) = pt_with_64k_page();
+        pt.mark_accessed(va, true);
+        assert!(pt.dirty_vector(va).is_some());
+        // Remap (promotion path) resets the vector.
+        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        assert!(pt.dirty_vector(va).is_none());
+        // And a fresh table has tracking off.
+        let mut plain = PageTable::new();
+        plain.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        plain.mark_accessed(va, true);
+        assert!(plain.dirty_vector(va).is_none());
+    }
+
+    #[test]
+    fn unmap_clears_vector() {
+        let (mut pt, va) = pt_with_64k_page();
+        pt.mark_accessed(va, true);
+        pt.unmap(va, o(4)).unwrap();
+        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        assert!(pt.dirty_vector(va).is_none());
+    }
+}
+
+#[cfg(test)]
+mod five_level_tests {
+    use super::*;
+
+    fn o(x: u8) -> PageOrder {
+        PageOrder::new(x).unwrap()
+    }
+
+    #[test]
+    fn five_level_maps_and_translates() {
+        let mut pt = PageTable::with_levels(5);
+        assert_eq!(pt.levels(), 5);
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x7000), o(0), PteFlags::WRITABLE)
+            .unwrap();
+        assert_eq!(pt.translate(VirtAddr::new(0x1234)).unwrap().value(), 0x7234);
+        // One extra node level: root + 4 intermediates.
+        assert_eq!(pt.node_count(), 5);
+    }
+
+    #[test]
+    fn five_level_supports_tailored_pages() {
+        let mut pt = PageTable::with_levels(5);
+        pt.map(VirtAddr::new(0x40_0000), PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
+            .unwrap();
+        let leaf = pt.lookup(VirtAddr::new(0x40_f000)).unwrap();
+        assert_eq!(leaf.order, o(4));
+        assert_eq!(pt.page_census().get(&o(4)), Some(&1));
+        pt.unmap(VirtAddr::new(0x40_0000), o(4)).unwrap();
+        assert!(pt.translate(VirtAddr::new(0x40_0000)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "only 4- or 5-level")]
+    fn rejects_other_level_counts() {
+        PageTable::with_levels(3);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn o(x: u8) -> PageOrder {
+        PageOrder::new(x).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Every base page inside a mapped page of any order translates to
+        /// the matching offset in the physical block; addresses outside
+        /// don't translate.
+        #[test]
+        fn translation_covers_exactly_the_page(
+            order in 0u8..14,
+            va_slot in 0u64..64,
+            pa_slot in 0u64..64,
+            probe in 0u64..(1 << 20),
+        ) {
+            let ord = o(order);
+            let va = VirtAddr::new((0x10_0000_0000 + va_slot * (1 << 26)) & !(ord.bytes() - 1));
+            let pa = PhysAddr::new((pa_slot * (1 << 26)) & !(ord.bytes() - 1));
+            let mut pt = PageTable::new();
+            pt.map(va, pa, ord, PteFlags::WRITABLE).unwrap();
+            let inside = VirtAddr::new(va.value() + probe % ord.bytes());
+            prop_assert_eq!(
+                pt.translate(inside).unwrap().value(),
+                pa.value() + probe % ord.bytes()
+            );
+            let outside = VirtAddr::new(va.value() + ord.bytes() + probe % ord.bytes());
+            prop_assert!(pt.translate(outside).is_none());
+        }
+
+        /// map → unmap round-trips to an empty translation.
+        #[test]
+        fn map_unmap_round_trip(order in 0u8..12, slot in 0u64..32) {
+            let ord = o(order);
+            let va = VirtAddr::new((0x20_0000_0000 + slot * (1 << 25)) & !(ord.bytes() - 1));
+            let pa = PhysAddr::new((slot * (1 << 25)) & !(ord.bytes() - 1));
+            let mut pt = PageTable::new();
+            pt.map(va, pa, ord, PteFlags::WRITABLE).unwrap();
+            pt.unmap(va, ord).unwrap();
+            prop_assert!(pt.translate(va).is_none());
+            prop_assert_eq!(pt.page_census().values().sum::<u64>(), 0);
+        }
+    }
+}

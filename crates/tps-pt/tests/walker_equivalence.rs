@@ -1,0 +1,98 @@
+//! Property tests: the hardware walker and the functional lookup must
+//! agree on every translation, cached or not, at any page size and at
+//! both 4 and 5 levels.
+
+use proptest::prelude::*;
+use tps_core::rng::Rng;
+use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr};
+use tps_pt::{AliasPolicy, MmuCaches, PageTable, Walker};
+
+/// Builds a page table with `n` random non-overlapping pages and returns
+/// the mappings. VAs are spread over slots large enough that no two pages
+/// can overlap.
+fn random_mappings(seed: u64, n: usize, levels: u8) -> (PageTable, Vec<(VirtAddr, PhysAddr, PageOrder)>) {
+    let mut rng = Rng::new(seed);
+    let mut pt = PageTable::with_levels(levels);
+    let mut maps = Vec::new();
+    for slot in 0..n as u64 {
+        let order = PageOrder::new(rng.below(15) as u8).unwrap();
+        // 128 MB VA slots, 64 MB PA slots: both exceed the largest order
+        // used (order 14 = 64 MB), so mappings never collide.
+        let va = VirtAddr::new((0x100_0000_0000 + slot * (1 << 27)) & !(order.bytes() - 1));
+        let pa = PhysAddr::new((slot * (1 << 26)) & !(order.bytes() - 1));
+        pt.map(va, pa, order, PteFlags::WRITABLE).unwrap();
+        maps.push((va, pa, order));
+    }
+    (pt, maps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Walks translate identically to functional lookups, with MMU caches
+    /// warm or cold, under both alias policies.
+    #[test]
+    fn walker_matches_functional_lookup(
+        seed in 0u64..100_000,
+        levels in 4u8..=5,
+        probes in proptest::collection::vec((0usize..12, 0u64..(1 << 27)), 1..40),
+    ) {
+        let (pt, maps) = random_mappings(seed, 12, levels);
+        let mut caches = MmuCaches::default();
+        for policy in [AliasPolicy::Pointer, AliasPolicy::FullCopy] {
+            let walker = Walker::new(policy);
+            for &(slot, off) in &probes {
+                let (va_base, _, order) = maps[slot];
+                let va = VirtAddr::new(va_base.value() + off % order.bytes());
+                let expect = pt.translate(va).expect("mapped");
+                let cold = walker.walk(&pt, va, None).unwrap();
+                prop_assert_eq!(cold.translate(va), expect);
+                let warm = walker.walk(&pt, va, Some(&mut caches)).unwrap();
+                prop_assert_eq!(warm.translate(va), expect);
+                prop_assert!(warm.refs.len() <= cold.refs.len());
+            }
+        }
+    }
+
+    /// Walk cost accounting: a cold walk of a level-1 leaf makes `levels`
+    /// accesses, plus exactly one more when it lands on an alias PTE under
+    /// the pointer policy, and never more.
+    #[test]
+    fn walk_reference_counts_are_exact(
+        levels in 4u8..=5,
+        order in 1u8..=8,
+        off in 0u64..(1 << 20),
+    ) {
+        let o = PageOrder::new(order).unwrap();
+        let mut pt = PageTable::with_levels(levels);
+        let va_base = VirtAddr::new(0x200_0000_0000u64 & !(o.bytes() - 1));
+        pt.map(va_base, PhysAddr::new(0x1000_0000 & !(o.bytes() - 1)), o, PteFlags::WRITABLE)
+            .unwrap();
+        let va = VirtAddr::new(va_base.value() + off % o.bytes());
+        let is_alias_slot = (va.pt_index(1) & ((1usize << order) - 1)) != 0;
+
+        let ptr = Walker::new(AliasPolicy::Pointer).walk(&pt, va, None).unwrap();
+        let copy = Walker::new(AliasPolicy::FullCopy).walk(&pt, va, None).unwrap();
+        prop_assert_eq!(copy.refs.len(), levels as usize);
+        prop_assert_eq!(
+            ptr.refs.len(),
+            levels as usize + usize::from(is_alias_slot),
+            "alias slot: {}", is_alias_slot
+        );
+        prop_assert_eq!(ptr.alias_extra, is_alias_slot);
+        prop_assert!(!copy.alias_extra);
+    }
+
+    /// Unmapped probes fault at the correct level and never translate.
+    #[test]
+    fn unmapped_probes_fault(seed in 0u64..100_000) {
+        let (pt, _maps) = random_mappings(seed, 4, 4);
+        let walker = Walker::default();
+        // Far outside any mapping slot.
+        let va = VirtAddr::new(0x7000_0000_0000);
+        let fault = walker.walk(&pt, va, None).unwrap_err();
+        prop_assert!(fault.level >= 1 && fault.level <= 4);
+        prop_assert!(!fault.refs.is_empty());
+        prop_assert!(pt.translate(va).is_none());
+    }
+}

@@ -1,0 +1,46 @@
+//! The TPS machine simulator.
+//!
+//! Ties the substrates together into the paper's evaluation vehicle:
+//!
+//! * [`Machine`] — executes a [`tps_wl::Workload`] event stream against the
+//!   OS model and the MMU (TLB hierarchy + MMU caches + page walker),
+//!   producing [`RunStats`].
+//! * [`Mechanism`] / [`MachineConfig`] — the compared systems (THP
+//!   baseline, CoLT, RMM, TPS) over the paper's Table I hardware.
+//! * [`run_smt`] — two hardware threads sharing translation hardware.
+//! * [`NestedWalkModel`] — two-dimensional (virtualized) page walks.
+//! * [`TimingModel`] — the paper's `T = T_IDEAL + T_L1DTLBM + T_PW`
+//!   execution-time decomposition.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_sim::{Machine, MachineConfig, Mechanism, TimingModel};
+//! use tps_wl::{Gups, GupsParams};
+//!
+//! let mut gups = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
+//! let mut machine = Machine::new(
+//!     MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
+//! let stats = machine.run(&mut gups);
+//! let timing = TimingModel::default().evaluate(&stats, false);
+//! assert!(timing.total() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod machine;
+mod mmu;
+mod nested;
+mod smt;
+mod stats;
+mod timing;
+
+pub use config::{table1_rows, MachineConfig, Mechanism};
+pub use machine::{Machine, RunCounters, ThreadCounters};
+pub use mmu::{AccessLevel, AccessOutcome, Mmu};
+pub use nested::NestedWalkModel;
+pub use smt::{run_smt, SmtRunStats};
+pub use stats::RunStats;
+pub use timing::{TimingBreakdown, TimingModel};

@@ -1,0 +1,431 @@
+//! The machine driver: executes a workload's event stream against the OS
+//! and MMU, gathering statistics.
+
+use crate::config::MachineConfig;
+use crate::mmu::{AccessLevel, Mmu};
+use crate::stats::RunStats;
+use std::collections::HashMap;
+use tps_core::VirtAddr;
+use tps_mem::BuddyAllocator;
+use tps_os::Os;
+use tps_tlb::{Asid, TlbStats};
+use tps_wl::{Event, Workload};
+
+/// Per-thread counters the machine accumulates while executing events.
+///
+/// Most callers never touch this directly — [`Machine::run`] manages one
+/// internally. It is public for custom drivers built on [`Machine::step`].
+#[derive(Clone, Debug, Default)]
+pub struct ThreadCounters {
+    /// TLB hierarchy counters.
+    pub mem: TlbStats,
+    /// Completed page walks.
+    pub walks: u64,
+    /// Page-table memory references.
+    pub walk_refs: u64,
+    /// Walks that ended on an alias PTE.
+    pub alias_extras: u64,
+    /// Hardware A/D-bit stores.
+    pub ad_updates: u64,
+    /// Access events executed.
+    pub accesses: u64,
+    /// Instructions from explicit `Compute` events.
+    pub extra_insts: u64,
+}
+
+/// Measured-region plus full-run counters for one hardware thread.
+///
+/// `full` accumulates from the first event; `measured` is reset at each
+/// [`Event::StatsBarrier`] so figures report steady-state behavior while
+/// full-run totals remain available (system-time accounting, Fig. 17).
+#[derive(Clone, Debug, Default)]
+pub struct RunCounters {
+    /// Counters since the last ROI barrier.
+    pub measured: ThreadCounters,
+    /// Counters over the whole run.
+    pub full: ThreadCounters,
+}
+
+impl RunCounters {
+    /// Records one translated access into both counter sets.
+    pub fn record(&mut self, level: AccessLevel, outcome: &crate::mmu::AccessOutcome) {
+        self.measured.record(level, outcome);
+        self.full.record(level, outcome);
+    }
+
+    /// Adds compute instructions to both counter sets.
+    pub fn compute(&mut self, insts: u64) {
+        self.measured.extra_insts += insts;
+        self.full.extra_insts += insts;
+    }
+
+    /// Handles the ROI barrier: restarts the measured region.
+    pub fn barrier(&mut self) {
+        self.measured = ThreadCounters::default();
+    }
+}
+
+impl ThreadCounters {
+    /// Records one translated access.
+    pub fn record(&mut self, level: AccessLevel, outcome: &crate::mmu::AccessOutcome) {
+        self.accesses += 1;
+        self.mem.accesses += 1;
+        match level {
+            AccessLevel::L1 => self.mem.l1_hits += 1,
+            AccessLevel::Stlb => self.mem.stlb_hits += 1,
+            AccessLevel::Range => self.mem.range_hits += 1,
+            AccessLevel::Walk => {
+                self.mem.l2_misses += 1;
+                self.walks += 1;
+            }
+        }
+        self.walk_refs += outcome.walk_refs;
+        self.alias_extras += u64::from(outcome.alias_extra);
+        self.ad_updates += outcome.ad_updates;
+    }
+}
+
+/// One simulated machine running one process (see [`crate::run_smt`] for the
+/// two-thread variant).
+///
+/// # Example
+///
+/// ```
+/// use tps_sim::{Machine, MachineConfig, Mechanism};
+/// use tps_wl::{Gups, GupsParams, Initialized};
+///
+/// let mut machine = Machine::new(
+///     MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20),
+/// );
+/// // Initialized adds the startup page-touch sweep real applications do,
+/// // so TPS promotions finish before the measured region begins.
+/// let mut wl = Initialized::new(
+///     Gups::new(GupsParams { table_bytes: 8 << 20, updates: 10_000, seed: 7 }));
+/// let stats = machine.run(&mut wl);
+/// assert_eq!(stats.mem.accesses, 10_000);
+/// assert!(stats.mem.l1_hit_rate() > 0.99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    os: Os,
+    asid: Asid,
+    mmu: Mmu,
+    regions: HashMap<u32, VirtAddr>,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let buddy = config
+            .initial_memory
+            .clone()
+            .unwrap_or_else(|| BuddyAllocator::new(config.memory_bytes));
+        let mut os = Os::with_buddy(buddy, config.policy);
+        os.set_background_noise(config.os_noise_period);
+        if config.five_level_paging {
+            os.set_page_table_levels(5);
+        }
+        os.set_fine_grained_ad(config.fine_grained_ad);
+        let asid = os.spawn();
+        let mmu = Mmu::new(&config);
+        Machine {
+            config,
+            os,
+            asid,
+            mmu,
+            regions: HashMap::new(),
+        }
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The operating system (inspection).
+    pub fn os(&self) -> &Os {
+        &self.os
+    }
+
+    /// The MMU (inspection).
+    pub fn mmu(&self) -> &Mmu {
+        &self.mmu
+    }
+
+    /// Runs the memory-compaction daemon and applies the resulting TLB
+    /// shootdowns (paper §III-B3). Subsequent `mmap`s find the recovered
+    /// contiguity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`tps_core::TpsError::SharedMapping`] while CoW sharing
+    /// is live.
+    pub fn compact(&mut self) -> Result<tps_mem::CompactionOutcome, tps_core::TpsError> {
+        let (outcome, shootdowns) = self.os.compact()?;
+        self.mmu.apply_shootdowns(&shootdowns);
+        Ok(outcome)
+    }
+
+    /// Merges buddy-pair mappings into larger pages (paper §III-B3). TLB
+    /// entries need no shootdown (smaller entries stay correct), but the
+    /// paging-structure caches are flushed: cross-level merges free
+    /// page-table nodes.
+    pub fn merge_pages(&mut self) -> u64 {
+        let merges = self.os.merge_pages(self.asid);
+        if merges > 0 {
+            self.mmu.flush_structure_caches();
+        }
+        merges
+    }
+
+    /// Executes one event. Exposed for custom drivers; most callers use
+    /// [`Machine::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on workload errors: accessing an unmapped region, unmapping
+    /// an unknown region, or exhausting physical memory under an eager
+    /// policy.
+    pub fn step(&mut self, event: Event, counters: &mut RunCounters) {
+        match event {
+            Event::Mmap { region, bytes } => {
+                let vma = self
+                    .os
+                    .mmap(self.asid, bytes)
+                    .expect("machine out of physical memory");
+                self.regions.insert(region, vma.base());
+            }
+            Event::Munmap { region } => {
+                let base = self
+                    .regions
+                    .remove(&region)
+                    .expect("munmap of unknown region");
+                let shootdowns = self.os.munmap(self.asid, base).expect("region was mapped");
+                self.mmu.apply_shootdowns(&shootdowns);
+            }
+            Event::Access { region, offset, write } => {
+                let base = self.regions[&region];
+                let va = VirtAddr::new(base.value() + offset);
+                let outcome = self.mmu.access(&mut self.os, self.asid, va, write);
+                counters.record(outcome.level, &outcome);
+            }
+            Event::Compute { insts } => counters.compute(insts),
+            Event::StatsBarrier => counters.barrier(),
+        }
+    }
+
+    /// Runs a workload to completion, returning the collected statistics.
+    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) -> RunStats {
+        let mut counters = RunCounters::default();
+        while let Some(event) = workload.next_event() {
+            self.step(event, &mut counters);
+        }
+        self.finish(workload, counters)
+    }
+
+    pub(crate) fn finish<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        counters: RunCounters,
+    ) -> RunStats {
+        let profile = workload.profile();
+        let insts = |c: &ThreadCounters| {
+            (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts
+        };
+        let process = self.os.process(self.asid);
+        RunStats {
+            name: profile.name.clone(),
+            instructions: insts(&counters.measured),
+            full_instructions: insts(&counters.full),
+            profile,
+            mem: counters.measured.mem,
+            walks: counters.measured.walks,
+            walk_refs: counters.measured.walk_refs,
+            alias_extras: counters.measured.alias_extras,
+            ad_updates: counters.measured.ad_updates,
+            full_mem: counters.full.mem,
+            full_walk_refs: counters.full.walk_refs,
+            os: self.os.stats(),
+            page_census: process.page_table().page_census(),
+            resident_bytes: process.resident_bytes(),
+            touched_bytes: process.touched_bytes(),
+            mmu_cache_hits: self.mmu.mmu_cache_hits(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+    use tps_wl::{Gups, GupsParams, Initialized};
+
+    fn gups(updates: u64) -> Initialized<Gups> {
+        Initialized::new(Gups::new(GupsParams {
+            table_bytes: 8 << 20,
+            updates,
+            seed: 3,
+        }))
+    }
+
+    /// GUPS over a table far beyond the 2M L1 TLB's 64 MB reach, so the
+    /// baseline keeps missing after full THP promotion.
+    fn gups_big(updates: u64) -> Initialized<Gups> {
+        Initialized::new(Gups::new(GupsParams {
+            table_bytes: 256 << 20,
+            updates,
+            seed: 3,
+        }))
+    }
+
+    fn big_machine(mechanism: Mechanism) -> Machine {
+        Machine::new(
+            MachineConfig::for_mechanism(mechanism)
+                .with_memory(512 << 20)
+                .with_verification(),
+        )
+    }
+
+    fn machine(mechanism: Mechanism) -> Machine {
+        Machine::new(
+            MachineConfig::for_mechanism(mechanism)
+                .with_memory(128 << 20)
+                .with_verification(),
+        )
+    }
+
+    #[test]
+    fn runs_gups_under_every_mechanism() {
+        for mech in [
+            Mechanism::Thp,
+            Mechanism::Colt,
+            Mechanism::Rmm,
+            Mechanism::Tps,
+            Mechanism::TpsEager,
+            Mechanism::Only4K,
+            Mechanism::Only2M,
+        ] {
+            let mut m = machine(mech);
+            let stats = m.run(&mut gups(5_000));
+            // Measured region: the 5000 updates. Full run adds the 2048
+            // init touches.
+            assert_eq!(stats.mem.accesses, 5_000, "{mech}");
+            assert_eq!(stats.full_mem.accesses, 2048 + 5_000, "{mech}");
+            assert!(stats.full_instructions > stats.instructions, "{mech}");
+            assert!(stats.resident_bytes >= 8 << 20, "{mech}");
+        }
+    }
+
+    #[test]
+    fn tps_beats_thp_on_l1_misses() {
+        let thp = big_machine(Mechanism::Thp).run(&mut gups_big(20_000));
+        let tps = big_machine(Mechanism::Tps).run(&mut gups_big(20_000));
+        assert!(
+            tps.mem.l1_misses() < thp.mem.l1_misses() / 4,
+            "tps {} vs thp {}",
+            tps.mem.l1_misses(),
+            thp.mem.l1_misses()
+        );
+        // The 256 MB table collapses into very few tailored pages.
+        assert!(tps.page_census.len() <= 3, "census {:?}", tps.page_census);
+    }
+
+    #[test]
+    fn rmm_eliminates_walks_not_l1_misses() {
+        let thp = big_machine(Mechanism::Thp).run(&mut gups_big(20_000));
+        let rmm = big_machine(Mechanism::Rmm).run(&mut gups_big(20_000));
+        // Range TLB: essentially no walks even counting initialization.
+        assert!(
+            rmm.full_walk_refs < thp.full_walk_refs / 4,
+            "rmm {} vs thp {}",
+            rmm.full_walk_refs,
+            thp.full_walk_refs
+        );
+        // But the L1 sees no relief (range hits fill 4K entries).
+        assert!(rmm.mem.l1_misses() * 2 > thp.mem.l1_misses());
+    }
+
+    #[test]
+    fn perfect_l1_has_no_misses() {
+        let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(64 << 20);
+        config.perfect_l1 = true;
+        let stats = Machine::new(config).run(&mut gups(5_000));
+        assert_eq!(stats.mem.l1_misses(), 0);
+        assert_eq!(stats.walk_refs, 0);
+    }
+
+    #[test]
+    fn perfect_l2_walks_never() {
+        let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(64 << 20);
+        config.perfect_l2 = true;
+        let stats = Machine::new(config).run(&mut gups(5_000));
+        assert_eq!(stats.walks, 0);
+        assert_eq!(stats.full_walk_refs, 0);
+        assert!(stats.full_mem.l1_misses() > 0, "L1 still misses (compulsory)");
+        assert_eq!(stats.full_mem.l1_misses(), stats.full_mem.stlb_hits);
+    }
+
+    #[test]
+    fn virtualized_walks_are_amplified() {
+        let native = machine(Mechanism::Thp).run(&mut gups(10_000));
+        let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(128 << 20);
+        config.virtualized = true;
+        config.verify_translations = true;
+        let virt = Machine::new(config).run(&mut gups(10_000));
+        assert!(
+            virt.full_walk_refs > native.full_walk_refs * 2,
+            "2D walks amplify: {} vs {}",
+            virt.full_walk_refs,
+            native.full_walk_refs
+        );
+        assert_eq!(virt.full_mem.l1_misses(), native.full_mem.l1_misses());
+    }
+
+    #[test]
+    fn munmap_shoots_down_tlbs() {
+        use tps_wl::{Event, WorkloadProfile};
+        struct MapUnmapMap {
+            step: u32,
+        }
+        impl Workload for MapUnmapMap {
+            fn profile(&self) -> WorkloadProfile {
+                WorkloadProfile::named("map-unmap")
+            }
+            fn next_event(&mut self) -> Option<Event> {
+                self.step += 1;
+                match self.step {
+                    1 => Some(Event::Mmap { region: 0, bytes: 64 << 10 }),
+                    2..=17 => Some(Event::Access {
+                        region: 0,
+                        offset: ((self.step - 2) as u64) * 4096,
+                        write: true,
+                    }),
+                    18 => Some(Event::Munmap { region: 0 }),
+                    19 => Some(Event::Mmap { region: 1, bytes: 64 << 10 }),
+                    20..=35 => Some(Event::Access {
+                        region: 1,
+                        offset: ((self.step - 20) as u64) * 4096,
+                        write: true,
+                    }),
+                    _ => None,
+                }
+            }
+        }
+        let mut m = machine(Mechanism::Tps);
+        let stats = m.run(&mut MapUnmapMap { step: 0 });
+        assert_eq!(stats.mem.accesses, 32);
+        assert!(stats.os.shootdowns > 0);
+        // All memory from region 0 was freed and reused safely (verified
+        // translations prove no stale TLB entry survived).
+    }
+
+    #[test]
+    fn census_and_footprint_reported() {
+        let mut m = machine(Mechanism::Tps);
+        let stats = m.run(&mut gups(5_000));
+        let total_pages: u64 = stats.page_census.values().sum();
+        assert!(total_pages >= 1);
+        assert_eq!(stats.touched_bytes, 8 << 20, "init sweep touched the table");
+    }
+}

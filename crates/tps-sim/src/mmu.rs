@@ -1,0 +1,442 @@
+//! The MMU: orchestrates TLB lookups, page walks, faults and fills for one
+//! core (shared by both hardware threads under SMT).
+
+use crate::config::MachineConfig;
+use crate::nested::NestedWalkModel;
+use tps_core::{LeafInfo, PageOrder, PteFlags, VirtAddr};
+use tps_os::{Os, Shootdown};
+use tps_pt::{MmuCaches, Walker};
+use tps_tlb::{Asid, L2Hit, TlbHierarchy};
+
+/// Where an access found its translation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessLevel {
+    /// Hit in an L1 TLB structure.
+    L1,
+    /// Hit in the STLB after an L1 miss.
+    Stlb,
+    /// STLB miss covered by the Range TLB (RMM only).
+    Range,
+    /// Full miss: a hardware page walk was performed.
+    Walk,
+}
+
+/// The outcome of translating one access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Where the translation came from.
+    pub level: AccessLevel,
+    /// Page-table memory references performed (including aborted faulting
+    /// walks, alias-PTE extra accesses, and nested amplification).
+    pub walk_refs: u64,
+    /// True if a completed walk ended on an alias PTE.
+    pub alias_extra: bool,
+    /// Page faults taken while serving this access.
+    pub faults: u32,
+    /// True if the fault handler promoted a page while serving this
+    /// access.
+    pub promoted: bool,
+    /// Hardware A/D-bit stores performed.
+    pub ad_updates: u64,
+}
+
+/// The core's translation machinery.
+#[derive(Clone, Debug)]
+pub struct Mmu {
+    tlb: TlbHierarchy,
+    caches: MmuCaches,
+    walker: Walker,
+    nested: Option<NestedWalkModel>,
+    perfect_l1: bool,
+    perfect_l2: bool,
+    verify: bool,
+}
+
+impl Mmu {
+    /// Builds the MMU for a machine configuration.
+    pub fn new(config: &MachineConfig) -> Self {
+        Mmu {
+            tlb: TlbHierarchy::new(config.tlb),
+            caches: MmuCaches::new(config.mmu_cache),
+            walker: Walker::new(config.alias),
+            nested: config
+                .virtualized
+                .then(|| NestedWalkModel::new(config.memory_bytes)),
+            perfect_l1: config.perfect_l1,
+            perfect_l2: config.perfect_l2,
+            verify: config.verify_translations,
+        }
+    }
+
+    /// The TLB hierarchy (inspection).
+    pub fn tlb(&self) -> &TlbHierarchy {
+        &self.tlb
+    }
+
+    /// MMU-cache hit counters (PDE, PDPTE, PML4E).
+    pub fn mmu_cache_hits(&self) -> (u64, u64, u64) {
+        self.caches.hit_counts()
+    }
+
+    /// Flushes the paging-structure caches only (page merges free
+    /// page-table nodes but leave TLB entries valid — paper §III-C2).
+    pub fn flush_structure_caches(&mut self) {
+        self.caches.invalidate_all();
+    }
+
+    /// Applies OS-requested TLB shootdowns (munmap, compaction).
+    pub fn apply_shootdowns(&mut self, shootdowns: &[Shootdown]) {
+        for sd in shootdowns {
+            self.tlb.invalidate_page(sd.asid, sd.va, sd.order);
+        }
+        if !shootdowns.is_empty() {
+            // INVLPG also flushes paging-structure caches.
+            self.caches.invalidate_all();
+        }
+    }
+
+    /// Makes sure `va` is mapped, faulting as needed. Returns the covering
+    /// leaf, the number of faults taken, and whether a promotion happened.
+    fn ensure_mapped(
+        &mut self,
+        os: &mut Os,
+        asid: Asid,
+        va: VirtAddr,
+        write: bool,
+    ) -> (LeafInfo, u32, bool) {
+        let mut faults = 0u32;
+        let mut promoted = false;
+        loop {
+            if let Some(leaf) = os.page_table(asid).lookup(va) {
+                return (leaf, faults, promoted);
+            }
+            let outcome = os
+                .handle_fault(asid, va, write)
+                .expect("workload accessed an unmapped region (segfault)");
+            faults += 1;
+            promoted |= outcome.promoted;
+        }
+    }
+
+    /// Translates one access, performing fills, walks, faults and
+    /// copy-on-write resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload touches memory outside any region (segfault)
+    /// or — with `verify_translations` — if a cached translation disagrees
+    /// with the page table.
+    pub fn access(&mut self, os: &mut Os, asid: Asid, va: VirtAddr, write: bool) -> AccessOutcome {
+        let mut agg: Option<AccessOutcome> = None;
+        loop {
+            let (outcome, writable) = self.access_attempt(os, asid, va, write);
+            let merged = match agg.take() {
+                None => outcome,
+                Some(prev) => AccessOutcome {
+                    level: prev.level,
+                    walk_refs: prev.walk_refs + outcome.walk_refs,
+                    alias_extra: prev.alias_extra | outcome.alias_extra,
+                    faults: prev.faults + outcome.faults,
+                    promoted: prev.promoted | outcome.promoted,
+                    ad_updates: prev.ad_updates + outcome.ad_updates,
+                },
+            };
+            if write && !writable {
+                // Protection fault: resolve copy-on-write and retry.
+                let shootdowns = os
+                    .handle_cow_fault(asid, va)
+                    .expect("write fault on an unmapped page");
+                self.apply_shootdowns(&shootdowns);
+                agg = Some(AccessOutcome {
+                    faults: merged.faults + 1,
+                    ..merged
+                });
+                continue;
+            }
+            return merged;
+        }
+    }
+
+    /// One translation attempt; returns the outcome plus whether the
+    /// mapping used permits writes.
+    fn access_attempt(
+        &mut self,
+        os: &mut Os,
+        asid: Asid,
+        va: VirtAddr,
+        write: bool,
+    ) -> (AccessOutcome, bool) {
+        if self.perfect_l1 {
+            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+            let writable = leaf.flags.contains(PteFlags::WRITABLE);
+            return (
+                AccessOutcome {
+                    level: AccessLevel::L1,
+                    walk_refs: 0,
+                    alias_extra: false,
+                    faults,
+                    promoted,
+                    ad_updates: 0,
+                },
+                writable,
+            );
+        }
+
+        if let Some(t) = self.tlb.lookup_l1(asid, va) {
+            if self.verify {
+                self.verify_translation(os, asid, va, t.pfn);
+            }
+            return (
+                AccessOutcome {
+                    level: AccessLevel::L1,
+                    walk_refs: 0,
+                    alias_extra: false,
+                    faults: 0,
+                    promoted: false,
+                    ad_updates: 0,
+                },
+                t.writable,
+            );
+        }
+
+        if self.perfect_l2 {
+            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+            self.tlb.fill_l1(asid, va, &leaf, None);
+            let ad = u64::from(os.hw_mark_accessed(asid, va, write));
+            return (
+                AccessOutcome {
+                    level: AccessLevel::Stlb,
+                    walk_refs: 0,
+                    alias_extra: false,
+                    faults,
+                    promoted,
+                    ad_updates: ad,
+                },
+                leaf.flags.contains(PteFlags::WRITABLE),
+            );
+        }
+
+        match self.tlb.lookup_l2(asid, va) {
+            L2Hit::Stlb(t) => {
+                // Refill L1 from the (functionally looked-up) leaf: the
+                // hardware already has everything it needs in the entry.
+                let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+                self.fill_l1(os, asid, va, &leaf);
+                if self.verify {
+                    self.verify_translation(os, asid, va, t.pfn);
+                }
+                let ad = u64::from(os.hw_mark_accessed(asid, va, write));
+                (
+                    AccessOutcome {
+                        level: AccessLevel::Stlb,
+                        walk_refs: 0,
+                        alias_extra: false,
+                        faults,
+                        promoted,
+                        ad_updates: ad,
+                    },
+                    t.writable,
+                )
+            }
+            L2Hit::Range(t) => {
+                // RMM: construct the 4 KB PTE from the range, no walk.
+                let leaf = LeafInfo {
+                    base: tps_core::PhysAddr::from_pfn(t.pfn),
+                    order: PageOrder::P4K,
+                    flags: if t.writable {
+                        PteFlags::PRESENT | PteFlags::WRITABLE | PteFlags::USER
+                    } else {
+                        PteFlags::PRESENT | PteFlags::USER
+                    },
+                };
+                self.tlb
+                    .fill_l1(asid, va.align_down(12), &leaf, None);
+                if self.verify {
+                    self.verify_translation(os, asid, va, t.pfn);
+                }
+                let ad = u64::from(os.hw_mark_accessed(asid, va, write));
+                (
+                    AccessOutcome {
+                        level: AccessLevel::Range,
+                        walk_refs: 0,
+                        alias_extra: false,
+                        faults: 0,
+                        promoted: false,
+                        ad_updates: ad,
+                    },
+                    t.writable,
+                )
+            }
+            L2Hit::Miss => {
+                let (outcome, writable) = self.walk_and_fill(os, asid, va, write);
+                (outcome, writable)
+            }
+        }
+    }
+
+    /// Page walk, handling faults and promotions, then fill all levels.
+    fn walk_and_fill(
+        &mut self,
+        os: &mut Os,
+        asid: Asid,
+        va: VirtAddr,
+        write: bool,
+    ) -> (AccessOutcome, bool) {
+        let mut walk_refs = 0u64;
+        let mut faults = 0u32;
+        let mut promoted = false;
+        let leaf;
+        let alias_extra;
+        loop {
+            let result = self
+                .walker
+                .walk_for(asid, os.page_table(asid), va, Some(&mut self.caches));
+            match result {
+                Ok(ok) => {
+                    walk_refs += self.charge_refs(&ok.refs);
+                    leaf = ok.leaf;
+                    alias_extra = ok.alias_extra;
+                    break;
+                }
+                Err(fault) => {
+                    walk_refs += self.charge_refs(&fault.refs);
+                    let outcome = os
+                        .handle_fault(asid, va, write)
+                        .expect("workload accessed an unmapped region (segfault)");
+                    faults += 1;
+                    if outcome.promoted {
+                        promoted = true;
+                        // Cross-level promotion may free page-table nodes:
+                        // the OS flushes the paging-structure caches.
+                        self.caches.invalidate_all();
+                    }
+                }
+            }
+        }
+        self.tlb.fill_l2(asid, va, &leaf);
+        self.fill_l1(os, asid, va, &leaf);
+        // RMM refills its Range TLB from the OS range table after the walk
+        // (off the critical path).
+        if self.tlb.has_range_tlb() {
+            if let Some(range) = os.range_for(asid, va) {
+                self.tlb.fill_range(range);
+            }
+        }
+        if self.verify {
+            let pfn = leaf.base.base_page_number()
+                + (va.base_page_number() - va.align_down(leaf.order.shift()).base_page_number());
+            self.verify_translation(os, asid, va, pfn);
+        }
+        let ad = u64::from(os.hw_mark_accessed(asid, va, write));
+        (
+            AccessOutcome {
+                level: AccessLevel::Walk,
+                walk_refs,
+                alias_extra,
+                faults,
+                promoted,
+                ad_updates: ad,
+            },
+            leaf.flags.contains(PteFlags::WRITABLE),
+        )
+    }
+
+    /// Counts guest refs plus nested (host) amplification when virtualized.
+    fn charge_refs(&mut self, refs: &[tps_core::PhysAddr]) -> u64 {
+        let mut total = refs.len() as u64;
+        if let Some(nested) = &mut self.nested {
+            for &pa in refs {
+                total += nested.nested_refs(pa);
+            }
+        }
+        total
+    }
+
+    /// Installs an L1 entry, giving CoLT its PTE-cache-line probe.
+    fn fill_l1(&mut self, os: &Os, asid: Asid, va: VirtAddr, leaf: &LeafInfo) {
+        let probe =
+            |upn: u64, order: PageOrder| os.probe_mapping_order(asid, upn, order);
+        self.tlb.fill_l1(asid, va, leaf, Some(&probe));
+    }
+
+    fn verify_translation(&self, os: &Os, asid: Asid, va: VirtAddr, pfn: u64) {
+        let expect = os
+            .page_table(asid)
+            .translate(va)
+            .expect("verified access must be mapped")
+            .base_page_number();
+        assert_eq!(
+            pfn, expect,
+            "translation mismatch at {va} (asid {asid}): tlb {pfn:#x} vs pt {expect:#x}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, Mechanism};
+    use tps_os::{CowPolicy, PolicyConfig, PolicyKind};
+
+    fn setup() -> (Os, Mmu, Asid) {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps)
+            .with_memory(64 << 20)
+            .with_verification();
+        let mut os = Os::with_buddy(
+            tps_mem::BuddyAllocator::new(64 << 20),
+            PolicyConfig::new(PolicyKind::Tps),
+        );
+        let asid = os.spawn();
+        (os, Mmu::new(&config), asid)
+    }
+
+    #[test]
+    fn cow_write_after_fork_resolves_through_the_tlb() {
+        let (mut os, mut mmu, parent) = setup();
+        let vma = os.mmap(parent, 64 << 10).unwrap();
+        // Parent touches everything (writable), warming its TLB entries.
+        for i in 0..16u64 {
+            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            mmu.access(&mut os, parent, va, true);
+        }
+        let (child, shootdowns) = os.fork(parent);
+        mmu.apply_shootdowns(&shootdowns);
+
+        // Child reads: hits shared read-only frames; verification checks
+        // the translation against the child's page table.
+        let out = mmu.access(&mut os, child, vma.base(), false);
+        assert_eq!(out.faults, 0);
+
+        // Child writes: the CoW fault resolves inside Mmu::access.
+        let out = mmu.access(&mut os, child, vma.base() + 0x2000, true);
+        assert!(out.faults >= 1, "CoW fault must be taken");
+        assert!(os.stats().cow_faults >= 1);
+
+        // Parent writes after the child diverged: sole-owner re-protect.
+        let out = mmu.access(&mut os, parent, vma.base() + 0x2000, true);
+        assert!(out.faults >= 1);
+        // Subsequent writes are fault-free in both.
+        assert_eq!(mmu.access(&mut os, child, vma.base() + 0x2000, true).faults, 0);
+        assert_eq!(mmu.access(&mut os, parent, vma.base() + 0x2000, true).faults, 0);
+    }
+
+    #[test]
+    fn cow_copy_smallest_through_the_tlb() {
+        let (mut os, mut mmu, parent) = setup();
+        os.set_cow_policy(CowPolicy::CopySmallest);
+        let vma = os.mmap(parent, 32 << 10).unwrap();
+        for i in 0..8u64 {
+            mmu.access(&mut os, parent, VirtAddr::new(vma.base().value() + i * 4096), true);
+        }
+        let (child, sds) = os.fork(parent);
+        mmu.apply_shootdowns(&sds);
+        // One child write splits the shared 32K page; every later access
+        // still translates correctly (verification is on).
+        mmu.access(&mut os, child, vma.base() + 0x3000, true);
+        for i in 0..8u64 {
+            mmu.access(&mut os, child, VirtAddr::new(vma.base().value() + i * 4096), false);
+            mmu.access(&mut os, parent, VirtAddr::new(vma.base().value() + i * 4096), false);
+        }
+        assert_eq!(os.stats().cow_bytes_copied, 4096);
+    }
+}

@@ -1,0 +1,230 @@
+//! The shared second-level TLB (STLB) holding 4 KB and 2 MB entries.
+//!
+//! Commercial STLBs (e.g. Skylake's 1536-entry unified L2 TLB) hold two
+//! page sizes in one set-associative array by probing the index function of
+//! each size — we model that dual probe directly.
+
+use crate::entry::{Asid, TlbEntry};
+use tps_core::{PageOrder, VirtAddr};
+
+/// Set-associative second-level TLB with 4 KB / 2 MB dual-probe lookup.
+///
+/// # Example
+///
+/// ```
+/// use tps_tlb::{DualStlb, TlbEntry};
+/// use tps_core::PageOrder;
+///
+/// let mut stlb = DualStlb::new(128, 12); // 1536 entries, Skylake-like
+/// let e4k = TlbEntry { asid: 0, vpn: 7, order: PageOrder::P4K, pfn: 1, writable: true };
+/// let e2m = TlbEntry { asid: 0, vpn: 1024, order: PageOrder::P2M, pfn: 2048, writable: true };
+/// stlb.fill(e4k);
+/// stlb.fill(e2m);
+/// assert!(stlb.lookup(0, 7).is_some());
+/// assert!(stlb.lookup(0, 1500).is_some()); // inside the 2M page
+/// ```
+#[derive(Clone, Debug)]
+pub struct DualStlb {
+    sets: usize,
+    ways: usize,
+    entries: Vec<Vec<(TlbEntry, u64)>>,
+    clock: u64,
+}
+
+impl DualStlb {
+    /// Creates an STLB with `sets × ways` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        DualStlb {
+            sets,
+            ways,
+            entries: vec![Vec::with_capacity(ways); sets],
+            clock: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    #[inline]
+    fn set_for(&self, vpn: u64, order: PageOrder) -> usize {
+        // Fibonacci (multiplicative) index hashing so power-of-two-aligned
+        // VMA bases do not concentrate hot pages in one set (commercial
+        // designs hash their index bits too).
+        let p = vpn >> order.get();
+        if self.sets == 1 {
+            return 0;
+        }
+        let shift = 64 - self.sets.trailing_zeros();
+        (p.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> shift) as usize
+    }
+
+    /// Dual-probe lookup: tries the 4 KB index then the 2 MB index.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        for order in [PageOrder::P4K, PageOrder::P2M] {
+            let set = self.set_for(vpn, order);
+            if let Some((e, stamp)) = self.entries[set]
+                .iter_mut()
+                .find(|(e, _)| e.order == order && e.covers(asid, vpn))
+            {
+                *stamp = clock;
+                return Some(*e);
+            }
+        }
+        None
+    }
+
+    /// Installs a 4 KB or 2 MB entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics for any other page order — a dual-size STLB cannot index
+    /// tailored sizes; the TPS configuration swaps in an any-size structure.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        assert!(
+            entry.order == PageOrder::P4K || entry.order == PageOrder::P2M,
+            "dual STLB holds only 4K and 2M entries"
+        );
+        self.clock += 1;
+        let set = self.set_for(entry.vpn, entry.order);
+        let ways = self.ways;
+        let slot = &mut self.entries[set];
+        if let Some((e, stamp)) = slot.iter_mut().find(|(e, _)| {
+            e.asid == entry.asid && e.vpn == entry.vpn && e.order == entry.order
+        }) {
+            *e = entry;
+            *stamp = self.clock;
+            return;
+        }
+        if slot.len() < ways {
+            slot.push((entry, self.clock));
+            return;
+        }
+        let victim = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("set full");
+        slot[victim] = (entry, self.clock);
+    }
+
+    /// Shoots down entries overlapping the page range for the ASID.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr, order: PageOrder) {
+        let start = va.align_down(order.shift()).base_page_number();
+        let end = start + order.base_pages();
+        for set in &mut self.entries {
+            set.retain(|(e, _)| {
+                let e_end = e.vpn + e.order.base_pages();
+                !(e.asid == asid && e.vpn < end && start < e_end)
+            });
+        }
+    }
+
+    /// Removes every entry of an ASID.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for set in &mut self.entries {
+            set.retain(|(e, _)| e.asid != asid);
+        }
+    }
+
+    /// Removes everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.entries {
+            set.clear();
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e4k(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            asid: 0,
+            vpn,
+            order: PageOrder::P4K,
+            pfn: vpn + 1,
+            writable: true,
+        }
+    }
+
+    fn e2m(page2m: u64) -> TlbEntry {
+        TlbEntry {
+            asid: 0,
+            vpn: page2m * 512,
+            order: PageOrder::P2M,
+            pfn: page2m * 512 + 512,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn both_sizes_hit() {
+        let mut s = DualStlb::new(8, 2);
+        s.fill(e4k(3));
+        s.fill(e2m(5));
+        assert_eq!(s.lookup(0, 3).unwrap().order, PageOrder::P4K);
+        let hit = s.lookup(0, 5 * 512 + 99).unwrap();
+        assert_eq!(hit.order, PageOrder::P2M);
+        assert_eq!(hit.translate(5 * 512 + 99), 5 * 512 + 512 + 99);
+    }
+
+    #[test]
+    fn four_k_and_two_m_share_capacity() {
+        let mut s = DualStlb::new(1, 2);
+        s.fill(e4k(0));
+        s.fill(e2m(0));
+        s.fill(e4k(1)); // evicts LRU (e4k(0))
+        assert!(s.lookup(0, 0).is_some(), "covered by the 2M entry");
+        assert!(s.lookup(0, 1).is_some());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "only 4K and 2M")]
+    fn rejects_tailored_orders() {
+        let mut s = DualStlb::new(8, 2);
+        let mut bad = e4k(0);
+        bad.order = PageOrder::new(3).unwrap();
+        s.fill(bad);
+    }
+
+    #[test]
+    fn invalidation() {
+        let mut s = DualStlb::new(8, 2);
+        s.fill(e4k(3));
+        s.fill(e2m(0));
+        // Shooting down one 4K page inside the 2M entry kills it.
+        s.invalidate(0, VirtAddr::new(7 << 12), PageOrder::P4K);
+        assert!(s.lookup(0, 7).is_none());
+        assert!(s.lookup(0, 3).is_some());
+        s.invalidate(0, VirtAddr::new(3 << 12), PageOrder::P4K);
+        assert!(s.lookup(0, 3).is_none());
+    }
+
+    #[test]
+    fn capacity_reported() {
+        assert_eq!(DualStlb::new(128, 12).capacity(), 1536);
+    }
+}

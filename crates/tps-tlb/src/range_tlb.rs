@@ -1,0 +1,221 @@
+//! The Range TLB of Redundant Memory Mappings (Karakostas et al., ISCA
+//! 2015) — the paper's strongest baseline.
+//!
+//! RMM maintains, alongside the page table, an OS *range table* of
+//! unlimited-size contiguous ranges (base, limit, offset). The hardware
+//! caches range-table entries in a small fully-associative Range TLB probed
+//! in parallel with the L2 TLB: a hit constructs the missing 4 KB PTE
+//! without walking the page table (paper §V). Because the Range TLB sits at
+//! the L2 level, RMM eliminates *page walks* but no *L1* misses (Fig. 10
+//! vs. Fig. 11).
+
+use crate::entry::Asid;
+use tps_core::VirtAddr;
+
+/// A cached range translation: `[start_vpn, end_vpn)` maps to
+/// `vpn + delta`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RangeEntry {
+    /// Address space of the range.
+    pub asid: Asid,
+    /// First base-page VPN covered.
+    pub start_vpn: u64,
+    /// One past the last base-page VPN covered.
+    pub end_vpn: u64,
+    /// `pfn - vpn`, constant across the range.
+    pub delta: i64,
+    /// Permission of the whole range.
+    pub writable: bool,
+}
+
+impl RangeEntry {
+    /// True if the entry translates `(asid, vpn)`.
+    #[inline]
+    pub fn covers(&self, asid: Asid, vpn: u64) -> bool {
+        self.asid == asid && vpn >= self.start_vpn && vpn < self.end_vpn
+    }
+
+    /// Translates a covered VPN.
+    #[inline]
+    pub fn translate(&self, vpn: u64) -> u64 {
+        debug_assert!(vpn >= self.start_vpn && vpn < self.end_vpn);
+        (vpn as i64 + self.delta) as u64
+    }
+
+    /// Number of base pages covered.
+    pub fn pages(&self) -> u64 {
+        self.end_vpn - self.start_vpn
+    }
+}
+
+/// Fully-associative cache of range-table entries (32 entries in RMM).
+///
+/// # Example
+///
+/// ```
+/// use tps_tlb::{RangeEntry, RangeTlb};
+///
+/// let mut rt = RangeTlb::new(32);
+/// rt.fill(RangeEntry { asid: 0, start_vpn: 100, end_vpn: 10_000, delta: 500, writable: true });
+/// let hit = rt.lookup(0, 5_000).unwrap();
+/// assert_eq!(hit.translate(5_000), 5_500);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RangeTlb {
+    capacity: usize,
+    entries: Vec<(RangeEntry, u64)>,
+    clock: u64,
+}
+
+impl RangeTlb {
+    /// Creates a Range TLB with the given entry count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        RangeTlb {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            clock: 0,
+        }
+    }
+
+    /// Entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the range covering a VPN.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<RangeEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .iter_mut()
+            .find(|(e, _)| e.covers(asid, vpn))
+            .map(|(e, stamp)| {
+                *stamp = clock;
+                *e
+            })
+    }
+
+    /// Installs a range entry, evicting the LRU one when full.
+    pub fn fill(&mut self, entry: RangeEntry) {
+        self.clock += 1;
+        if let Some((e, stamp)) = self
+            .entries
+            .iter_mut()
+            .find(|(e, _)| e.asid == entry.asid && e.start_vpn == entry.start_vpn)
+        {
+            *e = entry;
+            *stamp = self.clock;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((entry, self.clock));
+            return;
+        }
+        let victim = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("full TLB is non-empty");
+        self.entries[victim] = (entry, self.clock);
+    }
+
+    /// Shoots down entries overlapping the given page range for the ASID.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr, order: tps_core::PageOrder) {
+        let start = va.align_down(order.shift()).base_page_number();
+        let end = start + order.base_pages();
+        self.entries
+            .retain(|(e, _)| !(e.asid == asid && e.start_vpn < end && start < e.end_vpn));
+    }
+
+    /// Removes every entry of an ASID.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        self.entries.retain(|(e, _)| e.asid != asid);
+    }
+
+    /// Removes everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_core::PageOrder;
+
+    fn r(start: u64, end: u64) -> RangeEntry {
+        RangeEntry {
+            asid: 0,
+            start_vpn: start,
+            end_vpn: end,
+            delta: 1000,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn unbounded_range_size() {
+        let mut rt = RangeTlb::new(4);
+        // A 64 GB range in one entry — RMM's key property.
+        rt.fill(r(0, 16 << 20));
+        assert!(rt.lookup(0, 10 << 20).is_some());
+        assert_eq!(rt.lookup(0, 5).unwrap().translate(5), 1005);
+        assert!(rt.lookup(0, 16 << 20).is_none());
+    }
+
+    #[test]
+    fn negative_delta() {
+        let mut rt = RangeTlb::new(4);
+        rt.fill(RangeEntry { asid: 0, start_vpn: 5000, end_vpn: 6000, delta: -4000, writable: true });
+        assert_eq!(rt.lookup(0, 5500).unwrap().translate(5500), 1500);
+    }
+
+    #[test]
+    fn lru_eviction_pressure() {
+        // gcc-style behavior: more live ranges than entries -> thrashing.
+        let mut rt = RangeTlb::new(2);
+        rt.fill(r(0, 10));
+        rt.fill(r(100, 110));
+        assert!(rt.lookup(0, 5).is_some()); // refresh first
+        rt.fill(r(200, 210));
+        assert!(rt.lookup(0, 105).is_none(), "middle range evicted");
+        assert!(rt.lookup(0, 5).is_some());
+    }
+
+    #[test]
+    fn invalidate_overlap() {
+        let mut rt = RangeTlb::new(4);
+        rt.fill(r(0, 1000));
+        rt.invalidate(0, VirtAddr::new(500 << 12), PageOrder::P4K);
+        assert!(rt.is_empty());
+        rt.fill(r(0, 1000));
+        rt.invalidate(0, VirtAddr::new(1000 << 12), PageOrder::P4K);
+        assert_eq!(rt.len(), 1, "adjacent page does not invalidate");
+    }
+
+    #[test]
+    fn asid_isolation() {
+        let mut rt = RangeTlb::new(4);
+        rt.fill(r(0, 10));
+        assert!(rt.lookup(9, 5).is_none());
+        rt.invalidate_asid(0);
+        assert!(rt.is_empty());
+    }
+}

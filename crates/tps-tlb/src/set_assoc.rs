@@ -1,0 +1,260 @@
+//! Fixed-page-size set-associative TLB (the conventional design).
+
+use crate::entry::{Asid, TlbEntry};
+use tps_core::{PageOrder, VirtAddr};
+
+/// A set-associative TLB holding entries of one fixed page order.
+///
+/// Indexed by the low bits of the page number at that order, with true LRU
+/// within each set — the structure of the per-size L1 TLBs in commercial
+/// cores (paper Fig. 1).
+///
+/// # Example
+///
+/// ```
+/// use tps_tlb::{SetAssocTlb, TlbEntry};
+/// use tps_core::PageOrder;
+///
+/// let mut tlb = SetAssocTlb::new(16, 4, PageOrder::P4K); // 64-entry L1 DTLB
+/// let e = TlbEntry { asid: 0, vpn: 0x42, order: PageOrder::P4K, pfn: 0x99, writable: true };
+/// tlb.fill(e);
+/// assert_eq!(tlb.lookup(0, 0x42), Some(e));
+/// assert_eq!(tlb.lookup(0, 0x43), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SetAssocTlb {
+    sets: usize,
+    ways: usize,
+    order: PageOrder,
+    /// entries[set] = (entry, lru_stamp)
+    entries: Vec<Vec<(TlbEntry, u64)>>,
+    clock: u64,
+}
+
+impl SetAssocTlb {
+    /// Creates a TLB with `sets × ways` entries for pages of `order`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: usize, ways: usize, order: PageOrder) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "need at least one way");
+        SetAssocTlb {
+            sets,
+            ways,
+            order,
+            entries: vec![Vec::with_capacity(ways); sets],
+            clock: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The fixed page order this TLB serves.
+    pub fn page_order(&self) -> PageOrder {
+        self.order
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: u64) -> usize {
+        ((vpn >> self.order.get()) & (self.sets as u64 - 1)) as usize
+    }
+
+    /// Looks up a base-page VPN; refreshes LRU on hit.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        let set = self.set_of(vpn);
+        self.entries[set]
+            .iter_mut()
+            .find(|(e, _)| e.covers(asid, vpn))
+            .map(|(e, stamp)| {
+                *stamp = clock;
+                *e
+            })
+    }
+
+    /// Installs an entry, evicting the set's LRU entry if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry's order differs from the TLB's fixed order.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        assert_eq!(entry.order, self.order, "entry order mismatch");
+        self.clock += 1;
+        let set = self.set_of(entry.vpn);
+        let ways = self.ways;
+        let slot = &mut self.entries[set];
+        if let Some((e, stamp)) = slot
+            .iter_mut()
+            .find(|(e, _)| e.asid == entry.asid && e.vpn == entry.vpn)
+        {
+            *e = entry;
+            *stamp = self.clock;
+            return;
+        }
+        if slot.len() < ways {
+            slot.push((entry, self.clock));
+            return;
+        }
+        let victim = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, stamp))| *stamp)
+            .map(|(i, _)| i)
+            .expect("set is full");
+        slot[victim] = (entry, self.clock);
+    }
+
+    /// Removes entries overlapping `[va, va + (4K << order))` for the ASID
+    /// (TLB shootdown; `INVLPG` semantics generalized to a range).
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr, order: PageOrder) {
+        let start = va.align_down(order.shift()).base_page_number();
+        let end = start + order.base_pages();
+        for set in &mut self.entries {
+            set.retain(|(e, _)| {
+                let e_end = e.vpn + e.order.base_pages();
+                !(e.asid == asid && e.vpn < end && start < e_end)
+            });
+        }
+    }
+
+    /// Removes every entry of an ASID (context switch without PCID reuse).
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for set in &mut self.entries {
+            set.retain(|(e, _)| e.asid != asid);
+        }
+    }
+
+    /// Removes everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.entries {
+            set.clear();
+        }
+    }
+
+    /// Number of live entries (for occupancy statistics).
+    pub fn len(&self) -> usize {
+        self.entries.iter().map(Vec::len).sum()
+    }
+
+    /// True if the TLB holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(vpn: u64) -> TlbEntry {
+        TlbEntry {
+            asid: 0,
+            vpn,
+            order: PageOrder::P4K,
+            pfn: vpn + 0x1000,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn fill_lookup_roundtrip() {
+        let mut t = SetAssocTlb::new(16, 4, PageOrder::P4K);
+        t.fill(e(5));
+        assert_eq!(t.lookup(0, 5).unwrap().pfn, 5 + 0x1000);
+        assert!(t.lookup(0, 6).is_none());
+        assert!(t.lookup(1, 5).is_none(), "wrong ASID misses");
+    }
+
+    #[test]
+    fn lru_within_set() {
+        // 1 set, 2 ways: VPNs 0,16,32 with 16 sets would map to set 0; use
+        // sets=1 so everything collides.
+        let mut t = SetAssocTlb::new(1, 2, PageOrder::P4K);
+        t.fill(e(1));
+        t.fill(e(2));
+        assert!(t.lookup(0, 1).is_some()); // 2 becomes LRU
+        t.fill(e(3));
+        assert!(t.lookup(0, 2).is_none(), "LRU way evicted");
+        assert!(t.lookup(0, 1).is_some());
+        assert!(t.lookup(0, 3).is_some());
+    }
+
+    #[test]
+    fn conflict_only_within_set() {
+        let mut t = SetAssocTlb::new(16, 1, PageOrder::P4K);
+        t.fill(e(0));
+        t.fill(e(1)); // different set
+        assert!(t.lookup(0, 0).is_some());
+        assert!(t.lookup(0, 1).is_some());
+        t.fill(e(16)); // same set as 0 -> evicts it (1 way)
+        assert!(t.lookup(0, 0).is_none());
+        assert!(t.lookup(0, 16).is_some());
+    }
+
+    #[test]
+    fn refill_same_vpn_updates_in_place() {
+        let mut t = SetAssocTlb::new(16, 2, PageOrder::P4K);
+        t.fill(e(5));
+        let mut e2 = e(5);
+        e2.pfn = 0x7777;
+        t.fill(e2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0, 5).unwrap().pfn, 0x7777);
+    }
+
+    #[test]
+    fn huge_page_indexing() {
+        let mut t = SetAssocTlb::new(8, 4, PageOrder::P2M);
+        let entry = TlbEntry {
+            asid: 0,
+            vpn: 512 * 7, // 2M page number 7
+            order: PageOrder::P2M,
+            pfn: 512 * 100,
+            writable: false,
+        };
+        t.fill(entry);
+        // Any base VPN within the 2M page hits.
+        assert!(t.lookup(0, 512 * 7 + 13).is_some());
+        assert!(t.lookup(0, 512 * 8).is_none());
+    }
+
+    #[test]
+    fn invalidate_range_and_asid() {
+        let mut t = SetAssocTlb::new(16, 4, PageOrder::P4K);
+        for vpn in 0..8 {
+            t.fill(e(vpn));
+        }
+        let mut other = e(100);
+        other.asid = 3;
+        t.fill(other);
+        // Invalidate a 16K region (pages 2..6 partially: pages 4..8 at order 2
+        // aligned from va of page 5 -> aligns to page 4).
+        t.invalidate(0, VirtAddr::new(5 << 12), PageOrder::new(2).unwrap());
+        for vpn in 4..8 {
+            assert!(t.lookup(0, vpn).is_none(), "page {vpn} shot down");
+        }
+        for vpn in 0..4 {
+            assert!(t.lookup(0, vpn).is_some());
+        }
+        assert!(t.lookup(3, 100).is_some(), "other ASID untouched");
+        t.invalidate_asid(3);
+        assert!(t.lookup(3, 100).is_none());
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "order mismatch")]
+    fn rejects_wrong_order_fill() {
+        let mut t = SetAssocTlb::new(16, 4, PageOrder::P4K);
+        let mut bad = e(0);
+        bad.order = PageOrder::P2M;
+        t.fill(bad);
+    }
+}

@@ -1,0 +1,245 @@
+//! Skewed-associative any-page-size TLB (Seznec, IEEE ToC 2004; cited by
+//! the paper §III-A2 as an alternative to the fully-associative TPS TLB).
+//!
+//! A fully-associative any-size TLB is easy to reason about but costly in
+//! CAM area at larger capacities. The skewed alternative gives each way
+//! its own *size class* and hash function: a lookup probes every way at
+//! the index its class implies, so the page size need not be known before
+//! indexing. The ablation benches compare it against the 32-entry FA
+//! design.
+
+use crate::entry::{Asid, TlbEntry};
+use tps_core::{PageOrder, VirtAddr};
+
+/// One way of the skewed TLB: a direct-mapped array serving a size class.
+#[derive(Clone, Debug)]
+struct Way {
+    /// Smallest order this way serves.
+    floor: u8,
+    /// Largest order of the class; the index function shifts by this so
+    /// every VPN inside a page of the class maps to one set.
+    ceil: u8,
+    sets: Vec<Option<(TlbEntry, u64)>>,
+    /// Way-specific hash multiplier (the "skew").
+    skew: u64,
+}
+
+/// Skewed-associative TLB supporting any page size.
+///
+/// # Example
+///
+/// ```
+/// use tps_tlb::{SkewedTlb, TlbEntry};
+/// use tps_core::PageOrder;
+///
+/// let mut tlb = SkewedTlb::new(8); // 4 ways x 8 sets = 32 entries
+/// let entry = TlbEntry {
+///     asid: 0, vpn: 0x8000, order: PageOrder::new(6).unwrap(), // 256K
+///     pfn: 0x2000, writable: true,
+/// };
+/// tlb.fill(entry);
+/// assert!(tlb.lookup(0, 0x8000 + 63).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SkewedTlb {
+    ways: Vec<Way>,
+    clock: u64,
+}
+
+/// Size classes of the four ways as (floor, ceil) order ranges:
+/// 4K–16K, 32K–512K, 1M–16M, 32M–1G. A page fills the way whose class
+/// contains its order (pages above 1 GB still work — `covers()` guards
+/// correctness — but may alias across sets of the last way).
+const WAY_CLASSES: [(u8, u8); 4] = [(0, 2), (3, 7), (8, 12), (13, 18)];
+
+impl SkewedTlb {
+    /// Creates a 4-way skewed TLB with `sets_per_way` sets in each way
+    /// (total capacity `4 * sets_per_way`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets_per_way` is not a power of two.
+    pub fn new(sets_per_way: usize) -> Self {
+        assert!(sets_per_way.is_power_of_two(), "sets must be a power of two");
+        SkewedTlb {
+            ways: WAY_CLASSES
+                .iter()
+                .enumerate()
+                .map(|(i, &(floor, ceil))| Way {
+                    floor,
+                    ceil,
+                    sets: vec![None; sets_per_way],
+                    skew: 0x9e37_79b9_7f4a_7c15u64.rotate_left(17 * i as u32) | 1,
+                })
+                .collect(),
+            clock: 0,
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.ways.iter().map(|w| w.sets.len()).sum()
+    }
+
+    fn index(way: &Way, vpn: u64) -> usize {
+        let sets = way.sets.len() as u64;
+        let page = vpn >> way.ceil;
+        (page.wrapping_mul(way.skew) >> (64 - sets.trailing_zeros())) as usize
+    }
+
+    /// Probes all ways, each at its own size-class index.
+    pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<TlbEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        for way in &mut self.ways {
+            let idx = Self::index(way, vpn);
+            if let Some((e, stamp)) = &mut way.sets[idx] {
+                if e.covers(asid, vpn) {
+                    *stamp = clock;
+                    return Some(*e);
+                }
+            }
+        }
+        None
+    }
+
+    /// Installs an entry into its size-class way, evicting the resident
+    /// entry of that set if older than any alternative placement.
+    pub fn fill(&mut self, entry: TlbEntry) {
+        self.clock += 1;
+        // The way whose class contains the order (last way takes overflow).
+        let way_idx = self
+            .ways
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.floor <= entry.order.get())
+            .max_by_key(|(_, w)| w.floor)
+            .map(|(i, _)| i)
+            .expect("way 0 accepts every order");
+        let way = &mut self.ways[way_idx];
+        let idx = Self::index(way, entry.vpn);
+        way.sets[idx] = Some((entry, self.clock));
+    }
+
+    /// Shoots down entries overlapping the given page range for the ASID.
+    pub fn invalidate(&mut self, asid: Asid, va: VirtAddr, order: PageOrder) {
+        let start = va.align_down(order.shift()).base_page_number();
+        let end = start + order.base_pages();
+        for way in &mut self.ways {
+            for slot in &mut way.sets {
+                if let Some((e, _)) = slot {
+                    let e_end = e.vpn + e.order.base_pages();
+                    if e.asid == asid && e.vpn < end && start < e_end {
+                        *slot = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes every entry of an ASID.
+    pub fn invalidate_asid(&mut self, asid: Asid) {
+        for way in &mut self.ways {
+            for slot in &mut way.sets {
+                if matches!(slot, Some((e, _)) if e.asid == asid) {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Removes everything.
+    pub fn flush(&mut self) {
+        for way in &mut self.ways {
+            way.sets.iter_mut().for_each(|s| *s = None);
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.ways
+            .iter()
+            .map(|w| w.sets.iter().filter(|s| s.is_some()).count())
+            .sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(vpn: u64, order: u8) -> TlbEntry {
+        let o = PageOrder::new(order).unwrap();
+        TlbEntry {
+            asid: 0,
+            vpn: (vpn >> o.get()) << o.get(),
+            order: o,
+            pfn: vpn + 0x10_0000,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn mixed_sizes_fill_and_hit() {
+        let mut t = SkewedTlb::new(8);
+        t.fill(e(0, 0)); // 4K -> way 0
+        t.fill(e(64, 4)); // 64K -> way 3-floor class
+        t.fill(e(1 << 14, 14)); // 64M -> way with floor 13
+        assert!(t.lookup(0, 0).is_some());
+        assert!(t.lookup(0, 64 + 7).is_some());
+        assert!(t.lookup(0, (1 << 14) + 1000).is_some());
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn capacity_is_ways_times_sets() {
+        assert_eq!(SkewedTlb::new(8).capacity(), 32);
+    }
+
+    #[test]
+    fn conflicting_fills_evict_within_one_way() {
+        let mut t = SkewedTlb::new(2); // tiny: 2 sets per way
+        // Many 4K pages: all land in way 0 (2 sets) -> heavy eviction.
+        for vpn in 0..16 {
+            t.fill(e(vpn, 0));
+        }
+        assert!(t.len() <= 8, "entries confined to capacity");
+        // But a large page in another class is untouched by 4K pressure.
+        t.fill(e(1 << 13, 13));
+        for vpn in 16..32 {
+            t.fill(e(vpn, 0));
+        }
+        assert!(t.lookup(0, (1 << 13) + 5).is_some(), "class isolation");
+    }
+
+    #[test]
+    fn invalidation_and_flush() {
+        let mut t = SkewedTlb::new(8);
+        t.fill(e(0, 4));
+        t.invalidate(0, VirtAddr::new(3 << 12), PageOrder::P4K);
+        assert!(t.lookup(0, 0).is_none(), "overlapping large entry shot down");
+        t.fill(e(0, 0));
+        let mut other = e(8, 0);
+        other.asid = 5;
+        t.fill(other);
+        t.invalidate_asid(5);
+        assert!(t.lookup(5, 8).is_none());
+        assert!(t.lookup(0, 0).is_some());
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn translation_correct_through_mask() {
+        let mut t = SkewedTlb::new(8);
+        let entry = e(1 << 6, 6); // 256K page
+        t.fill(entry);
+        let hit = t.lookup(0, (1 << 6) + 13).unwrap();
+        assert_eq!(hit.translate((1 << 6) + 13), entry.pfn + 13);
+    }
+}

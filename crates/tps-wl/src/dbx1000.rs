@@ -1,0 +1,246 @@
+//! DBx1000: a YCSB-style main-memory OLTP kernel.
+//!
+//! Transactions pick Zipf-skewed keys, probe a hash index (random bucket),
+//! read/update the tuple, and append to a log. The hot-key skew gives some
+//! reuse, but the index and tuple heaps are large enough that the TLB tail
+//! is long (paper Figs. 8/10).
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use crate::zipf::{CyclePermutation, Zipf};
+use std::collections::VecDeque;
+use tps_core::rng::Rng;
+
+/// DBx1000 parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct Dbx1000Params {
+    /// Number of rows in the table (rounded up to a power of two).
+    pub rows: u64,
+    /// Bytes per row.
+    pub row_bytes: u64,
+    /// Transactions to execute.
+    pub txns: u64,
+    /// Operations (reads/updates) per transaction.
+    pub ops_per_txn: u32,
+    /// Fraction of operations that are updates.
+    pub update_fraction: f64,
+    /// Zipf skew of key popularity.
+    pub zipf_theta: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Dbx1000Params {
+    fn default() -> Self {
+        Dbx1000Params {
+            rows: 4 << 20,
+            row_bytes: 128,
+            txns: 150_000,
+            ops_per_txn: 10,
+            update_fraction: 0.5,
+            zipf_theta: 0.8,
+            seed: 0xdb10,
+        }
+    }
+}
+
+const R_INDEX: u32 = 0; // hash index: rows * 16 bytes
+const R_TUPLES: u32 = 1; // row storage: rows * row_bytes
+const R_LOG: u32 = 2; // append-only log
+
+/// Size of the circular log region.
+const LOG_BYTES: u64 = 64 << 20;
+
+/// The DBx1000 generator.
+#[derive(Clone, Debug)]
+pub struct Dbx1000 {
+    params: Dbx1000Params,
+    zipf: Zipf,
+    scramble: CyclePermutation,
+    rng: Rng,
+    pending: VecDeque<Event>,
+    done: u64,
+    log_tail: u64,
+    setup_done: bool,
+}
+
+impl Dbx1000 {
+    /// Creates a DBx1000 run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `txns` is zero.
+    pub fn new(params: Dbx1000Params) -> Self {
+        assert!(params.rows > 1, "need rows");
+        assert!(params.txns > 0, "need transactions");
+        let rows_pow2 = params.rows.next_power_of_two();
+        Dbx1000 {
+            zipf: Zipf::new(params.rows, params.zipf_theta),
+            scramble: CyclePermutation::new(rows_pow2.trailing_zeros(), params.seed ^ 0xa5),
+            rng: Rng::new(params.seed),
+            params,
+            pending: VecDeque::new(),
+            done: 0,
+            log_tail: 0,
+        setup_done: false,
+        }
+    }
+
+    fn queue_txn(&mut self) {
+        let p = self.params;
+        for _ in 0..p.ops_per_txn {
+            // Zipf rank -> scrambled key so hot rows scatter over the heap.
+            let rank = self.zipf.sample(&mut self.rng);
+            let key = self.scramble.next(rank) % p.rows;
+            let write = self.rng.chance(p.update_fraction);
+            // Hash-index probe: bucket array is key-hashed (random page).
+            let bucket = (key.wrapping_mul(0x9e3779b97f4a7c15) >> 16) % p.rows;
+            self.pending.push_back(Event::Access {
+                region: R_INDEX,
+                offset: bucket * 16,
+                write: false,
+            });
+            // Tuple access.
+            self.pending.push_back(Event::Access {
+                region: R_TUPLES,
+                offset: key * p.row_bytes,
+                write,
+            });
+            if write {
+                // Log append (sequential, wraps).
+                self.pending.push_back(Event::Access {
+                    region: R_LOG,
+                    offset: self.log_tail % LOG_BYTES,
+                    write: true,
+                });
+                self.log_tail += 64;
+            }
+        }
+    }
+}
+
+impl Workload for Dbx1000 {
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "dbx1000".into(),
+            base_cpi: 0.8,
+            insts_per_access: 16.0,
+            l1_miss_criticality: 0.25,
+            walk_savable: 0.65,
+            smt_slowdown: 1.4,
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.setup_done {
+            self.setup_done = true;
+            let p = self.params;
+            self.pending.extend([
+                Event::Mmap { region: R_INDEX, bytes: p.rows * 16 },
+                Event::Mmap { region: R_TUPLES, bytes: p.rows * p.row_bytes },
+                Event::Mmap { region: R_LOG, bytes: LOG_BYTES },
+            ]);
+        }
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Some(e);
+            }
+            if self.done >= self.params.txns {
+                return None;
+            }
+            self.done += 1;
+            self.queue_txn();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dbx1000Params {
+        Dbx1000Params {
+            rows: 10_000,
+            row_bytes: 128,
+            txns: 200,
+            ops_per_txn: 10,
+            update_fraction: 0.5,
+            zipf_theta: 0.8,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn stream_shape_and_bounds() {
+        let p = small();
+        let mut d = Dbx1000::new(p);
+        for _ in 0..3 {
+            assert!(matches!(d.next_event(), Some(Event::Mmap { .. })));
+        }
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        while let Some(e) = d.next_event() {
+            if let Event::Access { region, offset, write } = e {
+                let limit = match region {
+                    R_INDEX => p.rows * 16,
+                    R_TUPLES => p.rows * p.row_bytes,
+                    R_LOG => LOG_BYTES,
+                    _ => panic!("unknown region"),
+                };
+                assert!(offset < limit);
+                if write {
+                    writes += 1;
+                } else {
+                    reads += 1;
+                }
+            }
+        }
+        assert!(reads > 0 && writes > 0);
+        // 2 accesses per op + 1 log write per update.
+        assert!(reads + writes >= 200 * 10 * 2);
+    }
+
+    #[test]
+    fn skew_produces_hot_rows() {
+        let mut d = Dbx1000::new(small());
+        let mut tuple_pages = std::collections::HashMap::new();
+        while let Some(e) = d.next_event() {
+            if let Event::Access { region: R_TUPLES, offset, .. } = e {
+                *tuple_pages.entry(offset >> 12).or_insert(0u64) += 1;
+            }
+        }
+        let max = tuple_pages.values().max().copied().unwrap_or(0);
+        let mean = tuple_pages.values().sum::<u64>() as f64 / tuple_pages.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "hot page {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn log_appends_are_sequential() {
+        let mut d = Dbx1000::new(small());
+        let mut prev = None;
+        while let Some(e) = d.next_event() {
+            if let Event::Access { region: R_LOG, offset, .. } = e {
+                if let Some(p) = prev {
+                    let delta = (offset as i64 - p as i64).rem_euclid(LOG_BYTES as i64);
+                    assert_eq!(delta, 64, "log stride");
+                }
+                prev = Some(offset);
+            }
+        }
+        assert!(prev.is_some());
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut d = Dbx1000::new(small());
+            let mut sum = 0u64;
+            while let Some(e) = d.next_event() {
+                if let Event::Access { offset, .. } = e {
+                    sum = sum.wrapping_mul(31).wrapping_add(offset);
+                }
+            }
+            sum
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,149 @@
+//! The workload → machine interface.
+
+/// One event emitted by a workload.
+///
+/// Workloads address memory by `(region, offset)`; the simulated OS decides
+/// where each region lives in the virtual address space. This keeps
+/// generators independent of layout and policy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Map a region of the given size (an `mmap` call).
+    Mmap {
+        /// Workload-chosen region identifier (unique while mapped).
+        region: u32,
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// Unmap a previously mapped region.
+    Munmap {
+        /// The region to unmap.
+        region: u32,
+    },
+    /// A load or store at `region[offset]`.
+    Access {
+        /// Target region.
+        region: u32,
+        /// Byte offset within the region.
+        offset: u64,
+        /// True for a store.
+        write: bool,
+    },
+    /// Non-memory work: `insts` instructions that execute without memory
+    /// references (most generators instead report a static
+    /// instructions-per-access ratio in their [`WorkloadProfile`]).
+    Compute {
+        /// Number of instructions.
+        insts: u64,
+    },
+    /// Region-of-interest marker: separates initialization from the
+    /// measured steady state, like the ROI markers of architectural
+    /// simulators. The machine snapshots/resets its *measured* counters
+    /// here while full-run counters keep accumulating.
+    StatsBarrier,
+}
+
+/// Per-workload timing-model parameters.
+///
+/// These replace what the paper measures with ZSim and hardware performance
+/// counters; see DESIGN.md §2 for the substitution rationale. All are
+/// explicit calibration knobs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: String,
+    /// Ideal cycles per instruction with perfect translation.
+    pub base_cpi: f64,
+    /// Average non-memory instructions executed per memory access
+    /// (used to compute MPKI and total instruction counts).
+    pub insts_per_access: f64,
+    /// Fraction of an L1-miss/STLB-hit latency the out-of-order window
+    /// cannot hide (≈1 for pointer chasing, ≈0 for streaming) — drives
+    /// Fig. 3.
+    pub l1_miss_criticality: f64,
+    /// Fraction of page-walk cycles that convert into lost execution time
+    /// (the paper's "savable page walker cycles", Fig. 12).
+    pub walk_savable: f64,
+    /// Multiplicative slowdown of the ideal execution when sharing the
+    /// core with an SMT sibling (non-TLB resource contention, Fig. 14).
+    pub smt_slowdown: f64,
+}
+
+impl WorkloadProfile {
+    /// A neutral profile with the given name (medium criticality).
+    pub fn named(name: impl Into<String>) -> Self {
+        WorkloadProfile {
+            name: name.into(),
+            base_cpi: 0.6,
+            insts_per_access: 3.0,
+            l1_miss_criticality: 0.5,
+            walk_savable: 0.6,
+            smt_slowdown: 1.35,
+        }
+    }
+}
+
+/// A deterministic memory-access workload.
+///
+/// Implementations are state machines: [`Workload::next_event`] yields the
+/// next event or `None` at end of run. Re-running a freshly constructed
+/// workload with the same parameters yields the identical event stream.
+pub trait Workload {
+    /// The benchmark's timing profile.
+    fn profile(&self) -> WorkloadProfile;
+
+    /// Produces the next event, or `None` when the run is complete.
+    fn next_event(&mut self) -> Option<Event>;
+
+    /// The benchmark name (defaults to the profile name).
+    fn name(&self) -> String {
+        self.profile().name
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn profile(&self) -> WorkloadProfile {
+        (**self).profile()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        (**self).next_event()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Two(u8);
+    impl Workload for Two {
+        fn profile(&self) -> WorkloadProfile {
+            WorkloadProfile::named("two")
+        }
+        fn next_event(&mut self) -> Option<Event> {
+            if self.0 == 0 {
+                return None;
+            }
+            self.0 -= 1;
+            Some(Event::Compute { insts: 1 })
+        }
+    }
+
+    #[test]
+    fn boxed_workload_delegates() {
+        let mut b: Box<dyn Workload> = Box::new(Two(2));
+        assert_eq!(b.name(), "two");
+        assert!(b.next_event().is_some());
+        assert!(b.next_event().is_some());
+        assert!(b.next_event().is_none());
+    }
+
+    #[test]
+    fn named_profile_defaults_sane() {
+        let p = WorkloadProfile::named("x");
+        assert!(p.base_cpi > 0.0);
+        assert!(p.insts_per_access >= 1.0);
+        assert!((0.0..=1.0).contains(&p.l1_miss_criticality));
+        assert!((0.0..=1.0).contains(&p.walk_savable));
+        assert!(p.smt_slowdown >= 1.0);
+    }
+}

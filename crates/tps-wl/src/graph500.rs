@@ -1,0 +1,336 @@
+//! Graph500: Kronecker (R-MAT) graph generation plus BFS traversal.
+//!
+//! The generator builds a real CSR graph in host memory (deterministically,
+//! from the seed) and replays the memory accesses a level-synchronous BFS
+//! performs over it: frontier pops, offset-array reads, adjacency scans and
+//! visited-bitmap updates. Adjacency scans have run-length locality; vertex
+//! lookups are effectively random — the mix that makes Graph500 respond
+//! well to TPS but only partially to CoLT (paper Figs. 10/16).
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use std::collections::VecDeque;
+use tps_core::rng::Rng;
+
+/// Graph500 parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct Graph500Params {
+    /// log2 of the vertex count (Graph500 "scale").
+    pub scale: u32,
+    /// Average directed edges per vertex.
+    pub edge_factor: u32,
+    /// Number of BFS roots to traverse from.
+    pub bfs_roots: u32,
+    /// Cap on emitted access events (0 = unlimited).
+    pub max_accesses: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Graph500Params {
+    fn default() -> Self {
+        Graph500Params {
+            scale: 19,
+            edge_factor: 8,
+            bfs_roots: 4,
+            max_accesses: 4_000_000,
+            seed: 0x6500,
+        }
+    }
+}
+
+/// Region ids used by the generator.
+const R_XADJ: u32 = 0; // CSR offsets: (n+1) * 8 bytes
+const R_ADJ: u32 = 1; // CSR adjacency: m * 8 bytes
+const R_VISITED: u32 = 2; // parent + distance arrays: n * 16 bytes
+const R_QUEUE: u32 = 3; // frontier queue: n * 8 bytes
+
+/// The Graph500 generator.
+#[derive(Clone, Debug)]
+pub struct Graph500 {
+    params: Graph500Params,
+    xadj: Vec<u64>,
+    adj: Vec<u64>,
+    /// Pending events to drain before stepping the BFS.
+    pending: VecDeque<Event>,
+    /// BFS state.
+    visited: Vec<bool>,
+    queue: VecDeque<u64>,
+    queue_emitted: u64,
+    roots_left: u32,
+    rng: Rng,
+    emitted: u64,
+    setup_done: bool,
+}
+
+impl Graph500 {
+    /// Builds the graph and prepares the BFS replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is 0 or larger than 26 (host-memory guard).
+    pub fn new(params: Graph500Params) -> Self {
+        assert!((1..=26).contains(&params.scale), "scale out of range");
+        let n = 1u64 << params.scale;
+        let m = n * params.edge_factor as u64;
+        let mut rng = Rng::new(params.seed);
+        // R-MAT edge generation (A=0.57, B=0.19, C=0.19, D=0.05).
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m as usize);
+        for _ in 0..m {
+            let (mut u, mut v) = (0u64, 0u64);
+            for _ in 0..params.scale {
+                let r = rng.next_f64();
+                let (bu, bv) = if r < 0.57 {
+                    (0, 0)
+                } else if r < 0.76 {
+                    (0, 1)
+                } else if r < 0.95 {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | bu;
+                v = (v << 1) | bv;
+            }
+            edges.push((u as u32, v as u32));
+        }
+        // CSR construction.
+        let mut degree = vec![0u64; n as usize];
+        for &(u, _) in &edges {
+            degree[u as usize] += 1;
+        }
+        let mut xadj = vec![0u64; n as usize + 1];
+        for i in 0..n as usize {
+            xadj[i + 1] = xadj[i] + degree[i];
+        }
+        let mut cursor = xadj.clone();
+        let mut adj = vec![0u64; m as usize];
+        for &(u, v) in &edges {
+            adj[cursor[u as usize] as usize] = v as u64;
+            cursor[u as usize] += 1;
+        }
+        Graph500 {
+            params,
+            xadj,
+            adj,
+            pending: VecDeque::new(),
+            visited: vec![false; n as usize],
+            queue: VecDeque::new(),
+            queue_emitted: 0,
+            roots_left: params.bfs_roots,
+            rng,
+            emitted: 0,
+            setup_done: false,
+        }
+    }
+
+    fn n(&self) -> u64 {
+        1u64 << self.params.scale
+    }
+
+    fn start_next_root(&mut self) -> bool {
+        while self.roots_left > 0 {
+            self.roots_left -= 1;
+            let root = self.rng.below(self.n());
+            if !self.visited[root as usize] && self.xadj[root as usize] != self.xadj[root as usize + 1]
+            {
+                self.visited[root as usize] = true;
+                self.queue.push_back(root);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs one BFS vertex expansion, queueing its memory accesses.
+    fn step(&mut self) -> bool {
+        let u = loop {
+            match self.queue.pop_front() {
+                Some(u) => break u,
+                None => {
+                    if !self.start_next_root() {
+                        return false;
+                    }
+                }
+            }
+        };
+        // Pop from the frontier queue (sequential).
+        self.pending.push_back(Event::Access {
+            region: R_QUEUE,
+            offset: (self.queue_emitted % self.n()) * 8,
+            write: false,
+        });
+        self.queue_emitted += 1;
+        // Read xadj[u] and xadj[u+1] (adjacent words: one page).
+        self.pending.push_back(Event::Access {
+            region: R_XADJ,
+            offset: u * 8,
+            write: false,
+        });
+        let (start, end) = (self.xadj[u as usize], self.xadj[u as usize + 1]);
+        // Scan the adjacency run at cache-line granularity.
+        let mut line = u64::MAX;
+        for e in start..end {
+            let l = (e * 8) / 64;
+            if l != line {
+                line = l;
+                self.pending.push_back(Event::Access {
+                    region: R_ADJ,
+                    offset: e * 8,
+                    write: false,
+                });
+            }
+            let v = self.adj[e as usize];
+            // Visited check: a random-vertex lookup (16 B of metadata:
+            // parent + distance).
+            self.pending.push_back(Event::Access {
+                region: R_VISITED,
+                offset: v * 16,
+                write: false,
+            });
+            if !self.visited[v as usize] {
+                self.visited[v as usize] = true;
+                self.queue.push_back(v);
+                // Parent write.
+                self.pending.push_back(Event::Access {
+                    region: R_VISITED,
+                    offset: v * 16,
+                    write: true,
+                });
+            }
+        }
+        true
+    }
+}
+
+impl Workload for Graph500 {
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "graph500".into(),
+            base_cpi: 0.7,
+            insts_per_access: 8.0,
+            l1_miss_criticality: 0.3,
+            walk_savable: 0.75,
+            smt_slowdown: 1.3,
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.setup_done {
+            self.setup_done = true;
+            let n = self.n();
+            let m = self.adj.len() as u64;
+            self.pending.extend([
+                Event::Mmap { region: R_XADJ, bytes: (n + 1) * 8 },
+                Event::Mmap { region: R_ADJ, bytes: m.max(1) * 8 },
+                Event::Mmap { region: R_VISITED, bytes: n * 16 },
+                Event::Mmap { region: R_QUEUE, bytes: n * 8 },
+            ]);
+        }
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if matches!(e, Event::Access { .. }) {
+                    if self.params.max_accesses != 0 && self.emitted >= self.params.max_accesses {
+                        return None;
+                    }
+                    self.emitted += 1;
+                }
+                return Some(e);
+            }
+            if !self.step() {
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Graph500Params {
+        Graph500Params {
+            scale: 10,
+            edge_factor: 8,
+            bfs_roots: 4,
+            max_accesses: 0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn emits_mmaps_then_accesses() {
+        let mut g = Graph500::new(small());
+        for expected in [R_XADJ, R_ADJ, R_VISITED, R_QUEUE] {
+            match g.next_event() {
+                Some(Event::Mmap { region, bytes }) => {
+                    assert_eq!(region, expected);
+                    assert!(bytes > 0);
+                }
+                other => panic!("expected mmap, got {other:?}"),
+            }
+        }
+        assert!(matches!(g.next_event(), Some(Event::Access { .. })));
+    }
+
+    #[test]
+    fn accesses_stay_in_bounds() {
+        let mut g = Graph500::new(small());
+        let n = 1u64 << 10;
+        let m = g.adj.len() as u64;
+        let mut count = 0u64;
+        while let Some(e) = g.next_event() {
+            if let Event::Access { region, offset, .. } = e {
+                let limit = match region {
+                    R_XADJ => (n + 1) * 8,
+                    R_ADJ => m * 8,
+                    R_VISITED => n * 16,
+                    R_QUEUE => n * 8,
+                    _ => panic!("unknown region"),
+                };
+                assert!(offset < limit, "region {region} offset {offset}");
+                count += 1;
+            }
+        }
+        // BFS from 4 roots over a 1K-vertex graph visits plenty.
+        assert!(count > 1000, "only {count} accesses");
+    }
+
+    #[test]
+    fn bfs_visits_most_of_the_giant_component() {
+        let mut g = Graph500::new(small());
+        while g.next_event().is_some() {}
+        let visited = g.visited.iter().filter(|&&v| v).count();
+        // R-MAT graphs have a giant component holding most non-isolated
+        // vertices.
+        assert!(visited > 300, "visited {visited}");
+    }
+
+    #[test]
+    fn max_accesses_caps_the_run() {
+        let mut p = small();
+        p.max_accesses = 500;
+        let mut g = Graph500::new(p);
+        let mut count = 0;
+        while let Some(e) = g.next_event() {
+            if matches!(e, Event::Access { .. }) {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 500);
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut g = Graph500::new(small());
+            let mut sum = 0u64;
+            while let Some(Event::Access { offset, .. } | Event::Mmap { bytes: offset, .. }) =
+                g.next_event()
+            {
+                sum = sum.wrapping_mul(31).wrapping_add(offset);
+            }
+            sum
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,150 @@
+//! GUPS (Giga-Updates Per Second): random read-modify-write updates over
+//! one huge table — the adversarial TLB workload of the paper (no spatial
+//! locality whatsoever; only very large pages help).
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use tps_core::rng::Rng;
+
+/// GUPS parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct GupsParams {
+    /// Size of the update table in bytes.
+    pub table_bytes: u64,
+    /// Number of read-modify-write updates.
+    pub updates: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for GupsParams {
+    fn default() -> Self {
+        GupsParams {
+            table_bytes: 1 << 30,
+            updates: 2_000_000,
+            seed: 0x6075,
+        }
+    }
+}
+
+/// The GUPS generator.
+///
+/// # Example
+///
+/// ```
+/// use tps_wl::{Event, Gups, GupsParams, Workload};
+/// let mut g = Gups::new(GupsParams { table_bytes: 1 << 20, updates: 4, seed: 1 });
+/// assert!(matches!(g.next_event(), Some(Event::Mmap { .. })));
+/// assert!(matches!(g.next_event(), Some(Event::Access { write: true, .. })));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Gups {
+    params: GupsParams,
+    rng: Rng,
+    emitted_mmap: bool,
+    done: u64,
+}
+
+impl Gups {
+    /// Creates a GUPS run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is smaller than one word or `updates` is zero.
+    pub fn new(params: GupsParams) -> Self {
+        assert!(params.table_bytes >= 8, "table must hold at least one word");
+        assert!(params.updates > 0, "need at least one update");
+        Gups {
+            rng: Rng::new(params.seed),
+            params,
+            emitted_mmap: false,
+            done: 0,
+        }
+    }
+}
+
+impl Workload for Gups {
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "gups".into(),
+            base_cpi: 0.55,
+            insts_per_access: 10.0,
+            // Updates are mutually independent: the out-of-order window
+            // overlaps almost all of each miss (high MLP).
+            l1_miss_criticality: 0.15,
+            walk_savable: 0.85,
+            smt_slowdown: 1.25,
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.emitted_mmap {
+            self.emitted_mmap = true;
+            return Some(Event::Mmap {
+                region: 0,
+                bytes: self.params.table_bytes,
+            });
+        }
+        if self.done >= self.params.updates {
+            return None;
+        }
+        self.done += 1;
+        let word = self.rng.below(self.params.table_bytes / 8);
+        Some(Event::Access {
+            region: 0,
+            offset: word * 8,
+            write: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_stream_shape() {
+        let mut g = Gups::new(GupsParams {
+            table_bytes: 1 << 20,
+            updates: 100,
+            seed: 3,
+        });
+        assert!(matches!(g.next_event(), Some(Event::Mmap { region: 0, bytes }) if bytes == 1 << 20));
+        let mut count = 0;
+        while let Some(e) = g.next_event() {
+            match e {
+                Event::Access { region: 0, offset, write: true } => {
+                    assert!(offset < 1 << 20);
+                    assert_eq!(offset % 8, 0);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn deterministic() {
+        let collect = || {
+            let mut g = Gups::new(GupsParams { table_bytes: 1 << 20, updates: 50, seed: 9 });
+            std::iter::from_fn(move || g.next_event()).collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn accesses_spread_across_whole_table() {
+        let mut g = Gups::new(GupsParams {
+            table_bytes: 64 << 20,
+            updates: 10_000,
+            seed: 5,
+        });
+        g.next_event();
+        let mut pages = std::collections::HashSet::new();
+        while let Some(Event::Access { offset, .. }) = g.next_event() {
+            pages.insert(offset >> 12);
+        }
+        // 10k random accesses over 16k pages: expect to touch thousands.
+        assert!(pages.len() > 4000, "touched {} pages", pages.len());
+    }
+}

@@ -1,0 +1,579 @@
+//! SPEC CPU2017-like memory kernels.
+//!
+//! PIN-tracing real SPEC binaries is replaced by deterministic kernels that
+//! reproduce each benchmark's *address-stream character* — footprint,
+//! allocation shape and locality class (DESIGN.md §2). The TLB-intensive
+//! subset (MPKI > 5, paper Fig. 8) plus a few low-MPKI benchmarks for the
+//! profiling figure are provided.
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use crate::zipf::{CyclePermutation, Zipf};
+use std::collections::VecDeque;
+use tps_core::rng::Rng;
+
+/// The modeled SPEC CPU2017 benchmarks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum SpecBench {
+    Gcc,
+    Mcf,
+    Omnetpp,
+    Xalancbmk,
+    CactuBssn,
+    Fotonik3d,
+    Roms,
+    // Low-MPKI benchmarks, present for the Fig. 8 profiling sweep only.
+    Perlbench,
+    X264,
+    Leela,
+    Exchange2,
+}
+
+impl SpecBench {
+    /// Every modeled benchmark (the Fig. 8 profiling set).
+    pub fn all() -> [SpecBench; 11] {
+        [
+            SpecBench::Gcc,
+            SpecBench::Mcf,
+            SpecBench::Omnetpp,
+            SpecBench::Xalancbmk,
+            SpecBench::CactuBssn,
+            SpecBench::Fotonik3d,
+            SpecBench::Roms,
+            SpecBench::Perlbench,
+            SpecBench::X264,
+            SpecBench::Leela,
+            SpecBench::Exchange2,
+        ]
+    }
+
+    /// The TLB-intensive subset used in the evaluation figures.
+    pub fn tlb_intensive() -> [SpecBench; 7] {
+        [
+            SpecBench::Gcc,
+            SpecBench::Mcf,
+            SpecBench::Omnetpp,
+            SpecBench::Xalancbmk,
+            SpecBench::CactuBssn,
+            SpecBench::Fotonik3d,
+            SpecBench::Roms,
+        ]
+    }
+
+    /// Benchmark name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecBench::Gcc => "gcc",
+            SpecBench::Mcf => "mcf",
+            SpecBench::Omnetpp => "omnetpp",
+            SpecBench::Xalancbmk => "xalancbmk",
+            SpecBench::CactuBssn => "cactuBSSN",
+            SpecBench::Fotonik3d => "fotonik3d",
+            SpecBench::Roms => "roms",
+            SpecBench::Perlbench => "perlbench",
+            SpecBench::X264 => "x264",
+            SpecBench::Leela => "leela",
+            SpecBench::Exchange2 => "exchange2",
+        }
+    }
+}
+
+/// The locality class driving a kernel's address stream.
+#[derive(Clone, Debug)]
+enum Pattern {
+    /// Dependent pointer chase over a node array (mcf).
+    PointerChase {
+        nodes: u64,
+        node_bytes: u64,
+        perm: CyclePermutation,
+        cursor: u64,
+        write_fraction: f64,
+    },
+    /// A hot structure plus a cold heap (omnetpp; also the low-MPKI set).
+    HotCold {
+        hot_bytes: u64,
+        cold_bytes: u64,
+        hot_fraction: f64,
+        write_fraction: f64,
+    },
+    /// Local random walk with occasional long jumps (xalancbmk).
+    TreeWalk {
+        bytes: u64,
+        window: u64,
+        jump_fraction: f64,
+        cursor: u64,
+        write_fraction: f64,
+    },
+    /// A large main heap plus many allocation arenas; arena popularity is
+    /// Zipf-skewed, as allocator arenas are in practice (gcc). Region 0 is
+    /// the heap and draws `heap_fraction` of all accesses.
+    MultiRegion {
+        region_bytes: Vec<u64>,
+        region_zipf: Zipf,
+        heap_fraction: f64,
+        sequential_fraction: f64,
+        cursors: Vec<u64>,
+        write_fraction: f64,
+    },
+    /// 3-D stencil sweep (cactuBSSN).
+    Stencil3d {
+        nx: u64,
+        ny: u64,
+        nz: u64,
+        elem: u64,
+        cell: u64,
+    },
+    /// Multi-array streaming sweep (fotonik3d, roms).
+    Stream {
+        arrays: u64,
+        array_bytes: u64,
+        stride: u64,
+        cursor: u64,
+        write_every: u64,
+    },
+}
+
+/// A SPEC-like kernel workload.
+#[derive(Clone, Debug)]
+pub struct Spec17Kernel {
+    bench: SpecBench,
+    pattern: Pattern,
+    rng: Rng,
+    accesses: u64,
+    emitted: u64,
+    pending: VecDeque<Event>,
+    setup_done: bool,
+    /// (region, bytes) to mmap on startup.
+    regions: Vec<u64>,
+}
+
+impl Spec17Kernel {
+    /// Builds a kernel with paper-scale footprints and the given access
+    /// budget.
+    ///
+    /// `shrink` divides every footprint by `2^shrink` (0 for evaluation
+    /// runs; larger values make unit tests fast).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is zero or `shrink > 10`.
+    pub fn new(bench: SpecBench, accesses: u64, shrink: u32, seed: u64) -> Self {
+        assert!(accesses > 0, "need a positive access budget");
+        assert!(shrink <= 10, "shrink too aggressive");
+        let sh = |bytes: u64| (bytes >> shrink).max(64 << 10);
+        let mut rng = Rng::new(seed ^ (bench as u64) << 32);
+        let (pattern, regions) = match bench {
+            SpecBench::Mcf => {
+                let bytes = sh(512 << 20);
+                // Largest power of two not exceeding the node budget.
+                let nodes = 1u64 << (63 - (bytes / 64).leading_zeros());
+                let k = nodes.trailing_zeros();
+                (
+                    Pattern::PointerChase {
+                        nodes,
+                        node_bytes: 64,
+                        perm: CyclePermutation::new(k, seed),
+                        cursor: 0,
+                        write_fraction: 0.12,
+                    },
+                    vec![nodes * 64],
+                )
+            }
+            SpecBench::Omnetpp => {
+                let cold = sh(256 << 20);
+                (
+                    Pattern::HotCold {
+                        hot_bytes: sh(4 << 20).min(cold / 4),
+                        cold_bytes: cold,
+                        hot_fraction: 0.45,
+                        write_fraction: 0.3,
+                    },
+                    vec![cold],
+                )
+            }
+            SpecBench::Xalancbmk => {
+                let bytes = sh(192 << 20);
+                (
+                    Pattern::TreeWalk {
+                        bytes,
+                        window: 32 << 10,
+                        jump_fraction: 0.3,
+                        cursor: 0,
+                        write_fraction: 0.1,
+                    },
+                    vec![bytes],
+                )
+            }
+            SpecBench::Gcc => {
+                // One big IR heap plus ~190 allocation arenas. The arena
+                // count is poison for a 32-entry Range TLB; the heap is one
+                // tailored page for TPS but dozens of 2M pages for THP.
+                let n_arenas = 191usize;
+                let mut region_bytes = vec![sh(192 << 20)]; // region 0: heap
+                region_bytes
+                    .extend((0..n_arenas).map(|_| sh((1 << 20) << rng.below(3))));
+                (
+                    Pattern::MultiRegion {
+                        cursors: vec![0; n_arenas + 1],
+                        region_bytes: region_bytes.clone(),
+                        region_zipf: Zipf::new(n_arenas as u64, 0.6),
+                        heap_fraction: 0.7,
+                        sequential_fraction: 0.5,
+                        write_fraction: 0.25,
+                    },
+                    region_bytes,
+                )
+            }
+            SpecBench::CactuBssn => {
+                let n = (320u64 >> (shrink / 3)).max(48);
+                (
+                    Pattern::Stencil3d {
+                        nx: n,
+                        ny: n,
+                        nz: n,
+                        elem: 8,
+                        cell: 0,
+                    },
+                    vec![n * n * n * 8],
+                )
+            }
+            SpecBench::Fotonik3d => {
+                let arrays = 6u64;
+                let ab = sh(96 << 20);
+                (
+                    Pattern::Stream {
+                        arrays,
+                        array_bytes: ab,
+                        stride: 256,
+                        cursor: 0,
+                        write_every: 3,
+                    },
+                    vec![ab; arrays as usize],
+                )
+            }
+            SpecBench::Roms => {
+                let arrays = 10u64;
+                let ab = sh(48 << 20);
+                (
+                    Pattern::Stream {
+                        arrays,
+                        array_bytes: ab,
+                        stride: 128,
+                        cursor: 0,
+                        write_every: 4,
+                    },
+                    vec![ab; arrays as usize],
+                )
+            }
+            SpecBench::Perlbench | SpecBench::X264 | SpecBench::Leela | SpecBench::Exchange2 => {
+                let cold = sh(64 << 20);
+                (
+                    Pattern::HotCold {
+                        hot_bytes: 128 << 10,
+                        cold_bytes: cold,
+                        hot_fraction: 0.985,
+                        write_fraction: 0.2,
+                    },
+                    vec![cold],
+                )
+            }
+        };
+        Spec17Kernel {
+            bench,
+            pattern,
+            rng,
+            accesses,
+            emitted: 0,
+            pending: VecDeque::new(),
+            setup_done: false,
+            regions,
+        }
+    }
+
+    /// The benchmark this kernel models.
+    pub fn bench(&self) -> SpecBench {
+        self.bench
+    }
+
+    fn queue_step(&mut self) {
+        match &mut self.pattern {
+            Pattern::PointerChase {
+                nodes,
+                node_bytes,
+                perm,
+                cursor,
+                write_fraction,
+            } => {
+                *cursor = perm.next(*cursor) % *nodes;
+                let write = self.rng.chance(*write_fraction);
+                self.pending.push_back(Event::Access {
+                    region: 0,
+                    offset: *cursor * *node_bytes,
+                    write,
+                });
+            }
+            Pattern::HotCold {
+                hot_bytes,
+                cold_bytes,
+                hot_fraction,
+                write_fraction,
+            } => {
+                let hot = self.rng.chance(*hot_fraction);
+                let offset = if hot {
+                    self.rng.below(*hot_bytes / 8) * 8
+                } else {
+                    *hot_bytes + self.rng.below((*cold_bytes - *hot_bytes) / 8) * 8
+                };
+                let write = self.rng.chance(*write_fraction);
+                self.pending.push_back(Event::Access { region: 0, offset, write });
+            }
+            Pattern::TreeWalk {
+                bytes,
+                window,
+                jump_fraction,
+                cursor,
+                write_fraction,
+            } => {
+                if self.rng.chance(*jump_fraction) {
+                    *cursor = self.rng.below(*bytes / 8) * 8;
+                } else {
+                    let lo = cursor.saturating_sub(*window / 2);
+                    let hi = (*cursor + *window / 2).min(*bytes - 8);
+                    *cursor = self.rng.range(lo / 8, hi / 8 + 1) * 8;
+                }
+                let write = self.rng.chance(*write_fraction);
+                self.pending.push_back(Event::Access {
+                    region: 0,
+                    offset: *cursor,
+                    write,
+                });
+            }
+            Pattern::MultiRegion {
+                region_bytes,
+                region_zipf,
+                heap_fraction,
+                sequential_fraction,
+                cursors,
+                write_fraction,
+            } => {
+                let r = if self.rng.chance(*heap_fraction) {
+                    0 // the heap, randomly accessed
+                } else {
+                    1 + region_zipf.sample(&mut self.rng) as usize
+                };
+                let len = region_bytes[r];
+                let offset = if r != 0 && self.rng.chance(*sequential_fraction) {
+                    cursors[r] = (cursors[r] + 64) % len;
+                    cursors[r]
+                } else {
+                    self.rng.below(len / 8) * 8
+                };
+                let write = self.rng.chance(*write_fraction);
+                self.pending.push_back(Event::Access {
+                    region: r as u32,
+                    offset,
+                    write,
+                });
+            }
+            Pattern::Stencil3d { nx, ny, nz, elem, cell } => {
+                let total = *nx * *ny * *nz;
+                let c = *cell % total;
+                *cell = (*cell + 7) % total; // coprime stride: full sweep
+                let plane = *nx * *ny;
+                // Center read, ±j neighbor, ±k neighbor (cross-page), write.
+                for (delta, write) in [
+                    (0i64, false),
+                    (*nx as i64, false),
+                    (-(*nx as i64), false),
+                    (plane as i64, false),
+                    (-(plane as i64), false),
+                    (0, true),
+                ] {
+                    let idx = (c as i64 + delta).rem_euclid(total as i64) as u64;
+                    self.pending.push_back(Event::Access {
+                        region: 0,
+                        offset: idx * *elem,
+                        write,
+                    });
+                }
+            }
+            Pattern::Stream {
+                arrays,
+                array_bytes,
+                stride,
+                cursor,
+                write_every,
+            } => {
+                let pos = (*cursor * *stride) % *array_bytes;
+                for a in 0..*arrays {
+                    self.pending.push_back(Event::Access {
+                        region: a as u32,
+                        offset: pos,
+                        write: a % *write_every == *write_every - 1,
+                    });
+                }
+                *cursor += 1;
+            }
+        }
+    }
+}
+
+impl Workload for Spec17Kernel {
+    fn profile(&self) -> WorkloadProfile {
+        // Criticality reflects how much of a 9-cycle STLB-hit latency the
+        // 256-entry out-of-order window cannot hide: highest for serial
+        // pointer chasing, near zero for prefetchable streams.
+        let (cpi, ipa, crit, savable, smt) = match self.bench {
+            SpecBench::Mcf => (0.9, 8.0, 0.35, 0.85, 1.25),
+            SpecBench::Omnetpp => (0.8, 10.0, 0.3, 0.7, 1.3),
+            SpecBench::Xalancbmk => (0.7, 12.0, 0.3, 0.7, 1.3),
+            SpecBench::Gcc => (0.6, 14.0, 0.3, 0.6, 1.35),
+            SpecBench::CactuBssn => (0.5, 16.0, 0.15, 0.45, 1.45),
+            SpecBench::Fotonik3d => (0.45, 16.0, 0.12, 0.35, 1.5),
+            SpecBench::Roms => (0.45, 16.0, 0.12, 0.35, 1.5),
+            _ => (0.5, 18.0, 0.3, 0.5, 1.3),
+        };
+        WorkloadProfile {
+            name: self.bench.label().into(),
+            base_cpi: cpi,
+            insts_per_access: ipa,
+            l1_miss_criticality: crit,
+            walk_savable: savable,
+            smt_slowdown: smt,
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.setup_done {
+            self.setup_done = true;
+            for (i, &bytes) in self.regions.iter().enumerate() {
+                self.pending.push_back(Event::Mmap {
+                    region: i as u32,
+                    bytes,
+                });
+            }
+        }
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                if matches!(e, Event::Access { .. }) {
+                    if self.emitted >= self.accesses {
+                        return None;
+                    }
+                    self.emitted += 1;
+                }
+                return Some(e);
+            }
+            self.queue_step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_events(bench: SpecBench, accesses: u64) -> Vec<Event> {
+        let mut k = Spec17Kernel::new(bench, accesses, 6, 1);
+        std::iter::from_fn(move || k.next_event()).collect()
+    }
+
+    #[test]
+    fn every_bench_emits_valid_streams() {
+        for bench in SpecBench::all() {
+            let events = run_events(bench, 2000);
+            let mut region_size = std::collections::HashMap::new();
+            let mut accesses = 0u64;
+            for e in &events {
+                match e {
+                    Event::Mmap { region, bytes } => {
+                        assert!(*bytes > 0);
+                        region_size.insert(*region, *bytes);
+                    }
+                    Event::Access { region, offset, .. } => {
+                        let sz = region_size
+                            .get(region)
+                            .unwrap_or_else(|| panic!("{bench:?}: unmapped region {region}"));
+                        assert!(offset < sz, "{bench:?}: offset {offset} >= {sz}");
+                        accesses += 1;
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(accesses, 2000, "{bench:?}");
+        }
+    }
+
+    #[test]
+    fn gcc_creates_many_regions() {
+        let events = run_events(SpecBench::Gcc, 10);
+        let mmaps = events
+            .iter()
+            .filter(|e| matches!(e, Event::Mmap { .. }))
+            .count();
+        assert!(mmaps > 100, "gcc needs many arenas, got {mmaps}");
+    }
+
+    #[test]
+    fn mcf_is_a_permutation_chase() {
+        let events = run_events(SpecBench::Mcf, 5000);
+        let offsets: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access { offset, .. } => Some(*offset),
+                _ => None,
+            })
+            .collect();
+        // A full-cycle chase never revisits a node within the cycle.
+        let unique: std::collections::HashSet<_> = offsets.iter().collect();
+        assert_eq!(unique.len(), offsets.len());
+    }
+
+    #[test]
+    fn stencil_strides_cross_pages() {
+        let events = run_events(SpecBench::CactuBssn, 600);
+        let mut deltas = std::collections::HashSet::new();
+        let offsets: Vec<i64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Access { offset, .. } => Some(*offset as i64),
+                _ => None,
+            })
+            .collect();
+        for w in offsets.windows(2) {
+            deltas.insert(w[1] - w[0]);
+        }
+        // Plane-stride neighbors are > 4 KB apart.
+        assert!(deltas.iter().any(|d| d.abs() > 4096), "deltas {deltas:?}");
+    }
+
+    #[test]
+    fn low_mpki_benches_have_high_locality() {
+        let events = run_events(SpecBench::Leela, 10_000);
+        let mut pages = std::collections::HashMap::new();
+        for e in &events {
+            if let Event::Access { offset, .. } = e {
+                *pages.entry(offset >> 12).or_insert(0u64) += 1;
+            }
+        }
+        let hot: u64 = pages.values().filter(|&&c| c > 50).sum();
+        assert!(
+            hot as f64 > 0.8 * 10_000.0,
+            "hot pages draw most accesses: {hot}"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = run_events(SpecBench::Omnetpp, 1000);
+        let b = run_events(SpecBench::Omnetpp, 1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_cover_all() {
+        for b in SpecBench::all() {
+            assert!(!b.label().is_empty());
+        }
+        assert_eq!(SpecBench::tlb_intensive().len(), 7);
+    }
+}

@@ -1,0 +1,232 @@
+//! The paper's benchmark suite at three reproducibility scales.
+
+use crate::dbx1000::{Dbx1000, Dbx1000Params};
+use crate::event::Workload;
+use crate::graph500::{Graph500, Graph500Params};
+use crate::gups::{Gups, GupsParams};
+use crate::init::Initialized;
+use crate::spec17::{Spec17Kernel, SpecBench};
+use crate::xsbench::{XsBench, XsBenchParams};
+
+/// How large a suite run should be.
+///
+/// The paper traces full executions; we provide three deterministic scales
+/// trading fidelity for wall-clock time. Relative behavior (who wins and by
+/// roughly how much) is stable across scales.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// Tiny footprints for unit tests (seconds).
+    Test,
+    /// Mid footprints for iterating on experiments.
+    Small,
+    /// The default evaluation scale used by the figure harnesses.
+    Paper,
+}
+
+impl SuiteScale {
+    fn spec_shrink(self) -> u32 {
+        match self {
+            SuiteScale::Test => 6,
+            SuiteScale::Small => 1,
+            SuiteScale::Paper => 0,
+        }
+    }
+
+    fn spec_accesses(self) -> u64 {
+        match self {
+            SuiteScale::Test => 20_000,
+            SuiteScale::Small => 800_000,
+            SuiteScale::Paper => 2_500_000,
+        }
+    }
+
+    /// Physical memory a [`SuiteScale`] machine should model.
+    pub fn recommended_memory(self) -> u64 {
+        match self {
+            SuiteScale::Test => 256 << 20,
+            SuiteScale::Small => 2 << 30,
+            SuiteScale::Paper => 4 << 30,
+        }
+    }
+}
+
+/// Builds one suite benchmark by name (see [`suite_names`]).
+///
+/// All workloads are wrapped in the [`Initialized`] sweep, matching the
+/// paper's start-to-finish traces.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
+    let seed = 0x7e57_0000 ^ name.len() as u64;
+    if let Some(bench) = SpecBench::all().iter().find(|b| b.label() == name) {
+        return Box::new(Initialized::new(Spec17Kernel::new(
+            *bench,
+            scale.spec_accesses(),
+            scale.spec_shrink(),
+            seed,
+        )));
+    }
+    match name {
+        "gups" => {
+            let params = match scale {
+                SuiteScale::Test => GupsParams {
+                    table_bytes: 16 << 20,
+                    updates: 20_000,
+                    seed,
+                },
+                SuiteScale::Small => GupsParams {
+                    table_bytes: 256 << 20,
+                    updates: 800_000,
+                    seed,
+                },
+                SuiteScale::Paper => GupsParams {
+                    table_bytes: 1 << 30,
+                    updates: 2_500_000,
+                    seed,
+                },
+            };
+            Box::new(Initialized::new(Gups::new(params)))
+        }
+        "graph500" => {
+            let params = match scale {
+                SuiteScale::Test => Graph500Params {
+                    scale: 12,
+                    edge_factor: 8,
+                    bfs_roots: 2,
+                    max_accesses: 20_000,
+                    seed,
+                },
+                SuiteScale::Small => Graph500Params {
+                    scale: 22,
+                    edge_factor: 6,
+                    bfs_roots: 4,
+                    max_accesses: 800_000,
+                    seed,
+                },
+                SuiteScale::Paper => Graph500Params {
+                    scale: 24,
+                    edge_factor: 4,
+                    bfs_roots: 6,
+                    max_accesses: 2_500_000,
+                    seed,
+                },
+            };
+            Box::new(Initialized::new(Graph500::new(params)))
+        }
+        "xsbench" => {
+            let params = match scale {
+                SuiteScale::Test => XsBenchParams {
+                    grid_points: 1 << 16,
+                    nuclides: 16,
+                    nuclide_grid_points: 1 << 10,
+                    lookups: 1_000,
+                    seed,
+                },
+                SuiteScale::Small => XsBenchParams {
+                    grid_points: 1 << 22,
+                    nuclides: 68,
+                    nuclide_grid_points: 16 << 10,
+                    lookups: 30_000,
+                    seed,
+                },
+                SuiteScale::Paper => XsBenchParams {
+                    grid_points: 8 << 20,
+                    nuclides: 68,
+                    nuclide_grid_points: 64 << 10,
+                    lookups: 80_000,
+                    seed,
+                },
+            };
+            Box::new(Initialized::new(XsBench::new(params)))
+        }
+        "dbx1000" => {
+            let params = match scale {
+                SuiteScale::Test => Dbx1000Params {
+                    rows: 1 << 16,
+                    txns: 1_000,
+                    ..Default::default()
+                },
+                SuiteScale::Small => Dbx1000Params {
+                    rows: 1 << 21,
+                    txns: 40_000,
+                    ..Default::default()
+                },
+                SuiteScale::Paper => Dbx1000Params {
+                    rows: 4 << 20,
+                    txns: 100_000,
+                    ..Default::default()
+                },
+            };
+            Box::new(Initialized::new(Dbx1000::new(params)))
+        }
+        other => panic!("unknown benchmark {other:?}"),
+    }
+}
+
+/// Names of the TLB-intensive evaluation suite (paper Figs. 10–18):
+/// the MPKI > 5 SPEC17 benchmarks plus the four big-data workloads.
+pub fn suite_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = SpecBench::tlb_intensive()
+        .iter()
+        .map(|b| b.label())
+        .collect();
+    names.extend(["gups", "graph500", "xsbench", "dbx1000"]);
+    names
+}
+
+/// Names of the full profiling sweep (paper Fig. 8): every modeled SPEC17
+/// benchmark plus the big-data workloads.
+pub fn profiling_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = SpecBench::all().iter().map(|b| b.label()).collect();
+    names.extend(["gups", "graph500", "xsbench", "dbx1000"]);
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn every_suite_member_builds_and_runs() {
+        for name in suite_names() {
+            let mut wl = build(name, SuiteScale::Test);
+            assert_eq!(wl.name(), name);
+            let mut accesses = 0u64;
+            let mut mmaps = 0u64;
+            for _ in 0..200_000 {
+                match wl.next_event() {
+                    Some(Event::Access { .. }) => accesses += 1,
+                    Some(Event::Mmap { .. }) => mmaps += 1,
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            assert!(mmaps > 0, "{name}");
+            assert!(accesses > 1000, "{name}: {accesses} accesses");
+        }
+    }
+
+    #[test]
+    fn profiling_superset_of_suite() {
+        let prof = profiling_names();
+        for name in suite_names() {
+            assert!(prof.contains(&name), "{name} missing from profiling set");
+        }
+        assert!(prof.len() > suite_names().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_name_panics() {
+        build("nonesuch", SuiteScale::Test);
+    }
+
+    #[test]
+    fn scales_report_memory() {
+        assert!(SuiteScale::Test.recommended_memory() < SuiteScale::Small.recommended_memory());
+        assert!(SuiteScale::Small.recommended_memory() <= SuiteScale::Paper.recommended_memory());
+    }
+}

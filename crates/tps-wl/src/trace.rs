@@ -1,0 +1,283 @@
+//! Trace recording and replay.
+//!
+//! The paper drives its simulator from PIN traces of real binaries. This
+//! module provides the equivalent interchange point: any [`Workload`] can
+//! be *recorded* to a compact line-oriented text format, and a trace file
+//! (from here, or converted from a real PIN/DynamoRIO tool) can be
+//! *replayed* as a workload.
+//!
+//! # Format
+//!
+//! One event per line, whitespace-separated:
+//!
+//! ```text
+//! # comment
+//! M <region> <bytes>        mmap
+//! U <region>                munmap
+//! A <region> <offset> R|W   access (read / write)
+//! C <insts>                 compute
+//! B                         stats barrier (ROI begin)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use tps_wl::{replay, Event, Recorder, Workload, Gups, GupsParams};
+//!
+//! let inner = Gups::new(GupsParams { table_bytes: 1 << 20, updates: 10, seed: 1 });
+//! let mut buf = Vec::new();
+//! let mut rec = Recorder::new(inner, &mut buf);
+//! while rec.next_event().is_some() {}
+//! drop(rec);
+//!
+//! let mut replayed = replay(&buf[..], rec_profile()).unwrap();
+//! assert!(matches!(replayed.next_event(), Some(Event::Mmap { .. })));
+//! # fn rec_profile() -> tps_wl::WorkloadProfile { tps_wl::WorkloadProfile::named("gups") }
+//! ```
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Serializes one event as a trace line (without the newline).
+pub fn format_event(event: &Event) -> String {
+    match event {
+        Event::Mmap { region, bytes } => format!("M {region} {bytes}"),
+        Event::Munmap { region } => format!("U {region}"),
+        Event::Access { region, offset, write } => {
+            format!("A {region} {offset} {}", if *write { "W" } else { "R" })
+        }
+        Event::Compute { insts } => format!("C {insts}"),
+        Event::StatsBarrier => "B".to_string(),
+    }
+}
+
+/// Parses one trace line; empty lines and `#` comments yield `None`.
+///
+/// # Errors
+///
+/// Returns a descriptive error for malformed lines.
+pub fn parse_event(line: &str) -> Result<Option<Event>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let tag = parts.next().expect("non-empty line has a first token");
+    let mut num = |what: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .ok_or_else(|| format!("missing {what} in {line:?}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad {what} in {line:?}: {e}"))
+    };
+    let event = match tag {
+        "M" => Event::Mmap {
+            region: num("region")? as u32,
+            bytes: num("bytes")?,
+        },
+        "U" => Event::Munmap {
+            region: num("region")? as u32,
+        },
+        "A" => {
+            let region = num("region")? as u32;
+            let offset = num("offset")?;
+            let rw = parts.next().ok_or_else(|| format!("missing R|W in {line:?}"))?;
+            Event::Access {
+                region,
+                offset,
+                write: match rw {
+                    "W" => true,
+                    "R" => false,
+                    other => return Err(format!("bad access kind {other:?} in {line:?}")),
+                },
+            }
+        }
+        "C" => Event::Compute { insts: num("insts")? },
+        "B" => Event::StatsBarrier,
+        other => return Err(format!("unknown event tag {other:?} in {line:?}")),
+    };
+    Ok(Some(event))
+}
+
+/// Wraps a workload, writing every emitted event to a trace writer.
+///
+/// The recorder is itself a [`Workload`], so it can drive a simulation
+/// while capturing the stream (record-while-run).
+#[derive(Debug)]
+pub struct Recorder<W, O: Write> {
+    inner: W,
+    out: O,
+    events: u64,
+}
+
+impl<W: Workload, O: Write> Recorder<W, O> {
+    /// Wraps `inner`, recording to `out`.
+    ///
+    /// A mutable reference can be passed for `out` (e.g. `&mut Vec<u8>`),
+    /// per the standard `Write` blanket impls.
+    pub fn new(inner: W, out: O) -> Self {
+        Recorder {
+            inner,
+            out,
+            events: 0,
+        }
+    }
+
+    /// Number of events recorded so far.
+    pub fn events_recorded(&self) -> u64 {
+        self.events
+    }
+
+    /// Finishes recording, returning the inner workload and the writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the flush error, if any.
+    pub fn finish(mut self) -> io::Result<(W, O)> {
+        self.out.flush()?;
+        Ok((self.inner, self.out))
+    }
+}
+
+impl<W: Workload, O: Write> Workload for Recorder<W, O> {
+    fn profile(&self) -> WorkloadProfile {
+        self.inner.profile()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        let event = self.inner.next_event()?;
+        writeln!(self.out, "{}", format_event(&event)).expect("trace write failed");
+        self.events += 1;
+        Some(event)
+    }
+}
+
+/// A workload replayed from a trace.
+#[derive(Debug)]
+pub struct TraceReplay<R> {
+    lines: io::Lines<BufReader<R>>,
+    profile: WorkloadProfile,
+    line_no: u64,
+}
+
+impl<R: Read> Workload for TraceReplay<R> {
+    fn profile(&self) -> WorkloadProfile {
+        self.profile.clone()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        loop {
+            let line = self.lines.next()?.expect("trace read failed");
+            self.line_no += 1;
+            match parse_event(&line) {
+                Ok(Some(event)) => return Some(event),
+                Ok(None) => continue,
+                Err(e) => panic!("trace line {}: {e}", self.line_no),
+            }
+        }
+    }
+}
+
+/// Opens a trace for replay as a [`Workload`], with the timing profile to
+/// attribute to it (traces carry addresses, not timing parameters).
+///
+/// # Errors
+///
+/// IO errors surface on construction only for convenience-of-signature;
+/// read errors during replay panic (the trace is trusted local input).
+pub fn replay<R: Read>(reader: R, profile: WorkloadProfile) -> io::Result<TraceReplay<R>> {
+    Ok(TraceReplay {
+        lines: BufReader::new(reader).lines(),
+        profile,
+        line_no: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gups::{Gups, GupsParams};
+    use crate::init::Initialized;
+
+    fn collect<W: Workload>(mut w: W) -> Vec<Event> {
+        std::iter::from_fn(move || w.next_event()).collect()
+    }
+
+    #[test]
+    fn event_format_round_trips() {
+        let events = [
+            Event::Mmap { region: 3, bytes: 1 << 30 },
+            Event::Munmap { region: 3 },
+            Event::Access { region: 0, offset: 0xdeadbeef, write: true },
+            Event::Access { region: 7, offset: 0, write: false },
+            Event::Compute { insts: 12345 },
+            Event::StatsBarrier,
+        ];
+        for e in events {
+            let line = format_event(&e);
+            assert_eq!(parse_event(&line).unwrap(), Some(e), "{line}");
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        assert_eq!(parse_event("").unwrap(), None);
+        assert_eq!(parse_event("   ").unwrap(), None);
+        assert_eq!(parse_event("# hello").unwrap(), None);
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(parse_event("A 1").is_err());
+        assert!(parse_event("A 1 2 X").is_err());
+        assert!(parse_event("Z 9").is_err());
+        assert!(parse_event("M x 4096").is_err());
+    }
+
+    #[test]
+    fn record_replay_is_identity() {
+        let make = || {
+            Initialized::new(Gups::new(GupsParams {
+                table_bytes: 256 << 10,
+                updates: 50,
+                seed: 9,
+            }))
+        };
+        let reference = collect(make());
+        let mut buf = Vec::new();
+        let recorder = Recorder::new(make(), &mut buf);
+        let recorded = collect(recorder);
+        assert_eq!(recorded, reference);
+        let replayed = collect(replay(&buf[..], WorkloadProfile::named("gups")).unwrap());
+        assert_eq!(replayed, reference);
+    }
+
+    #[test]
+    fn recorder_counts_and_finishes() {
+        let mut buf = Vec::new();
+        let mut rec = Recorder::new(
+            Gups::new(GupsParams { table_bytes: 8 << 10, updates: 3, seed: 1 }),
+            &mut buf,
+        );
+        while rec.next_event().is_some() {}
+        assert_eq!(rec.events_recorded(), 4); // 1 mmap + 3 updates
+        let (_inner, _out) = rec.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap().lines().count(), 4);
+    }
+
+    #[test]
+    fn replay_drives_a_simulation_identically() {
+        use tps_core::rng::Rng;
+        // Record a small random workload, then replay it: the event
+        // streams must match event for event.
+        let mut rng = Rng::new(4);
+        let mut lines = vec!["# synthetic trace".to_string(), "M 0 65536".into()];
+        for _ in 0..100 {
+            lines.push(format!("A 0 {} {}", rng.below(65536), if rng.chance(0.5) { "W" } else { "R" }));
+        }
+        let text = lines.join("\n");
+        let events = collect(replay(text.as_bytes(), WorkloadProfile::named("trace")).unwrap());
+        assert_eq!(events.len(), 101);
+        assert!(matches!(events[0], Event::Mmap { region: 0, bytes: 65536 }));
+    }
+}

@@ -1,0 +1,237 @@
+//! XSBench: the Monte-Carlo neutron-transport macroscopic-cross-section
+//! lookup kernel.
+//!
+//! Each lookup binary-searches a large unionized energy grid, then gathers
+//! per-nuclide cross-section data at grid-directed locations. The binary
+//! search hops across gigabytes with exponentially shrinking stride — no
+//! useful spatial locality for small pages, but excellent coverage for a
+//! few very large tailored pages.
+
+use crate::event::{Event, Workload, WorkloadProfile};
+use std::collections::VecDeque;
+use tps_core::rng::Rng;
+
+/// XSBench parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct XsBenchParams {
+    /// Entries in the unionized energy grid.
+    pub grid_points: u64,
+    /// Number of nuclides in the fuel material.
+    pub nuclides: u64,
+    /// Grid points per nuclide in the per-nuclide tables.
+    pub nuclide_grid_points: u64,
+    /// Cross-section lookups to perform.
+    pub lookups: u64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for XsBenchParams {
+    fn default() -> Self {
+        XsBenchParams {
+            grid_points: 8 << 20, // 64 MB of u64 energies
+            nuclides: 68,
+            nuclide_grid_points: 64 << 10,
+            lookups: 300_000,
+            seed: 0x5bc4,
+        }
+    }
+}
+
+const R_EGRID: u32 = 0; // unionized energy grid: grid_points * 8
+const R_INDEX: u32 = 1; // index grid: grid_points * 8 (compressed vs. real XSBench)
+const R_NUCLIDE: u32 = 2; // per-nuclide data: nuclides * nuclide_grid_points * 48
+
+/// The XSBench generator.
+#[derive(Clone, Debug)]
+pub struct XsBench {
+    params: XsBenchParams,
+    rng: Rng,
+    pending: VecDeque<Event>,
+    done: u64,
+    setup_done: bool,
+}
+
+impl XsBench {
+    /// Creates an XSBench run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any size parameter is zero.
+    pub fn new(params: XsBenchParams) -> Self {
+        assert!(params.grid_points > 1, "grid must have at least two points");
+        assert!(params.nuclides > 0 && params.nuclide_grid_points > 0);
+        XsBench {
+            rng: Rng::new(params.seed),
+            params,
+            pending: VecDeque::new(),
+            done: 0,
+            setup_done: false,
+        }
+    }
+
+    fn queue_lookup(&mut self) {
+        let p = self.params;
+        // Binary search over the unionized grid.
+        let target = self.rng.below(p.grid_points);
+        let (mut lo, mut hi) = (0u64, p.grid_points);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            self.pending.push_back(Event::Access {
+                region: R_EGRID,
+                offset: mid * 8,
+                write: false,
+            });
+            if mid < target {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        // Read the index-grid entry for the located point.
+        self.pending.push_back(Event::Access {
+            region: R_INDEX,
+            offset: target * 8,
+            write: false,
+        });
+        // Gather cross sections for a sample of nuclides in the material.
+        let sampled = 8.min(p.nuclides);
+        for _ in 0..sampled {
+            let nuclide = self.rng.below(p.nuclides);
+            let point = (target * p.nuclide_grid_points / p.grid_points)
+                .min(p.nuclide_grid_points - 1);
+            let offset = (nuclide * p.nuclide_grid_points + point) * 48;
+            self.pending.push_back(Event::Access {
+                region: R_NUCLIDE,
+                offset,
+                write: false,
+            });
+        }
+    }
+}
+
+impl Workload for XsBench {
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "xsbench".into(),
+            base_cpi: 0.65,
+            insts_per_access: 12.0,
+            // The binary-search chain is serial, but independent lookups
+            // overlap in the window.
+            l1_miss_criticality: 0.35,
+            walk_savable: 0.8,
+            smt_slowdown: 1.3,
+        }
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        if !self.setup_done {
+            self.setup_done = true;
+            let p = self.params;
+            self.pending.extend([
+                Event::Mmap { region: R_EGRID, bytes: p.grid_points * 8 },
+                Event::Mmap { region: R_INDEX, bytes: p.grid_points * 8 },
+                Event::Mmap {
+                    region: R_NUCLIDE,
+                    bytes: p.nuclides * p.nuclide_grid_points * 48,
+                },
+            ]);
+        }
+        loop {
+            if let Some(e) = self.pending.pop_front() {
+                return Some(e);
+            }
+            if self.done >= self.params.lookups {
+                return None;
+            }
+            self.done += 1;
+            self.queue_lookup();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> XsBenchParams {
+        XsBenchParams {
+            grid_points: 1 << 14,
+            nuclides: 16,
+            nuclide_grid_points: 1 << 10,
+            lookups: 100,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn lookup_emits_log_n_search_accesses() {
+        let mut x = XsBench::new(small());
+        // Drain mmaps.
+        for _ in 0..3 {
+            assert!(matches!(x.next_event(), Some(Event::Mmap { .. })));
+        }
+        let mut egrid_in_first_lookup = 0;
+        for _ in 0..14 {
+            if let Some(Event::Access { region: R_EGRID, .. }) = x.next_event() {
+                egrid_in_first_lookup += 1;
+            } else {
+                break;
+            }
+        }
+        // A binary search over 2^14 entries performs 14 probes.
+        assert_eq!(egrid_in_first_lookup, 14);
+    }
+
+    #[test]
+    fn offsets_in_bounds() {
+        let p = small();
+        let mut x = XsBench::new(p);
+        let mut n = 0;
+        while let Some(e) = x.next_event() {
+            if let Event::Access { region, offset, .. } = e {
+                let limit = match region {
+                    R_EGRID | R_INDEX => p.grid_points * 8,
+                    R_NUCLIDE => p.nuclides * p.nuclide_grid_points * 48,
+                    _ => panic!("unknown region"),
+                };
+                assert!(offset < limit);
+                n += 1;
+            }
+        }
+        // ~ lookups * (log2(grid) + 1 + 8)
+        assert!(n > 100 * 20, "events {n}");
+    }
+
+    #[test]
+    fn search_strides_shrink_geometrically() {
+        let mut x = XsBench::new(small());
+        for _ in 0..3 {
+            x.next_event();
+        }
+        let mut offsets = Vec::new();
+        while offsets.len() < 5 {
+            if let Some(Event::Access { region: R_EGRID, offset, .. }) = x.next_event() {
+                offsets.push(offset as i64);
+            }
+        }
+        let d1 = (offsets[1] - offsets[0]).abs();
+        let d2 = (offsets[2] - offsets[1]).abs();
+        assert!(d1 > d2, "binary search strides shrink: {offsets:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let run = || {
+            let mut x = XsBench::new(small());
+            let mut sum = 0u64;
+            while let Some(e) = x.next_event() {
+                if let Event::Access { offset, .. } = e {
+                    sum = sum.wrapping_mul(31).wrapping_add(offset);
+                }
+            }
+            sum
+        };
+        assert_eq!(run(), run());
+    }
+}

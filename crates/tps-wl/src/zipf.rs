@@ -1,0 +1,210 @@
+//! Zipfian sampling (YCSB-style) and full-cycle index permutations.
+
+use tps_core::rng::Rng;
+
+/// Zipf-distributed sampler over `[0, n)` with skew `theta` (YCSB's
+/// `ScrambledZipfian` construction, minus the scrambling — callers that
+/// want scattered hot keys compose with [`CyclePermutation`]).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with skew `theta` (0 < theta < 1;
+    /// YCSB default 0.99; larger = more skew).
+    ///
+    /// Construction is O(n) (zeta sum) — build once, sample many.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is outside `(0, 1)`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one item");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum for small n; integral approximation tail for large n
+        // keeps construction cheap at the billions scale.
+        const DIRECT: u64 = 1_000_000;
+        let direct_n = n.min(DIRECT);
+        let mut sum = 0.0;
+        for i in 1..=direct_n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > DIRECT {
+            // ∫ x^-theta dx from DIRECT to n.
+            let a = 1.0 - theta;
+            sum += ((n as f64).powf(a) - (DIRECT as f64).powf(a)) / a;
+        }
+        sum
+    }
+
+    /// Number of items.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Samples an item index (0 is the hottest).
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        idx.min(self.n - 1)
+    }
+}
+
+/// A full-cycle affine permutation of `[0, 2^k)`: `x -> a*x + c mod 2^k`
+/// with `a ≡ 1 (mod 4)` and odd `c` visits every element exactly once.
+///
+/// Used two ways: as a *scrambler* (spread zipf-hot indices across a
+/// region) and as a deterministic pointer-chase successor function (mcf).
+#[derive(Copy, Clone, Debug)]
+pub struct CyclePermutation {
+    mask: u64,
+    a: u64,
+    c: u64,
+}
+
+impl CyclePermutation {
+    /// Builds a permutation over `[0, 2^k)`, parameterized by a seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds 62.
+    pub fn new(k: u32, seed: u64) -> Self {
+        assert!((1..=62).contains(&k), "k must be in 1..=62");
+        let mut sm = tps_core::rng::SplitMix64::new(seed);
+        // a ≡ 1 mod 4 guarantees a full cycle together with odd c
+        // (Hull–Dobell theorem for modulus 2^k).
+        let a = (sm.next_u64() & !3) | 1 | 4;
+        let c = sm.next_u64() | 1;
+        CyclePermutation {
+            mask: (1u64 << k) - 1,
+            a: a & ((1u64 << k) - 1) | 5,
+            c: c & ((1u64 << k) - 1) | 1,
+        }
+    }
+
+    /// The successor of `x` in the cycle.
+    #[inline]
+    pub fn next(&self, x: u64) -> u64 {
+        (x.wrapping_mul(self.a).wrapping_add(self.c)) & self.mask
+    }
+
+    /// The cycle length (`2^k`).
+    pub fn len(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Always false; permutations cover at least two elements.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_respects_bounds() {
+        let z = Zipf::new(1000, 0.9);
+        let mut rng = Rng::new(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1000);
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = Rng::new(2);
+        let mut head = 0u64;
+        const SAMPLES: u64 = 20_000;
+        for _ in 0..SAMPLES {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // Top 1% of keys should draw far more than 1% of accesses.
+        assert!(
+            head as f64 / SAMPLES as f64 > 0.3,
+            "head fraction {}",
+            head as f64 / SAMPLES as f64
+        );
+    }
+
+    #[test]
+    fn zipf_mild_theta_less_skewed_than_high_theta() {
+        let mut rng = Rng::new(3);
+        let count_head = |theta: f64, rng: &mut Rng| {
+            let z = Zipf::new(10_000, theta);
+            (0..10_000).filter(|_| z.sample(rng) < 10).count()
+        };
+        let mild = count_head(0.5, &mut rng);
+        let hot = count_head(0.99, &mut rng);
+        assert!(hot > mild, "hot {hot} vs mild {mild}");
+    }
+
+    #[test]
+    fn zipf_large_n_constructs_quickly_and_samples() {
+        let z = Zipf::new(1 << 28, 0.9); // 268M keys: uses the integral tail
+        let mut rng = Rng::new(4);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 1 << 28);
+        }
+    }
+
+    #[test]
+    fn permutation_is_full_cycle() {
+        for seed in 0..4 {
+            let p = CyclePermutation::new(10, seed);
+            let mut seen = vec![false; 1024];
+            let mut x = 0u64;
+            for _ in 0..1024 {
+                assert!(!seen[x as usize], "revisited {x} (seed {seed})");
+                seen[x as usize] = true;
+                x = p.next(x);
+            }
+            assert_eq!(x, 0, "cycle returns to start");
+        }
+    }
+
+    #[test]
+    fn permutation_jumps_are_not_local() {
+        let p = CyclePermutation::new(20, 7);
+        let mut x = 0u64;
+        let mut long_jumps = 0;
+        for _ in 0..1000 {
+            let nxt = p.next(x);
+            if nxt.abs_diff(x) > 1 << 10 {
+                long_jumps += 1;
+            }
+            x = nxt;
+        }
+        assert!(long_jumps > 900, "pointer chase must be non-local: {long_jumps}");
+    }
+}

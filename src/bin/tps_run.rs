@@ -1,0 +1,178 @@
+//! `tps-run`: command-line driver for the TPS simulator.
+//!
+//! ```text
+//! tps-run [--bench NAME] [--mech MECH | --all] [--scale test|small|paper]
+//!         [--smt] [--virtualized] [--five-level] [--threshold F] [--verify]
+//! ```
+//!
+//! Examples:
+//!
+//! ```sh
+//! tps-run --bench gups --all --scale small
+//! tps-run --bench xsbench --mech tps --smt
+//! ```
+
+use tps::sim::{run_smt, Machine, MachineConfig, Mechanism, RunStats, TimingModel};
+use tps::wl::{build, suite_names, SuiteScale};
+
+struct Options {
+    bench: String,
+    mechs: Vec<Mechanism>,
+    scale: SuiteScale,
+    smt: bool,
+    virtualized: bool,
+    five_level: bool,
+    threshold: Option<f64>,
+    verify: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tps-run [--bench NAME] [--mech MECH | --all] \
+         [--scale test|small|paper] [--smt] [--virtualized] [--five-level] \
+         [--threshold F] [--verify]\n\
+         benchmarks: {}\n\
+         mechanisms: 4k, 2m, thp, colt, rmm, tps, tps-eager",
+        suite_names().join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_mech(s: &str) -> Option<Mechanism> {
+    Some(match s.to_ascii_lowercase().as_str() {
+        "4k" => Mechanism::Only4K,
+        "2m" => Mechanism::Only2M,
+        "thp" => Mechanism::Thp,
+        "colt" => Mechanism::Colt,
+        "rmm" => Mechanism::Rmm,
+        "tps" => Mechanism::Tps,
+        "tps-eager" | "tpseager" => Mechanism::TpsEager,
+        _ => return None,
+    })
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        bench: "gups".into(),
+        mechs: vec![Mechanism::Tps],
+        scale: SuiteScale::Small,
+        smt: false,
+        virtualized: false,
+        five_level: false,
+        threshold: None,
+        verify: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench" => opts.bench = args.next().unwrap_or_else(|| usage()),
+            "--mech" => {
+                let m = args.next().unwrap_or_else(|| usage());
+                opts.mechs = vec![parse_mech(&m).unwrap_or_else(|| usage())];
+            }
+            "--all" => {
+                opts.mechs = vec![
+                    Mechanism::Only4K,
+                    Mechanism::Thp,
+                    Mechanism::Colt,
+                    Mechanism::Rmm,
+                    Mechanism::Tps,
+                    Mechanism::TpsEager,
+                ]
+            }
+            "--scale" => {
+                opts.scale = match args.next().as_deref() {
+                    Some("test") => SuiteScale::Test,
+                    Some("small") => SuiteScale::Small,
+                    Some("paper") => SuiteScale::Paper,
+                    _ => usage(),
+                }
+            }
+            "--smt" => opts.smt = true,
+            "--virtualized" => opts.virtualized = true,
+            "--five-level" => opts.five_level = true,
+            "--threshold" => {
+                let v: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.threshold = Some(v);
+            }
+            "--verify" => opts.verify = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage()
+            }
+        }
+    }
+    if !suite_names().contains(&opts.bench.as_str()) {
+        eprintln!("unknown benchmark {:?}", opts.bench);
+        usage()
+    }
+    opts
+}
+
+fn configure(opts: &Options, mech: Mechanism) -> MachineConfig {
+    let mut config = MachineConfig::for_mechanism(mech)
+        .with_memory(if opts.smt {
+            2 * opts.scale.recommended_memory()
+        } else {
+            opts.scale.recommended_memory()
+        });
+    config.virtualized = opts.virtualized;
+    config.five_level_paging = opts.five_level;
+    config.verify_translations = opts.verify;
+    if let Some(t) = opts.threshold {
+        config.policy = config.policy.with_threshold(t);
+    }
+    config
+}
+
+fn run(opts: &Options, mech: Mechanism) -> RunStats {
+    let config = configure(opts, mech);
+    if opts.smt {
+        let mut a = build(&opts.bench, opts.scale);
+        let mut b = build(&opts.bench, opts.scale);
+        run_smt(config, &mut *a, &mut *b).primary
+    } else {
+        let mut machine = Machine::new(config);
+        let mut workload = build(&opts.bench, opts.scale);
+        machine.run(&mut *workload)
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let model = TimingModel::default();
+    println!(
+        "benchmark: {}   scale: {:?}   smt: {}   virtualized: {}   5-level: {}",
+        opts.bench, opts.scale, opts.smt, opts.virtualized, opts.five_level
+    );
+    println!(
+        "{:>10} {:>12} {:>9} {:>12} {:>9} {:>10} {:>8}",
+        "mechanism", "L1 misses", "hit rate", "walk refs", "faults", "promotions", "time"
+    );
+    let mut baseline: Option<f64> = None;
+    for &mech in &opts.mechs {
+        let stats = run(&opts, mech);
+        let timing = model.evaluate(&stats, opts.smt);
+        if mech == Mechanism::Thp {
+            baseline = Some(timing.total());
+        }
+        let speedup = match baseline {
+            Some(b) => format!("{:.3}x", b / timing.total()),
+            None => "-".into(),
+        };
+        println!(
+            "{:>10} {:>12} {:>8.2}% {:>12} {:>9} {:>10} {:>8}",
+            mech.label(),
+            stats.mem.l1_misses(),
+            100.0 * stats.mem.l1_hit_rate(),
+            stats.walk_refs,
+            stats.os.faults,
+            stats.os.promotions,
+            speedup
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! # tps — Tailored Page Sizes (ISCA 2020) reproduction
+//!
+//! Facade crate re-exporting the full simulation stack:
+//!
+//! * [`core`] — addresses, page orders, the TPS PTE encoding.
+//! * [`mem`] — buddy allocator, fragmentation engine, compaction,
+//!   frame reservations.
+//! * [`pt`] — 4-level radix page table, page walker, alias PTEs, MMU caches.
+//! * [`tlb`] — TLB structures (incl. the any-size TPS TLB), CoLT, Range TLB.
+//! * [`os`] — address spaces, paging policies (4K-only / THP / TPS / RMM),
+//!   fault handling.
+//! * [`wl`] — deterministic workload generators (GUPS, Graph500, XSBench,
+//!   DBx1000, SPEC17-like kernels).
+//! * [`sim`] — the machine driver, SMT and virtualization models, and the
+//!   `T = T_IDEAL + T_L1DTLBM + T_PW` timing model.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tps::prelude::*;
+//!
+//! // Simulate a small GUPS run under the TPS paging policy.
+//! let config = MachineConfig::default().with_policy(PolicyKind::Tps);
+//! let mut machine = Machine::new(config);
+//! let mut wl = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
+//! let stats = machine.run(&mut wl);
+//! assert!(stats.mem.accesses > 0);
+//! println!("L1 hit rate: {:.2}%", 100.0 * stats.mem.l1_hit_rate());
+//! ```
+
+pub use tps_core as core;
+pub use tps_mem as mem;
+pub use tps_os as os;
+pub use tps_pt as pt;
+pub use tps_sim as sim;
+pub use tps_tlb as tlb;
+pub use tps_wl as wl;
+
+/// Commonly used items, importable with `use tps::prelude::*`.
+pub mod prelude {
+    pub use tps_core::{PageOrder, PageSize, PhysAddr, Pte, PteFlags, VirtAddr};
+    pub use tps_os::{AliasPolicy, PolicyKind};
+    pub use tps_sim::{Machine, MachineConfig, RunStats};
+    pub use tps_wl::{
+        Dbx1000, Dbx1000Params, Event, Graph500, Graph500Params, Gups, GupsParams, Spec17Kernel,
+        Workload, XsBench, XsBenchParams,
+    };
+}

