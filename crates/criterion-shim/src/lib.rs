@@ -1,0 +1,194 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real criterion
+//! crate cannot be fetched. This shim keeps `[[bench]]` targets compiling
+//! and producing useful wall-clock numbers: `Criterion`, `bench_function`,
+//! `benchmark_group`, and the `criterion_group!` / `criterion_main!`
+//! macros. It measures a simple median of timed batches — adequate for
+//! relative comparisons, with none of criterion's statistics.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    iters_per_batch: u64,
+    batches: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times the routine, batching iterations and recording per-iteration
+    /// wall-clock samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate the batch size so one batch takes roughly 1 ms.
+        let start = Instant::now();
+        let mut calib = 0u64;
+        while start.elapsed() < Duration::from_millis(1) {
+            std::hint::black_box(routine());
+            calib += 1;
+        }
+        self.iters_per_batch = calib.max(1);
+        self.samples_ns.clear();
+        for _ in 0..self.batches {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / self.iters_per_batch as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return 0.0;
+        }
+        self.samples_ns
+            .sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.samples_ns[self.samples_ns.len() / 2]
+    }
+}
+
+/// Top-level benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's batches are calibrated
+    /// by wall-clock instead.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters_per_batch: 1,
+            batches: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        println!("{name:<40} {:>12.1} ns/iter", b.median_ns());
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.criterion.bench_function(name, f);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which callers may use directly).
+pub use std::hint::black_box;
+
+/// Declares a benchmark group: either `criterion_group!(name, targets...)`
+/// or the long form with a `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_nothing(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1u64 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("noop2", |b| b.iter(|| 2u64 * 3));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        bench_nothing(&mut c);
+    }
+
+    criterion_group!(simple, bench_nothing);
+    criterion_group!(
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = bench_nothing,
+    );
+
+    #[test]
+    fn groups_invoke() {
+        simple();
+        configured();
+    }
+}

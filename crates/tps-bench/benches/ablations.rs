@@ -36,7 +36,14 @@ fn alias_policy_ablation() {
     }
     print_table(
         "Ablation 1: alias-PTE policy (TPS)",
-        &["benchmark", "ptr walk refs", "alias extras", "copy walk refs", "copy OS cycles", "ptr OS cycles"],
+        &[
+            "benchmark",
+            "ptr walk refs",
+            "alias extras",
+            "copy walk refs",
+            "copy OS cycles",
+            "ptr OS cycles",
+        ],
         &rows,
     );
 }
@@ -66,7 +73,13 @@ fn promotion_threshold_ablation() {
     }
     print_table(
         "Ablation 2: TPS promotion threshold (sparse GUPS, no init sweep)",
-        &["threshold", "L1 misses", "L1 hit rate", "resident", "bloat vs touched"],
+        &[
+            "threshold",
+            "L1 misses",
+            "L1 hit rate",
+            "resident",
+            "bloat vs touched",
+        ],
         &rows,
     );
 }
@@ -74,10 +87,31 @@ fn promotion_threshold_ablation() {
 fn mmu_cache_ablation() {
     let mut rows = Vec::new();
     for (label, cfg) in [
-        ("1/1/1", MmuCacheConfig { pml4e_entries: 1, pdpte_entries: 1, pde_entries: 1 }),
-        ("2/4/16", MmuCacheConfig { pml4e_entries: 2, pdpte_entries: 4, pde_entries: 16 }),
+        (
+            "1/1/1",
+            MmuCacheConfig {
+                pml4e_entries: 1,
+                pdpte_entries: 1,
+                pde_entries: 1,
+            },
+        ),
+        (
+            "2/4/16",
+            MmuCacheConfig {
+                pml4e_entries: 2,
+                pdpte_entries: 4,
+                pde_entries: 16,
+            },
+        ),
         ("4/8/32 (default)", MmuCacheConfig::default()),
-        ("8/16/64", MmuCacheConfig { pml4e_entries: 8, pdpte_entries: 16, pde_entries: 64 }),
+        (
+            "8/16/64",
+            MmuCacheConfig {
+                pml4e_entries: 8,
+                pdpte_entries: 16,
+                pde_entries: 64,
+            },
+        ),
     ] {
         let mut config = MachineConfig::for_mechanism(Mechanism::Only4K).with_memory(512 << 20);
         config.mmu_cache = cfg;
@@ -96,7 +130,11 @@ fn mmu_cache_ablation() {
     }
     print_table(
         "Ablation 3: MMU-cache sizing (4K-only GUPS, walk cost)",
-        &["PML4E/PDPTE/PDE entries", "walk refs (measured)", "refs per walk"],
+        &[
+            "PML4E/PDPTE/PDE entries",
+            "walk refs (measured)",
+            "refs per walk",
+        ],
         &rows,
     );
 }
@@ -148,7 +186,13 @@ fn skewed_tlb_ablation() {
     }
     print_table(
         "Ablation 5: TPS L1 organization — 32e fully-assoc vs 4-way skewed",
-        &["benchmark", "FA misses", "skewed misses", "FA hit", "skewed hit"],
+        &[
+            "benchmark",
+            "FA misses",
+            "skewed misses",
+            "FA hit",
+            "skewed hit",
+        ],
         &rows,
     );
 }

@@ -88,7 +88,11 @@ fn bench_walk(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 512;
-            black_box(walker.walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), None).unwrap())
+            black_box(
+                walker
+                    .walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), None)
+                    .unwrap(),
+            )
         })
     });
     c.bench_function("page_walk_mmu_cached", |b| {
@@ -98,7 +102,11 @@ fn bench_walk(c: &mut Criterion) {
             i = (i + 1) % 512;
             black_box(
                 walker
-                    .walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), Some(&mut caches))
+                    .walk(
+                        &pt,
+                        VirtAddr::new(0x4000_0000 + i * 4096),
+                        Some(&mut caches),
+                    )
                     .unwrap(),
             )
         })
@@ -110,13 +118,23 @@ fn bench_end_to_end(c: &mut Criterion) {
         let mut machine =
             Machine::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
         let mut counters = RunCounters::default();
-        machine.step(Event::Mmap { region: 0, bytes: 16 << 20 }, &mut counters);
+        machine.step(
+            Event::Mmap {
+                region: 0,
+                bytes: 16 << 20,
+            },
+            &mut counters,
+        );
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let offset = (x >> 33) % (16 << 20);
             machine.step(
-                Event::Access { region: 0, offset: offset & !7, write: false },
+                Event::Access {
+                    region: 0,
+                    offset: offset & !7,
+                    write: false,
+                },
                 &mut counters,
             );
         })

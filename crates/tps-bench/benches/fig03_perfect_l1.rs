@@ -23,7 +23,10 @@ fn main() {
         speedups.push(speedup);
         rows.push(vec![name.to_string(), format!("{:.3}x", speedup)]);
     }
-    rows.push(vec!["GEOMEAN".into(), format!("{:.3}x", geomean(&speedups))]);
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.3}x", geomean(&speedups)),
+    ]);
     print_table(
         "Fig. 3: speedup of perfect L1 TLB over perfect L2 TLB baseline",
         &["benchmark", "speedup"],

@@ -11,8 +11,16 @@ fn main() {
     for name in profiling_names() {
         let stats = run_one(name, Mechanism::Only4K, scale);
         let mpki = stats.l1_mpki();
-        let selected = if suite_names().contains(&name) { "yes" } else { "" };
-        rows.push(vec![name.to_string(), format!("{mpki:.1}"), selected.into()]);
+        let selected = if suite_names().contains(&name) {
+            "yes"
+        } else {
+            ""
+        };
+        rows.push(vec![
+            name.to_string(),
+            format!("{mpki:.1}"),
+            selected.into(),
+        ]);
     }
     print_table(
         "Fig. 8: L1 DTLB MPKI (4 KB paging); MPKI > 5 selects the evaluation suite",

@@ -20,7 +20,12 @@ fn main() {
             pct(increase),
         ]);
     }
-    rows.push(vec!["MEAN".into(), String::new(), String::new(), pct(mean(&increases))]);
+    rows.push(vec![
+        "MEAN".into(),
+        String::new(),
+        String::new(),
+        pct(mean(&increases)),
+    ]);
     print_table(
         "Fig. 9: memory utilization increase with exclusive 2 MB pages",
         &["benchmark", "4K resident", "2M resident", "increase"],

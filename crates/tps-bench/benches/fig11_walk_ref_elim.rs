@@ -7,7 +7,12 @@ use tps_wl::suite_names;
 
 fn main() {
     let mut cache = SuiteCache::new(scale_from_env());
-    let mechs = [Mechanism::Tps, Mechanism::TpsEager, Mechanism::Colt, Mechanism::Rmm];
+    let mechs = [
+        Mechanism::Tps,
+        Mechanism::TpsEager,
+        Mechanism::Colt,
+        Mechanism::Rmm,
+    ];
     let mut rows = Vec::new();
     let mut cols = vec![Vec::new(); mechs.len()];
     for name in suite_names() {
@@ -26,7 +31,14 @@ fn main() {
     rows.push(mean_row);
     print_table(
         "Fig. 11: % page-walk memory references eliminated (baseline: THP)",
-        &["benchmark", "baseline walk refs", "TPS", "TPS-eager", "CoLT", "RMM"],
+        &[
+            "benchmark",
+            "baseline walk refs",
+            "TPS",
+            "TPS-eager",
+            "CoLT",
+            "RMM",
+        ],
         &rows,
     );
 }

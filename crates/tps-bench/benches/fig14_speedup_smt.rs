@@ -8,8 +8,7 @@ fn main() {
     let scale = scale_from_env();
     let model = TimingModel::default();
     let run = |name: &str, mech: Mechanism| -> RunStats {
-        let config = MachineConfig::for_mechanism(mech)
-            .with_memory(2 * scale.recommended_memory());
+        let config = MachineConfig::for_mechanism(mech).with_memory(2 * scale.recommended_memory());
         let mut a = build(name, scale);
         let mut b = build(name, scale);
         run_smt(config, &mut *a, &mut *b).primary

@@ -17,7 +17,11 @@ fn main() {
         rows.push(vec![
             o.label(),
             pct(hist.coverage(o)),
-            if conventional { "conventional".into() } else { "TPS only".into() },
+            if conventional {
+                "conventional".into()
+            } else {
+                "TPS only".into()
+            },
         ]);
     }
     print_table(

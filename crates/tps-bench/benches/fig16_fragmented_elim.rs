@@ -35,7 +35,12 @@ fn main() {
     }
     print_table(
         "Fig. 16: % L1 DTLB misses eliminated under heavy fragmentation (TPS vs THP)",
-        &["benchmark", "baseline misses", "TPS eliminated", "TPS 4K fallbacks"],
+        &[
+            "benchmark",
+            "baseline misses",
+            "TPS eliminated",
+            "TPS 4K fallbacks",
+        ],
         &rows,
     );
 }

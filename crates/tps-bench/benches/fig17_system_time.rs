@@ -52,7 +52,13 @@ fn main() {
     ]);
     print_table(
         "Fig. 17: % execution time in system work (extrapolated full run)",
-        &["benchmark", "THP cyc/page", "TPS cyc/page", "THP sys%", "TPS sys%"],
+        &[
+            "benchmark",
+            "THP cyc/page",
+            "TPS cyc/page",
+            "THP sys%",
+            "TPS sys%",
+        ],
         &rows,
     );
     println!(

@@ -6,5 +6,9 @@ fn main() {
         .into_iter()
         .map(|(k, v)| vec![k.to_string(), v])
         .collect();
-    print_table("Table I: Simulated Processor Configuration", &["component", "configuration"], &rows);
+    print_table(
+        "Table I: Simulated Processor Configuration",
+        &["component", "configuration"],
+        &rows,
+    );
 }

@@ -26,8 +26,7 @@ pub fn scale_from_env() -> SuiteScale {
 
 /// Runs one suite benchmark under one mechanism.
 pub fn run_one(name: &str, mechanism: Mechanism, scale: SuiteScale) -> RunStats {
-    let config = MachineConfig::for_mechanism(mechanism)
-        .with_memory(scale.recommended_memory());
+    let config = MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory());
     let mut machine = Machine::new(config);
     let mut workload = build(name, scale);
     machine.run(&mut *workload)
@@ -41,9 +40,8 @@ pub fn run_one_with(
     scale: SuiteScale,
     tweak: impl FnOnce(MachineConfig) -> MachineConfig,
 ) -> RunStats {
-    let config = tweak(
-        MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory()),
-    );
+    let config =
+        tweak(MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory()));
     let mut machine = Machine::new(config);
     let mut workload = build(name, scale);
     machine.run(&mut *workload)

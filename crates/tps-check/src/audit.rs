@@ -1,0 +1,430 @@
+//! Cross-layer invariant auditor.
+//!
+//! [`Auditor::audit`] walks a live [`Os`] and checks every contract that
+//! spans crate boundaries:
+//!
+//! 1. **Buddy conservation** — the allocator's internal free lists pass
+//!    [`tps_mem::BuddyAllocator::check_invariants`], `free + used = total`,
+//!    and the live-allocation list accounts for every used byte.
+//! 2. **Ownership bijection** — the set of live buddy allocations equals,
+//!    block for block, the union of reservation segments, direct-mapped
+//!    blocks, and kernel-noise blocks. No frame is owned twice, leaked, or
+//!    conjured from nowhere.
+//! 3. **Page-table ↔ reservation consistency** — every mapped leaf inside
+//!    a VMA is backed either by the reservation covering its address
+//!    (agreeing with [`tps_mem::Reservation::frame_for`]) or by a direct
+//!    block; the per-table walk also re-verifies alias-PTE coherence via
+//!    [`tps_pt::PageTable::check_invariants`], leaves never escape their
+//!    VMA, and no two leaves map overlapping physical ranges.
+//! 4. **Shootdown completeness** — a shadow TLB is filled from fault
+//!    outcomes and invalidated from the shootdown lists the OS emits.
+//!    Every surviving entry must still translate exactly; a stale entry
+//!    means a remapping happened without its shootdown.
+//!
+//! The auditor is read-only with respect to the OS and returns violations
+//! as strings rather than panicking, so a campaign can collect all
+//! failures from a schedule in one pass.
+
+use std::collections::{BTreeMap, HashMap};
+use tps_core::{PageOrder, PhysAddr, VirtAddr};
+use tps_os::{FaultOutcome, Os, Shootdown};
+use tps_tlb::Asid;
+
+/// One shadow-TLB translation, captured at fault time.
+#[derive(Copy, Clone, Debug)]
+struct ShadowEntry {
+    order: PageOrder,
+    pa: PhysAddr,
+}
+
+/// Cross-layer invariant checker with a shadow TLB.
+///
+/// Feed it every [`FaultOutcome`] (a TLB fill) and every shootdown list
+/// the OS returns (invalidations), then call [`Auditor::audit`] as often
+/// as desired — typically every few operations and at schedule end.
+#[derive(Debug, Default)]
+pub struct Auditor {
+    /// Shadow TLB: (asid, leaf base va) → cached translation.
+    shadow: HashMap<(Asid, u64), ShadowEntry>,
+    /// Violations observed while recording (e.g. a fault that mapped
+    /// nothing), drained by the next `audit` call.
+    pending: Vec<String>,
+    fills: u64,
+    invalidations: u64,
+}
+
+impl Auditor {
+    /// A fresh auditor with an empty shadow TLB.
+    pub fn new() -> Self {
+        Auditor::default()
+    }
+
+    /// Number of shadow-TLB fills recorded.
+    pub fn fills(&self) -> u64 {
+        self.fills
+    }
+
+    /// Number of shadow-TLB invalidations applied.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+
+    /// Current shadow-TLB population.
+    pub fn shadow_len(&self) -> usize {
+        self.shadow.len()
+    }
+
+    /// Records the TLB fill a handled fault implies: the leaf now covering
+    /// the faulted address is cached. Promotions legitimately leave older,
+    /// smaller entries in place — their translations are unchanged, which
+    /// is exactly what `audit` verifies.
+    pub fn record_fill(&mut self, os: &Os, asid: Asid, outcome: &FaultOutcome) {
+        self.fills += 1;
+        match os.page_table(asid).lookup(outcome.va) {
+            Some(leaf) => {
+                let base = outcome.va.align_down(leaf.order.shift());
+                self.shadow.insert(
+                    (asid, base.value()),
+                    ShadowEntry {
+                        order: leaf.order,
+                        pa: leaf.base,
+                    },
+                );
+            }
+            None => self.pending.push(format!(
+                "fault at {:#x} (asid {asid}) reported order {} but left no mapping",
+                outcome.va.value(),
+                outcome.mapped_order.get()
+            )),
+        }
+    }
+
+    /// Applies a shootdown list: every shadow entry overlapping an
+    /// invalidated range is dropped, exactly as hardware TLBs would.
+    pub fn record_shootdowns(&mut self, shootdowns: &[Shootdown]) {
+        for sd in shootdowns {
+            self.invalidations += 1;
+            let lo = sd.va.value();
+            let hi = lo + sd.order.bytes();
+            self.shadow.retain(|&(asid, base), entry| {
+                asid != sd.asid || base + entry.order.bytes() <= lo || hi <= base
+            });
+        }
+    }
+
+    /// Runs every cross-layer check against the OS's current state.
+    ///
+    /// Returns all violations found (empty means every invariant held).
+    pub fn audit(&mut self, os: &Os) -> Vec<String> {
+        let mut v = std::mem::take(&mut self.pending);
+        self.check_buddy(os, &mut v);
+        self.check_ownership(os, &mut v);
+        self.check_page_tables(os, &mut v);
+        self.check_shadow_tlb(os, &mut v);
+        v
+    }
+
+    fn check_buddy(&self, os: &Os, v: &mut Vec<String>) {
+        let buddy = os.buddy();
+        if let Err(e) = buddy.check_invariants() {
+            v.push(format!("buddy internal: {e}"));
+        }
+        if buddy.free_bytes() + buddy.used_bytes() != buddy.total_bytes() {
+            v.push(format!(
+                "buddy conservation: free {} + used {} != total {}",
+                buddy.free_bytes(),
+                buddy.used_bytes(),
+                buddy.total_bytes()
+            ));
+        }
+        let accounted: u64 = buddy
+            .allocations()
+            .iter()
+            .map(|(_, order)| order.bytes())
+            .sum();
+        if accounted != buddy.used_bytes() {
+            v.push(format!(
+                "buddy conservation: allocations account for {} of {} used bytes",
+                accounted,
+                buddy.used_bytes()
+            ));
+        }
+    }
+
+    /// Live buddy allocations must equal reservation segments ∪ direct
+    /// blocks ∪ noise blocks, block for block.
+    fn check_ownership(&self, os: &Os, v: &mut Vec<String>) {
+        let mut owners: BTreeMap<u64, (PageOrder, String)> = BTreeMap::new();
+        let mut claim = |base: PhysAddr, order: PageOrder, who: String, v: &mut Vec<String>| {
+            if let Some((_, prev)) = owners.insert(base.value(), (order, who.clone())) {
+                v.push(format!(
+                    "frame {:#x} owned twice: {prev} and {who}",
+                    base.value()
+                ));
+            }
+        };
+        for asid in 0..os.process_count() as Asid {
+            let proc = os.process(asid);
+            for res in proc.reservations().iter() {
+                for seg in res.segments() {
+                    claim(
+                        seg.base,
+                        seg.order,
+                        format!(
+                            "reservation {:#x}+{:#x} (asid {asid})",
+                            res.va_base().value(),
+                            seg.offset
+                        ),
+                        v,
+                    );
+                }
+            }
+            for (vma_base, blocks) in proc.direct_blocks() {
+                for &(pa, order) in blocks {
+                    claim(
+                        pa,
+                        order,
+                        format!("direct vma {vma_base:#x} (asid {asid})"),
+                        v,
+                    );
+                }
+            }
+        }
+        for &pa in os.noise_blocks() {
+            claim(pa, PageOrder::P2M, "kernel noise".to_string(), v);
+        }
+        let allocs: BTreeMap<u64, PageOrder> = os
+            .buddy()
+            .allocations()
+            .into_iter()
+            .map(|(pa, order)| (pa.value(), order))
+            .collect();
+        for (&base, &(order, ref who)) in &owners {
+            match allocs.get(&base) {
+                Some(&a) if a == order => {}
+                Some(&a) => v.push(format!(
+                    "frame {base:#x}: {who} holds order {} but buddy allocated order {}",
+                    order.get(),
+                    a.get()
+                )),
+                None => v.push(format!(
+                    "frame {base:#x}: {who} holds a block the buddy does not consider allocated"
+                )),
+            }
+        }
+        for (&base, &order) in &allocs {
+            if !owners.contains_key(&base) {
+                v.push(format!(
+                    "frame {base:#x} (order {}) allocated but owned by no reservation, \
+                     direct mapping, or noise block — leaked",
+                    order.get()
+                ));
+            }
+        }
+    }
+
+    /// Walks every VMA's leaves: backing, containment, alias coherence,
+    /// no stray leaves, and global frame disjointness.
+    fn check_page_tables(&self, os: &Os, v: &mut Vec<String>) {
+        let mut phys_ranges: Vec<(u64, u64, String)> = Vec::new();
+        for asid in 0..os.process_count() as Asid {
+            let proc = os.process(asid);
+            let pt = os.page_table(asid);
+            if let Err(e) = pt.check_invariants() {
+                v.push(format!("page table (asid {asid}): {e}"));
+            }
+            // Direct blocks as sorted intervals, for leaf containment.
+            let mut direct: Vec<(u64, u64)> = proc
+                .direct_blocks()
+                .flat_map(|(_, blocks)| blocks.iter())
+                .map(|&(pa, order)| (pa.value(), pa.value() + order.bytes()))
+                .collect();
+            direct.sort_unstable();
+            let mut walked = 0u64;
+            for vma in proc.address_space().iter() {
+                let mut va = vma.base().value();
+                while va < vma.end().value() {
+                    let Some(leaf) = pt.lookup(VirtAddr::new(va)) else {
+                        va += PageOrder::P4K.bytes();
+                        continue;
+                    };
+                    let leaf_va = VirtAddr::new(va).align_down(leaf.order.shift());
+                    let leaf_end = leaf_va.value() + leaf.order.bytes();
+                    if leaf_va < vma.base() || leaf_end > vma.end().value() {
+                        v.push(format!(
+                            "leaf {:#x} (order {}, asid {asid}) escapes its vma \
+                             [{:#x}, {:#x})",
+                            leaf_va.value(),
+                            leaf.order.get(),
+                            vma.base().value(),
+                            vma.end().value()
+                        ));
+                    }
+                    walked += leaf.order.bytes();
+                    self.check_leaf_backing(proc, asid, leaf_va, leaf.base, leaf.order, &direct, v);
+                    phys_ranges.push((
+                        leaf.base.value(),
+                        leaf.base.value() + leaf.order.bytes(),
+                        format!("leaf {:#x} (asid {asid})", leaf_va.value()),
+                    ));
+                    va = leaf_end;
+                }
+            }
+            if walked != pt.mapped_bytes() {
+                v.push(format!(
+                    "page table (asid {asid}) maps {} bytes but only {} lie in live VMAs",
+                    pt.mapped_bytes(),
+                    walked
+                ));
+            }
+            for res in proc.reservations().iter() {
+                if proc.address_space().find(res.va_base()).is_none() {
+                    v.push(format!(
+                        "reservation at {:#x} (asid {asid}) covers no live VMA",
+                        res.va_base().value()
+                    ));
+                }
+            }
+        }
+        // Without CoW sharing, mapped physical ranges must be disjoint.
+        phys_ranges.sort_unstable_by_key(|r| r.0);
+        for pair in phys_ranges.windows(2) {
+            if pair[1].0 < pair[0].1 {
+                v.push(format!(
+                    "physical overlap: {} [{:#x},{:#x}) vs {} [{:#x},{:#x})",
+                    pair[0].2, pair[0].0, pair[0].1, pair[1].2, pair[1].0, pair[1].1
+                ));
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_leaf_backing(
+        &self,
+        proc: &tps_os::Process,
+        asid: Asid,
+        leaf_va: VirtAddr,
+        leaf_pa: PhysAddr,
+        order: PageOrder,
+        direct: &[(u64, u64)],
+        v: &mut Vec<String>,
+    ) {
+        // Reservation-backed: the reservation covering this address must
+        // agree on the frame. (A direct block may coexist in the same
+        // chunk when an earlier fault degraded — then the direct check
+        // applies instead.)
+        if let Some(res) = proc.reservations().find(leaf_va) {
+            if res.frame_for(leaf_va - res.va_base()) == Some(leaf_pa) {
+                return;
+            }
+        }
+        let end = leaf_pa.value() + order.bytes();
+        let contained = direct
+            .iter()
+            .take_while(|&&(base, _)| base < end)
+            .any(|&(base, block_end)| base <= leaf_pa.value() && end <= block_end);
+        if !contained {
+            v.push(format!(
+                "leaf {:#x} -> {:#x} (order {}, asid {asid}) backed by neither its \
+                 reservation nor a direct block",
+                leaf_va.value(),
+                leaf_pa.value(),
+                order.get()
+            ));
+        }
+    }
+
+    /// Every surviving shadow-TLB entry must still translate exactly.
+    fn check_shadow_tlb(&self, os: &Os, v: &mut Vec<String>) {
+        for (&(asid, base), entry) in &self.shadow {
+            let pt = os.page_table(asid);
+            let last = base + entry.order.bytes() - PageOrder::P4K.bytes();
+            for (va, expect) in [
+                (base, entry.pa.value()),
+                (
+                    last,
+                    entry.pa.value() + entry.order.bytes() - PageOrder::P4K.bytes(),
+                ),
+            ] {
+                match pt.translate(VirtAddr::new(va)) {
+                    Some(pa) if pa.value() == expect => {}
+                    got => v.push(format!(
+                        "stale TLB entry: asid {asid} va {va:#x} cached -> {expect:#x} \
+                         but page table says {:?} — a shootdown was missed",
+                        got.map(|p| p.value())
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_os::{PolicyConfig, PolicyKind};
+
+    #[test]
+    fn clean_os_audits_clean() {
+        let mut os = Os::new(64 << 20, PolicyConfig::new(PolicyKind::Tps));
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 1 << 20).unwrap();
+        let mut auditor = Auditor::new();
+        for i in 0..64 {
+            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            let outcome = os.handle_fault(pid, va, true).unwrap();
+            auditor.record_fill(&os, pid, &outcome);
+        }
+        assert!(auditor.audit(&os).is_empty());
+        assert_eq!(auditor.fills(), 64);
+        assert!(auditor.shadow_len() > 0);
+    }
+
+    #[test]
+    fn munmap_shootdowns_clear_the_shadow_tlb() {
+        let mut os = Os::new(64 << 20, PolicyConfig::new(PolicyKind::Tps));
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 256 << 10).unwrap();
+        let mut auditor = Auditor::new();
+        let outcome = os.handle_fault(pid, vma.base(), true).unwrap();
+        auditor.record_fill(&os, pid, &outcome);
+        let shootdowns = os.munmap(pid, vma.base()).unwrap();
+        auditor.record_shootdowns(&shootdowns);
+        assert_eq!(auditor.shadow_len(), 0, "unmap invalidated everything");
+        assert!(auditor.audit(&os).is_empty());
+    }
+
+    #[test]
+    fn a_missed_shootdown_is_detected() {
+        let mut os = Os::new(64 << 20, PolicyConfig::new(PolicyKind::Tps));
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 256 << 10).unwrap();
+        let mut auditor = Auditor::new();
+        let outcome = os.handle_fault(pid, vma.base(), true).unwrap();
+        auditor.record_fill(&os, pid, &outcome);
+        // Unmap but "forget" to deliver the shootdowns to the auditor —
+        // the shadow TLB now holds a translation the page table revoked.
+        let _dropped = os.munmap(pid, vma.base()).unwrap();
+        let violations = auditor.audit(&os);
+        assert!(
+            violations.iter().any(|m| m.contains("stale TLB entry")),
+            "expected a stale-entry violation, got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn promotion_keeps_old_entries_valid() {
+        let mut os = Os::new(64 << 20, PolicyConfig::new(PolicyKind::Tps));
+        let pid = os.spawn();
+        let vma = os.mmap(pid, 64 << 10).unwrap(); // promotes up to order 4
+        let mut auditor = Auditor::new();
+        for i in 0..16 {
+            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            let outcome = os.handle_fault(pid, va, true).unwrap();
+            auditor.record_fill(&os, pid, &outcome);
+        }
+        // The final fault promoted; earlier 4 KB fills survive because
+        // promotion preserves every translation (no shootdown required).
+        assert!(auditor.audit(&os).is_empty());
+    }
+}

@@ -58,6 +58,54 @@ pub enum TpsError {
         /// A shared virtual address in the range.
         vaddr: u64,
     },
+    /// A cross-layer invariant did not hold: state shared between the buddy
+    /// allocator, reservation table, page table, and TLB bookkeeping became
+    /// inconsistent. Replaces the panics the fault paths used to raise, so
+    /// an inconsistency is diagnosable instead of aborting the simulation.
+    InvariantViolation {
+        /// The layer that detected the inconsistency.
+        layer: InvariantLayer,
+        /// Human-readable description of the violated invariant.
+        detail: String,
+    },
+}
+
+impl TpsError {
+    /// Builds an [`TpsError::InvariantViolation`] for `layer`.
+    pub fn invariant(layer: InvariantLayer, detail: impl Into<String>) -> Self {
+        TpsError::InvariantViolation {
+            layer,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The layer at which a cross-layer invariant violation was detected.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum InvariantLayer {
+    /// The buddy physical-memory allocator.
+    Buddy,
+    /// The paging reservation table.
+    Reservation,
+    /// The radix page table.
+    PageTable,
+    /// TLB-shootdown bookkeeping.
+    Tlb,
+    /// The OS model's own bookkeeping (VMAs, direct blocks, stats).
+    Os,
+}
+
+impl fmt::Display for InvariantLayer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InvariantLayer::Buddy => "buddy",
+            InvariantLayer::Reservation => "reservation",
+            InvariantLayer::PageTable => "page-table",
+            InvariantLayer::Tlb => "tlb",
+            InvariantLayer::Os => "os",
+        })
+    }
 }
 
 impl fmt::Display for TpsError {
@@ -92,6 +140,9 @@ impl fmt::Display for TpsError {
             TpsError::SharedMapping { vaddr } => {
                 write!(f, "range holds shared (CoW) mapping at {vaddr:#x}")
             }
+            TpsError::InvariantViolation { layer, detail } => {
+                write!(f, "invariant violation at {layer} layer: {detail}")
+            }
         }
     }
 }
@@ -107,15 +158,22 @@ mod tests {
         let errs: Vec<TpsError> = vec![
             TpsError::InvalidPageOrder(31),
             TpsError::InvalidPageSize(3000),
-            TpsError::Misaligned { addr: 0x123, shift: 12 },
+            TpsError::Misaligned {
+                addr: 0x123,
+                shift: 12,
+            },
             TpsError::OutOfMemory { order: 9 },
             TpsError::NotALeaf { level: 2 },
             TpsError::Unmapped { vaddr: 0x1000 },
             TpsError::ProtectionViolation { vaddr: 0x1000 },
             TpsError::UnknownRegion(7),
-            TpsError::RangeOverlap { start: 0, len: 4096 },
+            TpsError::RangeOverlap {
+                start: 0,
+                len: 4096,
+            },
             TpsError::InvalidFree { addr: 0x2000 },
             TpsError::SharedMapping { vaddr: 0x3000 },
+            TpsError::invariant(InvariantLayer::Buddy, "free list lost a block"),
         ];
         for e in errs {
             let s = e.to_string();
@@ -129,5 +187,27 @@ mod tests {
     fn is_send_sync_error() {
         fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
         assert_traits::<TpsError>();
+    }
+
+    #[test]
+    fn invariant_violation_carries_layer_and_detail() {
+        let e = TpsError::invariant(InvariantLayer::PageTable, "leaf without reservation");
+        assert_eq!(
+            e.to_string(),
+            "invariant violation at page-table layer: leaf without reservation"
+        );
+        assert!(e.source().is_none(), "leaf error: no underlying source");
+        // Every layer label is lowercase and stable.
+        for layer in [
+            InvariantLayer::Buddy,
+            InvariantLayer::Reservation,
+            InvariantLayer::PageTable,
+            InvariantLayer::Tlb,
+            InvariantLayer::Os,
+        ] {
+            let s = layer.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase());
+        }
     }
 }

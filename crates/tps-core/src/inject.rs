@@ -1,0 +1,119 @@
+//! Deterministic fault-injection hooks (robustness substrate).
+//!
+//! The OS model's graceful-degradation claims — 4 KB fallback under
+//! fragmentation, reservation denial, interrupted compaction, retried TLB
+//! shootdowns — are only trustworthy if those paths are actually exercised.
+//! This module defines the *vocabulary* for injecting such faults: a
+//! [`FaultSite`] enumeration of the places a fault can strike and a
+//! [`FaultInjector`] trait the lower layers consult before committing an
+//! operation.
+//!
+//! The hooks are held as `Option<InjectorHandle>` by the structures they
+//! instrument (the buddy allocator and the OS model). The
+//! default is `None`, which every site checks with a single branch before
+//! doing anything else — no injector state, no RNG draw, no behavioral
+//! difference. The rich, seeded injector implementation lives in the
+//! `tps-check` crate; this crate only defines the interface so that
+//! `tps-mem`/`tps-os` need no dependency on the checker.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A place where a fault can be injected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FaultSite {
+    /// A buddy-allocator block allocation (forced [`OutOfMemory`]
+    /// (crate::TpsError::OutOfMemory)). Carries the requested order.
+    BuddyAlloc {
+        /// The order being allocated.
+        order: u8,
+    },
+    /// A whole-span reservation request (forced denial before any block is
+    /// taken — the fragmentation fallback path).
+    ReserveSpan,
+    /// One block-migration step of the compaction daemon; a fault here
+    /// interrupts the pass, leaving the remaining blocks unmoved.
+    CompactionStep,
+    /// Delivery of one TLB-shootdown IPI; a fault models a dropped
+    /// interrupt the OS must detect and retry.
+    ShootdownDeliver,
+}
+
+impl FaultSite {
+    /// Short label for stats and diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultSite::BuddyAlloc { .. } => "buddy-alloc",
+            FaultSite::ReserveSpan => "reserve-span",
+            FaultSite::CompactionStep => "compaction-step",
+            FaultSite::ShootdownDeliver => "shootdown-deliver",
+        }
+    }
+}
+
+/// Decides whether a fault strikes at a given site.
+///
+/// Implementations must be deterministic for reproducibility (seeded RNG,
+/// scripted schedules). The trait is object-safe: instrumented structures
+/// hold `Rc<RefCell<dyn FaultInjector>>` so one plan can be shared across
+/// the allocator and the OS and consulted in program order.
+pub trait FaultInjector: std::fmt::Debug {
+    /// Returns `true` if the operation at `site` should fail.
+    ///
+    /// Called once per potential fault; implementations typically count
+    /// calls per site and draw from a seeded RNG.
+    fn should_fault(&mut self, site: FaultSite) -> bool;
+}
+
+/// Shared handle to a fault injector.
+///
+/// `Rc` (not `Arc`): the simulator is single-threaded, and cloning an
+/// instrumented structure intentionally shares the injector stream.
+pub type InjectorHandle = Rc<RefCell<dyn FaultInjector>>;
+
+/// Consults an optional injector; the `None` fast path is a single branch.
+#[inline]
+pub fn should_fault(handle: &Option<InjectorHandle>, site: FaultSite) -> bool {
+    match handle {
+        None => false,
+        Some(h) => h.borrow_mut().should_fault(site),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct EveryOther {
+        calls: u64,
+    }
+
+    impl FaultInjector for EveryOther {
+        fn should_fault(&mut self, _site: FaultSite) -> bool {
+            self.calls += 1;
+            self.calls % 2 == 0
+        }
+    }
+
+    #[test]
+    fn none_never_faults() {
+        assert!(!should_fault(&None, FaultSite::ReserveSpan));
+    }
+
+    #[test]
+    fn handle_is_shared_and_stateful() {
+        let h: InjectorHandle = Rc::new(RefCell::new(EveryOther::default()));
+        let a = Some(Rc::clone(&h));
+        let b = Some(h);
+        assert!(!should_fault(&a, FaultSite::ReserveSpan));
+        assert!(should_fault(&b, FaultSite::ReserveSpan), "state is shared");
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(FaultSite::BuddyAlloc { order: 3 }.label(), "buddy-alloc");
+        assert_eq!(FaultSite::ShootdownDeliver.label(), "shootdown-deliver");
+    }
+}

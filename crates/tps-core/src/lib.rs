@@ -36,16 +36,18 @@
 
 mod addr;
 mod error;
+pub mod inject;
+pub mod lru;
 mod page;
 mod pte;
-pub mod lru;
 pub mod rng;
 
 pub use addr::{PhysAddr, VirtAddr, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, PA_BITS, VA_BITS};
-pub use error::TpsError;
+pub use error::{InvariantLayer, TpsError};
+pub use inject::{FaultInjector, FaultSite, InjectorHandle};
 pub use page::{
-    level_base_order, level_for_order, PageOrder, PageSize, LEVELS, MAX_PAGE_ORDER,
-    PT_INDEX_BITS, PT_ENTRIES,
+    level_base_order, level_for_order, PageOrder, PageSize, LEVELS, MAX_PAGE_ORDER, PT_ENTRIES,
+    PT_INDEX_BITS,
 };
 pub use pte::{LeafInfo, Pte, PteFlags};
 

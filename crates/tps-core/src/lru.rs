@@ -59,17 +59,21 @@ impl<K: Eq + Copy, V> LruCache<K, V> {
     pub fn get(&mut self, key: &K) -> Option<&V> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.iter_mut().find(|(k, _, _)| k == key).map(
-            |(_, v, stamp)| {
+        self.entries
+            .iter_mut()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, stamp)| {
                 *stamp = clock;
                 &*v
-            },
-        )
+            })
     }
 
     /// Looks up without refreshing recency (for statistics probes).
     pub fn peek(&self, key: &K) -> Option<&V> {
-        self.entries.iter().find(|(k, _, _)| k == key).map(|(_, v, _)| v)
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v)
     }
 
     /// Inserts or updates a key, evicting the least recently used entry if

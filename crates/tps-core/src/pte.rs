@@ -153,7 +153,9 @@ impl Pte {
     /// Panics if `table` is not 4 KB aligned.
     pub fn table(table: PhysAddr) -> Self {
         assert!(table.is_aligned(12), "page table nodes are 4 KB aligned");
-        Pte(table.value() | PteFlags::PRESENT.bits() | PteFlags::WRITABLE.bits()
+        Pte(table.value()
+            | PteFlags::PRESENT.bits()
+            | PteFlags::WRITABLE.bits()
             | PteFlags::USER.bits())
     }
 
@@ -338,14 +340,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "not aligned")]
     fn leaf_rejects_misaligned_base() {
-        Pte::leaf(PhysAddr::new(0x1000), PageOrder::new(3).unwrap(), PteFlags::empty());
+        Pte::leaf(
+            PhysAddr::new(0x1000),
+            PageOrder::new(3).unwrap(),
+            PteFlags::empty(),
+        );
     }
 
     #[test]
     fn huge_flag_set_only_above_level_one() {
         let l1 = Pte::leaf(aligned_pa(4), PageOrder::new(4).unwrap(), PteFlags::empty());
         assert!(!l1.flags().contains(PteFlags::HUGE));
-        let l2 = Pte::leaf(aligned_pa(12), PageOrder::new(12).unwrap(), PteFlags::empty());
+        let l2 = Pte::leaf(
+            aligned_pa(12),
+            PageOrder::new(12).unwrap(),
+            PteFlags::empty(),
+        );
         assert!(l2.flags().contains(PteFlags::HUGE));
         assert!(l2.is_leaf(2));
         assert!(!Pte::table(PhysAddr::new(0x1000)).is_leaf(2));

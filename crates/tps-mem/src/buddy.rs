@@ -7,6 +7,7 @@
 //! whenever the buddy is also free, repeating upward.
 
 use std::collections::{BTreeSet, HashMap};
+use tps_core::inject::{self, FaultSite, InjectorHandle};
 use tps_core::{PageOrder, PhysAddr, TpsError, BASE_PAGE_SHIFT, MAX_PAGE_ORDER};
 
 /// Per-order counts of free blocks, in the spirit of `/proc/buddyinfo`.
@@ -96,6 +97,10 @@ pub struct BuddyAllocator {
     merges: u64,
     allocs: u64,
     frees: u64,
+    /// Optional fault injector consulted by [`BuddyAllocator::alloc`].
+    /// `None` (the default) costs one branch per allocation. Cloning the
+    /// allocator shares the injector stream with the clone.
+    injector: Option<InjectorHandle>,
 }
 
 impl BuddyAllocator {
@@ -125,6 +130,7 @@ impl BuddyAllocator {
             merges: 0,
             allocs: 0,
             frees: 0,
+            injector: None,
         };
         // Greedy decomposition of [0, total) into maximal aligned blocks.
         let mut addr = 0u64;
@@ -164,6 +170,18 @@ impl BuddyAllocator {
         PageOrder::new_unchecked(self.max_order)
     }
 
+    /// Installs a fault injector consulted on every [`BuddyAllocator::alloc`]
+    /// (forced [`TpsError::OutOfMemory`]). Pass `None` to remove it.
+    pub fn set_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// Consults the installed injector for a non-allocation site (span
+    /// reservation, compaction steps). The `None` fast path is one branch.
+    pub(crate) fn consult_injector(&mut self, site: FaultSite) -> bool {
+        inject::should_fault(&self.injector, site)
+    }
+
     /// Allocates a size-aligned block of the given order.
     ///
     /// Splits the smallest larger free block if no exact-size block exists.
@@ -171,14 +189,32 @@ impl BuddyAllocator {
     /// # Errors
     ///
     /// Returns [`TpsError::OutOfMemory`] if no block of the requested order
-    /// (or larger) is free.
+    /// (or larger) is free, or if an installed fault injector forces the
+    /// allocation to fail.
     pub fn alloc(&mut self, order: PageOrder) -> Result<PhysAddr, TpsError> {
+        if inject::should_fault(&self.injector, FaultSite::BuddyAlloc { order: order.get() }) {
+            return Err(TpsError::OutOfMemory { order: order.get() });
+        }
+        self.alloc_uninjected(order)
+    }
+
+    /// [`BuddyAllocator::alloc`] without consulting the fault injector.
+    ///
+    /// Used where an allocation is known to succeed by construction and a
+    /// forced failure would break an internal invariant: re-allocating the
+    /// freed multiset during compaction, and the degradation path inside
+    /// [`BuddyAllocator::alloc_at_most`] after a free list was checked
+    /// non-empty.
+    pub(crate) fn alloc_uninjected(&mut self, order: PageOrder) -> Result<PhysAddr, TpsError> {
         let want = order.get();
         // Find the smallest order >= want with a free block.
         let from = (want..=self.max_order)
             .find(|&o| !self.free_lists[o as usize].is_empty())
             .ok_or(TpsError::OutOfMemory { order: want })?;
-        let base = *self.free_lists[from as usize].iter().next().expect("non-empty");
+        let base = *self.free_lists[from as usize]
+            .iter()
+            .next()
+            .expect("non-empty");
         self.free_lists[from as usize].remove(&base);
         // Split down to the requested order; the upper halves go back free.
         let mut cur = from;
@@ -209,9 +245,13 @@ impl BuddyAllocator {
         let best = (0..order.get())
             .rev()
             .find(|&o| !self.free_lists[o as usize].is_empty())?;
-        // The exact-order alloc below cannot fail: list `best` is non-empty.
+        // The exact-order alloc below cannot fail: list `best` is non-empty,
+        // and the uninjected path skips the fault injector (the injector was
+        // already consulted by the exact-size attempt above).
         let o = PageOrder::new_unchecked(best);
-        let base = self.alloc(o).expect("free list checked non-empty");
+        let base = self
+            .alloc_uninjected(o)
+            .expect("free list checked non-empty");
         Some((base, o))
     }
 
@@ -381,7 +421,9 @@ mod tests {
         // Everything merged back: one free block of order 10 (4 MB).
         let h = b.histogram();
         assert_eq!(h.count(o(10)), 1);
-        assert!(PageOrder::all().filter(|&x| x != o(10)).all(|x| h.count(x) == 0));
+        assert!(PageOrder::all()
+            .filter(|&x| x != o(10))
+            .all(|x| h.count(x) == 0));
         b.check_invariants().unwrap();
     }
 
@@ -407,7 +449,10 @@ mod tests {
         let mut b = BuddyAllocator::new(8 << 10);
         assert!(b.alloc(o(2)).is_err()); // 16K from 8K memory
         let _ = b.alloc(o(1)).unwrap();
-        assert!(matches!(b.alloc(o(0)), Err(TpsError::OutOfMemory { order: 0 })));
+        assert!(matches!(
+            b.alloc(o(0)),
+            Err(TpsError::OutOfMemory { order: 0 })
+        ));
     }
 
     #[test]
@@ -423,7 +468,7 @@ mod tests {
     #[test]
     fn alloc_at_most_degrades() {
         let mut b = BuddyAllocator::new(1 << 20); // 256 pages
-        // Exhaust into single pages, free every other one -> only order 0 free.
+                                                  // Exhaust into single pages, free every other one -> only order 0 free.
         let pages: Vec<_> = (0..256).map(|_| b.alloc(o(0)).unwrap()).collect();
         for p in pages.iter().step_by(2) {
             b.free(*p, o(0)).unwrap();
@@ -458,6 +503,38 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.alloc(o(1)).unwrap(), b.alloc(o(1)).unwrap());
         }
+    }
+
+    #[test]
+    fn injector_forces_oom_and_alloc_at_most_degrades() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Debug)]
+        struct AlwaysFault;
+        impl tps_core::FaultInjector for AlwaysFault {
+            fn should_fault(&mut self, _site: tps_core::FaultSite) -> bool {
+                true
+            }
+        }
+
+        let mut b = BuddyAllocator::new(1 << 20);
+        // Shatter the single large block so smaller free lists are populated.
+        let a = b.alloc(o(0)).unwrap();
+        b.set_injector(Some(Rc::new(RefCell::new(AlwaysFault))));
+        assert!(matches!(
+            b.alloc(o(0)),
+            Err(TpsError::OutOfMemory { order: 0 })
+        ));
+        // The degradation path must not panic: the injected exact-size
+        // failure falls back to the largest smaller free block.
+        let (blk, got) = b.alloc_at_most(o(3)).unwrap();
+        assert!(got < o(3));
+        b.set_injector(None);
+        b.free(blk, got).unwrap();
+        b.free(a, o(0)).unwrap();
+        assert_eq!(b.free_bytes(), 1 << 20);
+        b.check_invariants().unwrap();
     }
 
     #[test]

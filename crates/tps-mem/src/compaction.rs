@@ -11,9 +11,16 @@
 //! densely packed around the unmovable blocks). The returned relocation list
 //! is what the OS needs to fix up page tables and issue TLB shootdowns; the
 //! page-move count is the cost input to the system-time model.
+//!
+//! A fault injector installed on the allocator can interrupt a pass between
+//! block migrations (site `CompactionStep`): the blocks processed so far are
+//! repacked, the rest stay where they were, and the outcome is flagged
+//! [`CompactionOutcome::interrupted`] — modelling a daemon preempted by
+//! memory pressure or a shutdown request.
 
 use crate::buddy::BuddyAllocator;
-use tps_core::{PageOrder, PhysAddr};
+use tps_core::inject::FaultSite;
+use tps_core::{InvariantLayer, PageOrder, PhysAddr, TpsError};
 
 /// One block migration performed by compaction.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -33,6 +40,9 @@ pub struct CompactionOutcome {
     pub relocations: Vec<Relocation>,
     /// Total base pages copied (the daemon's work, for cost accounting).
     pub pages_moved: u64,
+    /// True if a fault injector interrupted the pass before every movable
+    /// block was processed. The unprocessed blocks were left untouched.
+    pub interrupted: bool,
 }
 
 impl CompactionOutcome {
@@ -52,42 +62,91 @@ impl CompactionOutcome {
 /// Returns the relocations performed. The caller must apply them to its
 /// page tables / reservation tables.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an entry of `movable` is not a live allocation of `buddy`.
+/// Returns [`TpsError::InvariantViolation`] if an entry of `movable` is not
+/// a live allocation of `buddy` (a stale caller list), or if the allocator
+/// rejects an operation that must succeed by construction. No block has
+/// been moved when the stale-list error is returned.
 pub fn compact(
     buddy: &mut BuddyAllocator,
     movable: &[(PhysAddr, PageOrder)],
-) -> CompactionOutcome {
-    // Free all movable blocks, largest first is irrelevant for freeing.
+) -> Result<CompactionOutcome, TpsError> {
+    // Validate the whole list before touching anything, so a stale list is
+    // reported with the allocator state unchanged.
     for &(base, order) in movable {
-        assert!(
-            buddy.is_allocated(base, order),
-            "compaction given a non-live block {base:?} order {order}"
-        );
-        buddy.free(base, order).expect("validated above");
+        if !buddy.is_allocated(base, order) {
+            return Err(TpsError::invariant(
+                InvariantLayer::Buddy,
+                format!(
+                    "compaction given a non-live block {:#x} order {}",
+                    base.value(),
+                    order.get()
+                ),
+            ));
+        }
     }
-    // Re-allocate the same multiset, largest blocks first (classic buddy
-    // re-pack: guarantees success because the multiset fit before).
+    // Largest blocks first (classic buddy re-pack). Also the order in which
+    // the injector is consulted: an interruption truncates this sequence.
     let mut order_sorted: Vec<(PhysAddr, PageOrder)> = movable.to_vec();
     order_sorted.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    let mut outcome = CompactionOutcome::default();
-    for (from, order) in order_sorted {
-        let to = buddy
-            .alloc(order)
-            .expect("re-allocating a freed multiset cannot fail");
+    let mut interrupted = false;
+    let mut processed = order_sorted.len();
+    for i in 0..order_sorted.len() {
+        if buddy.consult_injector(FaultSite::CompactionStep) {
+            interrupted = true;
+            processed = i;
+            break;
+        }
+    }
+    let batch = &order_sorted[..processed];
+    // Free the processed prefix. Buddy merging is confluent, so freeing in
+    // sorted rather than caller order changes nothing.
+    for &(base, order) in batch {
+        if buddy.free(base, order).is_err() {
+            return Err(TpsError::invariant(
+                InvariantLayer::Buddy,
+                format!(
+                    "free of validated movable block {:#x} rejected",
+                    base.value()
+                ),
+            ));
+        }
+    }
+    // Re-allocate the same multiset, largest first: guaranteed to succeed
+    // because the multiset fit before, and the uninjected path keeps a fault
+    // injector from breaking that guarantee mid-repack.
+    let mut outcome = CompactionOutcome {
+        interrupted,
+        ..CompactionOutcome::default()
+    };
+    for &(from, order) in batch {
+        let to = match buddy.alloc_uninjected(order) {
+            Ok(to) => to,
+            Err(_) => {
+                return Err(TpsError::invariant(
+                    InvariantLayer::Buddy,
+                    format!(
+                        "re-allocation of freed order-{} block failed mid-compaction",
+                        order.get()
+                    ),
+                ))
+            }
+        };
         if to != from {
             outcome.pages_moved += order.base_pages();
             outcome.relocations.push(Relocation { from, to, order });
         }
     }
-    outcome
+    Ok(outcome)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fragment::{FragmentParams, Fragmenter};
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -102,7 +161,7 @@ mod tests {
         });
         let live = frag.run(&mut buddy);
         let before = buddy.histogram().coverage(o(10)); // 4 MB coverage
-        let outcome = compact(&mut buddy, &live);
+        let outcome = compact(&mut buddy, &live).unwrap();
         let after = buddy.histogram().coverage(o(10));
         assert!(
             after > before || (before == 1.0 && after == 1.0),
@@ -110,6 +169,7 @@ mod tests {
         );
         assert!(after > 0.9, "fully movable memory compacts well: {after}");
         assert!(outcome.pages_moved > 0);
+        assert!(!outcome.interrupted);
         buddy.check_invariants().unwrap();
     }
 
@@ -121,7 +181,7 @@ mod tests {
             live.push((buddy.alloc(o(ord)).unwrap(), o(ord)));
         }
         let used_before = buddy.used_bytes();
-        let outcome = compact(&mut buddy, &live);
+        let outcome = compact(&mut buddy, &live).unwrap();
         assert_eq!(buddy.used_bytes(), used_before);
         // Every relocation target is a live allocation of the same order.
         for r in &outcome.relocations {
@@ -135,7 +195,7 @@ mod tests {
         let mut buddy = BuddyAllocator::new(8 << 20);
         let pinned = buddy.alloc(o(4)).unwrap();
         let movable_blk = buddy.alloc(o(2)).unwrap();
-        let outcome = compact(&mut buddy, &[(movable_blk, o(2))]);
+        let outcome = compact(&mut buddy, &[(movable_blk, o(2))]).unwrap();
         assert!(buddy.is_allocated(pinned, o(4)), "pinned block untouched");
         for r in &outcome.relocations {
             assert_ne!(r.from, pinned);
@@ -149,17 +209,62 @@ mod tests {
         let b = buddy.alloc(o(3)).unwrap();
         // a and b are the lowest possible blocks already; largest-first
         // re-pack lands them in the same places.
-        let outcome = compact(&mut buddy, &[(a, o(3)), (b, o(3))]);
+        let outcome = compact(&mut buddy, &[(a, o(3)), (b, o(3))]).unwrap();
         assert_eq!(outcome.moved_blocks(), 0);
         assert_eq!(outcome.pages_moved, 0);
     }
 
     #[test]
-    #[should_panic(expected = "non-live block")]
-    fn rejects_stale_movable_list() {
+    fn rejects_stale_movable_list_without_panicking() {
         let mut buddy = BuddyAllocator::new(1 << 20);
         let a = buddy.alloc(o(0)).unwrap();
+        let b = buddy.alloc(o(0)).unwrap();
         buddy.free(a, o(0)).unwrap();
-        compact(&mut buddy, &[(a, o(0))]);
+        let free_before = buddy.free_bytes();
+        let err = compact(&mut buddy, &[(b, o(0)), (a, o(0))]).unwrap_err();
+        assert!(matches!(err, TpsError::InvariantViolation { .. }), "{err}");
+        assert_eq!(buddy.free_bytes(), free_before, "nothing was moved");
+        buddy.check_invariants().unwrap();
+    }
+
+    /// Faults after `allow` consultations.
+    #[derive(Debug)]
+    struct FaultAfter {
+        allow: u64,
+    }
+
+    impl tps_core::FaultInjector for FaultAfter {
+        fn should_fault(&mut self, _site: tps_core::FaultSite) -> bool {
+            if self.allow == 0 {
+                true
+            } else {
+                self.allow -= 1;
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn injected_interruption_truncates_the_pass() {
+        let mut buddy = BuddyAllocator::new(8 << 20);
+        // Create a hole so compaction has something to move: pin, movables,
+        // then free the pin.
+        let hole = buddy.alloc(o(3)).unwrap();
+        let movable: Vec<_> = (0..4).map(|_| (buddy.alloc(o(1)).unwrap(), o(1))).collect();
+        buddy.free(hole, o(3)).unwrap();
+        // Allow 2 of the 4 per-block steps, then fault.
+        buddy.set_injector(Some(Rc::new(RefCell::new(FaultAfter { allow: 2 }))));
+        let used_before = buddy.used_bytes();
+        let outcome = compact(&mut buddy, &movable).unwrap();
+        assert!(outcome.interrupted);
+        assert!(outcome.moved_blocks() <= 2, "only the prefix was processed");
+        assert_eq!(buddy.used_bytes(), used_before);
+        for (base, order) in &movable {
+            let relocated = outcome.relocations.iter().find(|r| r.from == *base);
+            let now_at = relocated.map(|r| r.to).unwrap_or(*base);
+            assert!(buddy.is_allocated(now_at, *order));
+        }
+        buddy.set_injector(None);
+        buddy.check_invariants().unwrap();
     }
 }

@@ -171,7 +171,11 @@ mod tests {
         }
         // Heavily fragmented: intermediate contiguity exists but big blocks
         // are scarce.
-        assert!(h.coverage(o(3)) > 0.10, "some 32K contiguity: {}", h.coverage(o(3)));
+        assert!(
+            h.coverage(o(3)) > 0.10,
+            "some 32K contiguity: {}",
+            h.coverage(o(3))
+        );
         assert!(
             h.coverage(o(12)) < h.coverage(o(2)),
             "16M coverage below 16K coverage"

@@ -10,7 +10,8 @@
 
 use crate::buddy::BuddyAllocator;
 use std::collections::BTreeMap;
-use tps_core::{PageOrder, PhysAddr, TpsError, VirtAddr, BASE_PAGE_SHIFT};
+use tps_core::inject::FaultSite;
+use tps_core::{InvariantLayer, PageOrder, PhysAddr, TpsError, VirtAddr, BASE_PAGE_SHIFT};
 
 /// Identifier of a reservation in a [`ReservationTable`].
 #[derive(Copy, Clone, Eq, PartialEq, Ord, PartialOrd, Hash, Debug)]
@@ -52,7 +53,10 @@ impl Reservation {
         let mut expect = 0u64;
         for s in &segments {
             assert_eq!(s.offset, expect, "segments must tile the range");
-            assert!(s.base.is_aligned(s.order.shift()), "segment base misaligned");
+            assert!(
+                s.base.is_aligned(s.order.shift()),
+                "segment base misaligned"
+            );
             assert_eq!(
                 s.offset % s.order.bytes(),
                 0,
@@ -61,7 +65,9 @@ impl Reservation {
             expect += s.order.bytes();
         }
         assert_eq!(expect, len, "segments must cover exactly len bytes");
-        let tree_order = PageOrder::covering(len).expect("reservation too large").get();
+        let tree_order = PageOrder::covering(len)
+            .expect("reservation too large")
+            .get();
         Reservation {
             id,
             va_base,
@@ -232,8 +238,11 @@ impl ReservationTable {
             .range(start.value()..end.value())
             .map(|(&k, _)| k)
             .collect();
+        // filter_map instead of expect: the keys were collected from the map
+        // with no interleaving removal, so every lookup hits, but the munmap
+        // path must stay panic-free even if that ever changes.
         keys.into_iter()
-            .map(|k| self.by_start.remove(&k).expect("key just listed"))
+            .filter_map(|k| self.by_start.remove(&k))
             .collect()
     }
 
@@ -364,7 +373,8 @@ impl UtilizationTree {
 /// # Errors
 ///
 /// Returns [`TpsError::OutOfMemory`] (after rolling back any partial
-/// allocation) if physical memory is exhausted.
+/// allocation) if physical memory is exhausted, or if a fault injector
+/// installed on `buddy` denies the whole-span reservation up front.
 ///
 /// # Panics
 ///
@@ -376,6 +386,13 @@ pub fn reserve_span(
 ) -> Result<Vec<Segment>, TpsError> {
     assert!(len > 0, "cannot reserve an empty span");
     assert_eq!(len % (1 << BASE_PAGE_SHIFT), 0, "span must be page-aligned");
+    if buddy.consult_injector(FaultSite::ReserveSpan) {
+        // Forced denial before any block is taken: the caller sees the same
+        // error an exhausted allocator would produce and degrades to 4 KB.
+        return Err(TpsError::OutOfMemory {
+            order: max_order.get(),
+        });
+    }
     let mut segments: Vec<Segment> = Vec::new();
     let mut offset = 0u64;
     while offset < len {
@@ -399,11 +416,20 @@ pub fn reserve_span(
                 offset += got.bytes();
             }
             None => {
-                // Roll back: return everything to the allocator.
+                // Roll back: return everything to the allocator. A rejected
+                // rollback free means allocator state is corrupt; report it
+                // instead of panicking.
                 for s in segments {
-                    buddy
-                        .free(s.base, s.order)
-                        .expect("rollback frees blocks we just allocated");
+                    if buddy.free(s.base, s.order).is_err() {
+                        return Err(TpsError::invariant(
+                            InvariantLayer::Buddy,
+                            format!(
+                                "rollback free of just-allocated block {:#x} (order {}) rejected",
+                                s.base.value(),
+                                s.order.get()
+                            ),
+                        ));
+                    }
                 }
                 return Err(TpsError::OutOfMemory { order: ideal.get() });
             }
@@ -499,7 +525,9 @@ mod tests {
         let mut buddy = fresh_buddy();
         let mut table = ReservationTable::new();
         let segs = reserve_span(&mut buddy, 16 << 10, o(18)).unwrap();
-        table.insert(VirtAddr::new(0x1000_0000), 16 << 10, segs).unwrap();
+        table
+            .insert(VirtAddr::new(0x1000_0000), 16 << 10, segs)
+            .unwrap();
         let segs2 = reserve_span(&mut buddy, 16 << 10, o(18)).unwrap();
         // Overlapping from below.
         assert!(table
@@ -521,7 +549,9 @@ mod tests {
         let mut buddy = fresh_buddy();
         let mut table = ReservationTable::new();
         let segs = reserve_span(&mut buddy, 64 << 10, o(18)).unwrap();
-        let id = table.insert(VirtAddr::new(0x2000_0000), 64 << 10, segs).unwrap();
+        let id = table
+            .insert(VirtAddr::new(0x2000_0000), 64 << 10, segs)
+            .unwrap();
         assert_eq!(table.find(VirtAddr::new(0x2000_8000)).unwrap().id(), id);
         assert!(table.find(VirtAddr::new(0x2001_0000)).is_none());
         assert!(table.find(VirtAddr::new(0x1fff_f000)).is_none());
@@ -565,12 +595,16 @@ mod tests {
     #[test]
     fn promotable_order_partial_threshold() {
         let mut t = UtilizationTree::new(4); // 16 pages
-        // Touch pages 0..8 (half the region).
+                                             // Touch pages 0..8 (half the region).
         for i in 0..8 {
             t.touch(i);
         }
         assert_eq!(t.promotable_order(0, 1.0), 3);
-        assert_eq!(t.promotable_order(0, 0.5), 4, "50% threshold promotes whole");
+        assert_eq!(
+            t.promotable_order(0, 0.5),
+            4,
+            "50% threshold promotes whole"
+        );
     }
 
     #[test]

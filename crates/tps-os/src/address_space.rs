@@ -101,9 +101,9 @@ impl AddressSpace {
     ///
     /// Returns [`TpsError::Unmapped`] if no VMA starts there.
     pub fn unmap_region(&mut self, base: VirtAddr) -> Result<Vma, TpsError> {
-        self.vmas
-            .remove(&base.value())
-            .ok_or(TpsError::Unmapped { vaddr: base.value() })
+        self.vmas.remove(&base.value()).ok_or(TpsError::Unmapped {
+            vaddr: base.value(),
+        })
     }
 
     /// The VMA containing `va`, if any.
@@ -182,7 +182,9 @@ mod tests {
     #[test]
     fn many_regions_stay_sorted() {
         let mut a = AddressSpace::new();
-        let vmas: Vec<_> = (0..50).map(|i| a.map_region((i + 1) * 4096, o(0))).collect();
+        let vmas: Vec<_> = (0..50)
+            .map(|i| a.map_region((i + 1) * 4096, o(0)))
+            .collect();
         let listed: Vec<_> = a.iter().cloned().collect();
         assert_eq!(vmas, listed);
     }

@@ -5,7 +5,10 @@ use crate::address_space::{round_up_pages, AddressSpace, Vma};
 use crate::cow::{CowPolicy, FrameShares};
 use crate::policy::{CostModel, PolicyConfig, PolicyKind, ReservationRounding};
 use std::collections::HashMap;
-use tps_core::{PageOrder, PhysAddr, PteFlags, TpsError, VirtAddr, BASE_PAGE_SHIFT};
+use tps_core::inject::{self, FaultSite, InjectorHandle};
+use tps_core::{
+    InvariantLayer, PageOrder, PhysAddr, PteFlags, TpsError, VirtAddr, BASE_PAGE_SHIFT,
+};
 use tps_mem::compaction::{compact, CompactionOutcome};
 use tps_mem::reservation::reserve_span;
 use tps_mem::{BuddyAllocator, ReservationTable, Segment};
@@ -67,6 +70,15 @@ pub struct OsStats {
     pub cow_bytes_copied: u64,
     /// Total modeled OS cycles (allocator + page table + handler work).
     pub op_cycles: u64,
+    /// Degradations caused specifically by a failed physical allocation
+    /// (exhaustion or an injected fault), as opposed to alignment-driven
+    /// 4 KB fallbacks. Always `<= fallback_4k`.
+    pub oom_fallbacks: u64,
+    /// Compaction passes interrupted before processing every movable block.
+    pub compaction_aborts: u64,
+    /// TLB-shootdown IPIs re-issued after the delivery was dropped (only a
+    /// fault injector can drop one; zero in normal operation).
+    pub shootdowns_retried: u64,
 }
 
 /// One simulated process.
@@ -119,6 +131,12 @@ impl Process {
     pub fn touched_bytes(&self) -> u64 {
         self.touched_pages << BASE_PAGE_SHIFT
     }
+
+    /// Directly allocated blocks (no reservation) per owning VMA base —
+    /// exposed for cross-layer audits of physical-frame ownership.
+    pub fn direct_blocks(&self) -> impl Iterator<Item = (u64, &[(PhysAddr, PageOrder)])> {
+        self.direct_blocks.iter().map(|(&b, v)| (b, v.as_slice()))
+    }
 }
 
 /// The operating system: one buddy allocator plus per-process state.
@@ -158,6 +176,9 @@ pub struct Os {
     pt_levels: u8,
     /// Fine-grained A/D tracking for newly spawned processes (§III-C1).
     fine_grained_ad: bool,
+    /// Fault injector consulted for dropped shootdown IPIs; the same handle
+    /// is installed on the buddy allocator for allocation-site faults.
+    injector: Option<InjectorHandle>,
 }
 
 impl Os {
@@ -182,7 +203,18 @@ impl Os {
             cow_policy: CowPolicy::default(),
             pt_levels: 4,
             fine_grained_ad: false,
+            injector: None,
         }
+    }
+
+    /// Installs a deterministic fault injector across the whole OS stack:
+    /// buddy allocations, span reservations, compaction steps (via the
+    /// allocator) and TLB-shootdown delivery (checked here). Pass `None`
+    /// to remove it; with no injector every hook is a single branch and
+    /// behavior is identical to an uninstrumented build.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.buddy.set_injector(injector.clone());
+        self.injector = injector;
     }
 
     /// Enables fine-grained A/D bit vectors (paper §III-C1) for processes
@@ -234,6 +266,39 @@ impl Os {
         &self.buddy
     }
 
+    /// Number of processes spawned so far (ASIDs are `0..count`).
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Blocks taken by simulated background/kernel noise (never freed).
+    /// Each is a pinned 2 MB allocation; exposed for cross-layer audits.
+    pub fn noise_blocks(&self) -> &[PhysAddr] {
+        &self.noise_blocks
+    }
+
+    /// Models IPI delivery for a batch of shootdowns: an installed fault
+    /// injector may drop a delivery, which the OS detects (ack timeout) and
+    /// re-issues, counting [`OsStats::shootdowns_retried`]. The returned
+    /// shootdown lists are therefore always complete. Bounded retries keep
+    /// a pathological injector from hanging the simulation.
+    fn deliver_shootdowns(&mut self, shootdowns: &[Shootdown]) {
+        if self.injector.is_none() {
+            return;
+        }
+        const MAX_RETRIES: u32 = 8;
+        for _ in shootdowns {
+            let mut attempts = 0;
+            while attempts < MAX_RETRIES
+                && inject::should_fault(&self.injector, FaultSite::ShootdownDeliver)
+            {
+                self.stats.shootdowns_retried += 1;
+                self.charge(self.cost.shootdown);
+                attempts += 1;
+            }
+        }
+    }
+
     /// Creates a process, returning its ASID.
     pub fn spawn(&mut self) -> Asid {
         let asid = self.processes.len() as Asid;
@@ -281,7 +346,8 @@ impl Os {
     pub fn probe_mapping(&self, asid: Asid, vpn: u64) -> Option<(u64, bool)> {
         let va = VirtAddr::new(vpn << BASE_PAGE_SHIFT);
         let leaf = self.processes[asid as usize].page_table.lookup(va)?;
-        let pfn = leaf.base.base_page_number() + (vpn - va.align_down(leaf.order.shift()).base_page_number());
+        let pfn = leaf.base.base_page_number()
+            + (vpn - va.align_down(leaf.order.shift()).base_page_number());
         Some((pfn, leaf.flags.contains(PteFlags::WRITABLE)))
     }
 
@@ -309,7 +375,9 @@ impl Os {
     pub fn range_for(&self, asid: Asid, va: VirtAddr) -> Option<RangeEntry> {
         let vpn = va.base_page_number();
         let ranges = &self.processes[asid as usize].ranges;
-        let idx = ranges.partition_point(|r| r.start_vpn <= vpn).checked_sub(1)?;
+        let idx = ranges
+            .partition_point(|r| r.start_vpn <= vpn)
+            .checked_sub(1)?;
         let r = ranges[idx];
         (vpn < r.end_vpn).then_some(r)
     }
@@ -369,14 +437,30 @@ impl Os {
                 match reserve_span(&mut self.buddy, reserve_len, self.policy.max_order) {
                     Ok(segments) => {
                         self.charge(self.cost.buddy_op * segments.len() as u64);
-                        self.install_reservation(asid, vma.base(), reserve_len, segments)?;
-                        if self.policy.kind == PolicyKind::TpsEager {
-                            self.map_reservation_eagerly(asid, vma.base())?;
+                        let backup = segments.clone();
+                        if self
+                            .install_reservation(asid, vma.base(), reserve_len, segments)
+                            .is_err()
+                        {
+                            // Installing can only fail on a VA overlap, which
+                            // the fresh VMA rules out — but stay panic-free:
+                            // return the frames and degrade to 4 KB faulting.
+                            for s in backup {
+                                let _ = self.buddy.free(s.base, s.order);
+                            }
+                            self.stats.fallback_4k += 1;
+                        } else if self.policy.kind == PolicyKind::TpsEager
+                            && self.map_reservation_eagerly(asid, vma.base()).is_err()
+                        {
+                            self.rollback_reservation(asid, vma.base());
                         }
                     }
+                    Err(e @ TpsError::InvariantViolation { .. }) => return Err(e),
                     Err(_) => {
-                        // Degrade to 4 KB demand faulting (fragmentation).
+                        // Degrade to 4 KB demand faulting (fragmentation or
+                        // an injected reservation denial).
                         self.stats.fallback_4k += 1;
+                        self.stats.oom_fallbacks += 1;
                     }
                 }
             }
@@ -387,6 +471,28 @@ impl Os {
             }
         }
         Ok(vma)
+    }
+
+    /// Undoes a freshly installed reservation after a failure on the eager
+    /// mapping path: unmaps whatever leaves were already installed, frees
+    /// the reserved frames, and leaves the VMA to demand 4 KB faulting.
+    fn rollback_reservation(&mut self, asid: Asid, va_base: VirtAddr) {
+        let Some(res) = self.proc_mut(asid).reservations.remove(va_base) else {
+            return;
+        };
+        for seg in res.segments() {
+            let va = VirtAddr::new(va_base.value() + seg.offset);
+            let proc = self.proc_mut(asid);
+            if proc
+                .page_table
+                .lookup(va)
+                .is_some_and(|l| l.order == seg.order)
+            {
+                let _ = proc.page_table.unmap(va, seg.order);
+            }
+            let _ = self.buddy.free(seg.base, seg.order);
+        }
+        self.stats.fallback_4k += 1;
     }
 
     fn install_reservation(
@@ -409,11 +515,13 @@ impl Os {
     fn map_reservation_eagerly(&mut self, asid: Asid, va_base: VirtAddr) -> Result<(), TpsError> {
         let segments: Vec<Segment> = {
             let proc = self.proc_mut(asid);
-            let res = proc
-                .reservations
-                .find(va_base)
-                .expect("reservation just installed");
-            res.segments().to_vec()
+            let proc_res = proc.reservations.find(va_base).ok_or_else(|| {
+                TpsError::invariant(
+                    InvariantLayer::Reservation,
+                    format!("just-installed reservation at {va_base} missing"),
+                )
+            })?;
+            proc_res.segments().to_vec()
         };
         let mut pte_cost = 0u64;
         let mut zero_pages = 0u64;
@@ -422,8 +530,12 @@ impl Os {
             for seg in &segments {
                 let va = VirtAddr::new(va_base.value() + seg.offset);
                 let before = proc.page_table.pte_writes();
-                proc.page_table
-                    .map(va, seg.base, seg.order, PteFlags::WRITABLE | PteFlags::USER)?;
+                proc.page_table.map(
+                    va,
+                    seg.base,
+                    seg.order,
+                    PteFlags::WRITABLE | PteFlags::USER,
+                )?;
                 pte_cost += proc.page_table.pte_writes() - before;
                 zero_pages += seg.order.base_pages();
             }
@@ -517,8 +629,7 @@ impl Os {
         va: VirtAddr,
         _is_write: bool,
     ) -> Result<FaultOutcome, TpsError> {
-        let vma = self
-            .processes[asid as usize]
+        let vma = self.processes[asid as usize]
             .address_space
             .find(va)
             .cloned()
@@ -569,7 +680,13 @@ impl Os {
     ) -> Result<FaultOutcome, TpsError> {
         let page_va = va.align_down(BASE_PAGE_SHIFT);
         let pa = self.alloc_direct(asid, vma.base(), PageOrder::P4K)?;
-        self.map_counted(asid, page_va, pa, PageOrder::P4K, PteFlags::WRITABLE | PteFlags::USER)?;
+        self.map_counted(
+            asid,
+            page_va,
+            pa,
+            PageOrder::P4K,
+            PteFlags::WRITABLE | PteFlags::USER,
+        )?;
         self.proc_mut(asid).touched_pages += 1;
         Ok(FaultOutcome {
             va,
@@ -588,7 +705,13 @@ impl Os {
         let chunk_end = chunk.value() + PageOrder::P2M.bytes();
         if chunk >= vma.base() && chunk_end <= vma.end().value() {
             if let Ok(pa) = self.alloc_direct(asid, vma.base(), PageOrder::P2M) {
-                self.map_counted(asid, chunk, pa, PageOrder::P2M, PteFlags::WRITABLE | PteFlags::USER)?;
+                self.map_counted(
+                    asid,
+                    chunk,
+                    pa,
+                    PageOrder::P2M,
+                    PteFlags::WRITABLE | PteFlags::USER,
+                )?;
                 self.proc_mut(asid).touched_pages += 1;
                 return Ok(FaultOutcome {
                     va,
@@ -597,7 +720,12 @@ impl Os {
                 });
             }
         }
-        // Tail of the VMA (or no 2M contiguity): fall back to 4 KB.
+        // Tail of the VMA (or no 2M contiguity): fall back to 4 KB. Inside
+        // the VMA the only way here is a failed 2 MB allocation.
+        let whole_chunk_inside = chunk >= vma.base() && chunk_end <= vma.end().value();
+        if whole_chunk_inside {
+            self.stats.oom_fallbacks += 1;
+        }
         self.stats.fallback_4k += 1;
         self.fault_direct_4k(asid, vma, va)
     }
@@ -628,6 +756,7 @@ impl Os {
                     }
                     Err(_) => {
                         self.stats.fallback_4k += 1;
+                        self.stats.oom_fallbacks += 1;
                         return self.fault_direct_4k(asid, vma, va);
                     }
                 }
@@ -641,7 +770,11 @@ impl Os {
     }
 
     fn fault_tps(&mut self, asid: Asid, vma: &Vma, va: VirtAddr) -> Result<FaultOutcome, TpsError> {
-        if self.processes[asid as usize].reservations.find(va).is_some() {
+        if self.processes[asid as usize]
+            .reservations
+            .find(va)
+            .is_some()
+        {
             let cap = self.policy.max_order;
             self.fault_from_reservation(asid, va, PromotionMode::AnyPowerOfTwo(cap))
         } else {
@@ -661,12 +794,18 @@ impl Os {
         mode: PromotionMode,
     ) -> Result<FaultOutcome, TpsError> {
         let threshold = self.policy.promotion_threshold;
+        let res_invariant = |what: &str| {
+            TpsError::invariant(
+                InvariantLayer::Reservation,
+                format!("{what} for fault at {va}"),
+            )
+        };
         let (res_base, offset, pa, seg_order, promotable) = {
             let proc = self.proc_mut(asid);
             let res = proc
                 .reservations
                 .find_mut(va)
-                .expect("caller checked reservation exists");
+                .ok_or_else(|| res_invariant("reservation the caller found vanished"))?;
             let offset = va - res.va_base();
             let page_idx = offset >> BASE_PAGE_SHIFT;
             if res.utilization_mut().touch(page_idx) {
@@ -674,10 +813,10 @@ impl Os {
             }
             let pa = res
                 .frame_for(offset)
-                .expect("reservation covers the fault");
+                .ok_or_else(|| res_invariant("reservation does not cover its own range"))?;
             let seg_order = res
                 .max_order_at(offset)
-                .expect("reservation covers the fault");
+                .ok_or_else(|| res_invariant("reservation does not cover its own range"))?;
             let promotable = res.utilization().promotable_order(page_idx, threshold);
             (res.va_base(), offset, pa, seg_order, promotable)
         };
@@ -734,9 +873,9 @@ impl Os {
                 let proc = &self.processes[asid as usize];
                 proc.reservations
                     .find(va)
-                    .expect("still present")
+                    .ok_or_else(|| res_invariant("reservation vanished before promotion"))?
                     .frame_for(aligned_off)
-                    .expect("aligned offset inside reservation")
+                    .ok_or_else(|| res_invariant("promotion offset left the reservation"))?
             };
             debug_assert!(va_k.is_aligned(order.shift()));
             debug_assert!(pa_k.is_aligned(order.shift()));
@@ -782,7 +921,7 @@ impl Os {
                 match leaf {
                     Some(leaf) => {
                         let ro = PteFlags::USER; // no WRITABLE
-                        // Downgrade the parent and mirror into the child.
+                                                 // Downgrade the parent and mirror into the child.
                         let (pp, cp) = {
                             let p = &mut self.processes[parent as usize].page_table;
                             let before = p.pte_writes();
@@ -796,8 +935,7 @@ impl Os {
                             (pw, c.pte_writes() - before)
                         };
                         pte_cost += pp + cp;
-                        self.shares
-                            .share(leaf.base.base_page_number(), leaf.order);
+                        self.shares.share(leaf.base.base_page_number(), leaf.order);
                         shootdowns.push(Shootdown {
                             asid: parent,
                             va,
@@ -810,9 +948,8 @@ impl Os {
             }
         }
         self.stats.shootdowns += shootdowns.len() as u64;
-        self.charge(
-            self.cost.pte_write * pte_cost + self.cost.shootdown * shootdowns.len() as u64,
-        );
+        self.charge(self.cost.pte_write * pte_cost + self.cost.shootdown * shootdowns.len() as u64);
+        self.deliver_shootdowns(&shootdowns);
         (child, shootdowns)
     }
 
@@ -856,13 +993,18 @@ impl Os {
             .find(va)
             .ok_or(TpsError::Unmapped { vaddr: va.value() })?
             .base();
-        let mut shootdowns = vec![Shootdown { asid, va: va_page, order }];
+        let mut shootdowns = vec![Shootdown {
+            asid,
+            va: va_page,
+            order,
+        }];
 
         if self.shares.count(pfn, order) <= 1 {
             // Sole owner: regain write permission in place.
             self.map_counted(asid, va_page, leaf.base, order, rw)?;
             self.stats.shootdowns += 1;
             self.charge(self.cost.shootdown);
+            self.deliver_shootdowns(&shootdowns);
             return Ok(shootdowns);
         }
 
@@ -895,7 +1037,12 @@ impl Os {
         }
         self.stats.shootdowns += 1;
         self.charge(self.cost.shootdown);
-        shootdowns.push(Shootdown { asid, va: va_page, order });
+        shootdowns.push(Shootdown {
+            asid,
+            va: va_page,
+            order,
+        });
+        self.deliver_shootdowns(&shootdowns);
         Ok(shootdowns)
     }
 
@@ -921,7 +1068,8 @@ impl Os {
         len: u64,
         writable: bool,
     ) -> Result<Vec<Shootdown>, TpsError> {
-        if !va.is_aligned(BASE_PAGE_SHIFT) || len % (1 << BASE_PAGE_SHIFT) != 0 || len == 0 {
+        if !va.is_aligned(BASE_PAGE_SHIFT) || !len.is_multiple_of(1 << BASE_PAGE_SHIFT) || len == 0
+        {
             return Err(TpsError::Misaligned {
                 addr: va.value(),
                 shift: BASE_PAGE_SHIFT,
@@ -950,7 +1098,9 @@ impl Os {
                 continue;
             };
             if self.shares.count(leaf.base.base_page_number(), leaf.order) > 1 {
-                return Err(TpsError::SharedMapping { vaddr: cursor.value() });
+                return Err(TpsError::SharedMapping {
+                    vaddr: cursor.value(),
+                });
             }
             let leaf_va = cursor.align_down(leaf.order.shift());
             let leaf_end = leaf_va.value() + leaf.order.bytes();
@@ -987,6 +1137,7 @@ impl Os {
         }
         self.stats.shootdowns += shootdowns.len() as u64;
         self.charge(self.cost.shootdown * shootdowns.len() as u64);
+        self.deliver_shootdowns(&shootdowns);
         Ok(shootdowns)
     }
 
@@ -1036,7 +1187,10 @@ impl Os {
                 movable.extend(blocks.iter().copied());
             }
         }
-        let outcome = compact(&mut self.buddy, &movable);
+        let outcome = compact(&mut self.buddy, &movable)?;
+        if outcome.interrupted {
+            self.stats.compaction_aborts += 1;
+        }
         self.charge(self.cost.compact_page * outcome.pages_moved);
 
         // Relocation lookup, sorted by source base.
@@ -1074,11 +1228,7 @@ impl Os {
         let mut shootdowns = Vec::new();
         let mut pte_cost = 0u64;
         for pid in 0..self.processes.len() {
-            let vmas: Vec<Vma> = self.processes[pid]
-                .address_space
-                .iter()
-                .cloned()
-                .collect();
+            let vmas: Vec<Vma> = self.processes[pid].address_space.iter().cloned().collect();
             for vma in vmas {
                 let mut va = vma.base();
                 while va < vma.end() {
@@ -1088,8 +1238,12 @@ impl Os {
                             if let Some(new) = relocate(leaf.base) {
                                 let pt = &mut self.processes[pid].page_table;
                                 let before = pt.pte_writes();
-                                pt.map(va, new, leaf.order, leaf.flags)
-                                    .expect("remap to the migrated frame");
+                                pt.map(va, new, leaf.order, leaf.flags).map_err(|e| {
+                                    TpsError::invariant(
+                                        InvariantLayer::PageTable,
+                                        format!("remap to migrated frame at {va} failed: {e}"),
+                                    )
+                                })?;
                                 pte_cost += pt.pte_writes() - before;
                                 shootdowns.push(Shootdown {
                                     asid: pid as Asid,
@@ -1105,9 +1259,8 @@ impl Os {
             }
         }
         self.stats.shootdowns += shootdowns.len() as u64;
-        self.charge(
-            self.cost.pte_write * pte_cost + self.cost.shootdown * shootdowns.len() as u64,
-        );
+        self.charge(self.cost.pte_write * pte_cost + self.cost.shootdown * shootdowns.len() as u64);
+        self.deliver_shootdowns(&shootdowns);
         Ok((outcome, shootdowns))
     }
 
@@ -1152,10 +1305,7 @@ impl Os {
                                     && b.base.value() == leaf.base.value() + order.bytes()
                                     && b.flags.contains(PteFlags::WRITABLE)
                                         == leaf.flags.contains(PteFlags::WRITABLE)
-                                    && self
-                                        .shares
-                                        .count(b.base.base_page_number(), order)
-                                        <= 1
+                                    && self.shares.count(b.base.base_page_number(), order) <= 1
                             });
                     if mergeable {
                         let merged_order = PageOrder::new_unchecked(next);
@@ -1236,9 +1386,12 @@ impl Os {
                 match proc.page_table.lookup(va) {
                     Some(leaf) => {
                         let before = proc.page_table.pte_writes();
-                        proc.page_table
-                            .unmap(va, leaf.order)
-                            .expect("leaf just looked up");
+                        proc.page_table.unmap(va, leaf.order).map_err(|e| {
+                            TpsError::invariant(
+                                InvariantLayer::PageTable,
+                                format!("munmap of just-looked-up leaf at {va} failed: {e}"),
+                            )
+                        })?;
                         pte_cost += proc.page_table.pte_writes() - before;
                         shootdowns.push(Shootdown {
                             asid,
@@ -1259,15 +1412,29 @@ impl Os {
             .remove_in_range(vma.base(), vma.end());
         for res in removed {
             for seg in res.segments() {
-                self.buddy.free(seg.base, seg.order).expect("reserved block");
+                self.buddy.free(seg.base, seg.order).map_err(|e| {
+                    TpsError::invariant(
+                        InvariantLayer::Buddy,
+                        format!("munmap free of reserved block {:?} failed: {e}", seg.base),
+                    )
+                })?;
                 self.charge(self.cost.buddy_op);
             }
         }
 
         // Return directly allocated frames.
-        if let Some(blocks) = self.proc_mut(asid).direct_blocks.remove(&vma.base().value()) {
+        if let Some(blocks) = self
+            .proc_mut(asid)
+            .direct_blocks
+            .remove(&vma.base().value())
+        {
             for (pa, order) in blocks {
-                self.buddy.free(pa, order).expect("direct block");
+                self.buddy.free(pa, order).map_err(|e| {
+                    TpsError::invariant(
+                        InvariantLayer::Buddy,
+                        format!("munmap free of direct block {pa:?} failed: {e}"),
+                    )
+                })?;
                 self.charge(self.cost.buddy_op);
             }
         }
@@ -1283,6 +1450,7 @@ impl Os {
 
         self.stats.shootdowns += shootdowns.len() as u64;
         self.charge(self.cost.pte_write * pte_cost + self.cost.shootdown * shootdowns.len() as u64);
+        self.deliver_shootdowns(&shootdowns);
         Ok(shootdowns)
     }
 }
@@ -1410,7 +1578,7 @@ mod tests {
         );
         let pid = os.spawn();
         let vma = os.mmap(pid, 64 << 10).unwrap(); // 16 pages
-        // Touch 8 of 16 pages (the first half).
+                                                   // Touch 8 of 16 pages (the first half).
         for i in 0..8u64 {
             os.handle_fault(pid, VirtAddr::new(vma.base().value() + i * 4096), true)
                 .unwrap();
@@ -1554,7 +1722,10 @@ mod tests {
         touch_all(&mut os, parent, &vma);
         let parent_pa = os.page_table(parent).translate(vma.base()).unwrap();
         let (child, shootdowns) = os.fork(parent);
-        assert!(!shootdowns.is_empty(), "parent's writable entries are stale");
+        assert!(
+            !shootdowns.is_empty(),
+            "parent's writable entries are stale"
+        );
         // The child sees the same frames, read-only, in both page tables.
         assert_eq!(os.page_table(child).translate(vma.base()), Some(parent_pa));
         for pid in [parent, child] {
@@ -1580,10 +1751,16 @@ mod tests {
         assert!(!os.needs_cow(child, vma.base()));
         // Parent still maps the original frames, still read-only until it
         // writes; then it regains write permission in place (sole owner).
-        assert_eq!(os.page_table(parent).translate(vma.base()).unwrap(), shared_pa);
+        assert_eq!(
+            os.page_table(parent).translate(vma.base()).unwrap(),
+            shared_pa
+        );
         os.handle_cow_fault(parent, vma.base()).unwrap();
         assert!(!os.needs_cow(parent, vma.base()));
-        assert_eq!(os.page_table(parent).translate(vma.base()).unwrap(), shared_pa);
+        assert_eq!(
+            os.page_table(parent).translate(vma.base()).unwrap(),
+            shared_pa
+        );
         assert_eq!(os.stats().cow_faults, 2);
         assert_eq!(os.stats().cow_bytes_copied, 64 << 10);
     }
@@ -1600,7 +1777,10 @@ mod tests {
         os.handle_cow_fault(child, vma.base() + 0x5000).unwrap();
         // The faulting 4K diverged; neighbors still share the old frames.
         let forked = os.page_table(child).translate(vma.base() + 0x5000).unwrap();
-        assert_ne!(forked.align_down(12), PhysAddr::new(shared_pa.value() + 0x5000).align_down(12));
+        assert_ne!(
+            forked.align_down(12),
+            PhysAddr::new(shared_pa.value() + 0x5000).align_down(12)
+        );
         assert_eq!(
             os.page_table(child).translate(vma.base()).unwrap(),
             shared_pa,
@@ -1653,7 +1833,7 @@ mod tests {
         let (mut os, pid) = os(PolicyKind::Tps);
         let vma = os.mmap(pid, 64 << 10).unwrap();
         touch_all(&mut os, pid, &vma); // promoted to one 64K page
-        // Protect the middle 16K read-only: the 64K page must split.
+                                       // Protect the middle 16K read-only: the 64K page must split.
         let mid = VirtAddr::new(vma.base().value() + (16 << 10));
         let sds = os.mprotect(pid, mid, 16 << 10, false).unwrap();
         assert!(!sds.is_empty());
@@ -1666,7 +1846,8 @@ mod tests {
         // Translations unchanged by the split.
         assert!(os.page_table(pid).translate(mid).is_some());
         // Re-protect writable and merge back up.
-        os.mprotect(pid, VirtAddr::new(vma.base().value()), 64 << 10, true).unwrap();
+        os.mprotect(pid, VirtAddr::new(vma.base().value()), 64 << 10, true)
+            .unwrap();
         let merges = os.merge_pages(pid);
         assert!(merges > 0);
         assert_eq!(
@@ -1771,7 +1952,10 @@ mod tests {
         let (mut os, pid) = os(PolicyKind::Only4K);
         let vma = os.mmap(pid, 64 << 10).unwrap();
         touch_all(&mut os, pid, &vma);
-        assert_eq!(os.page_table(pid).page_census().get(&PageOrder::P4K), Some(&16));
+        assert_eq!(
+            os.page_table(pid).page_census().get(&PageOrder::P4K),
+            Some(&16)
+        );
         let before: Vec<_> = (0..16u64)
             .map(|i| os.page_table(pid).translate(vma.base() + i * 4096).unwrap())
             .collect();
@@ -1779,11 +1963,17 @@ mod tests {
         assert!(merges >= 8, "16 pages merge pairwise up the tree: {merges}");
         // The whole region collapsed into one 64K page.
         let census = os.page_table(pid).page_census();
-        assert_eq!(census.get(&PageOrder::new(4).unwrap()), Some(&1), "{census:?}");
+        assert_eq!(
+            census.get(&PageOrder::new(4).unwrap()),
+            Some(&1),
+            "{census:?}"
+        );
         // Translations unchanged (no migration happened).
         for (i, pa) in before.iter().enumerate() {
             assert_eq!(
-                os.page_table(pid).translate(vma.base() + i as u64 * 4096).unwrap(),
+                os.page_table(pid)
+                    .translate(vma.base() + i as u64 * 4096)
+                    .unwrap(),
                 *pa
             );
         }
@@ -1797,8 +1987,10 @@ mod tests {
         let a = os.mmap(pid, 16 << 10).unwrap();
         let b = os.mmap(pid, 16 << 10).unwrap();
         for i in 0..4u64 {
-            os.handle_fault(pid, VirtAddr::new(a.base().value() + i * 4096), true).unwrap();
-            os.handle_fault(pid, VirtAddr::new(b.base().value() + i * 4096), true).unwrap();
+            os.handle_fault(pid, VirtAddr::new(a.base().value() + i * 4096), true)
+                .unwrap();
+            os.handle_fault(pid, VirtAddr::new(b.base().value() + i * 4096), true)
+                .unwrap();
         }
         let merges = os.merge_pages(pid);
         // Alternating frames: VA-adjacent pages are not PA-adjacent.

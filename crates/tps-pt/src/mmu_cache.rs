@@ -168,7 +168,10 @@ mod tests {
         let mut c = MmuCaches::default();
         c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(0x3000));
         assert!(c.lookup(0, VirtAddr::new(2 << 21)).is_none());
-        assert!(c.lookup(0, VirtAddr::new(0x1fffff)).is_some(), "same 2M region hits");
+        assert!(
+            c.lookup(0, VirtAddr::new(0x1fffff)).is_some(),
+            "same 2M region hits"
+        );
     }
 
     #[test]
@@ -181,7 +184,10 @@ mod tests {
         c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(0x1000));
         c.insert(0, VirtAddr::new(1 << 21), 2, PhysAddr::new(0x2000));
         c.insert(0, VirtAddr::new(2 << 21), 2, PhysAddr::new(0x3000));
-        assert!(c.lookup(0, VirtAddr::new(0)).is_none(), "oldest PDE evicted");
+        assert!(
+            c.lookup(0, VirtAddr::new(0)).is_none(),
+            "oldest PDE evicted"
+        );
     }
 
     #[test]

@@ -197,7 +197,11 @@ impl PageTable {
         let node = self.descend_to(va, level)?;
         let rel = order.get() - level_base_order(level);
         let first = va.pt_index(level) & !((1usize << rel) - 1);
-        debug_assert_eq!(va.pt_index(level), first, "va aligned implies index aligned");
+        debug_assert_eq!(
+            va.pt_index(level),
+            first,
+            "va aligned implies index aligned"
+        );
         self.ad_vectors.remove(&va.value());
         let pte = Pte::leaf(pa, order, flags);
         for i in 0..(1usize << rel) {
@@ -300,7 +304,11 @@ impl PageTable {
             }
             if pte.is_leaf(level) {
                 let mut stored = false;
-                let leaf = pte.decode_leaf(level).expect("leaf checked");
+                // A leaf that fails to decode is a corrupt entry; hardware
+                // would fault, the model simply performs no store.
+                let Ok(leaf) = pte.decode_leaf(level) else {
+                    return false;
+                };
                 if dirty && self.fine_grained_ad && leaf.order.is_tailored() {
                     // Record which sixteenth of the page was written.
                     let base = va.align_down(leaf.order.shift());
@@ -368,6 +376,91 @@ impl PageTable {
             .map(|(order, count)| order.bytes() * count)
             .sum()
     }
+
+    /// Checks the radix tree's structural invariants; used by the
+    /// cross-layer auditor in `tps-check` and by tests.
+    ///
+    /// Verified:
+    /// * every table PTE points at a live node, every pooled node is
+    ///   reachable from the root, and no node is reachable twice;
+    /// * each tailored leaf occupies a full, slot-aligned run of `2^rel`
+    ///   identical alias PTEs (the paper's Fig. 5 encoding);
+    /// * every leaf's physical base is aligned to its order.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut seen = std::collections::HashSet::new();
+        self.check_node(self.root, self.levels, &mut seen)?;
+        if seen.len() != self.nodes.len() {
+            return Err(format!(
+                "{} page-table nodes unreachable from the root",
+                self.nodes.len() - seen.len()
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_node(
+        &self,
+        node: PhysAddr,
+        level: u8,
+        seen: &mut std::collections::HashSet<u64>,
+    ) -> Result<(), String> {
+        if !seen.insert(node.value()) {
+            return Err(format!("node {:#x} reachable twice", node.value()));
+        }
+        let Some(entries) = self.nodes.get(&node.value()) else {
+            return Err(format!("dangling table pointer to {:#x}", node.value()));
+        };
+        let mut idx = 0usize;
+        while idx < PT_ENTRIES {
+            let pte = entries[idx];
+            if !pte.is_present() {
+                idx += 1;
+                continue;
+            }
+            if pte.is_leaf(level) {
+                let leaf = pte
+                    .decode_leaf(level)
+                    .map_err(|e| format!("undecodable leaf at level {level} slot {idx}: {e}"))?;
+                let Some(rel) = leaf.order.get().checked_sub(level_base_order(level)) else {
+                    return Err(format!(
+                        "leaf of order {} below its level-{level} base order",
+                        leaf.order.get()
+                    ));
+                };
+                let span = 1usize << rel;
+                if !idx.is_multiple_of(span) {
+                    return Err(format!(
+                        "tailored leaf not slot-aligned at level {level} slot {idx}"
+                    ));
+                }
+                if !leaf.base.is_aligned(leaf.order.shift()) {
+                    return Err(format!(
+                        "leaf base {:#x} misaligned for order {}",
+                        leaf.base.value(),
+                        leaf.order.get()
+                    ));
+                }
+                // A/D bits are maintained on the true PTE only, so compare
+                // the aliases with those bits masked out.
+                let ad = PteFlags::ACCESSED.bits() | PteFlags::DIRTY.bits();
+                for j in 0..span {
+                    if entries[idx + j].bits() & !ad != pte.bits() & !ad {
+                        return Err(format!(
+                            "alias PTE {j} differs from true PTE at level {level} slot {idx}"
+                        ));
+                    }
+                }
+                idx += span;
+                continue;
+            }
+            if level == 1 {
+                return Err(format!("table pointer in a leaf-level node (slot {idx})"));
+            }
+            self.check_node(pte.next_table(), level - 1, seen)?;
+            idx += 1;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -385,7 +478,8 @@ mod tests {
     #[test]
     fn map_and_translate_4k() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w()).unwrap();
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w())
+            .unwrap();
         assert_eq!(pt.translate(VirtAddr::new(0x1234)).unwrap().value(), 0x5234);
         assert!(pt.translate(VirtAddr::new(0x2000)).is_none());
         assert_eq!(pt.node_count(), 4, "root + 3 intermediate nodes");
@@ -394,8 +488,20 @@ mod tests {
     #[test]
     fn map_and_translate_huge_pages() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap();
-        pt.map(VirtAddr::new(0x8000_0000), PhysAddr::new(0x8000_0000), o(18), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x4000_0000),
+            o(9),
+            w(),
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PhysAddr::new(0x8000_0000),
+            o(18),
+            w(),
+        )
+        .unwrap();
         assert_eq!(
             pt.translate(VirtAddr::new(0x4012_3456)).unwrap().value(),
             0x4012_3456
@@ -410,14 +516,17 @@ mod tests {
     fn tailored_page_aliases_written() {
         let mut pt = PageTable::new();
         // 32 KB page: 8 slots at level 1.
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
         // Every 4K sub-page translates correctly, through alias PTEs.
         for i in 0..8u64 {
             let va = VirtAddr::new(0x10_0000 + i * 4096 + 42);
-            assert_eq!(
-                pt.translate(va).unwrap().value(),
-                0x20_0000 + i * 4096 + 42
-            );
+            assert_eq!(pt.translate(va).unwrap().value(), 0x20_0000 + i * 4096 + 42);
         }
         assert!(pt.translate(VirtAddr::new(0x10_8000)).is_none());
     }
@@ -438,7 +547,13 @@ mod tests {
     #[test]
     fn mapping_under_existing_huge_page_rejected() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x4000_0000),
+            o(9),
+            w(),
+        )
+        .unwrap();
         assert!(matches!(
             pt.map(VirtAddr::new(0x4000_1000), PhysAddr::new(0x5000), o(0), w()),
             Err(TpsError::RangeOverlap { .. })
@@ -458,10 +573,19 @@ mod tests {
             )
             .unwrap();
         }
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x30_0000), o(3), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x30_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
         let leaf = pt.lookup(VirtAddr::new(0x10_3000)).unwrap();
         assert_eq!(leaf.order, o(3));
-        assert_eq!(pt.translate(VirtAddr::new(0x10_3abc)).unwrap().value(), 0x30_3abc);
+        assert_eq!(
+            pt.translate(VirtAddr::new(0x10_3abc)).unwrap().value(),
+            0x30_3abc
+        );
     }
 
     #[test]
@@ -478,7 +602,13 @@ mod tests {
             .unwrap();
         }
         let nodes_before = pt.node_count();
-        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(10), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x4000_0000),
+            o(10),
+            w(),
+        )
+        .unwrap();
         assert!(pt.node_count() < nodes_before, "level-1 node reclaimed");
         let leaf = pt.lookup(VirtAddr::new(0x4020_0000)).unwrap();
         assert_eq!(leaf.order, o(10));
@@ -487,7 +617,13 @@ mod tests {
     #[test]
     fn unmap_clears_all_aliases() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
         pt.unmap(VirtAddr::new(0x10_0000), o(3)).unwrap();
         for i in 0..8u64 {
             assert!(pt.translate(VirtAddr::new(0x10_0000 + i * 4096)).is_none());
@@ -499,28 +635,71 @@ mod tests {
     #[test]
     fn unmap_wrong_order_rejected() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
         assert!(pt.unmap(VirtAddr::new(0x10_0000), o(2)).is_err());
     }
 
     #[test]
     fn accessed_dirty_tracking() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w()).unwrap();
-        assert!(pt.mark_accessed(VirtAddr::new(0x1234), false), "first access stores");
-        assert!(!pt.mark_accessed(VirtAddr::new(0x1234), false), "sticky: no second store");
-        assert!(pt.mark_accessed(VirtAddr::new(0x1234), true), "first write stores dirty");
+        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w())
+            .unwrap();
+        assert!(
+            pt.mark_accessed(VirtAddr::new(0x1234), false),
+            "first access stores"
+        );
+        assert!(
+            !pt.mark_accessed(VirtAddr::new(0x1234), false),
+            "sticky: no second store"
+        );
+        assert!(
+            pt.mark_accessed(VirtAddr::new(0x1234), true),
+            "first write stores dirty"
+        );
         assert!(!pt.mark_accessed(VirtAddr::new(0x1234), true));
-        assert!(!pt.mark_accessed(VirtAddr::new(0x9000), false), "unmapped: no store");
+        assert!(
+            !pt.mark_accessed(VirtAddr::new(0x9000), false),
+            "unmapped: no store"
+        );
     }
 
     #[test]
     fn census_counts_true_ptes_only() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap(); // 32K
-        pt.map(VirtAddr::new(0x20_0000), PhysAddr::new(0x40_0000), o(0), w()).unwrap(); // 4K
-        pt.map(VirtAddr::new(0x4000_0000), PhysAddr::new(0x4000_0000), o(9), w()).unwrap(); // 2M
-        pt.map(VirtAddr::new(0x8000_0000), PhysAddr::new(0x800_0000), o(11), w()).unwrap(); // 8M
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap(); // 32K
+        pt.map(
+            VirtAddr::new(0x20_0000),
+            PhysAddr::new(0x40_0000),
+            o(0),
+            w(),
+        )
+        .unwrap(); // 4K
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x4000_0000),
+            o(9),
+            w(),
+        )
+        .unwrap(); // 2M
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PhysAddr::new(0x800_0000),
+            o(11),
+            w(),
+        )
+        .unwrap(); // 8M
         let census = pt.page_census();
         assert_eq!(census.get(&o(3)), Some(&1));
         assert_eq!(census.get(&o(0)), Some(&1));
@@ -533,10 +712,47 @@ mod tests {
     }
 
     #[test]
+    fn invariant_checker_accepts_live_tables() {
+        let mut pt = PageTable::new();
+        pt.check_invariants().unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr::new(0x4000_0000),
+            PhysAddr::new(0x4000_0000),
+            o(9),
+            w(),
+        )
+        .unwrap();
+        pt.map(
+            VirtAddr::new(0x8000_0000),
+            PhysAddr::new(0x800_0000),
+            o(11),
+            w(),
+        )
+        .unwrap();
+        pt.mark_accessed(VirtAddr::new(0x10_3000), true); // A/D only on true PTE
+        pt.check_invariants().unwrap();
+        pt.unmap(VirtAddr::new(0x10_0000), o(3)).unwrap();
+        pt.check_invariants().unwrap();
+    }
+
+    #[test]
     fn pte_write_counter_advances() {
         let mut pt = PageTable::new();
         let before = pt.pte_writes();
-        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(0x20_0000), o(3), w()).unwrap();
+        pt.map(
+            VirtAddr::new(0x10_0000),
+            PhysAddr::new(0x20_0000),
+            o(3),
+            w(),
+        )
+        .unwrap();
         // 3 intermediate entries + 8 leaf slots.
         assert_eq!(pt.pte_writes() - before, 3 + 8);
     }
@@ -595,10 +811,18 @@ mod ad_vector_tests {
         let mut pt = PageTable::new();
         pt.set_fine_grained_ad(true);
         let va = VirtAddr::new(0x4000_0000);
-        pt.map(va, PhysAddr::new(0x4000_0000), PageOrder::P2M, PteFlags::WRITABLE)
-            .unwrap();
+        pt.map(
+            va,
+            PhysAddr::new(0x4000_0000),
+            PageOrder::P2M,
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         pt.mark_accessed(va, true);
-        assert!(pt.dirty_vector(va).is_none(), "2M is conventional: plain D bit");
+        assert!(
+            pt.dirty_vector(va).is_none(),
+            "2M is conventional: plain D bit"
+        );
     }
 
     #[test]
@@ -607,11 +831,14 @@ mod ad_vector_tests {
         pt.mark_accessed(va, true);
         assert!(pt.dirty_vector(va).is_some());
         // Remap (promotion path) resets the vector.
-        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
+            .unwrap();
         assert!(pt.dirty_vector(va).is_none());
         // And a fresh table has tracking off.
         let mut plain = PageTable::new();
-        plain.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        plain
+            .map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
+            .unwrap();
         plain.mark_accessed(va, true);
         assert!(plain.dirty_vector(va).is_none());
     }
@@ -621,7 +848,8 @@ mod ad_vector_tests {
         let (mut pt, va) = pt_with_64k_page();
         pt.mark_accessed(va, true);
         pt.unmap(va, o(4)).unwrap();
-        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE).unwrap();
+        pt.map(va, PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
+            .unwrap();
         assert!(pt.dirty_vector(va).is_none());
     }
 }
@@ -638,8 +866,13 @@ mod five_level_tests {
     fn five_level_maps_and_translates() {
         let mut pt = PageTable::with_levels(5);
         assert_eq!(pt.levels(), 5);
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x7000), o(0), PteFlags::WRITABLE)
-            .unwrap();
+        pt.map(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x7000),
+            o(0),
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         assert_eq!(pt.translate(VirtAddr::new(0x1234)).unwrap().value(), 0x7234);
         // One extra node level: root + 4 intermediates.
         assert_eq!(pt.node_count(), 5);
@@ -648,8 +881,13 @@ mod five_level_tests {
     #[test]
     fn five_level_supports_tailored_pages() {
         let mut pt = PageTable::with_levels(5);
-        pt.map(VirtAddr::new(0x40_0000), PhysAddr::new(0x80_0000), o(4), PteFlags::WRITABLE)
-            .unwrap();
+        pt.map(
+            VirtAddr::new(0x40_0000),
+            PhysAddr::new(0x80_0000),
+            o(4),
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         let leaf = pt.lookup(VirtAddr::new(0x40_f000)).unwrap();
         assert_eq!(leaf.order, o(4));
         assert_eq!(pt.page_census().get(&o(4)), Some(&1));

@@ -165,8 +165,13 @@ mod tests {
 
     fn mapped_pt() -> PageTable {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x7000), o(0), PteFlags::WRITABLE)
-            .unwrap();
+        pt.map(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x7000),
+            o(0),
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
         pt.map(
             VirtAddr::new(0x4000_0000),
             PhysAddr::new(0x4000_0000),
@@ -187,7 +192,9 @@ mod tests {
     #[test]
     fn full_walk_is_four_accesses() {
         let pt = mapped_pt();
-        let ok = Walker::default().walk(&pt, VirtAddr::new(0x1123), None).unwrap();
+        let ok = Walker::default()
+            .walk(&pt, VirtAddr::new(0x1123), None)
+            .unwrap();
         assert_eq!(ok.refs.len(), 4);
         assert_eq!(ok.leaf.order, o(0));
     }
@@ -199,7 +206,10 @@ mod tests {
             .walk(&pt, VirtAddr::new(0x4012_3456), None)
             .unwrap();
         assert_eq!(ok.refs.len(), 3, "2M leaf found at level 2");
-        assert_eq!(ok.translate(VirtAddr::new(0x4012_3456)).value(), 0x4012_3456);
+        assert_eq!(
+            ok.translate(VirtAddr::new(0x4012_3456)).value(),
+            0x4012_3456
+        );
     }
 
     #[test]
@@ -240,7 +250,9 @@ mod tests {
         assert_eq!(err.refs.len(), 1);
         // Fault below the root: same 2M region as a mapped page but a
         // different 4K slot.
-        let err = Walker::default().walk(&pt, VirtAddr::new(0x3000), None).unwrap_err();
+        let err = Walker::default()
+            .walk(&pt, VirtAddr::new(0x3000), None)
+            .unwrap_err();
         assert_eq!(err.level, 1);
         assert_eq!(err.refs.len(), 4);
     }
@@ -250,10 +262,18 @@ mod tests {
         let pt = mapped_pt();
         let mut caches = MmuCaches::new(MmuCacheConfig::default());
         let w = Walker::default();
-        let first = w.walk(&pt, VirtAddr::new(0x1123), Some(&mut caches)).unwrap();
+        let first = w
+            .walk(&pt, VirtAddr::new(0x1123), Some(&mut caches))
+            .unwrap();
         assert_eq!(first.refs.len(), 4);
-        let second = w.walk(&pt, VirtAddr::new(0x1456), Some(&mut caches)).unwrap();
-        assert_eq!(second.refs.len(), 1, "PDE cache hit leaves only the leaf access");
+        let second = w
+            .walk(&pt, VirtAddr::new(0x1456), Some(&mut caches))
+            .unwrap();
+        assert_eq!(
+            second.refs.len(),
+            1,
+            "PDE cache hit leaves only the leaf access"
+        );
         // The 2M page at 1 GB shares only the PML4 region: PML4E cache hit,
         // then the level-3 entry and the level-2 leaf are read.
         let third = w
@@ -284,14 +304,23 @@ mod tests {
     #[test]
     fn five_level_walk_costs_one_more_access() {
         let mut pt = PageTable::with_levels(5);
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x7000), o(0), PteFlags::WRITABLE)
+        pt.map(
+            VirtAddr::new(0x1000),
+            PhysAddr::new(0x7000),
+            o(0),
+            PteFlags::WRITABLE,
+        )
+        .unwrap();
+        let ok = Walker::default()
+            .walk(&pt, VirtAddr::new(0x1123), None)
             .unwrap();
-        let ok = Walker::default().walk(&pt, VirtAddr::new(0x1123), None).unwrap();
         assert_eq!(ok.refs.len(), 5, "LA57 full walk");
         // With warm MMU caches the extra level is skipped along with the
         // other upper levels.
         let mut caches = MmuCaches::default();
-        Walker::default().walk(&pt, VirtAddr::new(0x1123), Some(&mut caches)).unwrap();
+        Walker::default()
+            .walk(&pt, VirtAddr::new(0x1123), Some(&mut caches))
+            .unwrap();
         let warm = Walker::default()
             .walk(&pt, VirtAddr::new(0x1456), Some(&mut caches))
             .unwrap();

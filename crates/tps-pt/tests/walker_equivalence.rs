@@ -10,7 +10,11 @@ use tps_pt::{AliasPolicy, MmuCaches, PageTable, Walker};
 /// Builds a page table with `n` random non-overlapping pages and returns
 /// the mappings. VAs are spread over slots large enough that no two pages
 /// can overlap.
-fn random_mappings(seed: u64, n: usize, levels: u8) -> (PageTable, Vec<(VirtAddr, PhysAddr, PageOrder)>) {
+fn random_mappings(
+    seed: u64,
+    n: usize,
+    levels: u8,
+) -> (PageTable, Vec<(VirtAddr, PhysAddr, PageOrder)>) {
     let mut rng = Rng::new(seed);
     let mut pt = PageTable::with_levels(levels);
     let mut maps = Vec::new();

@@ -215,7 +215,10 @@ pub fn table1_rows() -> Vec<(&'static str, String)> {
         ),
         (
             "TPS TLB",
-            format!("{} entries, fully associative, any page size", t.tps_l1_entries),
+            format!(
+                "{} entries, fully associative, any page size",
+                t.tps_l1_entries
+            ),
         ),
         (
             "Range TLB (RMM)",

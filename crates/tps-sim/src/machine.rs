@@ -204,7 +204,11 @@ impl Machine {
                 let shootdowns = self.os.munmap(self.asid, base).expect("region was mapped");
                 self.mmu.apply_shootdowns(&shootdowns);
             }
-            Event::Access { region, offset, write } => {
+            Event::Access {
+                region,
+                offset,
+                write,
+            } => {
                 let base = self.regions[&region];
                 let va = VirtAddr::new(base.value() + offset);
                 let outcome = self.mmu.access(&mut self.os, self.asid, va, write);
@@ -362,7 +366,10 @@ mod tests {
         let stats = Machine::new(config).run(&mut gups(5_000));
         assert_eq!(stats.walks, 0);
         assert_eq!(stats.full_walk_refs, 0);
-        assert!(stats.full_mem.l1_misses() > 0, "L1 still misses (compulsory)");
+        assert!(
+            stats.full_mem.l1_misses() > 0,
+            "L1 still misses (compulsory)"
+        );
         assert_eq!(stats.full_mem.l1_misses(), stats.full_mem.stlb_hits);
     }
 
@@ -395,14 +402,20 @@ mod tests {
             fn next_event(&mut self) -> Option<Event> {
                 self.step += 1;
                 match self.step {
-                    1 => Some(Event::Mmap { region: 0, bytes: 64 << 10 }),
+                    1 => Some(Event::Mmap {
+                        region: 0,
+                        bytes: 64 << 10,
+                    }),
                     2..=17 => Some(Event::Access {
                         region: 0,
                         offset: ((self.step - 2) as u64) * 4096,
                         write: true,
                     }),
                     18 => Some(Event::Munmap { region: 0 }),
-                    19 => Some(Event::Mmap { region: 1, bytes: 64 << 10 }),
+                    19 => Some(Event::Mmap {
+                        region: 1,
+                        bytes: 64 << 10,
+                    }),
                     20..=35 => Some(Event::Access {
                         region: 1,
                         offset: ((self.step - 20) as u64) * 4096,

@@ -249,8 +249,7 @@ impl Mmu {
                         PteFlags::PRESENT | PteFlags::USER
                     },
                 };
-                self.tlb
-                    .fill_l1(asid, va.align_down(12), &leaf, None);
+                self.tlb.fill_l1(asid, va.align_down(12), &leaf, None);
                 if self.verify {
                     self.verify_translation(os, asid, va, t.pfn);
                 }
@@ -288,9 +287,9 @@ impl Mmu {
         let leaf;
         let alias_extra;
         loop {
-            let result = self
-                .walker
-                .walk_for(asid, os.page_table(asid), va, Some(&mut self.caches));
+            let result =
+                self.walker
+                    .walk_for(asid, os.page_table(asid), va, Some(&mut self.caches));
             match result {
                 Ok(ok) => {
                     walk_refs += self.charge_refs(&ok.refs);
@@ -354,8 +353,7 @@ impl Mmu {
 
     /// Installs an L1 entry, giving CoLT its PTE-cache-line probe.
     fn fill_l1(&mut self, os: &Os, asid: Asid, va: VirtAddr, leaf: &LeafInfo) {
-        let probe =
-            |upn: u64, order: PageOrder| os.probe_mapping_order(asid, upn, order);
+        let probe = |upn: u64, order: PageOrder| os.probe_mapping_order(asid, upn, order);
         self.tlb.fill_l1(asid, va, leaf, Some(&probe));
     }
 
@@ -416,8 +414,15 @@ mod tests {
         let out = mmu.access(&mut os, parent, vma.base() + 0x2000, true);
         assert!(out.faults >= 1);
         // Subsequent writes are fault-free in both.
-        assert_eq!(mmu.access(&mut os, child, vma.base() + 0x2000, true).faults, 0);
-        assert_eq!(mmu.access(&mut os, parent, vma.base() + 0x2000, true).faults, 0);
+        assert_eq!(
+            mmu.access(&mut os, child, vma.base() + 0x2000, true).faults,
+            0
+        );
+        assert_eq!(
+            mmu.access(&mut os, parent, vma.base() + 0x2000, true)
+                .faults,
+            0
+        );
     }
 
     #[test]
@@ -426,7 +431,12 @@ mod tests {
         os.set_cow_policy(CowPolicy::CopySmallest);
         let vma = os.mmap(parent, 32 << 10).unwrap();
         for i in 0..8u64 {
-            mmu.access(&mut os, parent, VirtAddr::new(vma.base().value() + i * 4096), true);
+            mmu.access(
+                &mut os,
+                parent,
+                VirtAddr::new(vma.base().value() + i * 4096),
+                true,
+            );
         }
         let (child, sds) = os.fork(parent);
         mmu.apply_shootdowns(&sds);
@@ -434,8 +444,18 @@ mod tests {
         // still translates correctly (verification is on).
         mmu.access(&mut os, child, vma.base() + 0x3000, true);
         for i in 0..8u64 {
-            mmu.access(&mut os, child, VirtAddr::new(vma.base().value() + i * 4096), false);
-            mmu.access(&mut os, parent, VirtAddr::new(vma.base().value() + i * 4096), false);
+            mmu.access(
+                &mut os,
+                child,
+                VirtAddr::new(vma.base().value() + i * 4096),
+                false,
+            );
+            mmu.access(
+                &mut os,
+                parent,
+                VirtAddr::new(vma.base().value() + i * 4096),
+                false,
+            );
         }
         assert_eq!(os.stats().cow_bytes_copied, 4096);
     }

@@ -2,8 +2,8 @@
 //! MMU caches, each running its own process (paper Figs. 2 and 14).
 
 use crate::config::MachineConfig;
-use crate::mmu::Mmu;
 use crate::machine::{RunCounters, ThreadCounters};
+use crate::mmu::Mmu;
 use crate::stats::RunStats;
 use std::collections::HashMap;
 use tps_core::VirtAddr;
@@ -65,13 +65,27 @@ where
     while !(a_done && b_done) {
         if !a_done {
             match primary.next_event() {
-                Some(ev) => step(&mut os, &mut mmu, asid_a, &mut regions_a, &mut counters_a, ev),
+                Some(ev) => step(
+                    &mut os,
+                    &mut mmu,
+                    asid_a,
+                    &mut regions_a,
+                    &mut counters_a,
+                    ev,
+                ),
                 None => a_done = true,
             }
         }
         if !b_done {
             match sibling.next_event() {
-                Some(ev) => step(&mut os, &mut mmu, asid_b, &mut regions_b, &mut counters_b, ev),
+                Some(ev) => step(
+                    &mut os,
+                    &mut mmu,
+                    asid_b,
+                    &mut regions_b,
+                    &mut counters_b,
+                    ev,
+                ),
                 None => b_done = true,
             }
         }
@@ -93,7 +107,9 @@ fn step(
 ) {
     match event {
         Event::Mmap { region, bytes } => {
-            let vma = os.mmap(asid, bytes).expect("machine out of physical memory");
+            let vma = os
+                .mmap(asid, bytes)
+                .expect("machine out of physical memory");
             regions.insert(region, vma.base());
         }
         Event::Munmap { region } => {
@@ -101,7 +117,11 @@ fn step(
             let shootdowns = os.munmap(asid, base).expect("region was mapped");
             mmu.apply_shootdowns(&shootdowns);
         }
-        Event::Access { region, offset, write } => {
+        Event::Access {
+            region,
+            offset,
+            write,
+        } => {
             let base = regions[&region];
             let va = VirtAddr::new(base.value() + offset);
             let outcome = mmu.access(os, asid, va, write);
@@ -120,9 +140,8 @@ fn finish<W: Workload + ?Sized>(
     counters: RunCounters,
 ) -> RunStats {
     let profile = workload.profile();
-    let insts = |c: &ThreadCounters| {
-        (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts
-    };
+    let insts =
+        |c: &ThreadCounters| (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts;
     let process = os.process(asid);
     RunStats {
         name: profile.name.clone(),

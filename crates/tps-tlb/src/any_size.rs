@@ -183,8 +183,8 @@ mod tests {
     fn invalidate_overlapping_large_entry() {
         let mut t = AnySizeTlb::new(4);
         t.fill(e(0, 4)); // 64K page: pages 0..16
-        // Shoot down one 4K page inside it: whole entry must go (the
-        // conservative hardware behavior).
+                         // Shoot down one 4K page inside it: whole entry must go (the
+                         // conservative hardware behavior).
         t.invalidate(0, VirtAddr::new(5 << 12), PageOrder::P4K);
         assert!(t.lookup(0, 0).is_none());
     }

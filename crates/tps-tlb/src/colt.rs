@@ -339,7 +339,10 @@ mod tests {
         t.fill(short);
         assert!(t.lookup(0, 9).is_some());
         // A longer run over the same window replaces the stale short one.
-        let long = ColtEntry { run_len: 8, ..short };
+        let long = ColtEntry {
+            run_len: 8,
+            ..short
+        };
         t.fill(long);
         assert_eq!(t.lookup(0, 15).unwrap().run_len, 8);
         assert!((t.mean_run_len() - 5.0).abs() < 1e-9, "(2+8)/2 fills");

@@ -98,9 +98,10 @@ impl DualStlb {
         let set = self.set_for(entry.vpn, entry.order);
         let ways = self.ways;
         let slot = &mut self.entries[set];
-        if let Some((e, stamp)) = slot.iter_mut().find(|(e, _)| {
-            e.asid == entry.asid && e.vpn == entry.vpn && e.order == entry.order
-        }) {
+        if let Some((e, stamp)) = slot
+            .iter_mut()
+            .find(|(e, _)| e.asid == entry.asid && e.vpn == entry.vpn && e.order == entry.order)
+        {
             *e = entry;
             *stamp = self.clock;
             return;

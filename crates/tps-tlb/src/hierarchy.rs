@@ -193,8 +193,7 @@ impl TlbHierarchy {
                 .then(|| ColtTlb::new(8, config.l1_2m_entries / 8, PageOrder::P2M)),
             l1_2m: (!tps).then(|| AnySizeTlb::new(config.l1_2m_entries)),
             l1_1g: (!tps).then(|| AnySizeTlb::new(config.l1_1g_entries)),
-            tps_l1: (tps && !config.tps_l1_skewed)
-                .then(|| AnySizeTlb::new(config.tps_l1_entries)),
+            tps_l1: (tps && !config.tps_l1_skewed).then(|| AnySizeTlb::new(config.tps_l1_entries)),
             tps_l1_skewed: (tps && config.tps_l1_skewed)
                 .then(|| SkewedTlb::new((config.tps_l1_entries / 4).max(1))),
             stlb: (!tps).then(|| DualStlb::new(config.stlb_sets, config.stlb_ways)),
@@ -223,7 +222,10 @@ impl TlbHierarchy {
 
     fn probe_l1(&mut self, asid: Asid, vpn: u64) -> Option<Translation> {
         if self.colt_l1.is_some() {
-            for colt in [&mut self.colt_l1, &mut self.colt_l1_2m].into_iter().flatten() {
+            for colt in [&mut self.colt_l1, &mut self.colt_l1_2m]
+                .into_iter()
+                .flatten()
+            {
                 if let Some(e) = colt.lookup(asid, vpn) {
                     return Some(Translation {
                         pfn: e.translate(vpn),
@@ -323,15 +325,16 @@ impl TlbHierarchy {
                     let ufn = entry.pfn >> g.get();
                     let writable = leaf.flags.contains(PteFlags::WRITABLE);
                     let run = match contiguity {
-                        Some(probe) => {
-                            detect_run(asid, g, upn, ufn, writable, |u| probe(u, g))
-                        }
+                        Some(probe) => detect_run(asid, g, upn, ufn, writable, |u| probe(u, g)),
                         None => detect_run(asid, g, upn, ufn, writable, |_| None),
                     };
                     if g == PageOrder::P4K {
                         self.colt_l1.as_mut().expect("CoLT 4K L1 exists").fill(run);
                     } else {
-                        self.colt_l1_2m.as_mut().expect("CoLT 2M L1 exists").fill(run);
+                        self.colt_l1_2m
+                            .as_mut()
+                            .expect("CoLT 2M L1 exists")
+                            .fill(run);
                     }
                 } else {
                     self.fill_l1_conventional_large(entry);
@@ -386,7 +389,10 @@ impl TlbHierarchy {
     /// Shoots down all cached translations overlapping a page.
     pub fn invalidate_page(&mut self, asid: Asid, va: VirtAddr, order: PageOrder) {
         self.l1_4k.invalidate(asid, va, order);
-        for t in [&mut self.colt_l1, &mut self.colt_l1_2m].into_iter().flatten() {
+        for t in [&mut self.colt_l1, &mut self.colt_l1_2m]
+            .into_iter()
+            .flatten()
+        {
             t.invalidate(asid, va, order);
         }
         for t in [&mut self.l1_2m, &mut self.l1_1g, &mut self.tps_l1]
@@ -401,7 +407,10 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.stlb {
             t.invalidate(asid, va, order);
         }
-        for t in [&mut self.stlb_1g, &mut self.tps_stlb].into_iter().flatten() {
+        for t in [&mut self.stlb_1g, &mut self.tps_stlb]
+            .into_iter()
+            .flatten()
+        {
             t.invalidate(asid, va, order);
         }
         if let Some(t) = &mut self.range {
@@ -412,7 +421,10 @@ impl TlbHierarchy {
     /// Removes every cached translation of an ASID.
     pub fn invalidate_asid(&mut self, asid: Asid) {
         self.l1_4k.invalidate_asid(asid);
-        for t in [&mut self.colt_l1, &mut self.colt_l1_2m].into_iter().flatten() {
+        for t in [&mut self.colt_l1, &mut self.colt_l1_2m]
+            .into_iter()
+            .flatten()
+        {
             t.invalidate_asid(asid);
         }
         for t in [&mut self.l1_2m, &mut self.l1_1g, &mut self.tps_l1]
@@ -427,7 +439,10 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.stlb {
             t.invalidate_asid(asid);
         }
-        for t in [&mut self.stlb_1g, &mut self.tps_stlb].into_iter().flatten() {
+        for t in [&mut self.stlb_1g, &mut self.tps_stlb]
+            .into_iter()
+            .flatten()
+        {
             t.invalidate_asid(asid);
         }
         if let Some(t) = &mut self.range {
@@ -438,7 +453,10 @@ impl TlbHierarchy {
     /// Flushes everything.
     pub fn flush(&mut self) {
         self.l1_4k.flush();
-        for t in [&mut self.colt_l1, &mut self.colt_l1_2m].into_iter().flatten() {
+        for t in [&mut self.colt_l1, &mut self.colt_l1_2m]
+            .into_iter()
+            .flatten()
+        {
             t.flush();
         }
         for t in [&mut self.l1_2m, &mut self.l1_1g, &mut self.tps_l1]
@@ -453,7 +471,10 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.stlb {
             t.flush();
         }
-        for t in [&mut self.stlb_1g, &mut self.tps_stlb].into_iter().flatten() {
+        for t in [&mut self.stlb_1g, &mut self.tps_stlb]
+            .into_iter()
+            .flatten()
+        {
             t.flush();
         }
         if let Some(t) = &mut self.range {
@@ -623,7 +644,9 @@ mod tests {
         let va = VirtAddr::new(0x4000_0000);
         let l = leaf(0x4000_0000, 14);
         h.fill_l1(0, va, &l, None);
-        assert!(h.lookup_l1(0, VirtAddr::new(0x4000_0000 + (63 << 20))).is_some());
+        assert!(h
+            .lookup_l1(0, VirtAddr::new(0x4000_0000 + (63 << 20)))
+            .is_some());
         h.invalidate_page(0, va, PageOrder::new(14).unwrap());
         assert!(h.lookup_l1(0, va).is_none());
     }

@@ -183,7 +183,13 @@ mod tests {
     #[test]
     fn negative_delta() {
         let mut rt = RangeTlb::new(4);
-        rt.fill(RangeEntry { asid: 0, start_vpn: 5000, end_vpn: 6000, delta: -4000, writable: true });
+        rt.fill(RangeEntry {
+            asid: 0,
+            start_vpn: 5000,
+            end_vpn: 6000,
+            delta: -4000,
+            writable: true,
+        });
         assert_eq!(rt.lookup(0, 5500).unwrap().translate(5500), 1500);
     }
 

@@ -60,7 +60,10 @@ impl SkewedTlb {
     ///
     /// Panics if `sets_per_way` is not a power of two.
     pub fn new(sets_per_way: usize) -> Self {
-        assert!(sets_per_way.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets_per_way.is_power_of_two(),
+            "sets must be a power of two"
+        );
         SkewedTlb {
             ways: WAY_CLASSES
                 .iter()
@@ -204,7 +207,7 @@ mod tests {
     #[test]
     fn conflicting_fills_evict_within_one_way() {
         let mut t = SkewedTlb::new(2); // tiny: 2 sets per way
-        // Many 4K pages: all land in way 0 (2 sets) -> heavy eviction.
+                                       // Many 4K pages: all land in way 0 (2 sets) -> heavy eviction.
         for vpn in 0..16 {
             t.fill(e(vpn, 0));
         }
@@ -222,7 +225,10 @@ mod tests {
         let mut t = SkewedTlb::new(8);
         t.fill(e(0, 4));
         t.invalidate(0, VirtAddr::new(3 << 12), PageOrder::P4K);
-        assert!(t.lookup(0, 0).is_none(), "overlapping large entry shot down");
+        assert!(
+            t.lookup(0, 0).is_none(),
+            "overlapping large entry shot down"
+        );
         t.fill(e(0, 0));
         let mut other = e(8, 0);
         other.asid = 5;

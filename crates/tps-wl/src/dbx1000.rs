@@ -81,7 +81,7 @@ impl Dbx1000 {
             pending: VecDeque::new(),
             done: 0,
             log_tail: 0,
-        setup_done: false,
+            setup_done: false,
         }
     }
 
@@ -135,9 +135,18 @@ impl Workload for Dbx1000 {
             self.setup_done = true;
             let p = self.params;
             self.pending.extend([
-                Event::Mmap { region: R_INDEX, bytes: p.rows * 16 },
-                Event::Mmap { region: R_TUPLES, bytes: p.rows * p.row_bytes },
-                Event::Mmap { region: R_LOG, bytes: LOG_BYTES },
+                Event::Mmap {
+                    region: R_INDEX,
+                    bytes: p.rows * 16,
+                },
+                Event::Mmap {
+                    region: R_TUPLES,
+                    bytes: p.rows * p.row_bytes,
+                },
+                Event::Mmap {
+                    region: R_LOG,
+                    bytes: LOG_BYTES,
+                },
             ]);
         }
         loop {
@@ -179,7 +188,12 @@ mod tests {
         let mut reads = 0u64;
         let mut writes = 0u64;
         while let Some(e) = d.next_event() {
-            if let Event::Access { region, offset, write } = e {
+            if let Event::Access {
+                region,
+                offset,
+                write,
+            } = e
+            {
                 let limit = match region {
                     R_INDEX => p.rows * 16,
                     R_TUPLES => p.rows * p.row_bytes,
@@ -204,7 +218,12 @@ mod tests {
         let mut d = Dbx1000::new(small());
         let mut tuple_pages = std::collections::HashMap::new();
         while let Some(e) = d.next_event() {
-            if let Event::Access { region: R_TUPLES, offset, .. } = e {
+            if let Event::Access {
+                region: R_TUPLES,
+                offset,
+                ..
+            } = e
+            {
                 *tuple_pages.entry(offset >> 12).or_insert(0u64) += 1;
             }
         }
@@ -218,7 +237,12 @@ mod tests {
         let mut d = Dbx1000::new(small());
         let mut prev = None;
         while let Some(e) = d.next_event() {
-            if let Event::Access { region: R_LOG, offset, .. } = e {
+            if let Event::Access {
+                region: R_LOG,
+                offset,
+                ..
+            } = e
+            {
                 if let Some(p) = prev {
                     let delta = (offset as i64 - p as i64).rem_euclid(LOG_BYTES as i64);
                     assert_eq!(delta, 64, "log stride");

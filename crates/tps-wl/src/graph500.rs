@@ -131,7 +131,8 @@ impl Graph500 {
         while self.roots_left > 0 {
             self.roots_left -= 1;
             let root = self.rng.below(self.n());
-            if !self.visited[root as usize] && self.xadj[root as usize] != self.xadj[root as usize + 1]
+            if !self.visited[root as usize]
+                && self.xadj[root as usize] != self.xadj[root as usize + 1]
             {
                 self.visited[root as usize] = true;
                 self.queue.push_back(root);
@@ -220,10 +221,22 @@ impl Workload for Graph500 {
             let n = self.n();
             let m = self.adj.len() as u64;
             self.pending.extend([
-                Event::Mmap { region: R_XADJ, bytes: (n + 1) * 8 },
-                Event::Mmap { region: R_ADJ, bytes: m.max(1) * 8 },
-                Event::Mmap { region: R_VISITED, bytes: n * 16 },
-                Event::Mmap { region: R_QUEUE, bytes: n * 8 },
+                Event::Mmap {
+                    region: R_XADJ,
+                    bytes: (n + 1) * 8,
+                },
+                Event::Mmap {
+                    region: R_ADJ,
+                    bytes: m.max(1) * 8,
+                },
+                Event::Mmap {
+                    region: R_VISITED,
+                    bytes: n * 16,
+                },
+                Event::Mmap {
+                    region: R_QUEUE,
+                    bytes: n * 8,
+                },
             ]);
         }
         loop {

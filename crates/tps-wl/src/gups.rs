@@ -108,11 +108,17 @@ mod tests {
             updates: 100,
             seed: 3,
         });
-        assert!(matches!(g.next_event(), Some(Event::Mmap { region: 0, bytes }) if bytes == 1 << 20));
+        assert!(
+            matches!(g.next_event(), Some(Event::Mmap { region: 0, bytes }) if bytes == 1 << 20)
+        );
         let mut count = 0;
         while let Some(e) = g.next_event() {
             match e {
-                Event::Access { region: 0, offset, write: true } => {
+                Event::Access {
+                    region: 0,
+                    offset,
+                    write: true,
+                } => {
                     assert!(offset < 1 << 20);
                     assert_eq!(offset % 8, 0);
                 }
@@ -126,7 +132,11 @@ mod tests {
     #[test]
     fn deterministic() {
         let collect = || {
-            let mut g = Gups::new(GupsParams { table_bytes: 1 << 20, updates: 50, seed: 9 });
+            let mut g = Gups::new(GupsParams {
+                table_bytes: 1 << 20,
+                updates: 50,
+                seed: 9,
+            });
             std::iter::from_fn(move || g.next_event()).collect::<Vec<_>>()
         };
         assert_eq!(collect(), collect());

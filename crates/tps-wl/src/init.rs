@@ -102,7 +102,9 @@ impl<W: Workload> Workload for Initialized<W> {
                         .iter()
                         .map(|(_, b)| b.div_ceil(1 << BASE_PAGE_SHIFT))
                         .sum();
-                    return Some(Event::Compute { insts: pages * 1024 });
+                    return Some(Event::Compute {
+                        insts: pages * 1024,
+                    });
                 }
                 Phase::Barrier => {
                     self.phase = Phase::Run;
@@ -136,7 +138,11 @@ mod tests {
         // 16 init writes at page stride.
         for i in 0..16u64 {
             match w.next_event() {
-                Some(Event::Access { offset, write: true, .. }) => {
+                Some(Event::Access {
+                    offset,
+                    write: true,
+                    ..
+                }) => {
                     assert_eq!(offset, i * 4096)
                 }
                 other => panic!("expected init write, got {other:?}"),

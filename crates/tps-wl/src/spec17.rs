@@ -210,8 +210,7 @@ impl Spec17Kernel {
                 // tailored page for TPS but dozens of 2M pages for THP.
                 let n_arenas = 191usize;
                 let mut region_bytes = vec![sh(192 << 20)]; // region 0: heap
-                region_bytes
-                    .extend((0..n_arenas).map(|_| sh((1 << 20) << rng.below(3))));
+                region_bytes.extend((0..n_arenas).map(|_| sh((1 << 20) << rng.below(3))));
                 (
                     Pattern::MultiRegion {
                         cursors: vec![0; n_arenas + 1],
@@ -325,7 +324,11 @@ impl Spec17Kernel {
                     *hot_bytes + self.rng.below((*cold_bytes - *hot_bytes) / 8) * 8
                 };
                 let write = self.rng.chance(*write_fraction);
-                self.pending.push_back(Event::Access { region: 0, offset, write });
+                self.pending.push_back(Event::Access {
+                    region: 0,
+                    offset,
+                    write,
+                });
             }
             Pattern::TreeWalk {
                 bytes,
@@ -375,7 +378,13 @@ impl Spec17Kernel {
                     write,
                 });
             }
-            Pattern::Stencil3d { nx, ny, nz, elem, cell } => {
+            Pattern::Stencil3d {
+                nx,
+                ny,
+                nz,
+                elem,
+                cell,
+            } => {
                 let total = *nx * *ny * *nz;
                 let c = *cell % total;
                 *cell = (*cell + 7) % total; // coprime stride: full sweep

@@ -43,7 +43,11 @@ pub fn format_event(event: &Event) -> String {
     match event {
         Event::Mmap { region, bytes } => format!("M {region} {bytes}"),
         Event::Munmap { region } => format!("U {region}"),
-        Event::Access { region, offset, write } => {
+        Event::Access {
+            region,
+            offset,
+            write,
+        } => {
             format!("A {region} {offset} {}", if *write { "W" } else { "R" })
         }
         Event::Compute { insts } => format!("C {insts}"),
@@ -81,7 +85,9 @@ pub fn parse_event(line: &str) -> Result<Option<Event>, String> {
         "A" => {
             let region = num("region")? as u32;
             let offset = num("offset")?;
-            let rw = parts.next().ok_or_else(|| format!("missing R|W in {line:?}"))?;
+            let rw = parts
+                .next()
+                .ok_or_else(|| format!("missing R|W in {line:?}"))?;
             Event::Access {
                 region,
                 offset,
@@ -92,7 +98,9 @@ pub fn parse_event(line: &str) -> Result<Option<Event>, String> {
                 },
             }
         }
-        "C" => Event::Compute { insts: num("insts")? },
+        "C" => Event::Compute {
+            insts: num("insts")?,
+        },
         "B" => Event::StatsBarrier,
         other => return Err(format!("unknown event tag {other:?} in {line:?}")),
     };
@@ -206,10 +214,21 @@ mod tests {
     #[test]
     fn event_format_round_trips() {
         let events = [
-            Event::Mmap { region: 3, bytes: 1 << 30 },
+            Event::Mmap {
+                region: 3,
+                bytes: 1 << 30,
+            },
             Event::Munmap { region: 3 },
-            Event::Access { region: 0, offset: 0xdeadbeef, write: true },
-            Event::Access { region: 7, offset: 0, write: false },
+            Event::Access {
+                region: 0,
+                offset: 0xdeadbeef,
+                write: true,
+            },
+            Event::Access {
+                region: 7,
+                offset: 0,
+                write: false,
+            },
             Event::Compute { insts: 12345 },
             Event::StatsBarrier,
         ];
@@ -256,7 +275,11 @@ mod tests {
     fn recorder_counts_and_finishes() {
         let mut buf = Vec::new();
         let mut rec = Recorder::new(
-            Gups::new(GupsParams { table_bytes: 8 << 10, updates: 3, seed: 1 }),
+            Gups::new(GupsParams {
+                table_bytes: 8 << 10,
+                updates: 3,
+                seed: 1,
+            }),
             &mut buf,
         );
         while rec.next_event().is_some() {}
@@ -273,11 +296,21 @@ mod tests {
         let mut rng = Rng::new(4);
         let mut lines = vec!["# synthetic trace".to_string(), "M 0 65536".into()];
         for _ in 0..100 {
-            lines.push(format!("A 0 {} {}", rng.below(65536), if rng.chance(0.5) { "W" } else { "R" }));
+            lines.push(format!(
+                "A 0 {} {}",
+                rng.below(65536),
+                if rng.chance(0.5) { "W" } else { "R" }
+            ));
         }
         let text = lines.join("\n");
         let events = collect(replay(text.as_bytes(), WorkloadProfile::named("trace")).unwrap());
         assert_eq!(events.len(), 101);
-        assert!(matches!(events[0], Event::Mmap { region: 0, bytes: 65536 }));
+        assert!(matches!(
+            events[0],
+            Event::Mmap {
+                region: 0,
+                bytes: 65536
+            }
+        ));
     }
 }

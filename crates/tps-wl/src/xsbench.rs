@@ -98,8 +98,8 @@ impl XsBench {
         let sampled = 8.min(p.nuclides);
         for _ in 0..sampled {
             let nuclide = self.rng.below(p.nuclides);
-            let point = (target * p.nuclide_grid_points / p.grid_points)
-                .min(p.nuclide_grid_points - 1);
+            let point =
+                (target * p.nuclide_grid_points / p.grid_points).min(p.nuclide_grid_points - 1);
             let offset = (nuclide * p.nuclide_grid_points + point) * 48;
             self.pending.push_back(Event::Access {
                 region: R_NUCLIDE,
@@ -129,8 +129,14 @@ impl Workload for XsBench {
             self.setup_done = true;
             let p = self.params;
             self.pending.extend([
-                Event::Mmap { region: R_EGRID, bytes: p.grid_points * 8 },
-                Event::Mmap { region: R_INDEX, bytes: p.grid_points * 8 },
+                Event::Mmap {
+                    region: R_EGRID,
+                    bytes: p.grid_points * 8,
+                },
+                Event::Mmap {
+                    region: R_INDEX,
+                    bytes: p.grid_points * 8,
+                },
                 Event::Mmap {
                     region: R_NUCLIDE,
                     bytes: p.nuclides * p.nuclide_grid_points * 48,
@@ -173,7 +179,10 @@ mod tests {
         }
         let mut egrid_in_first_lookup = 0;
         for _ in 0..14 {
-            if let Some(Event::Access { region: R_EGRID, .. }) = x.next_event() {
+            if let Some(Event::Access {
+                region: R_EGRID, ..
+            }) = x.next_event()
+            {
                 egrid_in_first_lookup += 1;
             } else {
                 break;
@@ -211,7 +220,12 @@ mod tests {
         }
         let mut offsets = Vec::new();
         while offsets.len() < 5 {
-            if let Some(Event::Access { region: R_EGRID, offset, .. }) = x.next_event() {
+            if let Some(Event::Access {
+                region: R_EGRID,
+                offset,
+                ..
+            }) = x.next_event()
+            {
                 offsets.push(offset as i64);
             }
         }

@@ -205,6 +205,9 @@ mod tests {
             }
             x = nxt;
         }
-        assert!(long_jumps > 900, "pointer chase must be non-local: {long_jumps}");
+        assert!(
+            long_jumps > 900,
+            "pointer chase must be non-local: {long_jumps}"
+        );
     }
 }

@@ -67,15 +67,24 @@ impl Workload for HashJoin {
                 0 => {
                     self.phase = 1;
                     self.cursor = 0;
-                    return Some(Event::Mmap { region: R_BUILD, bytes: self.build_bytes });
+                    return Some(Event::Mmap {
+                        region: R_BUILD,
+                        bytes: self.build_bytes,
+                    });
                 }
                 1 if self.cursor == 0 => {
                     self.cursor = 1;
-                    return Some(Event::Mmap { region: R_PROBE, bytes: self.probe_bytes });
+                    return Some(Event::Mmap {
+                        region: R_PROBE,
+                        bytes: self.probe_bytes,
+                    });
                 }
                 1 if self.cursor == 1 => {
                     self.cursor = 2;
-                    return Some(Event::Mmap { region: R_HASH, bytes: self.hash_bytes });
+                    return Some(Event::Mmap {
+                        region: R_HASH,
+                        bytes: self.hash_bytes,
+                    });
                 }
                 1 => {
                     // Build: scan tuples (128 B each), insert into the table.
@@ -87,7 +96,11 @@ impl Workload for HashJoin {
                     }
                     self.cursor += 1;
                     self.pending_hash = Some(self.rng.below(self.hash_bytes / 16) * 16);
-                    return Some(Event::Access { region: R_BUILD, offset, write: false });
+                    return Some(Event::Access {
+                        region: R_BUILD,
+                        offset,
+                        write: false,
+                    });
                 }
                 2 => {
                     // Probe: scan the probe side, look up the table.
@@ -97,7 +110,11 @@ impl Workload for HashJoin {
                     }
                     self.cursor += 1;
                     self.pending_hash = Some(self.rng.below(self.hash_bytes / 16) * 16);
-                    return Some(Event::Access { region: R_PROBE, offset, write: false });
+                    return Some(Event::Access {
+                        region: R_PROBE,
+                        offset,
+                        write: false,
+                    });
                 }
                 _ => return None,
             }

@@ -62,7 +62,7 @@ fn main() {
     }
 
     // 3. Compaction recovers contiguity (paper §III-B3).
-    let outcome = compaction::compact(&mut buddy, &pinned);
+    let outcome = compaction::compact(&mut buddy, &pinned).expect("movable list is live");
     println!(
         "\ncompaction moved {} blocks ({} pages copied)",
         outcome.moved_blocks(),

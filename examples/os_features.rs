@@ -33,7 +33,8 @@ fn cow_demo() {
         }
         let (child, _sds) = os.fork(parent);
         // The child writes one word in the middle of the 256 KB page.
-        os.handle_cow_fault(child, vma.base() + (100 << 10)).unwrap();
+        os.handle_cow_fault(child, vma.base() + (100 << 10))
+            .unwrap();
         let stats = os.stats();
         println!(
             "  {policy:?}: copied {} KB in {} CoW fault(s); child census: {:?}",
@@ -72,7 +73,8 @@ fn mprotect_demo() {
             .join(" ")
     };
     println!("  after faulting:  {}", census(&os));
-    os.mprotect(pid, vma.base() + (32 << 10), 32 << 10, false).unwrap();
+    os.mprotect(pid, vma.base() + (32 << 10), 32 << 10, false)
+        .unwrap();
     println!("  after mprotect:  {}", census(&os));
     os.mprotect(pid, vma.base(), 128 << 10, true).unwrap();
     let merges = os.merge_pages(pid);
@@ -115,11 +117,19 @@ fn trace_demo() {
     println!(
         "  replay reproduces the run exactly: {} L1 misses ({})",
         again.mem.l1_misses(),
-        if again.mem == live.mem { "identical" } else { "DIFFERENT!" }
+        if again.mem == live.mem {
+            "identical"
+        } else {
+            "DIFFERENT!"
+        }
     );
     // Traces also make ad-hoc experiments easy: hand-written event streams.
     let handwritten = "M 0 8192\nA 0 0 W\nA 0 4096 R\nB\nA 0 0 R\n";
-    let mut wl = replay(handwritten.as_bytes(), WorkloadProfile::named("handwritten")).unwrap();
+    let mut wl = replay(
+        handwritten.as_bytes(),
+        WorkloadProfile::named("handwritten"),
+    )
+    .unwrap();
     let mut m3 = Machine::new(MachineConfig::for_mechanism(Mechanism::Thp).with_memory(16 << 20));
     let mut counters = RunCounters::default();
     while let Some(e) = wl.next_event() {

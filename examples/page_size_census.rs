@@ -12,7 +12,10 @@ use tps::wl::{build, suite_names, SuiteScale};
 
 fn main() {
     let scale = SuiteScale::Small;
-    println!("{:>10}  {:>6}  {:>8}  census (size x count)", "benchmark", "pages", "largest");
+    println!(
+        "{:>10}  {:>6}  {:>8}  census (size x count)",
+        "benchmark", "pages", "largest"
+    );
     for name in suite_names() {
         let config =
             MachineConfig::for_mechanism(Mechanism::Tps).with_memory(scale.recommended_memory());

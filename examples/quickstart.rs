@@ -29,7 +29,10 @@ fn main() {
 
     println!("workload:            {}", stats.name);
     println!("accesses (measured): {}", stats.mem.accesses);
-    println!("L1 TLB hit rate:     {:.3}%", 100.0 * stats.mem.l1_hit_rate());
+    println!(
+        "L1 TLB hit rate:     {:.3}%",
+        100.0 * stats.mem.l1_hit_rate()
+    );
     println!("L1 TLB misses:       {}", stats.mem.l1_misses());
     println!("page walks:          {}", stats.walks);
     println!("walk memory refs:    {}", stats.walk_refs);
@@ -44,6 +47,8 @@ fn main() {
 
     // The paper's timing decomposition: T = T_IDEAL + T_L1DTLBM + T_PW.
     let timing = tps::sim::TimingModel::default().evaluate(&stats, false);
-    println!("\ntiming (cycles): ideal={:.0} l1miss={:.0} walks={:.0}",
-        timing.t_ideal, timing.t_l1dtlbm, timing.t_pw);
+    println!(
+        "\ntiming (cycles): ideal={:.0} l1miss={:.0} walks={:.0}",
+        timing.t_ideal, timing.t_l1dtlbm, timing.t_pw
+    );
 }

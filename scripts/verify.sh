@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate for the TPS reproduction.
+#
+# Runs the four checks CI and reviewers rely on, in order of increasing
+# strictness. Fully offline: the workspace vendors shim crates for its
+# only external dev-dependencies (see crates/proptest-shim,
+# crates/criterion-shim), so no registry access is needed or attempted.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (tier-1: facade + integration)"
+cargo test -q
+
+echo "==> cargo test --workspace -q (all crates)"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: all gates passed"

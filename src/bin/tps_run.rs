@@ -114,12 +114,11 @@ fn parse_args() -> Options {
 }
 
 fn configure(opts: &Options, mech: Mechanism) -> MachineConfig {
-    let mut config = MachineConfig::for_mechanism(mech)
-        .with_memory(if opts.smt {
-            2 * opts.scale.recommended_memory()
-        } else {
-            opts.scale.recommended_memory()
-        });
+    let mut config = MachineConfig::for_mechanism(mech).with_memory(if opts.smt {
+        2 * opts.scale.recommended_memory()
+    } else {
+        opts.scale.recommended_memory()
+    });
     config.virtualized = opts.virtualized;
     config.five_level_paging = opts.five_level;
     config.verify_translations = opts.verify;

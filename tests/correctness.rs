@@ -110,9 +110,16 @@ fn memory_is_fully_reclaimed_after_unmapping_everything() {
     }
     for r in (0..8u32).rev() {
         for page in (0..64u64).rev() {
-            events.push(Event::Access { region: r, offset: page * 4096, write: true });
+            events.push(Event::Access {
+                region: r,
+                offset: page * 4096,
+                write: true,
+            });
         }
-        events.push(Event::Mmap { region: r, bytes: 64 * 4096 });
+        events.push(Event::Mmap {
+            region: r,
+            bytes: 64 * 4096,
+        });
     }
     for mech in [Mechanism::Thp, Mechanism::Tps, Mechanism::Rmm] {
         let config = MachineConfig::for_mechanism(mech)
@@ -150,10 +157,20 @@ fn step_api_supports_custom_driving() {
         .with_verification();
     let mut machine = Machine::new(config);
     let mut counters = RunCounters::default();
-    machine.step(Event::Mmap { region: 9, bytes: 1 << 20 }, &mut counters);
+    machine.step(
+        Event::Mmap {
+            region: 9,
+            bytes: 1 << 20,
+        },
+        &mut counters,
+    );
     for i in 0..256u64 {
         machine.step(
-            Event::Access { region: 9, offset: i * 4096, write: true },
+            Event::Access {
+                region: 9,
+                offset: i * 4096,
+                write: true,
+            },
             &mut counters,
         );
     }
@@ -174,11 +191,37 @@ fn virtual_addresses_never_leak_between_regions() {
         .with_verification();
     let mut machine = Machine::new(config);
     let mut counters = RunCounters::default();
-    machine.step(Event::Mmap { region: 0, bytes: 256 << 10 }, &mut counters);
-    machine.step(Event::Mmap { region: 1, bytes: 256 << 10 }, &mut counters);
+    machine.step(
+        Event::Mmap {
+            region: 0,
+            bytes: 256 << 10,
+        },
+        &mut counters,
+    );
+    machine.step(
+        Event::Mmap {
+            region: 1,
+            bytes: 256 << 10,
+        },
+        &mut counters,
+    );
     for i in 0..64u64 {
-        machine.step(Event::Access { region: 0, offset: i * 4096, write: true }, &mut counters);
-        machine.step(Event::Access { region: 1, offset: i * 4096, write: true }, &mut counters);
+        machine.step(
+            Event::Access {
+                region: 0,
+                offset: i * 4096,
+                write: true,
+            },
+            &mut counters,
+        );
+        machine.step(
+            Event::Access {
+                region: 1,
+                offset: i * 4096,
+                write: true,
+            },
+            &mut counters,
+        );
     }
     let pt = machine.os().process(0).page_table();
     // Census: both regions promoted independently; physical ranges disjoint.
@@ -192,7 +235,11 @@ fn virtual_addresses_never_leak_between_regions() {
     assert_eq!(vma_bases.len(), 2);
     let pa0 = pt.translate(vma_bases[0]).unwrap();
     let pa1 = pt.translate(vma_bases[1]).unwrap();
-    assert_ne!(pa0.align_down(18), pa1.align_down(18), "distinct physical blocks");
+    assert_ne!(
+        pa0.align_down(18),
+        pa1.align_down(18),
+        "distinct physical blocks"
+    );
 }
 
 #[test]
@@ -202,9 +249,22 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
         .with_verification();
     let mut machine = Machine::new(config);
     let mut counters = RunCounters::default();
-    machine.step(Event::Mmap { region: 0, bytes: 256 << 10 }, &mut counters);
+    machine.step(
+        Event::Mmap {
+            region: 0,
+            bytes: 256 << 10,
+        },
+        &mut counters,
+    );
     for i in 0..64u64 {
-        machine.step(Event::Access { region: 0, offset: i * 4096, write: true }, &mut counters);
+        machine.step(
+            Event::Access {
+                region: 0,
+                offset: i * 4096,
+                write: true,
+            },
+            &mut counters,
+        );
     }
     let merges = machine.merge_pages();
     assert!(merges > 0, "contiguous 4K faults must merge");
@@ -212,7 +272,14 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
     // stale (pre-merge) TLB entries must still be correct, as the paper
     // argues merges need no shootdowns.
     for i in 0..64u64 {
-        machine.step(Event::Access { region: 0, offset: i * 4096, write: false }, &mut counters);
+        machine.step(
+            Event::Access {
+                region: 0,
+                offset: i * 4096,
+                write: false,
+            },
+            &mut counters,
+        );
     }
     let census = machine.os().process(0).page_table().page_census();
     assert!(census.keys().any(|o| o.get() >= 4), "census {census:?}");

@@ -29,7 +29,9 @@ fn every_benchmark_translates_correctly_under_every_mechanism() {
             let stats = run(name, mech);
             assert!(stats.mem.accesses > 0, "{name}/{mech}");
             assert_eq!(
-                stats.mem.l1_hits + stats.mem.stlb_hits + stats.mem.range_hits
+                stats.mem.l1_hits
+                    + stats.mem.stlb_hits
+                    + stats.mem.range_hits
                     + stats.mem.l2_misses,
                 stats.mem.accesses,
                 "{name}/{mech}: outcome counts must partition accesses"

@@ -21,8 +21,7 @@ mod tps_bench_shapes {
         tweak: impl FnOnce(MachineConfig) -> MachineConfig,
     ) -> tps::sim::RunStats {
         let config = tweak(
-            MachineConfig::for_mechanism(mech)
-                .with_memory(SuiteScale::Test.recommended_memory()),
+            MachineConfig::for_mechanism(mech).with_memory(SuiteScale::Test.recommended_memory()),
         );
         let mut machine = Machine::new(config);
         let mut workload = build(name, SuiteScale::Test);
@@ -88,8 +87,7 @@ fn fig11_shape_tps_beats_rmm_on_gcc_walks() {
 #[test]
 fn fig14_shape_smt_hurts_baseline_more_than_tps() {
     let config = |mech| {
-        MachineConfig::for_mechanism(mech)
-            .with_memory(2 * SuiteScale::Test.recommended_memory())
+        MachineConfig::for_mechanism(mech).with_memory(2 * SuiteScale::Test.recommended_memory())
     };
     let smt_run = |mech| {
         let mut a = build("xsbench", SuiteScale::Test);
@@ -137,7 +135,10 @@ fn fig16_shape_tps_still_helps_under_fragmentation_with_locality() {
     });
     if base.mem.l1_misses() > 1000 {
         let elim = tps.l1_misses_eliminated_vs(&base);
-        assert!(elim > 0.0, "some benefit must survive fragmentation: {elim}");
+        assert!(
+            elim > 0.0,
+            "some benefit must survive fragmentation: {elim}"
+        );
     }
 }
 
@@ -149,9 +150,8 @@ fn fig17_shape_tps_system_work_is_comparable_to_thp() {
     // stay within a small multiple of THP's.
     let thp = run("xsbench", Mechanism::Thp);
     let tps = run("xsbench", Mechanism::Tps);
-    let per_page = |s: &tps::sim::RunStats| {
-        s.os.op_cycles as f64 / (s.resident_bytes >> 12).max(1) as f64
-    };
+    let per_page =
+        |s: &tps::sim::RunStats| s.os.op_cycles as f64 / (s.resident_bytes >> 12).max(1) as f64;
     let ratio = per_page(&tps) / per_page(&thp);
     assert!(
         ratio < 3.0,

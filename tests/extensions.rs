@@ -3,7 +3,9 @@
 //! machine.
 
 use tps::sim::{Machine, MachineConfig, Mechanism};
-use tps::wl::{build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, WorkloadProfile};
+use tps::wl::{
+    build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, WorkloadProfile,
+};
 
 fn base_config(mech: Mechanism) -> MachineConfig {
     MachineConfig::for_mechanism(mech)
@@ -43,7 +45,11 @@ fn skewed_tps_tlb_runs_verified_and_close_to_fa() {
 
     // Verification (enabled) proves correctness; hit rates are close — a
     // single-page GUPS footprint fits either organization.
-    assert!(skewed.mem.l1_hit_rate() > 0.95, "{}", skewed.mem.l1_hit_rate());
+    assert!(
+        skewed.mem.l1_hit_rate() > 0.95,
+        "{}",
+        skewed.mem.l1_hit_rate()
+    );
     assert!(fa.mem.l1_hit_rate() >= skewed.mem.l1_hit_rate() - 0.02);
 }
 
@@ -98,18 +104,41 @@ fn mprotect_round_trip_through_verified_accesses() {
 
     let mut machine = Machine::new(base_config(Mechanism::Tps));
     let mut counters = RunCounters::default();
-    machine.step(Event::Mmap { region: 0, bytes: 64 << 10 }, &mut counters);
+    machine.step(
+        Event::Mmap {
+            region: 0,
+            bytes: 64 << 10,
+        },
+        &mut counters,
+    );
     for i in 0..16u64 {
-        machine.step(Event::Access { region: 0, offset: i * 4096, write: true }, &mut counters);
+        machine.step(
+            Event::Access {
+                region: 0,
+                offset: i * 4096,
+                write: true,
+            },
+            &mut counters,
+        );
     }
     // mprotect at the OS level is visible in the page table; verified
     // reads still succeed afterwards. (Writes to the read-only part would
     // take a CoW-style fault, exercised in the tps-sim unit tests.)
-    let base = machine.os().process(0).address_space().iter().next().unwrap().base();
+    let base = machine
+        .os()
+        .process(0)
+        .address_space()
+        .iter()
+        .next()
+        .unwrap()
+        .base();
     // Direct OS access isn't exposed mutably through Machine by design;
     // validate the flag change via page-table inspection using a second
     // OS-level scenario instead.
-    let mut os = tps::os::Os::new(64 << 20, tps::os::PolicyConfig::new(tps::os::PolicyKind::Tps));
+    let mut os = tps::os::Os::new(
+        64 << 20,
+        tps::os::PolicyConfig::new(tps::os::PolicyKind::Tps),
+    );
     let pid = os.spawn();
     let vma = os.mmap(pid, 64 << 10).unwrap();
     let mut va = vma.base();
