@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr};
+use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr, BASE_PAGE_SIZE, GIB};
 use tps_mem::BuddyAllocator;
 use tps_pt::{MmuCaches, PageTable, Walker};
 use tps_sim::{Machine, MachineConfig, Mechanism, RunCounters};
@@ -76,8 +76,8 @@ fn bench_walk(c: &mut Criterion) {
     let mut pt = PageTable::new();
     for i in 0..512u64 {
         pt.map(
-            VirtAddr::new(0x4000_0000 + i * 4096),
-            PhysAddr::new(0x4000_0000 + i * 4096),
+            VirtAddr::new(GIB + i * BASE_PAGE_SIZE),
+            PhysAddr::new(GIB + i * BASE_PAGE_SIZE),
             PageOrder::P4K,
             PteFlags::WRITABLE,
         )
@@ -90,7 +90,7 @@ fn bench_walk(c: &mut Criterion) {
             i = (i + 1) % 512;
             black_box(
                 walker
-                    .walk(&pt, VirtAddr::new(0x4000_0000 + i * 4096), None)
+                    .walk(&pt, VirtAddr::new(GIB + i * BASE_PAGE_SIZE), None)
                     .unwrap(),
             )
         })
@@ -104,7 +104,7 @@ fn bench_walk(c: &mut Criterion) {
                 walker
                     .walk(
                         &pt,
-                        VirtAddr::new(0x4000_0000 + i * 4096),
+                        VirtAddr::new(GIB + i * BASE_PAGE_SIZE),
                         Some(&mut caches),
                     )
                     .unwrap(),

@@ -362,6 +362,7 @@ impl Auditor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
     use tps_os::{PolicyConfig, PolicyKind};
 
     #[test]
@@ -371,7 +372,7 @@ mod tests {
         let vma = os.mmap(pid, 1 << 20).unwrap();
         let mut auditor = Auditor::new();
         for i in 0..64 {
-            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            let va = VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE);
             let outcome = os.handle_fault(pid, va, true).unwrap();
             auditor.record_fill(&os, pid, &outcome);
         }
@@ -419,7 +420,7 @@ mod tests {
         let vma = os.mmap(pid, 64 << 10).unwrap(); // promotes up to order 4
         let mut auditor = Auditor::new();
         for i in 0..16 {
-            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            let va = VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE);
             let outcome = os.handle_fault(pid, va, true).unwrap();
             auditor.record_fill(&os, pid, &outcome);
         }

@@ -109,9 +109,6 @@ impl FaultInjector for FaultPlan {
             FaultSite::ReserveSpan => self.cfg.reserve_span,
             FaultSite::CompactionStep => self.cfg.compaction_step,
             FaultSite::ShootdownDeliver => self.cfg.shootdown_deliver,
-            // `FaultSite` is non-exhaustive; unknown future sites never
-            // fault under this plan.
-            _ => 0.0,
         };
         let hit = p > 0.0 && self.rng.chance(p);
         if hit {

@@ -7,6 +7,16 @@ use std::ops::{Add, Sub};
 pub const BASE_PAGE_SHIFT: u32 = 12;
 /// The base page size in bytes (4 KB).
 pub const BASE_PAGE_SIZE: u64 = 1 << BASE_PAGE_SHIFT;
+/// Bytes in a 2 MB page (order 9) — the x86-64 "huge page" TPS subsumes.
+pub const PAGE_2M_BYTES: u64 = 1 << (BASE_PAGE_SHIFT + 9);
+/// Bytes in a 1 GB page (order 18) — the largest conventional x86-64 size.
+pub const PAGE_1G_BYTES: u64 = 1 << (BASE_PAGE_SHIFT + 18);
+/// One binary kilobyte.
+pub const KIB: u64 = 1 << 10;
+/// One binary megabyte.
+pub const MIB: u64 = 1 << 20;
+/// One binary gigabyte.
+pub const GIB: u64 = 1 << 30;
 /// Number of meaningful virtual-address bits (x86-64 4-level paging).
 pub const VA_BITS: u32 = 48;
 /// Number of physical-address bits modeled (the paper's example uses 40).

@@ -5,7 +5,6 @@ use std::fmt;
 
 /// Errors produced by the TPS simulation stack.
 #[derive(Debug, Clone, PartialEq, Eq)]
-#[non_exhaustive]
 pub enum TpsError {
     /// A page order above the supported maximum was requested.
     InvalidPageOrder(u8),
@@ -82,7 +81,6 @@ impl TpsError {
 
 /// The layer at which a cross-layer invariant violation was detected.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
-#[non_exhaustive]
 pub enum InvariantLayer {
     /// The buddy physical-memory allocator.
     Buddy,

@@ -21,7 +21,6 @@ use std::rc::Rc;
 
 /// A place where a fault can be injected.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-#[non_exhaustive]
 pub enum FaultSite {
     /// A buddy-allocator block allocation (forced [`OutOfMemory`]
     /// (crate::TpsError::OutOfMemory)). Carries the requested order.

@@ -42,7 +42,10 @@ mod page;
 mod pte;
 pub mod rng;
 
-pub use addr::{PhysAddr, VirtAddr, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, PA_BITS, VA_BITS};
+pub use addr::{
+    PhysAddr, VirtAddr, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, GIB, KIB, MIB, PAGE_1G_BYTES,
+    PAGE_2M_BYTES, PA_BITS, VA_BITS,
+};
 pub use error::{InvariantLayer, TpsError};
 pub use inject::{FaultInjector, FaultSite, InjectorHandle};
 pub use page::{

@@ -1,0 +1,155 @@
+//! The ratchet file: `lint-baseline.toml`.
+//!
+//! Pre-existing violations are frozen per `(rule, file)`; the gate fails
+//! only when a count *grows*. The file is a tiny TOML subset — section
+//! headers are rule names, keys are workspace-relative paths, values are
+//! violation counts — parsed by hand because the workspace is std-only.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Budgets keyed by `(rule, path)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (every violation is new).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The frozen violation budget for `(rule, path)`.
+    pub fn budget(&self, rule: &str, path: &str) -> usize {
+        self.counts
+            .get(&(rule.to_string(), path.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total frozen budget for one rule across all files.
+    pub fn rule_total(&self, rule: &str) -> usize {
+        self.counts
+            .iter()
+            .filter(|((r, _), _)| r == rule)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// Records a budget (used by `--write-baseline`).
+    pub fn set(&mut self, rule: &str, path: &str, count: usize) {
+        if count > 0 {
+            self.counts
+                .insert((rule.to_string(), path.to_string()), count);
+        }
+    }
+
+    /// Iterates `(rule, path, count)` in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.counts
+            .iter()
+            .map(|((r, p), n)| (r.as_str(), p.as_str(), *n))
+    }
+
+    /// Parses the baseline file format. Unknown syntax is an error so a
+    /// corrupted ratchet cannot silently unfreeze violations.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut counts = BTreeMap::new();
+        let mut section: Option<String> = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = Some(name.trim().to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {}: expected `\"path\" = count`", lineno + 1));
+            };
+            let Some(rule) = section.clone() else {
+                return Err(format!(
+                    "line {}: entry before any [rule] section",
+                    lineno + 1
+                ));
+            };
+            let path = key.trim().trim_matches('"').to_string();
+            let count: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: count is not an integer", lineno + 1))?;
+            counts.insert((rule, path), count);
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Serializes in the format [`Baseline::parse`] reads.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from(
+            "# tps-lint ratchet file. Frozen pre-existing violations, per rule and file.\n\
+             # Counts may only shrink: scripts/lint-ratchet.sh fails the build if an entry\n\
+             # grows relative to the committed copy. Regenerate with:\n\
+             #   cargo run -p tps-lint -- --workspace --write-baseline\n",
+        );
+        let mut current_rule: Option<&str> = None;
+        for (rule, path, count) in self.iter() {
+            if current_rule != Some(rule) {
+                let _ = write!(out, "\n[{rule}]\n");
+                current_rule = Some(rule);
+            }
+            let _ = writeln!(out, "\"{path}\" = {count}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut b = Baseline::new();
+        b.set("panic-free-fault-path", "crates/tps-os/src/os.rs", 3);
+        b.set("panic-free-fault-path", "crates/tps-mem/src/buddy.rs", 2);
+        b.set("pub-item-docs", "crates/tps-core/src/pte.rs", 1);
+        let text = b.serialize();
+        let parsed = Baseline::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.budget("panic-free-fault-path", "crates/tps-os/src/os.rs"),
+            3
+        );
+        assert_eq!(parsed.budget("panic-free-fault-path", "nope.rs"), 0);
+        assert_eq!(parsed.rule_total("panic-free-fault-path"), 5);
+        assert_eq!(parsed.rule_total("no-magic-page-size"), 0);
+    }
+
+    #[test]
+    fn zero_counts_are_not_written() {
+        let mut b = Baseline::new();
+        b.set("pub-item-docs", "a.rs", 0);
+        assert_eq!(b.iter().count(), 0);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Baseline::parse("what is this").is_err());
+        assert!(
+            Baseline::parse("\"a.rs\" = 3").is_err(),
+            "entry before section"
+        );
+        assert!(
+            Baseline::parse("[r]\n\"a.rs\" = x").is_err(),
+            "non-integer count"
+        );
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# header\n\n[r]\n# note\n\"a.rs\" = 2\n").unwrap();
+        assert_eq!(b.budget("r", "a.rs"), 2);
+    }
+}

@@ -1,0 +1,399 @@
+//! Per-file lint context: significant tokens, test-code spans, and
+//! inline-suppression directives.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{self, Token, TokenKind};
+use crate::rules;
+
+/// One file loaded for linting.
+pub struct SourceFile {
+    /// Workspace-relative path with unix separators.
+    pub rel_path: String,
+    /// The owning crate (directory name under `crates/`, or `tps` for the
+    /// facade package at the workspace root).
+    pub crate_name: String,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// A significant (non-comment) token, with a back-pointer into the full
+/// stream so documentation checks can look at adjacent comments.
+#[derive(Copy, Clone, Debug)]
+pub struct Sig<'a> {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Token text.
+    pub text: &'a str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Index into [`FileCtx::tokens`].
+    pub full_idx: usize,
+}
+
+/// A parsed `// tps-lint::allow(rule, reason = "...")` directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The suppressed rule.
+    pub rule: String,
+    /// The line the suppression applies to: the directive's own line when
+    /// it trails code, otherwise the next line.
+    pub target_line: u32,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path.
+    pub rel_path: &'a str,
+    /// Owning crate name.
+    pub crate_name: &'a str,
+    /// File contents.
+    pub src: &'a str,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Significant tokens only (no comments).
+    pub sig: Vec<Sig<'a>>,
+    /// `test_mask[i]` is true when `sig[i]` lies inside test-only code
+    /// (`#[cfg(test)]` / `#[test]` items, or a tests/benches/examples file).
+    pub test_mask: Vec<bool>,
+    /// Valid suppression directives.
+    pub allows: Vec<Allow>,
+    /// Diagnostics for malformed suppression directives.
+    pub malformed: Vec<Diagnostic>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file: lexes it, classifies test spans and
+    /// parses suppression comments.
+    pub fn build(file: &'a SourceFile) -> Self {
+        let src = file.text.as_str();
+        let tokens = lexer::lex(src);
+        let sig: Vec<Sig<'a>> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+                )
+            })
+            .map(|(i, t)| Sig {
+                kind: t.kind,
+                text: t.text(src),
+                line: t.line,
+                col: t.col,
+                full_idx: i,
+            })
+            .collect();
+        let all_test = path_is_test_only(&file.rel_path);
+        let test_mask = if all_test {
+            vec![true; sig.len()]
+        } else {
+            test_mask(&sig)
+        };
+        let (allows, malformed) = parse_allows(&file.rel_path, src, &tokens);
+        FileCtx {
+            rel_path: &file.rel_path,
+            crate_name: &file.crate_name,
+            src,
+            tokens,
+            sig,
+            test_mask,
+            allows,
+            malformed,
+        }
+    }
+
+    /// True when `sig[i]` is inside test-only code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Convenience: the text of `sig[i]`, or `""` past the end.
+    pub fn text(&self, i: usize) -> &str {
+        self.sig.get(i).map(|s| s.text).unwrap_or("")
+    }
+
+    /// Emits a diagnostic anchored at `sig[i]`.
+    pub fn diag(&self, i: usize, rule: &'static str, message: String) -> Diagnostic {
+        let s = &self.sig[i];
+        Diagnostic {
+            path: self.rel_path.to_string(),
+            line: s.line,
+            col: s.col,
+            rule,
+            message,
+        }
+    }
+}
+
+/// Whole files under tests/, benches/ or examples/ trees are test-only.
+fn path_is_test_only(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    parts[..parts.len().saturating_sub(1)]
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"))
+        || rel.ends_with("build.rs")
+}
+
+/// Marks significant tokens covered by `#[cfg(test)]` / `#[test]` items.
+fn test_mask(sig: &[Sig<'_>]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut i = 0usize;
+    while i < sig.len() {
+        if sig[i].text == "#" && i + 1 < sig.len() && sig[i + 1].text == "[" {
+            let attr_start = i;
+            let close = match matching(sig, i + 1, "[", "]") {
+                Some(c) => c,
+                None => break,
+            };
+            if attr_is_test(&sig[i + 2..close]) {
+                if let Some(end) = item_end(sig, close + 1) {
+                    for m in mask.iter_mut().take(end + 1).skip(attr_start) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` — but not
+/// `#[cfg(not(test))]`.
+fn attr_is_test(body: &[Sig<'_>]) -> bool {
+    if body.is_empty() {
+        return false;
+    }
+    if body.len() == 1 && body[0].text == "test" {
+        return true;
+    }
+    if body[0].text != "cfg" {
+        return false;
+    }
+    let mentions_test = body.iter().any(|s| s.text == "test");
+    let negated = body.iter().any(|s| s.text == "not");
+    mentions_test && !negated
+}
+
+/// Index of the token closing the group opened at `open_idx`.
+fn matching(sig: &[Sig<'_>], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, s) in sig.iter().enumerate().skip(open_idx) {
+        if s.text == open {
+            depth += 1;
+        } else if s.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the end of the item starting at `start` (first token after its
+/// attributes): the matching `}` of its body, or a trailing `;`.
+fn item_end(sig: &[Sig<'_>], start: usize) -> Option<usize> {
+    let mut j = start;
+    // Skip any further attributes between the test attribute and the item.
+    while j + 1 < sig.len() && sig[j].text == "#" && sig[j + 1].text == "[" {
+        j = matching(sig, j + 1, "[", "]")? + 1;
+    }
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    while j < sig.len() {
+        match sig[j].text {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            "{" if paren == 0 && bracket == 0 => return matching(sig, j, "{", "}"),
+            ";" if paren == 0 && bracket == 0 => return Some(j),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses every `tps-lint::allow` directive in the file's line comments.
+fn parse_allows(rel_path: &str, src: &str, tokens: &[Token]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment {
+            continue;
+        }
+        let text = t.text(src);
+        let Some(at) = text.find("tps-lint::allow") else {
+            continue;
+        };
+        let mut bad = |why: &str| {
+            malformed.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                rule: rules::MALFORMED_SUPPRESSION,
+                message: why.to_string(),
+            });
+        };
+        let rest = &text[at + "tps-lint::allow".len()..];
+        let Some(args) = rest
+            .strip_prefix('(')
+            .and_then(|r| r.find(')').map(|close| &r[..close]))
+        else {
+            bad("suppression must have the form tps-lint::allow(<rule>, reason = \"...\")");
+            continue;
+        };
+        let Some((rule_part, reason_part)) = args.split_once(',') else {
+            bad("suppression is missing the mandatory reason: tps-lint::allow(<rule>, reason = \"...\")");
+            continue;
+        };
+        let rule = rule_part.trim();
+        if !rules::RULES.contains(&rule) {
+            bad(&format!(
+                "unknown rule `{rule}` in suppression (known rules: {})",
+                rules::RULES.join(", ")
+            ));
+            continue;
+        }
+        let reason_ok = reason_part
+            .split_once('=')
+            .filter(|(k, _)| k.trim() == "reason")
+            .map(|(_, v)| v.trim())
+            .filter(|v| v.len() >= 2 && v.starts_with('"') && v.ends_with('"') && v.len() > 2)
+            .is_some();
+        if !reason_ok {
+            bad("suppression reason must be a non-empty string: reason = \"...\"");
+            continue;
+        }
+        // A directive trailing code suppresses its own line; a directive on
+        // a line of its own suppresses the next line.
+        let trails_code = tokens[..i].iter().any(|p| {
+            p.line == t.line
+                && !matches!(
+                    p.kind,
+                    TokenKind::LineComment | TokenKind::BlockComment | TokenKind::DocComment
+                )
+        });
+        let target_line = if trails_code { t.line } else { t.line + 1 };
+        allows.push(Allow {
+            rule: rule.to_string(),
+            target_line,
+        });
+    }
+    (allows, malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_of(file: &SourceFile) -> FileCtx<'_> {
+        FileCtx::build(file)
+    }
+
+    fn file(path: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: path.to_string(),
+            crate_name: "tps-os".to_string(),
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn cfg_test_module_is_masked() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            "fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_real() {}\n",
+        );
+        let c = ctx_of(&f);
+        let unwrap_idx = c.sig.iter().position(|s| s.text == "unwrap").unwrap();
+        assert!(c.is_test(unwrap_idx));
+        let real_idx = c.sig.iter().position(|s| s.text == "also_real").unwrap();
+        assert!(!c.is_test(real_idx));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            "#[cfg(not(test))]\nfn real() { x.unwrap(); }\n",
+        );
+        let c = ctx_of(&f);
+        let unwrap_idx = c.sig.iter().position(|s| s.text == "unwrap").unwrap();
+        assert!(!c.is_test(unwrap_idx));
+    }
+
+    #[test]
+    fn integration_test_files_are_fully_masked() {
+        let f = SourceFile {
+            rel_path: "crates/tps-os/tests/it.rs".into(),
+            crate_name: "tps-os".into(),
+            text: "fn t() { x.unwrap(); }".into(),
+        };
+        let c = ctx_of(&f);
+        assert!(c.test_mask.iter().all(|&m| m));
+    }
+
+    #[test]
+    fn allow_parsing_and_targets() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            concat!(
+                "let a = x.unwrap(); // tps-lint::allow(panic-free-fault-path, reason = \"trailing\")\n",
+                "// tps-lint::allow(no-magic-page-size, reason = \"next line\")\n",
+                "let b = 1;\n",
+            ),
+        );
+        let c = ctx_of(&f);
+        assert_eq!(c.allows.len(), 2);
+        assert_eq!(c.allows[0].rule, "panic-free-fault-path");
+        assert_eq!(c.allows[0].target_line, 1);
+        assert_eq!(c.allows[1].rule, "no-magic-page-size");
+        assert_eq!(c.allows[1].target_line, 3);
+        assert!(c.malformed.is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            "// tps-lint::allow(panic-free-fault-path)\nlet a = 1;\n",
+        );
+        let c = ctx_of(&f);
+        assert!(c.allows.is_empty());
+        assert_eq!(c.malformed.len(), 1);
+        assert!(c.malformed[0].message.contains("mandatory reason"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_is_malformed() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            "// tps-lint::allow(no-such-rule, reason = \"x\")\n",
+        );
+        let c = ctx_of(&f);
+        assert!(c.allows.is_empty());
+        assert_eq!(c.malformed.len(), 1);
+        assert!(c.malformed[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn allow_with_empty_reason_is_malformed() {
+        let f = file(
+            "crates/tps-os/src/a.rs",
+            "// tps-lint::allow(pub-item-docs, reason = \"\")\n",
+        );
+        let c = ctx_of(&f);
+        assert!(c.allows.is_empty());
+        assert_eq!(c.malformed.len(), 1);
+    }
+}

@@ -1,0 +1,593 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! Produces a flat token stream with byte spans and line/column positions.
+//! It understands exactly enough of the language for reliable token-level
+//! linting: line and block comments (including nesting and doc forms),
+//! cooked and raw strings (including byte and raw-byte forms), character
+//! literals vs. lifetimes, raw identifiers, and numeric literals with
+//! prefixes, underscores, exponents and type suffixes. Everything else is
+//! punctuation, with the common multi-character operators fused so rules
+//! can match `::`, `=>`, `+=`, `<<` and friends as single tokens.
+//!
+//! The lexer never fails: malformed input degrades to single-byte
+//! punctuation tokens, which is the right behavior for a linter that must
+//! not crash on the code it is judging.
+
+/// The coarse classification of one token.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// Integer literal (any base, with underscores and suffix).
+    Int,
+    /// Floating-point literal.
+    Float,
+    /// Cooked string or byte-string literal.
+    Str,
+    /// Raw string or raw byte-string literal.
+    RawStr,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime such as `'a` (or the loop-label form).
+    Lifetime,
+    /// Non-doc line comment (`//`).
+    LineComment,
+    /// Non-doc block comment (`/* */`, nesting handled).
+    BlockComment,
+    /// Doc comment: `///`, `//!`, `/** */` or `/*! */`.
+    DocComment,
+    /// Punctuation; multi-character operators are one token.
+    Punct,
+}
+
+/// One lexed token. The text is recovered by slicing the source with
+/// `start..end`.
+#[derive(Copy, Clone, Debug)]
+pub struct Token {
+    /// Token classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+    /// 1-based byte column of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Three-character operators fused into one `Punct` token.
+const OPS3: [&str; 4] = ["<<=", ">>=", "..=", "..."];
+/// Two-character operators fused into one `Punct` token.
+const OPS2: [&str; 19] = [
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=",
+];
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream. Whitespace is dropped; comments are
+/// kept (rules that care about documentation need them).
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut c = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        line_start: 0,
+    };
+    let mut out = Vec::new();
+    while c.pos < c.src.len() {
+        let b = c.peek(0);
+        if b.is_ascii_whitespace() {
+            c.bump();
+            continue;
+        }
+        let start = c.pos;
+        let line = c.line;
+        let col = (start - c.line_start + 1) as u32;
+        let kind = scan_token(&mut c);
+        debug_assert!(c.pos > start, "lexer must always make progress");
+        out.push(Token {
+            kind,
+            start,
+            end: c.pos,
+            line,
+            col,
+        });
+    }
+    out
+}
+
+fn scan_token(c: &mut Cursor<'_>) -> TokenKind {
+    let b = c.peek(0);
+    if b == b'/' && c.peek(1) == b'/' {
+        return scan_line_comment(c);
+    }
+    if b == b'/' && c.peek(1) == b'*' {
+        return scan_block_comment(c);
+    }
+    if is_ident_start(b) {
+        return scan_ident_or_prefixed(c);
+    }
+    if b.is_ascii_digit() {
+        return scan_number(c);
+    }
+    if b == b'"' {
+        scan_cooked_string(c);
+        return TokenKind::Str;
+    }
+    if b == b'\'' {
+        return scan_char_or_lifetime(c);
+    }
+    scan_punct(c);
+    TokenKind::Punct
+}
+
+fn scan_line_comment(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    while c.pos < c.src.len() && c.peek(0) != b'\n' {
+        c.bump();
+    }
+    let text = &c.src[start..c.pos];
+    // `///` (but not `////`) and `//!` are doc comments.
+    let doc = (text.starts_with(b"///") && !text.starts_with(b"////")) || text.starts_with(b"//!");
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::LineComment
+    }
+}
+
+fn scan_block_comment(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    c.bump_n(2); // consume `/*`
+    let mut depth = 1u32;
+    while c.pos < c.src.len() && depth > 0 {
+        if c.peek(0) == b'/' && c.peek(1) == b'*' {
+            depth += 1;
+            c.bump_n(2);
+        } else if c.peek(0) == b'*' && c.peek(1) == b'/' {
+            depth -= 1;
+            c.bump_n(2);
+        } else {
+            c.bump();
+        }
+    }
+    let text = &c.src[start..c.pos];
+    let doc = (text.starts_with(b"/**") && !text.starts_with(b"/***") && text.len() > 4)
+        || text.starts_with(b"/*!");
+    if doc {
+        TokenKind::DocComment
+    } else {
+        TokenKind::BlockComment
+    }
+}
+
+fn scan_ident_run(c: &mut Cursor<'_>) {
+    while c.pos < c.src.len() && is_ident_continue(c.peek(0)) {
+        c.bump();
+    }
+}
+
+/// An identifier, or one of the literal prefixes `r` / `b` / `br` / `rb`
+/// followed by a string/char opener, or a raw identifier `r#name`.
+fn scan_ident_or_prefixed(c: &mut Cursor<'_>) -> TokenKind {
+    let start = c.pos;
+    scan_ident_run(c);
+    let ident = &c.src[start..c.pos];
+    let next = c.peek(0);
+    match ident {
+        b"r" | b"br" | b"rb" => {
+            if next == b'"' || next == b'#' {
+                // Raw identifier `r#name` (hash followed by an ident start,
+                // not a raw-string hash run ending in `"`).
+                if ident == b"r" && next == b'#' && is_ident_start(c.peek(1)) && c.peek(1) != b'_' {
+                    c.bump(); // `#`
+                    scan_ident_run(c);
+                    return TokenKind::Ident;
+                }
+                if scan_raw_string(c) {
+                    return TokenKind::RawStr;
+                }
+            }
+            TokenKind::Ident
+        }
+        b"b" => {
+            if next == b'"' {
+                scan_cooked_string(c);
+                TokenKind::Str
+            } else if next == b'\'' {
+                c.bump(); // `'`
+                scan_char_body(c);
+                TokenKind::Char
+            } else {
+                TokenKind::Ident
+            }
+        }
+        _ => TokenKind::Ident,
+    }
+}
+
+/// Consumes `#*"..."#*`; returns false (consuming nothing) if the hash run
+/// is not actually followed by a quote.
+fn scan_raw_string(c: &mut Cursor<'_>) -> bool {
+    let mark = c.pos;
+    let mut hashes = 0usize;
+    while c.peek(0) == b'#' {
+        hashes += 1;
+        c.bump();
+    }
+    if c.peek(0) != b'"' {
+        c.pos = mark; // plain `r` ident followed by attribute-ish hashes
+        return false;
+    }
+    c.bump(); // opening quote
+    'scan: while c.pos < c.src.len() {
+        if c.peek(0) == b'"' {
+            for k in 0..hashes {
+                if c.peek(1 + k) != b'#' {
+                    c.bump();
+                    continue 'scan;
+                }
+            }
+            c.bump_n(1 + hashes);
+            return true;
+        }
+        c.bump();
+    }
+    true // unterminated: consume to EOF
+}
+
+fn scan_cooked_string(c: &mut Cursor<'_>) {
+    c.bump(); // opening quote
+    while c.pos < c.src.len() {
+        match c.peek(0) {
+            b'\\' => c.bump_n(2),
+            b'"' => {
+                c.bump();
+                return;
+            }
+            _ => c.bump(),
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening quote.
+fn scan_char_body(c: &mut Cursor<'_>) {
+    if c.peek(0) == b'\\' {
+        c.bump_n(2);
+        // Escapes like `\u{1F600}` and `\x7f` have a tail before the quote.
+        while c.pos < c.src.len() && c.peek(0) != b'\'' {
+            c.bump();
+        }
+    } else if c.pos < c.src.len() {
+        c.bump();
+    }
+    if c.peek(0) == b'\'' {
+        c.bump();
+    }
+}
+
+fn scan_char_or_lifetime(c: &mut Cursor<'_>) -> TokenKind {
+    // `'a` / `'static` are lifetimes; `'a'` / `'\n'` are char literals.
+    if is_ident_start(c.peek(1)) {
+        let mut j = 1;
+        while is_ident_continue(c.peek(j)) {
+            j += 1;
+        }
+        if c.peek(j) != b'\'' {
+            c.bump(); // `'`
+            scan_ident_run(c);
+            return TokenKind::Lifetime;
+        }
+    }
+    c.bump(); // `'`
+    scan_char_body(c);
+    TokenKind::Char
+}
+
+fn scan_number(c: &mut Cursor<'_>) -> TokenKind {
+    let radix_prefixed = c.peek(0) == b'0' && matches!(c.peek(1), b'x' | b'o' | b'b');
+    if radix_prefixed {
+        c.bump_n(2);
+        // Hex digits cover all bases; the suffix run is folded in too.
+        while c.pos < c.src.len() && (is_ident_continue(c.peek(0))) {
+            c.bump();
+        }
+        return TokenKind::Int;
+    }
+    let mut float = false;
+    while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+        c.bump();
+    }
+    if c.peek(0) == b'.' && c.peek(1).is_ascii_digit() {
+        float = true;
+        c.bump();
+        while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+            c.bump();
+        }
+    }
+    if matches!(c.peek(0), b'e' | b'E')
+        && (c.peek(1).is_ascii_digit()
+            || (matches!(c.peek(1), b'+' | b'-') && c.peek(2).is_ascii_digit()))
+    {
+        float = true;
+        c.bump();
+        if matches!(c.peek(0), b'+' | b'-') {
+            c.bump();
+        }
+        while c.peek(0).is_ascii_digit() || c.peek(0) == b'_' {
+            c.bump();
+        }
+    }
+    // Type suffix (`u64`, `f32`, ...).
+    if is_ident_start(c.peek(0)) {
+        let mark = c.pos;
+        scan_ident_run(c);
+        if !float && c.src[mark..c.pos].starts_with(b"f") {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+fn scan_punct(c: &mut Cursor<'_>) {
+    for op in OPS3 {
+        if c.starts_with(op) {
+            c.bump_n(3);
+            return;
+        }
+    }
+    for op in OPS2 {
+        if c.starts_with(op) {
+            c.bump_n(2);
+            return;
+        }
+    }
+    // Consume one full UTF-8 character so we never split a code point.
+    let b = c.peek(0);
+    let width = if b < 0x80 {
+        1
+    } else if b >= 0xf0 {
+        4
+    } else if b >= 0xe0 {
+        3
+    } else {
+        2
+    };
+    c.bump_n(width.min(c.src.len() - c.pos));
+}
+
+/// Parses the numeric value of an `Int` token's text, handling base
+/// prefixes, underscores and type suffixes. Returns `None` for floats or
+/// unparseable text.
+pub fn int_value(text: &str) -> Option<u128> {
+    let cleaned: String = text.chars().filter(|&ch| ch != '_').collect();
+    let (digits, radix) = if let Some(rest) = cleaned.strip_prefix("0x") {
+        (rest, 16)
+    } else if let Some(rest) = cleaned.strip_prefix("0o") {
+        (rest, 8)
+    } else if let Some(rest) = cleaned.strip_prefix("0b") {
+        (rest, 2)
+    } else {
+        (cleaned.as_str(), 10)
+    };
+    // Strip a type suffix such as `u64` / `usize` / `i32`.
+    let end = digits
+        .find(|ch: char| !ch.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u128::from_str_radix(&digits[..end], radix).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn skips_whitespace_and_fuses_operators() {
+        let ks = kinds("a :: b => c += 1 << 12");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["a", "::", "b", "=>", "c", "+=", "1", "<<", "12"]);
+        assert_eq!(ks[1].0, TokenKind::Punct);
+        assert_eq!(ks[8].0, TokenKind::Int);
+    }
+
+    #[test]
+    fn line_comment_hides_code() {
+        let ks = kinds("let x = 1; // panic!(\"no\") 4096\nlet y;");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::LineComment && t.contains("4096")));
+        assert!(!ks.iter().any(|(k, t)| *k == TokenKind::Int && t == "4096"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let ks = kinds(src);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks[1].0, TokenKind::BlockComment);
+        assert!(ks[1].1.contains("inner"));
+        assert_eq!(ks[2].1, "b");
+    }
+
+    #[test]
+    fn doc_comments_are_classified() {
+        let ks = kinds("/// doc\n//! inner doc\n//// not doc\n// plain\n/** block doc */\n/*! inner */\n/* plain */");
+        let doc_count = ks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::DocComment)
+            .count();
+        assert_eq!(doc_count, 4);
+        let plain = ks
+            .iter()
+            .filter(|(k, _)| matches!(k, TokenKind::LineComment | TokenKind::BlockComment))
+            .count();
+        assert_eq!(plain, 3);
+    }
+
+    #[test]
+    fn double_slash_inside_string_is_not_a_comment() {
+        let src = r#"let url = "https://example.com"; let n = 7;"#;
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("//example")));
+        assert!(
+            ks.iter().any(|(_, t)| t == "7"),
+            "code after the string is lexed"
+        );
+        assert!(!ks.iter().any(|(k, _)| *k == TokenKind::LineComment));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let src = r#"let s = "a \" b // c"; x"#;
+        let ks = kinds(src);
+        let s = ks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.contains("// c"));
+        assert_eq!(ks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"let s = r#"quote " and // slash"#; done"####;
+        let ks = kinds(src);
+        let raw = ks.iter().find(|(k, _)| *k == TokenKind::RawStr).unwrap();
+        assert!(raw.1.contains("// slash"));
+        assert_eq!(ks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn raw_byte_string_and_plain_byte_string() {
+        let ks = kinds(r#"br"raw" b"cooked" b'x'"#);
+        assert_eq!(ks[0].0, TokenKind::RawStr);
+        assert_eq!(ks[1].0, TokenKind::Str);
+        assert_eq!(ks[2].0, TokenKind::Char);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ks = kinds("fn f<'a>(x: &'a str) { let c = 'z'; let nl = '\\n'; }");
+        let lifetimes = ks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).count();
+        let chars = ks.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_identifier() {
+        let ks = kinds("let r#match = 1;");
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#match"));
+    }
+
+    #[test]
+    fn numeric_forms_and_values() {
+        // tps-lint::allow(no-magic-page-size, reason = "expected value of the literals under test")
+        const PAGE: u128 = 4096;
+        assert_eq!(int_value("4096"), Some(PAGE));
+        assert_eq!(int_value("4_096"), Some(PAGE));
+        assert_eq!(int_value("0x1000"), Some(PAGE));
+        assert_eq!(int_value("0x1_000u64"), Some(PAGE));
+        assert_eq!(int_value("4096usize"), Some(PAGE));
+        assert_eq!(int_value("0b1000"), Some(8));
+        assert_eq!(int_value("0o17"), Some(15));
+        let ks = kinds("1.5 2e3 1_000 0xffu8 3.0f64 1f32");
+        let int_count = ks.iter().filter(|(k, _)| *k == TokenKind::Int).count();
+        let float_count = ks.iter().filter(|(k, _)| *k == TokenKind::Float).count();
+        assert_eq!(int_count, 2); // 1_000 and 0xffu8
+        assert_eq!(float_count, 4);
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_a_float() {
+        let ks = kinds("1.max(2)");
+        assert_eq!(ks[0].0, TokenKind::Int);
+        assert_eq!(ks[1].1, ".");
+        assert_eq!(ks[2].1, "max");
+    }
+
+    #[test]
+    fn lines_and_columns_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */ b\n  c";
+        let toks = lex(src);
+        let b = toks.iter().find(|t| t.text(src) == "b").unwrap();
+        assert_eq!((b.line, b.col), (3, 10));
+        let c = toks.iter().find(|t| t.text(src) == "c").unwrap();
+        assert_eq!((c.line, c.col), (4, 3));
+    }
+
+    #[test]
+    fn tuple_projection_lexes_as_dot_int() {
+        let ks = kinds("pair.0");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["pair", ".", "0"]);
+    }
+
+    #[test]
+    fn non_ascii_in_comments_and_strings() {
+        let src = "// héllo — dash\nlet s = \"héllo\"; x";
+        let ks = kinds(src);
+        assert_eq!(ks.last().unwrap().1, "x");
+    }
+}

@@ -1,0 +1,236 @@
+//! `tps-lint`: workspace-specific static analysis for the TPS reproduction.
+//!
+//! PR 1 proved the OS fault paths panic-free *dynamically* (fault-injection
+//! campaigns plus a cross-layer auditor). This crate turns those invariants
+//! into *static* law: a hand-rolled Rust lexer ([`lexer`]), a per-file
+//! token-stream rule engine and a whole-workspace cross-file pass
+//! ([`rules`]), inline suppression with mandatory reasons, and a ratchet
+//! file ([`baseline`]) that freezes pre-existing violations so they can
+//! only shrink.
+//!
+//! Std-only by construction — the workspace has no registry access (the
+//! same constraint that produced the proptest/criterion shims).
+//!
+//! Run it as a tier-1 gate:
+//!
+//! ```text
+//! cargo run -p tps-lint -- --workspace
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod diag;
+pub mod file;
+pub mod lexer;
+pub mod rules;
+
+use baseline::Baseline;
+use diag::Diagnostic;
+use file::{FileCtx, SourceFile};
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The whole-workspace lint outcome, before baseline filtering.
+pub struct LintReport {
+    /// All unsuppressed diagnostics, sorted by path/line/col.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Violation counts per `(rule, path)`.
+    pub fn counts(&self) -> BTreeMap<(&'static str, &str), usize> {
+        let mut counts: BTreeMap<(&'static str, &str), usize> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry((d.rule, d.path.as_str())).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Splits diagnostics into (over-budget, within-budget) against a
+    /// baseline. A `(rule, file)` group over its frozen budget reports
+    /// *all* of its diagnostics, so the offender is always in the list.
+    pub fn against(&self, base: &Baseline) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+        let counts = self.counts();
+        let mut over = Vec::new();
+        let mut within = Vec::new();
+        for d in &self.diagnostics {
+            let n = counts[&(d.rule, d.path.as_str())];
+            if n > base.budget(d.rule, &d.path) {
+                over.push(d.clone());
+            } else {
+                within.push(d.clone());
+            }
+        }
+        (over, within)
+    }
+
+    /// A baseline freezing exactly the current violations.
+    pub fn to_baseline(&self) -> Baseline {
+        let mut b = Baseline::new();
+        for ((rule, path), n) in self.counts() {
+            b.set(rule, path, n);
+        }
+        b
+    }
+}
+
+/// Lints a set of in-memory files: per-file rules, cross-file rules and
+/// suppression filtering. This is the core the CLI and the fixture tests
+/// share.
+pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    let ctxs: Vec<FileCtx<'_>> = files.iter().map(FileCtx::build).collect();
+    let mut diags = Vec::new();
+    for ctx in &ctxs {
+        rules::check_file(ctx, &mut diags);
+    }
+    rules::check_workspace(&ctxs, &mut diags);
+    let mut diagnostics = rules::apply_suppressions(&ctxs, diags);
+    diagnostics
+        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    LintReport { diagnostics }
+}
+
+/// Lints one in-memory file (per-file rules only) — the fixture-test entry
+/// point for single-file rules.
+pub fn lint_single(crate_name: &str, rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    lint_files(&[SourceFile {
+        rel_path: rel_path.to_string(),
+        crate_name: crate_name.to_string(),
+        text: text.to_string(),
+    }])
+    .diagnostics
+}
+
+/// Walks the workspace at `root` and lints every Rust source file.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    Ok(lint_files(&collect_files(root)?))
+}
+
+/// Finds the workspace root at or above `start` (the directory whose
+/// `Cargo.toml` declares `[workspace]`).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects the workspace's lintable Rust files: the facade package's
+/// `src`/`tests`/`examples` plus every crate's `src`/`tests`/`benches`/
+/// `examples`. Skips `target/` and fixture corpora.
+pub fn collect_files(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    for sub in ["src", "tests", "examples", "benches"] {
+        walk(root, &root.join(sub), "tps", &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        entries.sort();
+        for crate_dir in entries {
+            let crate_name = crate_dir
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("unknown")
+                .to_string();
+            for sub in ["src", "tests", "examples", "benches"] {
+                walk(root, &crate_dir.join(sub), &crate_name, &mut files)?;
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn walk(root: &Path, dir: &Path, crate_name: &str, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            // Fixture corpora contain intentionally-bad code; `target` is
+            // build output.
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            walk(root, &path, crate_name, out)?;
+        } else if name.ends_with(".rs") {
+            let text = fs::read_to_string(&path)?;
+            let rel_path = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel_path,
+                crate_name: crate_name.to_string(),
+                text,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_file_lint_flags_and_suppresses() {
+        let bad = "fn f() { let x = y.unwrap(); }\n";
+        let diags = lint_single("tps-os", "crates/tps-os/src/f.rs", bad);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, rules::PANIC_FREE);
+        assert_eq!(diags[0].line, 1);
+
+        let ok = "fn f() { let x = y.unwrap(); } \
+                  // tps-lint::allow(panic-free-fault-path, reason = \"test of suppression\")\n";
+        assert!(lint_single("tps-os", "crates/tps-os/src/f.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn non_fault_path_crate_may_unwrap() {
+        let src = "fn f() { let x = y.unwrap(); }\n";
+        assert!(lint_single("tps-wl", "crates/tps-wl/src/f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn report_counts_and_baseline_round_trip() {
+        let src = "fn f() { a.unwrap(); b.expect(\"x\"); }\n";
+        let report = lint_files(&[SourceFile {
+            rel_path: "crates/tps-mem/src/f.rs".into(),
+            crate_name: "tps-mem".into(),
+            text: src.into(),
+        }]);
+        assert_eq!(report.diagnostics.len(), 2);
+        let base = report.to_baseline();
+        assert_eq!(base.budget(rules::PANIC_FREE, "crates/tps-mem/src/f.rs"), 2);
+        let (over, within) = report.against(&base);
+        assert!(over.is_empty());
+        assert_eq!(within.len(), 2);
+        let (over, _) = report.against(&Baseline::new());
+        assert_eq!(over.len(), 2);
+    }
+}

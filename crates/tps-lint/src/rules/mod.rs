@@ -1,0 +1,86 @@
+//! The TPS domain rules.
+//!
+//! Each rule is a token-level pass over one file ([`check_file`]) or over
+//! the whole workspace ([`check_workspace`]). See `DESIGN.md` ("Static
+//! analysis") for the rationale behind each rule.
+
+mod cross_file;
+mod per_file;
+
+use crate::diag::Diagnostic;
+use crate::file::FileCtx;
+
+/// `unwrap`/`expect`/`panic!` and friends are banned on the
+/// mmap/fault/munmap/compact path.
+pub const PANIC_FREE: &str = "panic-free-fault-path";
+/// Bare page-size literals (`4096`, `0x1000`, `1 << 12`, ...) are banned
+/// outside `tps-core`.
+pub const NO_MAGIC_PAGE_SIZE: &str = "no-magic-page-size";
+/// `.0` projection or tuple-construction of `VirtAddr`/`PhysAddr` is banned
+/// outside `tps-core`.
+pub const ADDR_OPACITY: &str = "addr-newtype-opacity";
+/// Every `FaultSite` variant must be consulted by an injection hook.
+pub const FAULT_SITE_COVERAGE: &str = "fault-site-coverage";
+/// Every `OsStats` counter must be incremented somewhere.
+pub const STATS_COUNTER_COVERAGE: &str = "stats-counter-coverage";
+/// Wildcard arms are banned in matches over the workspace's core enums.
+pub const NO_WILDCARD_ENUM_MATCH: &str = "no-wildcard-enum-match";
+/// Exported items of `tps-core`/`tps-os` must carry doc comments.
+pub const PUB_ITEM_DOCS: &str = "pub-item-docs";
+/// Meta-rule: a `tps-lint::allow` directive that cannot be honored.
+pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+
+/// Every rule name, in reporting order.
+pub const RULES: [&str; 8] = [
+    PANIC_FREE,
+    NO_MAGIC_PAGE_SIZE,
+    ADDR_OPACITY,
+    FAULT_SITE_COVERAGE,
+    STATS_COUNTER_COVERAGE,
+    NO_WILDCARD_ENUM_MATCH,
+    PUB_ITEM_DOCS,
+    MALFORMED_SUPPRESSION,
+];
+
+/// Crates forming the mmap/fault/munmap/compact path ([`PANIC_FREE`]).
+pub const FAULT_PATH_CRATES: [&str; 3] = ["tps-os", "tps-mem", "tps-pt"];
+/// The only crate allowed to spell out page-size constants.
+pub const CORE_CRATE: &str = "tps-core";
+/// Crates whose exported items must be documented ([`PUB_ITEM_DOCS`]).
+pub const DOC_CRATES: [&str; 2] = ["tps-core", "tps-os"];
+/// Enums whose matches may not use a wildcard arm.
+pub const GUARDED_ENUMS: [&str; 4] = ["TpsError", "FaultSite", "InvariantLayer", "PteFlags"];
+
+/// Runs every per-file rule over `ctx`.
+pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    per_file::panic_free(ctx, out);
+    per_file::magic_page_size(ctx, out);
+    per_file::addr_opacity(ctx, out);
+    per_file::wildcard_enum_match(ctx, out);
+    per_file::pub_item_docs(ctx, out);
+    out.extend(ctx.malformed.iter().cloned());
+}
+
+/// Runs every cross-file rule over the whole workspace.
+pub fn check_workspace(files: &[FileCtx<'_>], out: &mut Vec<Diagnostic>) {
+    cross_file::fault_site_coverage(files, out);
+    cross_file::stats_counter_coverage(files, out);
+}
+
+/// Drops diagnostics covered by a valid same-file suppression directive.
+pub fn apply_suppressions(files: &[FileCtx<'_>], diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            if d.rule == MALFORMED_SUPPRESSION {
+                return true; // a broken directive cannot excuse anything
+            }
+            !files.iter().any(|f| {
+                f.rel_path == d.path
+                    && f.allows
+                        .iter()
+                        .any(|a| a.rule == d.rule && a.target_line == d.line)
+            })
+        })
+        .collect()
+}

@@ -1,0 +1,460 @@
+//! Rules that inspect one file at a time.
+
+use super::{
+    ADDR_OPACITY, CORE_CRATE, DOC_CRATES, FAULT_PATH_CRATES, GUARDED_ENUMS, NO_MAGIC_PAGE_SIZE,
+    NO_WILDCARD_ENUM_MATCH, PANIC_FREE, PUB_ITEM_DOCS,
+};
+use crate::diag::Diagnostic;
+use crate::file::{FileCtx, Sig};
+use crate::lexer::{int_value, TokenKind};
+use std::collections::BTreeSet;
+
+/// Page-size byte values that must come from `tps-core` constants.
+// tps-lint::allow(no-magic-page-size, reason = "the lint's own definition of the banned values")
+const PAGE_SIZE_VALUES: [u128; 3] = [4096, 2 << 20, 1 << 30];
+/// Shift amounts in `1 << n` that spell a page size (4 KB / 2 MB / 1 GB).
+const PAGE_SIZE_SHIFTS: [u128; 3] = [12, 21, 30];
+
+/// Macros that abort instead of returning an error.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// [`PANIC_FREE`]: no `unwrap`/`expect` calls or aborting macros in
+/// non-test code of the fault-path crates.
+pub fn panic_free(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !FAULT_PATH_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.is_test(i) || ctx.sig[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let t = ctx.sig[i].text;
+        let method_call = matches!(t, "unwrap" | "expect")
+            && i > 0
+            && ctx.text(i - 1) == "."
+            && ctx.text(i + 1) == "(";
+        let abort_macro = PANIC_MACROS.contains(&t) && ctx.text(i + 1) == "!";
+        if method_call {
+            out.push(ctx.diag(
+                i,
+                PANIC_FREE,
+                format!(
+                    "`.{t}()` on the fault path ({} is on the mmap/fault/munmap/compact path); \
+                     return a TpsError (e.g. TpsError::invariant) instead",
+                    ctx.crate_name
+                ),
+            ));
+        } else if abort_macro {
+            out.push(ctx.diag(
+                i,
+                PANIC_FREE,
+                format!(
+                    "`{t}!` aborts the simulation; fault-path crates must surface a TpsError instead"
+                ),
+            ));
+        }
+    }
+}
+
+/// [`NO_MAGIC_PAGE_SIZE`]: page-size byte values must be spelled via
+/// `tps_core` constants everywhere outside `tps-core`, tests included.
+pub fn magic_page_size(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == CORE_CRATE {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.sig[i].kind != TokenKind::Int {
+            continue;
+        }
+        let Some(v) = int_value(ctx.sig[i].text) else {
+            continue;
+        };
+        if PAGE_SIZE_VALUES.contains(&v) {
+            out.push(ctx.diag(
+                i,
+                NO_MAGIC_PAGE_SIZE,
+                format!(
+                    "bare page-size literal `{}`; use tps_core::BASE_PAGE_SIZE / PageSize / \
+                     PageOrder constants so a page-size change cannot silently miss this site",
+                    ctx.sig[i].text
+                ),
+            ));
+            continue;
+        }
+        if v == 1 && ctx.text(i + 1) == "<<" && ctx.sig.len() > i + 2 {
+            if let Some(shift) = int_value(ctx.text(i + 2)) {
+                if PAGE_SIZE_SHIFTS.contains(&shift) {
+                    out.push(ctx.diag(
+                        i,
+                        NO_MAGIC_PAGE_SIZE,
+                        format!(
+                            "`1 << {shift}` spells a page size; use tps_core::BASE_PAGE_SIZE / \
+                             PageSize::from_order instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// [`ADDR_OPACITY`]: outside `tps-core`, address newtypes may only be used
+/// through their methods — no `.0` projection, no tuple construction.
+pub fn addr_opacity(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name == CORE_CRATE {
+        return;
+    }
+    let newtypes = ["VirtAddr", "PhysAddr"];
+    // Pass 1: identifiers annotated `name: VirtAddr` (params, lets, fields).
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    for i in 2..ctx.sig.len() {
+        if newtypes.contains(&ctx.sig[i].text)
+            && ctx.text(i - 1) == ":"
+            && ctx.sig[i - 2].kind == TokenKind::Ident
+        {
+            bound.insert(ctx.sig[i - 2].text);
+        }
+    }
+    for i in 0..ctx.sig.len() {
+        let t = ctx.sig[i].text;
+        // Tuple construction `VirtAddr(...)` — bypasses `::new` masking.
+        if newtypes.contains(&t) && ctx.sig[i].kind == TokenKind::Ident && ctx.text(i + 1) == "(" {
+            out.push(ctx.diag(
+                i,
+                ADDR_OPACITY,
+                format!(
+                    "tuple construction of `{t}` bypasses `{t}::new` width masking; use `::new`"
+                ),
+            ));
+            continue;
+        }
+        // Projection `x.0` on a known address binding, or directly on a
+        // `VirtAddr::new(...)` call.
+        if t == "." && ctx.text(i + 1) == "0" && i > 0 {
+            let prev = &ctx.sig[i - 1];
+            let mut flag = false;
+            if prev.kind == TokenKind::Ident && bound.contains(prev.text) {
+                flag = true;
+            } else if prev.text == ")" {
+                if let Some(open) = matching_backward(&ctx.sig, i - 1) {
+                    if open >= 3
+                        && ctx.text(open - 1) == "new"
+                        && ctx.text(open - 2) == "::"
+                        && newtypes.contains(&ctx.text(open - 3))
+                    {
+                        flag = true;
+                    }
+                }
+            }
+            if flag {
+                out.push(
+                    ctx.diag(
+                        i + 1,
+                        ADDR_OPACITY,
+                        "`.0` projects through an address newtype; use `.value()` so the \
+                     width-masking invariant stays inside tps-core"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Index of the `(` matching the `)` at `close_idx`, scanning backward.
+fn matching_backward(sig: &[Sig<'_>], close_idx: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..=close_idx).rev() {
+        match sig[j].text {
+            ")" => depth += 1,
+            "(" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// [`NO_WILDCARD_ENUM_MATCH`]: a `match` whose arm patterns name one of the
+/// guarded enums must stay exhaustive — no bare `_` arm, so that adding a
+/// variant is a compile-time event at every consumer.
+pub fn wildcard_enum_match(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for i in 0..ctx.sig.len() {
+        if ctx.sig[i].text != "match" || ctx.sig[i].kind != TokenKind::Ident || ctx.is_test(i) {
+            continue;
+        }
+        let Some(block_open) = match_block_open(&ctx.sig, i) else {
+            continue;
+        };
+        let Some(block_close) = matching_forward(&ctx.sig, block_open, "{", "}") else {
+            continue;
+        };
+        let arms = parse_arms(&ctx.sig, block_open + 1, block_close);
+        let guarded = arms.iter().any(|a| {
+            pattern_slice(ctx, a)
+                .windows(2)
+                .any(|w| GUARDED_ENUMS.contains(&w[0].text) && w[1].text == "::")
+        });
+        if !guarded {
+            continue;
+        }
+        for a in &arms {
+            let pat = pattern_slice(ctx, a);
+            if pat.len() == 1 && pat[0].text == "_" {
+                out.push(
+                    ctx.diag(
+                        a.pat_start,
+                        NO_WILDCARD_ENUM_MATCH,
+                        "wildcard arm in a match over a core TPS enum; enumerate the variants so \
+                     adding one forces every consumer to be revisited"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// One parsed match arm: token index range of its pattern (inclusive start,
+/// exclusive end at the `=>`), with any `if` guard excluded.
+struct Arm {
+    pat_start: usize,
+    pat_end: usize,
+}
+
+fn pattern_slice<'c, 'a>(ctx: &'c FileCtx<'a>, a: &Arm) -> &'c [Sig<'a>] {
+    &ctx.sig[a.pat_start..a.pat_end]
+}
+
+/// The `{` opening the match body: first `{` after the scrutinee at zero
+/// paren/bracket depth (Rust forbids bare struct literals in scrutinees).
+fn match_block_open(sig: &[Sig<'_>], match_idx: usize) -> Option<usize> {
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    for (j, s) in sig.iter().enumerate().skip(match_idx + 1) {
+        match s.text {
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "[" => bracket += 1,
+            "]" => bracket -= 1,
+            // A bare block in the scrutinee would fool this scan, but Rust
+            // requires parentheses around struct literals and closures there.
+            "{" if paren == 0 && bracket == 0 => return Some(j),
+            ";" if paren == 0 && bracket == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn matching_forward(sig: &[Sig<'_>], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, s) in sig.iter().enumerate().skip(open_idx) {
+        if s.text == open {
+            depth += 1;
+        } else if s.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Splits the token range of a match body into arms.
+fn parse_arms(sig: &[Sig<'_>], start: usize, end: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut j = start;
+    while j < end {
+        // Skip attributes on the arm.
+        while j + 1 < end && sig[j].text == "#" && sig[j + 1].text == "[" {
+            match matching_forward(sig, j + 1, "[", "]") {
+                Some(c) => j = c + 1,
+                None => return arms,
+            }
+        }
+        if j >= end {
+            break;
+        }
+        // Pattern runs until `=>` at this nesting level; an `if` guard ends
+        // the pattern proper.
+        let pat_start = j;
+        let mut pat_end = None;
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < end {
+            match sig[k].text {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "if" if depth == 0 && pat_end.is_none() => pat_end = Some(k),
+                "=>" if depth == 0 => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= end {
+            break; // no arrow: not an arm (e.g. empty match)
+        }
+        arms.push(Arm {
+            pat_start,
+            pat_end: pat_end.unwrap_or(k),
+        });
+        // Skip the body: a braced block, or tokens until a comma at depth 0.
+        let mut b = k + 1;
+        if b < end && sig[b].text == "{" {
+            match matching_forward(sig, b, "{", "}") {
+                Some(c) => b = c + 1,
+                None => return arms,
+            }
+            if b < end && sig[b].text == "," {
+                b += 1;
+            }
+        } else {
+            let mut depth = 0i32;
+            while b < end {
+                match sig[b].text {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    "," if depth == 0 => {
+                        b += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                b += 1;
+            }
+        }
+        j = b;
+    }
+    arms
+}
+
+/// Item keywords that may follow `pub` in an item that needs docs.
+const ITEM_KWS: [&str; 12] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union", "unsafe", "async",
+    "extern",
+];
+
+/// [`PUB_ITEM_DOCS`]: exported items of the API crates must carry a doc
+/// comment (or a `#[doc = ...]` attribute).
+pub fn pub_item_docs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !DOC_CRATES.contains(&ctx.crate_name) {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.sig[i].text != "pub" || ctx.sig[i].kind != TokenKind::Ident || ctx.is_test(i) {
+            continue;
+        }
+        let next = ctx.text(i + 1);
+        if next == "(" {
+            continue; // pub(crate) / pub(super): not exported
+        }
+        if !ITEM_KWS.contains(&next) {
+            continue; // struct fields, `pub use` re-exports, tuple fields
+        }
+        if next == "mod" && ctx.text(i + 3) == ";" {
+            // Out-of-line module: its docs live as `//!` inner docs in the
+            // module's own file, which rustc's missing_docs accepts.
+            continue;
+        }
+        if !has_doc(ctx, i) {
+            let item_kind = item_kind_after(ctx, i);
+            out.push(ctx.diag(
+                i,
+                PUB_ITEM_DOCS,
+                format!(
+                    "exported {item_kind} has no doc comment; document every public item of {}",
+                    ctx.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// The first real item keyword after `pub` (skipping qualifiers).
+fn item_kind_after(ctx: &FileCtx<'_>, pub_idx: usize) -> &'static str {
+    for j in pub_idx + 1..(pub_idx + 5).min(ctx.sig.len()) {
+        match ctx.sig[j].text {
+            "fn" => return "fn",
+            "struct" => return "struct",
+            "enum" => return "enum",
+            "trait" => return "trait",
+            "type" => return "type alias",
+            "const" if ctx.text(j + 1) != "fn" => return "const",
+            "static" => return "static",
+            "mod" => return "module",
+            "union" => return "union",
+            _ => {}
+        }
+    }
+    "item"
+}
+
+/// True if the item introduced by `sig[pub_idx]` is documented: walking
+/// backward over its attributes, a doc comment (or `#[doc...]` attribute)
+/// is found immediately before the item.
+fn has_doc(ctx: &FileCtx<'_>, pub_idx: usize) -> bool {
+    let mut j = ctx.sig[pub_idx].full_idx;
+    loop {
+        if j == 0 {
+            return false;
+        }
+        let prev = &ctx.tokens[j - 1];
+        match prev.kind {
+            TokenKind::DocComment => return true,
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                j -= 1; // plain comments are transparent
+            }
+            _ => {
+                // An attribute ends in `]`; skip it (checking for #[doc ...]).
+                if prev.text(ctx.src) != "]" {
+                    return false;
+                }
+                let mut depth = 0i32;
+                let mut k = j - 1;
+                loop {
+                    let text = ctx.tokens[k].text(ctx.src);
+                    if text == "]" {
+                        depth += 1;
+                    } else if text == "[" {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    if k == 0 {
+                        return false;
+                    }
+                    k -= 1;
+                }
+                // `#[doc = "..."]` counts as documentation.
+                if ctx.tokens[k + 1..j - 1]
+                    .iter()
+                    .next()
+                    .map(|t| t.text(ctx.src) == "doc")
+                    .unwrap_or(false)
+                {
+                    return true;
+                }
+                // Step over `#` (outer) or `!#`-style inner attribute intro.
+                if k == 0 {
+                    return false;
+                }
+                j = k;
+                if ctx.tokens[j - 1].text(ctx.src) == "#" {
+                    j -= 1;
+                } else if ctx.tokens[j - 1].text(ctx.src) == "!"
+                    && j >= 2
+                    && ctx.tokens[j - 2].text(ctx.src) == "#"
+                {
+                    j -= 2;
+                }
+            }
+        }
+    }
+}

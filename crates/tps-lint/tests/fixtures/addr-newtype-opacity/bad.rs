@@ -1,0 +1,9 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn raw_bits(va: VirtAddr, pa: PhysAddr) -> u64 {
+    let v = va.0; //~ ERROR addr-newtype-opacity
+    let p = pa.0; //~ ERROR addr-newtype-opacity
+    let fresh = VirtAddr::new(v).0; //~ ERROR addr-newtype-opacity
+    let forged = PhysAddr(p); //~ ERROR addr-newtype-opacity
+    fresh + forged.value()
+}

@@ -1,0 +1,11 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn raw_bits(va: VirtAddr, pa: PhysAddr) -> u64 {
+    // The accessor, not the field, is the public surface.
+    let v = va.value();
+    let p = pa.value();
+    let fresh = VirtAddr::new(v).value();
+    // Tuple projection on unrelated types is fine.
+    let pair = (v, p);
+    fresh + pair.0
+}

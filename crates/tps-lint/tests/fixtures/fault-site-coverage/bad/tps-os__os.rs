@@ -1,0 +1,13 @@
+// fixture: crate=tps-os path=crates/tps-os/src/os.rs
+
+fn hooks(injector: &mut Injector) -> bool {
+    injector.should_fault(FaultSite::BuddyAlloc { order: 3 })
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_references_do_not_count_as_hooks() {
+        let _ = FaultSite::ReserveSpan;
+    }
+}

@@ -1,0 +1,12 @@
+// fixture: crate=tps-core path=crates/tps-core/src/inject.rs
+
+/// Places where a fault can be injected.
+pub enum FaultSite {
+    /// A buddy-allocator block allocation.
+    BuddyAlloc {
+        /// The order being allocated.
+        order: u8,
+    },
+    /// A whole-span reservation request.
+    ReserveSpan,
+}

@@ -1,0 +1,6 @@
+// fixture: crate=tps-os path=crates/tps-os/src/os.rs
+
+fn hooks(injector: &mut Injector) -> bool {
+    injector.should_fault(FaultSite::BuddyAlloc { order: 3 })
+        || injector.should_fault(FaultSite::ReserveSpan)
+}

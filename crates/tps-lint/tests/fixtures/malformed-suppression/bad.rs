@@ -1,0 +1,12 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn handle(x: Option<u64>) -> u64 {
+    // A suppression without a reason is itself a violation, and it does NOT
+    // suppress the underlying diagnostic.
+    let a = x.unwrap(); // tps-lint::allow(panic-free-fault-path) //~ ERROR malformed-suppression //~ ERROR panic-free-fault-path
+    // tps-lint::allow(not-a-real-rule, reason = "unknown rules are rejected") //~ ERROR malformed-suppression
+    let b = x.unwrap(); //~ ERROR panic-free-fault-path
+    // tps-lint::allow(panic-free-fault-path, reason = "") //~ ERROR malformed-suppression
+    let c = x.unwrap(); //~ ERROR panic-free-fault-path
+    a + b + c
+}

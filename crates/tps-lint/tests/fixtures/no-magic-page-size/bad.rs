@@ -1,0 +1,10 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn sizes() -> (u64, u64, u64, u64, u64) {
+    let base = 4096; //~ ERROR no-magic-page-size
+    let hex = 0x1000u64; //~ ERROR no-magic-page-size
+    let shifted = 1 << 12; //~ ERROR no-magic-page-size
+    let huge = 2097152; //~ ERROR no-magic-page-size
+    let giant = 1u64 << 30; //~ ERROR no-magic-page-size
+    (base, hex, shifted, huge, giant)
+}

@@ -1,0 +1,12 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+use tps_core::{PageOrder, BASE_PAGE_SIZE, GIB};
+
+fn sizes(order: PageOrder) -> (u64, u64, u64) {
+    // Named constants and derived values, never bare page-size literals.
+    let base = BASE_PAGE_SIZE;
+    let tailored = order.bytes();
+    // Other powers of two are not page sizes and stay legal.
+    let not_a_page = 1 << 13;
+    (base, tailored, GIB + not_a_page)
+}

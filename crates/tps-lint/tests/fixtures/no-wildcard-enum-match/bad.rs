@@ -1,0 +1,16 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn classify(e: &TpsError) -> u32 {
+    match e {
+        TpsError::OutOfMemory { .. } => 1,
+        TpsError::Unmapped { .. } => 2,
+        _ => 0, //~ ERROR no-wildcard-enum-match
+    }
+}
+
+fn site_cost(site: FaultSite) -> u64 {
+    match site {
+        FaultSite::BuddyAlloc { order } => order as u64,
+        _ => 0, //~ ERROR no-wildcard-enum-match
+    }
+}

@@ -1,0 +1,18 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn classify(e: &TpsError) -> u32 {
+    match e {
+        TpsError::OutOfMemory { .. } => 1,
+        TpsError::Unmapped { .. } => 2,
+        TpsError::RangeOverlap { .. } => 3,
+        TpsError::InvariantViolation { .. } => 4,
+    }
+}
+
+fn unguarded(v: Option<u64>) -> u64 {
+    // Wildcards over non-TPS enums are unrestricted.
+    match v {
+        Some(x) if x > 0 => x,
+        _ => 0,
+    }
+}

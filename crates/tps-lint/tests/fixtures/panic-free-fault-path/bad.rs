@@ -1,0 +1,13 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn handle(x: Option<u64>, r: Result<u64, ()>) -> u64 {
+    let a = x.unwrap(); //~ ERROR panic-free-fault-path
+    let b = r.expect("backing frame exists"); //~ ERROR panic-free-fault-path
+    if a + b == 0 {
+        panic!("impossible"); //~ ERROR panic-free-fault-path
+    }
+    if a > b {
+        unreachable!(); //~ ERROR panic-free-fault-path
+    }
+    a + b
+}

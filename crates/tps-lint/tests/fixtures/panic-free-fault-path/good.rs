@@ -1,0 +1,23 @@
+// fixture: crate=tps-os path=crates/tps-os/src/fixture.rs
+
+fn handle(x: Option<u64>, r: Result<u64, Error>) -> Result<u64, Error> {
+    let a = x.ok_or(Error::Unmapped)?;
+    let b = r?;
+    Ok(a + b)
+}
+
+// The unwrap_or family is not a panic site.
+fn lenient(x: Option<u64>) -> u64 {
+    x.unwrap_or(0).max(x.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may assert freely.
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u64> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        Option::<u64>::None.unwrap_or_else(|| panic!("still test code"));
+    }
+}

@@ -1,0 +1,16 @@
+// fixture: crate=tps-os path=crates/tps-os/src/os.rs
+
+impl Os {
+    fn serve(&mut self) {
+        self.stats.mmaps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_increments_do_not_count() {
+        let mut s = OsStats::default();
+        s.faults += 1;
+    }
+}

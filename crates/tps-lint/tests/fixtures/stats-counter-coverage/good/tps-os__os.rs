@@ -1,0 +1,8 @@
+// fixture: crate=tps-os path=crates/tps-os/src/os.rs
+
+impl Os {
+    fn serve(&mut self) {
+        self.stats.mmaps += 1;
+        self.stats.faults += 1;
+    }
+}

@@ -1,0 +1,9 @@
+// fixture: crate=tps-os path=crates/tps-os/src/stats.rs
+
+/// Aggregate OS counters.
+pub struct OsStats {
+    /// mmap calls served.
+    pub mmaps: u64,
+    /// Demand faults handled.
+    pub faults: u64,
+}

@@ -1,0 +1,73 @@
+//! The ratchet, asserted in-tree: the shipped workspace must be within the
+//! committed `lint-baseline.toml`, the panic-free budget must be strictly
+//! below its pre-PR level, and the magic-page-size budget must be zero.
+
+use std::fs;
+use std::path::Path;
+
+use tps_lint::baseline::Baseline;
+use tps_lint::{lint_workspace, rules};
+
+/// Grandfathered `panic-free-fault-path` count before this PR's burn-down.
+/// The baseline may only shrink from here; growing it back is a regression.
+const PRE_PR_PANIC_FREE_COUNT: usize = 15;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/tps-lint sits two levels below the workspace root")
+}
+
+fn committed_baseline() -> Baseline {
+    let path = workspace_root().join("lint-baseline.toml");
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    Baseline::parse(&text).expect("committed baseline parses")
+}
+
+#[test]
+fn workspace_is_within_the_committed_baseline() {
+    let report = lint_workspace(workspace_root()).expect("workspace lints");
+    let (over, _within) = report.against(&committed_baseline());
+    assert!(
+        over.is_empty(),
+        "lint gate is red — {} diagnostic(s) over the committed baseline:\n{}",
+        over.len(),
+        over.iter()
+            .map(|d| format!("  {}:{} [{}] {}", d.path, d.line, d.rule, d.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn panic_free_budget_shrank_below_its_pre_pr_level() {
+    let total = committed_baseline().rule_total(rules::PANIC_FREE);
+    assert!(
+        total < PRE_PR_PANIC_FREE_COUNT,
+        "panic-free-fault-path baseline is {total}, expected strictly below \
+         the pre-PR count of {PRE_PR_PANIC_FREE_COUNT}"
+    );
+}
+
+#[test]
+fn no_magic_page_size_budget_is_zero() {
+    let base = committed_baseline();
+    assert_eq!(
+        base.rule_total(rules::NO_MAGIC_PAGE_SIZE),
+        0,
+        "no bare page-size literal may ever be grandfathered"
+    );
+}
+
+#[test]
+fn baseline_only_freezes_known_rules() {
+    for (rule, path, count) in committed_baseline().iter() {
+        assert!(
+            rules::RULES.contains(&rule),
+            "baseline entry [{rule}] \"{path}\" = {count} names an unknown rule"
+        );
+        assert!(count > 0, "zero-count entry for {path} should be dropped");
+    }
+}

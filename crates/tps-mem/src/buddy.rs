@@ -377,6 +377,7 @@ impl BuddyAllocator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -392,8 +393,8 @@ mod tests {
 
     #[test]
     fn non_power_of_two_total() {
-        let total = (256 << 20) + (12 << 10) + 4096; // odd size
-        let b = BuddyAllocator::new(total + 4096 - (total % 4096));
+        let total = (256 << 20) + (12 << 10) + BASE_PAGE_SIZE; // odd size
+        let b = BuddyAllocator::new(total + BASE_PAGE_SIZE - (total % BASE_PAGE_SIZE));
         b.check_invariants().unwrap();
     }
 

@@ -45,36 +45,73 @@ impl Reservation {
     /// Creates a reservation over `[va_base, va_base + len)` backed by the
     /// given segments.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the segments do not exactly tile `[0, len)` in order, or if
-    /// a segment's physical base is not aligned to its order.
-    pub fn new(id: ReservationId, va_base: VirtAddr, len: u64, segments: Vec<Segment>) -> Self {
+    /// Returns [`TpsError::InvariantViolation`] if the segments do not
+    /// exactly tile `[0, len)` in order, if a segment's physical base or
+    /// offset is not aligned to its order, or if `len` exceeds the largest
+    /// representable page order. These conditions mean the caller's segment
+    /// list is corrupt; the mmap path reports that instead of panicking.
+    pub fn new(
+        id: ReservationId,
+        va_base: VirtAddr,
+        len: u64,
+        segments: Vec<Segment>,
+    ) -> Result<Self, TpsError> {
         let mut expect = 0u64;
         for s in &segments {
-            assert_eq!(s.offset, expect, "segments must tile the range");
-            assert!(
-                s.base.is_aligned(s.order.shift()),
-                "segment base misaligned"
-            );
-            assert_eq!(
-                s.offset % s.order.bytes(),
-                0,
-                "segment offset must be aligned to its order"
-            );
+            if s.offset != expect {
+                return Err(TpsError::invariant(
+                    InvariantLayer::Reservation,
+                    format!(
+                        "segments must tile the range: expected offset {expect:#x}, got {:#x}",
+                        s.offset
+                    ),
+                ));
+            }
+            if !s.base.is_aligned(s.order.shift()) {
+                return Err(TpsError::invariant(
+                    InvariantLayer::Reservation,
+                    format!(
+                        "segment base {:#x} misaligned for order {}",
+                        s.base.value(),
+                        s.order.get()
+                    ),
+                ));
+            }
+            if s.offset % s.order.bytes() != 0 {
+                return Err(TpsError::invariant(
+                    InvariantLayer::Reservation,
+                    format!(
+                        "segment offset {:#x} not aligned to its order {}",
+                        s.offset,
+                        s.order.get()
+                    ),
+                ));
+            }
             expect += s.order.bytes();
         }
-        assert_eq!(expect, len, "segments must cover exactly len bytes");
+        if expect != len {
+            return Err(TpsError::invariant(
+                InvariantLayer::Reservation,
+                format!("segments cover {expect:#x} bytes of a {len:#x}-byte range"),
+            ));
+        }
         let tree_order = PageOrder::covering(len)
-            .expect("reservation too large")
+            .map_err(|_| {
+                TpsError::invariant(
+                    InvariantLayer::Reservation,
+                    format!("reservation of {len:#x} bytes exceeds the maximum page order"),
+                )
+            })?
             .get();
-        Reservation {
+        Ok(Reservation {
             id,
             va_base,
             len,
             segments,
             util: UtilizationTree::new(tree_order),
-        }
+        })
     }
 
     /// The reservation's identifier.
@@ -187,7 +224,9 @@ impl ReservationTable {
     /// # Errors
     ///
     /// Returns [`TpsError::RangeOverlap`] if the virtual range overlaps an
-    /// existing reservation.
+    /// existing reservation, or [`TpsError::InvariantViolation`] if the
+    /// segment list does not validly tile the range (see
+    /// [`Reservation::new`]).
     pub fn insert(
         &mut self,
         va_base: VirtAddr,
@@ -209,7 +248,7 @@ impl ReservationTable {
         let id = ReservationId(self.next_id);
         self.next_id += 1;
         self.by_start
-            .insert(start, Reservation::new(id, va_base, len, segments));
+            .insert(start, Reservation::new(id, va_base, len, segments)?);
         Ok(id)
     }
 
@@ -375,17 +414,26 @@ impl UtilizationTree {
 /// Returns [`TpsError::OutOfMemory`] (after rolling back any partial
 /// allocation) if physical memory is exhausted, or if a fault injector
 /// installed on `buddy` denies the whole-span reservation up front.
-///
-/// # Panics
-///
-/// Panics if `len` is zero or not a multiple of the base page size.
+/// Returns [`TpsError::InvariantViolation`] if `len` is zero or not a
+/// multiple of the base page size — a malformed request from the mmap
+/// layer must surface as an error, not a panic.
 pub fn reserve_span(
     buddy: &mut BuddyAllocator,
     len: u64,
     max_order: PageOrder,
 ) -> Result<Vec<Segment>, TpsError> {
-    assert!(len > 0, "cannot reserve an empty span");
-    assert_eq!(len % (1 << BASE_PAGE_SHIFT), 0, "span must be page-aligned");
+    if len == 0 {
+        return Err(TpsError::invariant(
+            InvariantLayer::Reservation,
+            "cannot reserve an empty span".to_string(),
+        ));
+    }
+    if !len.is_multiple_of(1 << BASE_PAGE_SHIFT) {
+        return Err(TpsError::invariant(
+            InvariantLayer::Reservation,
+            format!("span of {len:#x} bytes is not base-page-aligned"),
+        ));
+    }
     if buddy.consult_injector(FaultSite::ReserveSpan) {
         // Forced denial before any block is taken: the caller sees the same
         // error an exhausted allocator would produce and degrades to 4 KB.
@@ -397,7 +445,15 @@ pub fn reserve_span(
     let mut offset = 0u64;
     while offset < len {
         let remaining = len - offset;
-        let fit = PageOrder::fitting(remaining).expect("remaining is >= one page");
+        // `remaining` is a positive multiple of the base page size (checked
+        // above, and `got.bytes()` only subtracts page multiples), so
+        // `fitting` cannot return None; report rather than panic regardless.
+        let Some(fit) = PageOrder::fitting(remaining) else {
+            return Err(TpsError::invariant(
+                InvariantLayer::Reservation,
+                format!("no page order fits {remaining:#x} remaining bytes"),
+            ));
+        };
         let align = if offset == 0 {
             max_order
         } else {
@@ -441,6 +497,7 @@ pub fn reserve_span(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -508,11 +565,12 @@ mod tests {
         let segs = reserve_span(&mut buddy, 28 << 10, o(18)).unwrap();
         let seg0_base = segs[0].base;
         let seg2_base = segs[2].base;
-        let r = Reservation::new(ReservationId(0), VirtAddr::new(0x10000000), 28 << 10, segs);
+        let r =
+            Reservation::new(ReservationId(0), VirtAddr::new(0x10000000), 28 << 10, segs).unwrap();
         assert_eq!(r.frame_for(0), Some(seg0_base));
         assert_eq!(
-            r.frame_for(4096),
-            Some(PhysAddr::new(seg0_base.value() + 4096))
+            r.frame_for(BASE_PAGE_SIZE),
+            Some(PhysAddr::new(seg0_base.value() + BASE_PAGE_SIZE))
         );
         assert_eq!(r.frame_for(24 << 10), Some(seg2_base));
         assert_eq!(r.frame_for(28 << 10), None);
@@ -618,6 +676,7 @@ mod tests {
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use tps_core::GIB;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -652,7 +711,8 @@ mod proptests {
             let mut buddy = BuddyAllocator::new(64 << 20);
             let len = pages << 12;
             let segs = reserve_span(&mut buddy, len, o(18)).unwrap();
-            let r = Reservation::new(ReservationId(1), VirtAddr::new(0x4000_0000), len, segs.clone());
+            let r = Reservation::new(ReservationId(1), VirtAddr::new(GIB), len, segs.clone())
+                .unwrap();
             let offset = (probe % pages) << 12;
             let expected = segs.iter()
                 .find(|s| offset >= s.offset && offset < s.offset + s.order.bytes())

@@ -1,7 +1,7 @@
 //! Per-process virtual address space: VMA bookkeeping and region placement.
 
 use std::collections::BTreeMap;
-use tps_core::{PageOrder, TpsError, VirtAddr, BASE_PAGE_SHIFT};
+use tps_core::{InvariantLayer, PageOrder, TpsError, VirtAddr, BASE_PAGE_SHIFT};
 
 /// A mapped virtual memory area (one `mmap` result).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -80,11 +80,17 @@ impl AddressSpace {
     /// Places a new region of `len` bytes (rounded up to whole pages),
     /// aligned to `align`, and records its VMA.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `len` is zero.
-    pub fn map_region(&mut self, len: u64, align: PageOrder) -> Vma {
-        assert!(len > 0, "cannot map an empty region");
+    /// Returns [`TpsError::InvariantViolation`] if `len` is zero — the mmap
+    /// path reports a malformed request instead of panicking.
+    pub fn map_region(&mut self, len: u64, align: PageOrder) -> Result<Vma, TpsError> {
+        if len == 0 {
+            return Err(TpsError::invariant(
+                InvariantLayer::Os,
+                "cannot map an empty region".to_string(),
+            ));
+        }
         let len = round_up_pages(len);
         let base = VirtAddr::new(self.bump).align_up(align.shift());
         let vma = Vma { base, len };
@@ -92,7 +98,7 @@ impl AddressSpace {
         // Guard gap: skip to the next alignment boundary past the region so
         // a neighboring VMA can never share an aligned tailored-page region.
         self.bump = (base.value() + len + align.bytes()) & !(align.bytes() - 1);
-        vma
+        Ok(vma)
     }
 
     /// Removes the VMA starting exactly at `base`.
@@ -132,6 +138,7 @@ pub fn round_up_pages(len: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -140,8 +147,8 @@ mod tests {
     #[test]
     fn regions_are_aligned_and_disjoint() {
         let mut a = AddressSpace::new();
-        let v1 = a.map_region(28 << 10, o(3));
-        let v2 = a.map_region(1 << 20, o(8));
+        let v1 = a.map_region(28 << 10, o(3)).unwrap();
+        let v2 = a.map_region(1 << 20, o(8)).unwrap();
         assert!(v1.base().is_aligned(12 + 3));
         assert!(v2.base().is_aligned(12 + 8));
         assert!(v2.base() >= v1.end());
@@ -151,8 +158,8 @@ mod tests {
     #[test]
     fn guard_gap_prevents_shared_promotion_regions() {
         let mut a = AddressSpace::new();
-        let v1 = a.map_region(4 << 10, o(4)); // 4K region, 64K alignment
-        let v2 = a.map_region(4 << 10, o(4));
+        let v1 = a.map_region(4 << 10, o(4)).unwrap(); // 4K region, 64K alignment
+        let v2 = a.map_region(4 << 10, o(4)).unwrap();
         // No aligned 64K region contains parts of both VMAs.
         assert!(v2.base().value() - v1.base().align_down(16).value() >= 64 << 10);
     }
@@ -160,7 +167,7 @@ mod tests {
     #[test]
     fn len_rounds_to_pages() {
         let mut a = AddressSpace::new();
-        let v = a.map_region(5000, o(0));
+        let v = a.map_region(5000, o(0)).unwrap();
         assert_eq!(v.len(), 8192);
         assert_eq!(a.total_bytes(), 8192);
     }
@@ -168,8 +175,8 @@ mod tests {
     #[test]
     fn find_and_unmap() {
         let mut a = AddressSpace::new();
-        let v = a.map_region(64 << 10, o(4));
-        let inside = VirtAddr::new(v.base().value() + 4096);
+        let v = a.map_region(64 << 10, o(4)).unwrap();
+        let inside = VirtAddr::new(v.base().value() + BASE_PAGE_SIZE);
         assert_eq!(a.find(inside), Some(&v));
         assert!(a.find(VirtAddr::new(v.end().value())).is_none());
         assert!(a.find(VirtAddr::new(v.base().value() - 1)).is_none());
@@ -180,10 +187,20 @@ mod tests {
     }
 
     #[test]
+    fn empty_region_is_an_error_not_a_panic() {
+        let mut a = AddressSpace::new();
+        assert!(matches!(
+            a.map_region(0, o(0)),
+            Err(TpsError::InvariantViolation { .. })
+        ));
+        assert!(a.is_empty());
+    }
+
+    #[test]
     fn many_regions_stay_sorted() {
         let mut a = AddressSpace::new();
         let vmas: Vec<_> = (0..50)
-            .map(|i| a.map_region((i + 1) * 4096, o(0)))
+            .map(|i| a.map_region((i + 1) * BASE_PAGE_SIZE, o(0)).unwrap())
             .collect();
         let listed: Vec<_> = a.iter().cloned().collect();
         assert_eq!(vmas, listed);

@@ -8,6 +8,7 @@ use std::collections::HashMap;
 use tps_core::inject::{self, FaultSite, InjectorHandle};
 use tps_core::{
     InvariantLayer, PageOrder, PhysAddr, PteFlags, TpsError, VirtAddr, BASE_PAGE_SHIFT,
+    BASE_PAGE_SIZE,
 };
 use tps_mem::compaction::{compact, CompactionOutcome};
 use tps_mem::reservation::reserve_span;
@@ -413,12 +414,13 @@ impl Os {
     ///
     /// Returns [`TpsError::OutOfMemory`] only for eager policies that could
     /// not back the region at all; reservation failures degrade to demand
-    /// 4 KB faulting instead.
+    /// 4 KB faulting instead. A zero-length request is reported as
+    /// [`TpsError::InvariantViolation`].
     pub fn mmap(&mut self, asid: Asid, len: u64) -> Result<Vma, TpsError> {
         let len_r = round_up_pages(len);
         let covering = PageOrder::covering(len_r).unwrap_or(self.policy.max_order);
         let align = covering.min(self.policy.max_order);
-        let vma = self.proc_mut(asid).address_space.map_region(len_r, align);
+        let vma = self.proc_mut(asid).address_space.map_region(len_r, align)?;
         self.stats.mmaps += 1;
         self.charge(self.cost.reservation_op);
 
@@ -1022,14 +1024,14 @@ impl Os {
                 self.shares.split(pfn, order, PageOrder::P4K);
                 let ro = PteFlags::USER;
                 for i in 0..order.base_pages() {
-                    let sub_va = VirtAddr::new(va_page.value() + i * 4096);
+                    let sub_va = VirtAddr::new(va_page.value() + i * BASE_PAGE_SIZE);
                     let sub_pa = PhysAddr::from_pfn(pfn + i);
                     self.map_counted(asid, sub_va, sub_pa, PageOrder::P4K, ro)?;
                 }
                 let fault_va = va.align_down(BASE_PAGE_SHIFT);
                 let fault_sub = (fault_va - va_page) >> BASE_PAGE_SHIFT;
                 let new = self.alloc_direct(asid, vma_base, PageOrder::P4K)?;
-                self.stats.cow_bytes_copied += 4096;
+                self.stats.cow_bytes_copied += BASE_PAGE_SIZE;
                 self.charge(self.cost.zero_4k);
                 self.map_counted(asid, fault_va, new, PageOrder::P4K, rw)?;
                 self.shares.release(pfn + fault_sub, PageOrder::P4K);
@@ -1116,8 +1118,8 @@ impl Os {
                     PteFlags::USER
                 };
                 for i in 0..leaf.order.base_pages() {
-                    let sub_va = VirtAddr::new(leaf_va.value() + i * 4096);
-                    let sub_pa = PhysAddr::new(leaf.base.value() + i * 4096);
+                    let sub_va = VirtAddr::new(leaf_va.value() + i * BASE_PAGE_SIZE);
+                    let sub_pa = PhysAddr::new(leaf.base.value() + i * BASE_PAGE_SIZE);
                     let inside = sub_va.value() >= va.value() && sub_va.value() < end;
                     self.map_counted(
                         asid,
@@ -1156,7 +1158,7 @@ impl Os {
         match pt.dirty_vector(va) {
             Some(vector) => {
                 let chunks = u64::from(vector.count_ones());
-                let chunk_bytes = (leaf.order.bytes() / 16).max(4096);
+                let chunk_bytes = (leaf.order.bytes() / 16).max(BASE_PAGE_SIZE);
                 (chunks * chunk_bytes).min(leaf.order.bytes())
             }
             None => leaf.order.bytes(),
@@ -1471,7 +1473,7 @@ mod tests {
             if os.page_table(pid).lookup(va).is_none() {
                 os.handle_fault(pid, va, true).unwrap();
             }
-            va = VirtAddr::new(va.value() + 4096);
+            va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
         }
     }
 
@@ -1482,7 +1484,7 @@ mod tests {
         let out = os.handle_fault(pid, vma.base() + 0x3456, false).unwrap();
         assert_eq!(out.mapped_order, PageOrder::P4K);
         assert!(!out.promoted);
-        assert_eq!(os.process(pid).resident_bytes(), 4096);
+        assert_eq!(os.process(pid).resident_bytes(), BASE_PAGE_SIZE);
     }
 
     #[test]
@@ -1492,7 +1494,7 @@ mod tests {
         os.handle_fault(pid, vma.base(), false).unwrap();
         // One touch resident-maps 2 MB.
         assert_eq!(os.process(pid).resident_bytes(), 2 << 20);
-        assert_eq!(os.process(pid).touched_bytes(), 4096);
+        assert_eq!(os.process(pid).touched_bytes(), BASE_PAGE_SIZE);
     }
 
     #[test]
@@ -1502,7 +1504,11 @@ mod tests {
         // Touch all pages of the first 2M chunk.
         for i in 0..512u64 {
             let out = os
-                .handle_fault(pid, VirtAddr::new(vma.base().value() + i * 4096), true)
+                .handle_fault(
+                    pid,
+                    VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                    true,
+                )
                 .unwrap();
             if i < 511 {
                 assert_eq!(out.mapped_order, PageOrder::P4K, "page {i}");
@@ -1534,7 +1540,11 @@ mod tests {
         let mut seen_orders = Vec::new();
         for i in 0..64u64 {
             let out = os
-                .handle_fault(pid, VirtAddr::new(vma.base().value() + i * 4096), true)
+                .handle_fault(
+                    pid,
+                    VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                    true,
+                )
                 .unwrap();
             if out.promoted {
                 seen_orders.push(out.mapped_order.get());
@@ -1560,8 +1570,12 @@ mod tests {
         let vma = os.mmap(pid, 1 << 20).unwrap();
         // Touch half the pages scattered: no promotion beyond what is full.
         for i in (0..256u64).step_by(2) {
-            os.handle_fault(pid, VirtAddr::new(vma.base().value() + i * 4096), true)
-                .unwrap();
+            os.handle_fault(
+                pid,
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
         }
         assert_eq!(
             os.process(pid).resident_bytes(),
@@ -1580,8 +1594,12 @@ mod tests {
         let vma = os.mmap(pid, 64 << 10).unwrap(); // 16 pages
                                                    // Touch 8 of 16 pages (the first half).
         for i in 0..8u64 {
-            os.handle_fault(pid, VirtAddr::new(vma.base().value() + i * 4096), true)
-                .unwrap();
+            os.handle_fault(
+                pid,
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
         }
         let leaf = os.page_table(pid).lookup(vma.base()).unwrap();
         assert_eq!(leaf.order.get(), 4, "50% threshold promoted the whole 64K");
@@ -1612,7 +1630,7 @@ mod tests {
         // A fresh buddy gives one contiguous block -> exactly one range.
         assert_eq!(os.process(pid).ranges().len(), 1);
         let r = os.range_for(pid, vma.base() + (5 << 20)).unwrap();
-        assert_eq!(r.pages(), (8 << 20) / 4096);
+        assert_eq!(r.pages(), (8 << 20) / BASE_PAGE_SIZE);
         // Page table uses only conventional sizes.
         for (order, _) in os.page_table(pid).page_census() {
             assert!(!order.is_tailored());
@@ -1677,7 +1695,8 @@ mod tests {
         let (mut os, pid) = os(PolicyKind::Only4K);
         let vma = os.mmap(pid, 64 << 10).unwrap();
         os.handle_fault(pid, vma.base(), true).unwrap();
-        os.handle_fault(pid, vma.base() + 4096, true).unwrap();
+        os.handle_fault(pid, vma.base() + BASE_PAGE_SIZE, true)
+            .unwrap();
         let vpn = vma.base().base_page_number();
         let (pfn0, w0) = os.probe_mapping(pid, vpn).unwrap();
         let (pfn1, _) = os.probe_mapping(pid, vpn + 1).unwrap();
@@ -1789,7 +1808,7 @@ mod tests {
         // The big page split into base pages in the child.
         let leaf = os.page_table(child).lookup(vma.base()).unwrap();
         assert_eq!(leaf.order, PageOrder::P4K);
-        assert_eq!(os.stats().cow_bytes_copied, 4096);
+        assert_eq!(os.stats().cow_bytes_copied, BASE_PAGE_SIZE);
     }
 
     #[test]
@@ -1810,13 +1829,21 @@ mod tests {
         let vma = os.mmap(parent, 64 << 10).unwrap();
         // Touch the first half, fork, then touch the rest.
         for i in 0..8u64 {
-            os.handle_fault(parent, VirtAddr::new(vma.base().value() + i * 4096), true)
-                .unwrap();
+            os.handle_fault(
+                parent,
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
         }
         let (_child, _) = os.fork(parent);
         for i in 8..16u64 {
-            os.handle_fault(parent, VirtAddr::new(vma.base().value() + i * 4096), true)
-                .unwrap();
+            os.handle_fault(
+                parent,
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
         }
         // The region is fully touched but must NOT be promoted to 64K:
         // the first half's frames are still shared with the child.
@@ -1862,7 +1889,7 @@ mod tests {
         let (mut os, pid) = os(PolicyKind::Tps);
         let vma = os.mmap(pid, 16 << 10).unwrap();
         assert!(matches!(
-            os.mprotect(pid, vma.base() + 1, 4096, false),
+            os.mprotect(pid, vma.base() + 1, BASE_PAGE_SIZE, false),
             Err(TpsError::Misaligned { .. })
         ));
         assert!(matches!(
@@ -1870,7 +1897,7 @@ mod tests {
             Err(TpsError::Unmapped { .. })
         ));
         assert!(matches!(
-            os.mprotect(pid, VirtAddr::new(0x1000), 4096, false),
+            os.mprotect(pid, VirtAddr::new(BASE_PAGE_SIZE), BASE_PAGE_SIZE, false),
             Err(TpsError::Unmapped { .. })
         ));
     }
@@ -1885,7 +1912,7 @@ mod tests {
         let mut va = vma.base();
         while va < vma.end() {
             os.handle_fault(pid, va, false).unwrap();
-            va = VirtAddr::new(va.value() + 4096);
+            va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
         }
         assert_eq!(os.dirty_writeback_bytes(pid, vma.base()), 0, "clean page");
         // Dirty two of sixteen base pages.
@@ -1893,7 +1920,7 @@ mod tests {
         os.hw_mark_accessed(pid, vma.base() + (5 << 12), true);
         assert_eq!(
             os.dirty_writeback_bytes(pid, vma.base()),
-            2 * 4096,
+            2 * BASE_PAGE_SIZE,
             "only the dirtied sixteenths write back"
         );
         // Without tracking, the whole page writes back.
@@ -1903,7 +1930,7 @@ mod tests {
         let mut va = vma2.base();
         while va < vma2.end() {
             os2.handle_fault(pid2, va, false).unwrap();
-            va = VirtAddr::new(va.value() + 4096);
+            va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
         }
         os2.hw_mark_accessed(pid2, vma2.base(), true);
         assert_eq!(os2.dirty_writeback_bytes(pid2, vma2.base()), 64 << 10);
@@ -1938,7 +1965,7 @@ mod tests {
                 let res = os.process(pid).reservations().find(va).unwrap();
                 let res_pa = res.frame_for(va - res.va_base()).unwrap();
                 assert_eq!(pt_pa, res_pa, "reservation and PT agree at {va}");
-                va = VirtAddr::new(va.value() + 4096);
+                va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
             }
         }
         os.buddy().check_invariants().unwrap();
@@ -1957,7 +1984,11 @@ mod tests {
             Some(&16)
         );
         let before: Vec<_> = (0..16u64)
-            .map(|i| os.page_table(pid).translate(vma.base() + i * 4096).unwrap())
+            .map(|i| {
+                os.page_table(pid)
+                    .translate(vma.base() + i * BASE_PAGE_SIZE)
+                    .unwrap()
+            })
             .collect();
         let merges = os.merge_pages(pid);
         assert!(merges >= 8, "16 pages merge pairwise up the tree: {merges}");
@@ -1972,7 +2003,7 @@ mod tests {
         for (i, pa) in before.iter().enumerate() {
             assert_eq!(
                 os.page_table(pid)
-                    .translate(vma.base() + i as u64 * 4096)
+                    .translate(vma.base() + i as u64 * BASE_PAGE_SIZE)
                     .unwrap(),
                 *pa
             );
@@ -1987,10 +2018,18 @@ mod tests {
         let a = os.mmap(pid, 16 << 10).unwrap();
         let b = os.mmap(pid, 16 << 10).unwrap();
         for i in 0..4u64 {
-            os.handle_fault(pid, VirtAddr::new(a.base().value() + i * 4096), true)
-                .unwrap();
-            os.handle_fault(pid, VirtAddr::new(b.base().value() + i * 4096), true)
-                .unwrap();
+            os.handle_fault(
+                pid,
+                VirtAddr::new(a.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
+            os.handle_fault(
+                pid,
+                VirtAddr::new(b.base().value() + i * BASE_PAGE_SIZE),
+                true,
+            )
+            .unwrap();
         }
         let merges = os.merge_pages(pid);
         // Alternating frames: VA-adjacent pages are not PA-adjacent.

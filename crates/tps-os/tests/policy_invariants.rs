@@ -7,7 +7,7 @@
 use proptest::prelude::*;
 use std::collections::HashMap;
 use tps_core::rng::Rng;
-use tps_core::{PageOrder, TpsError, VirtAddr};
+use tps_core::{PageOrder, TpsError, VirtAddr, BASE_PAGE_SIZE};
 use tps_os::{Os, PolicyConfig, PolicyKind, Vma};
 
 fn churn(kind: PolicyKind, seed: u64, ops: u32) -> Result<(), TestCaseError> {
@@ -21,7 +21,7 @@ fn churn(kind: PolicyKind, seed: u64, ops: u32) -> Result<(), TestCaseError> {
     for _ in 0..ops {
         let roll = rng.next_f64();
         if vmas.is_empty() || roll < 0.15 {
-            let bytes = 4096 * (1 + rng.below(512));
+            let bytes = BASE_PAGE_SIZE * (1 + rng.below(512));
             let vma = os.mmap(pid, bytes).expect("plenty of memory");
             vmas.push(vma);
         } else if roll < 0.22 {
@@ -104,7 +104,7 @@ fn conservation_churn(kind: PolicyKind, seed: u64, ops: u32) -> Result<(), TestC
     for _ in 0..ops {
         let roll = rng.next_f64();
         if vmas.is_empty() || roll < 0.18 {
-            let bytes = 4096 * (1 + rng.below(256));
+            let bytes = BASE_PAGE_SIZE * (1 + rng.below(256));
             match os.mmap(pid, bytes) {
                 Ok(vma) => vmas.push(vma),
                 // Eager policies (RMM) propagate real exhaustion; that is
@@ -235,7 +235,7 @@ proptest! {
         let pid = os.spawn();
         let vma = os.mmap(pid, 4 << 20).unwrap();
         for _ in 0..300 {
-            let off = rng.below(vma.len() / 4096) * 4096;
+            let off = rng.below(vma.len() / BASE_PAGE_SIZE) * BASE_PAGE_SIZE;
             let va = VirtAddr::new(vma.base().value() + off);
             if os.page_table(pid).lookup(va).is_none() {
                 os.handle_fault(pid, va, true).unwrap();
@@ -268,7 +268,7 @@ proptest! {
         os.handle_fault(pid, probe, true).unwrap();
         let mut last = os.page_table(pid).lookup(probe).unwrap().order;
         for _ in 0..256 {
-            let off = rng.below(vma.len() / 4096) * 4096;
+            let off = rng.below(vma.len() / BASE_PAGE_SIZE) * BASE_PAGE_SIZE;
             let va = VirtAddr::new(vma.base().value() + off);
             if os.page_table(pid).lookup(va).is_none() {
                 os.handle_fault(pid, va, true).unwrap();

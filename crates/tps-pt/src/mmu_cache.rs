@@ -132,13 +132,14 @@ impl MmuCaches {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::{BASE_PAGE_SIZE, MIB};
 
     #[test]
     fn miss_then_hit_at_deepest_level() {
         let mut c = MmuCaches::default();
         let va = VirtAddr::new(0x12_3456_7000);
         assert!(c.lookup(0, va).is_none());
-        c.insert(0, va, 4, PhysAddr::new(0x1000));
+        c.insert(0, va, 4, PhysAddr::new(BASE_PAGE_SIZE));
         c.insert(0, va, 3, PhysAddr::new(0x2000));
         c.insert(0, va, 2, PhysAddr::new(0x3000));
         // Deepest wins: resume at level 1 with the PDE-cached node.
@@ -152,7 +153,7 @@ mod tests {
     fn falls_back_to_shallower_levels() {
         let mut c = MmuCaches::default();
         let va = VirtAddr::new(0x12_3456_7000);
-        c.insert(0, va, 4, PhysAddr::new(0x1000));
+        c.insert(0, va, 4, PhysAddr::new(BASE_PAGE_SIZE));
         // Same PML4 region, different PDPT/PD region: only level 4 applies.
         let va2 = VirtAddr::new(0x12_0000_0000);
         assert_eq!(
@@ -160,7 +161,7 @@ mod tests {
             MmuCaches::tag(0, va2, 4),
             "both in the same 512G region"
         );
-        assert_eq!(c.lookup(0, va2), Some((3, PhysAddr::new(0x1000))));
+        assert_eq!(c.lookup(0, va2), Some((3, PhysAddr::new(BASE_PAGE_SIZE))));
     }
 
     #[test]
@@ -181,8 +182,8 @@ mod tests {
             pdpte_entries: 1,
             pde_entries: 2,
         });
-        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(0x1000));
-        c.insert(0, VirtAddr::new(1 << 21), 2, PhysAddr::new(0x2000));
+        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(BASE_PAGE_SIZE));
+        c.insert(0, VirtAddr::new(2 * MIB), 2, PhysAddr::new(0x2000));
         c.insert(0, VirtAddr::new(2 << 21), 2, PhysAddr::new(0x3000));
         assert!(
             c.lookup(0, VirtAddr::new(0)).is_none(),
@@ -193,7 +194,7 @@ mod tests {
     #[test]
     fn invalidate_all_clears() {
         let mut c = MmuCaches::default();
-        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(0x1000));
+        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(BASE_PAGE_SIZE));
         c.invalidate_all();
         assert!(c.lookup(0, VirtAddr::new(0)).is_none());
         assert_eq!(c.miss_count(), 1);

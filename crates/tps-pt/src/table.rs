@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, HashMap};
 use tps_core::{
     level_base_order, level_for_order, LeafInfo, PageOrder, PhysAddr, Pte, PteFlags, TpsError,
-    VirtAddr, PT_ENTRIES,
+    VirtAddr, BASE_PAGE_SIZE, PT_ENTRIES,
 };
 
 /// Physical base of the pool from which page-table node frames are drawn.
@@ -110,7 +110,7 @@ impl PageTable {
     }
 
     fn alloc_node(&mut self) -> PhysAddr {
-        let pa = PhysAddr::new(PT_POOL_BASE + self.next_node * 4096);
+        let pa = PhysAddr::new(PT_POOL_BASE + self.next_node * BASE_PAGE_SIZE);
         self.next_node += 1;
         self.nodes.insert(pa.value(), vec![Pte::EMPTY; PT_ENTRIES]);
         pa
@@ -466,6 +466,7 @@ impl PageTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::{GIB, MIB};
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -478,8 +479,13 @@ mod tests {
     #[test]
     fn map_and_translate_4k() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w())
-            .unwrap();
+        pt.map(
+            VirtAddr::new(BASE_PAGE_SIZE),
+            PhysAddr::new(0x5000),
+            o(0),
+            w(),
+        )
+        .unwrap();
         assert_eq!(pt.translate(VirtAddr::new(0x1234)).unwrap().value(), 0x5234);
         assert!(pt.translate(VirtAddr::new(0x2000)).is_none());
         assert_eq!(pt.node_count(), 4, "root + 3 intermediate nodes");
@@ -488,13 +494,8 @@ mod tests {
     #[test]
     fn map_and_translate_huge_pages() {
         let mut pt = PageTable::new();
-        pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
-            o(9),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(GIB), PhysAddr::new(GIB), o(9), w())
+            .unwrap();
         pt.map(
             VirtAddr::new(0x8000_0000),
             PhysAddr::new(0x8000_0000),
@@ -516,17 +517,15 @@ mod tests {
     fn tailored_page_aliases_written() {
         let mut pt = PageTable::new();
         // 32 KB page: 8 slots at level 1.
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
         // Every 4K sub-page translates correctly, through alias PTEs.
         for i in 0..8u64 {
-            let va = VirtAddr::new(0x10_0000 + i * 4096 + 42);
-            assert_eq!(pt.translate(va).unwrap().value(), 0x20_0000 + i * 4096 + 42);
+            let va = VirtAddr::new(0x10_0000 + i * BASE_PAGE_SIZE + 42);
+            assert_eq!(
+                pt.translate(va).unwrap().value(),
+                2 * MIB + i * BASE_PAGE_SIZE + 42
+            );
         }
         assert!(pt.translate(VirtAddr::new(0x10_8000)).is_none());
     }
@@ -535,11 +534,21 @@ mod tests {
     fn misaligned_map_rejected() {
         let mut pt = PageTable::new();
         assert!(matches!(
-            pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x8000), o(3), w()),
+            pt.map(
+                VirtAddr::new(BASE_PAGE_SIZE),
+                PhysAddr::new(0x8000),
+                o(3),
+                w()
+            ),
             Err(TpsError::Misaligned { .. })
         ));
         assert!(matches!(
-            pt.map(VirtAddr::new(0x8000), PhysAddr::new(0x1000), o(3), w()),
+            pt.map(
+                VirtAddr::new(0x8000),
+                PhysAddr::new(BASE_PAGE_SIZE),
+                o(3),
+                w()
+            ),
             Err(TpsError::Misaligned { .. })
         ));
     }
@@ -547,13 +556,8 @@ mod tests {
     #[test]
     fn mapping_under_existing_huge_page_rejected() {
         let mut pt = PageTable::new();
-        pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
-            o(9),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(GIB), PhysAddr::new(GIB), o(9), w())
+            .unwrap();
         assert!(matches!(
             pt.map(VirtAddr::new(0x4000_1000), PhysAddr::new(0x5000), o(0), w()),
             Err(TpsError::RangeOverlap { .. })
@@ -566,8 +570,8 @@ mod tests {
         // Map 8 individual 4K pages, then promote to one 32K page.
         for i in 0..8u64 {
             pt.map(
-                VirtAddr::new(0x10_0000 + i * 4096),
-                PhysAddr::new(0x30_0000 + i * 4096),
+                VirtAddr::new(0x10_0000 + i * BASE_PAGE_SIZE),
+                PhysAddr::new(0x30_0000 + i * BASE_PAGE_SIZE),
                 o(0),
                 w(),
             )
@@ -594,21 +598,16 @@ mod tests {
         // Map 4K pages across a 2M region, then promote to a 4M tailored page.
         for i in 0..16u64 {
             pt.map(
-                VirtAddr::new(0x4000_0000 + i * 4096),
-                PhysAddr::new(0x4000_0000 + i * 4096),
+                VirtAddr::new(GIB + i * BASE_PAGE_SIZE),
+                PhysAddr::new(GIB + i * BASE_PAGE_SIZE),
                 o(0),
                 w(),
             )
             .unwrap();
         }
         let nodes_before = pt.node_count();
-        pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
-            o(10),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(GIB), PhysAddr::new(GIB), o(10), w())
+            .unwrap();
         assert!(pt.node_count() < nodes_before, "level-1 node reclaimed");
         let leaf = pt.lookup(VirtAddr::new(0x4020_0000)).unwrap();
         assert_eq!(leaf.order, o(10));
@@ -617,16 +616,13 @@ mod tests {
     #[test]
     fn unmap_clears_all_aliases() {
         let mut pt = PageTable::new();
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
         pt.unmap(VirtAddr::new(0x10_0000), o(3)).unwrap();
         for i in 0..8u64 {
-            assert!(pt.translate(VirtAddr::new(0x10_0000 + i * 4096)).is_none());
+            assert!(pt
+                .translate(VirtAddr::new(0x10_0000 + i * BASE_PAGE_SIZE))
+                .is_none());
         }
         // Unmapping again fails.
         assert!(pt.unmap(VirtAddr::new(0x10_0000), o(3)).is_err());
@@ -635,21 +631,21 @@ mod tests {
     #[test]
     fn unmap_wrong_order_rejected() {
         let mut pt = PageTable::new();
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
         assert!(pt.unmap(VirtAddr::new(0x10_0000), o(2)).is_err());
     }
 
     #[test]
     fn accessed_dirty_tracking() {
         let mut pt = PageTable::new();
-        pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x5000), o(0), w())
-            .unwrap();
+        pt.map(
+            VirtAddr::new(BASE_PAGE_SIZE),
+            PhysAddr::new(0x5000),
+            o(0),
+            w(),
+        )
+        .unwrap();
         assert!(
             pt.mark_accessed(VirtAddr::new(0x1234), false),
             "first access stores"
@@ -672,27 +668,12 @@ mod tests {
     #[test]
     fn census_counts_true_ptes_only() {
         let mut pt = PageTable::new();
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap(); // 32K
-        pt.map(
-            VirtAddr::new(0x20_0000),
-            PhysAddr::new(0x40_0000),
-            o(0),
-            w(),
-        )
-        .unwrap(); // 4K
-        pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
-            o(9),
-            w(),
-        )
-        .unwrap(); // 2M
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap(); // 32K
+        pt.map(VirtAddr::new(2 * MIB), PhysAddr::new(0x40_0000), o(0), w())
+            .unwrap(); // 4K
+        pt.map(VirtAddr::new(GIB), PhysAddr::new(GIB), o(9), w())
+            .unwrap(); // 2M
         pt.map(
             VirtAddr::new(0x8000_0000),
             PhysAddr::new(0x800_0000),
@@ -715,20 +696,10 @@ mod tests {
     fn invariant_checker_accepts_live_tables() {
         let mut pt = PageTable::new();
         pt.check_invariants().unwrap();
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap();
-        pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
-            o(9),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
+        pt.map(VirtAddr::new(GIB), PhysAddr::new(GIB), o(9), w())
+            .unwrap();
         pt.map(
             VirtAddr::new(0x8000_0000),
             PhysAddr::new(0x800_0000),
@@ -746,13 +717,8 @@ mod tests {
     fn pte_write_counter_advances() {
         let mut pt = PageTable::new();
         let before = pt.pte_writes();
-        pt.map(
-            VirtAddr::new(0x10_0000),
-            PhysAddr::new(0x20_0000),
-            o(3),
-            w(),
-        )
-        .unwrap();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
         // 3 intermediate entries + 8 leaf slots.
         assert_eq!(pt.pte_writes() - before, 3 + 8);
     }
@@ -761,6 +727,7 @@ mod tests {
 #[cfg(test)]
 mod ad_vector_tests {
     use super::*;
+    use tps_core::GIB;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -797,11 +764,11 @@ mod ad_vector_tests {
     fn large_pages_cap_at_sixteen_bits() {
         let mut pt = PageTable::new();
         pt.set_fine_grained_ad(true);
-        let va = VirtAddr::new(0x4000_0000);
+        let va = VirtAddr::new(GIB);
         pt.map(va, PhysAddr::new(0x800_0000), o(11), PteFlags::WRITABLE) // 8 MB
             .unwrap();
         // Writing near the end sets bit 15; each bit covers 512 KB.
-        pt.mark_accessed(VirtAddr::new(va.value() + (8 << 20) - 4096), true);
+        pt.mark_accessed(VirtAddr::new(va.value() + (8 << 20) - BASE_PAGE_SIZE), true);
         pt.mark_accessed(VirtAddr::new(va.value() + 100), true);
         assert_eq!(pt.dirty_vector(va).unwrap(), (1 << 15) | 1);
     }
@@ -810,14 +777,9 @@ mod ad_vector_tests {
     fn conventional_pages_are_not_tracked() {
         let mut pt = PageTable::new();
         pt.set_fine_grained_ad(true);
-        let va = VirtAddr::new(0x4000_0000);
-        pt.map(
-            va,
-            PhysAddr::new(0x4000_0000),
-            PageOrder::P2M,
-            PteFlags::WRITABLE,
-        )
-        .unwrap();
+        let va = VirtAddr::new(GIB);
+        pt.map(va, PhysAddr::new(GIB), PageOrder::P2M, PteFlags::WRITABLE)
+            .unwrap();
         pt.mark_accessed(va, true);
         assert!(
             pt.dirty_vector(va).is_none(),
@@ -857,6 +819,7 @@ mod ad_vector_tests {
 #[cfg(test)]
 mod five_level_tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -867,7 +830,7 @@ mod five_level_tests {
         let mut pt = PageTable::with_levels(5);
         assert_eq!(pt.levels(), 5);
         pt.map(
-            VirtAddr::new(0x1000),
+            VirtAddr::new(BASE_PAGE_SIZE),
             PhysAddr::new(0x7000),
             o(0),
             PteFlags::WRITABLE,

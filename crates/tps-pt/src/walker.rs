@@ -50,11 +50,11 @@ pub struct WalkFault {
 /// # Example
 ///
 /// ```
-/// use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr};
+/// use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr, BASE_PAGE_SIZE};
 /// use tps_pt::{AliasPolicy, PageTable, Walker};
 ///
 /// let mut pt = PageTable::new();
-/// pt.map(VirtAddr::new(0x1000), PhysAddr::new(0x7000), PageOrder::P4K,
+/// pt.map(VirtAddr::new(BASE_PAGE_SIZE), PhysAddr::new(0x7000), PageOrder::P4K,
 ///        PteFlags::WRITABLE).unwrap();
 /// let walker = Walker::new(AliasPolicy::Pointer);
 /// let ok = walker.walk(&pt, VirtAddr::new(0x1abc), None).unwrap();
@@ -157,7 +157,7 @@ impl Walker {
 mod tests {
     use super::*;
     use crate::mmu_cache::MmuCacheConfig;
-    use tps_core::{PageOrder, PteFlags};
+    use tps_core::{PageOrder, PteFlags, BASE_PAGE_SIZE, GIB};
 
     fn o(x: u8) -> PageOrder {
         PageOrder::new(x).unwrap()
@@ -166,15 +166,15 @@ mod tests {
     fn mapped_pt() -> PageTable {
         let mut pt = PageTable::new();
         pt.map(
-            VirtAddr::new(0x1000),
+            VirtAddr::new(BASE_PAGE_SIZE),
             PhysAddr::new(0x7000),
             o(0),
             PteFlags::WRITABLE,
         )
         .unwrap();
         pt.map(
-            VirtAddr::new(0x4000_0000),
-            PhysAddr::new(0x4000_0000),
+            VirtAddr::new(GIB),
+            PhysAddr::new(GIB),
             o(9),
             PteFlags::WRITABLE,
         )
@@ -305,7 +305,7 @@ mod tests {
     fn five_level_walk_costs_one_more_access() {
         let mut pt = PageTable::with_levels(5);
         pt.map(
-            VirtAddr::new(0x1000),
+            VirtAddr::new(BASE_PAGE_SIZE),
             PhysAddr::new(0x7000),
             o(0),
             PteFlags::WRITABLE,
@@ -331,7 +331,7 @@ mod tests {
     fn walker_agrees_with_functional_lookup() {
         let pt = mapped_pt();
         let w = Walker::default();
-        for raw in [0x1001u64, 0x10_0000, 0x10_7fff, 0x4000_0000, 0x401f_ffff] {
+        for raw in [0x1001u64, 0x10_0000, 0x10_7fff, GIB, 0x401f_ffff] {
             let va = VirtAddr::new(raw);
             let ok = w.walk(&pt, va, None).unwrap();
             assert_eq!(Some(ok.translate(va)), pt.translate(va), "va {va}");

@@ -263,6 +263,7 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::config::Mechanism;
+    use tps_core::BASE_PAGE_SIZE;
     use tps_wl::{Gups, GupsParams, Initialized};
 
     fn gups(updates: u64) -> Initialized<Gups> {
@@ -408,7 +409,7 @@ mod tests {
                     }),
                     2..=17 => Some(Event::Access {
                         region: 0,
-                        offset: ((self.step - 2) as u64) * 4096,
+                        offset: ((self.step - 2) as u64) * BASE_PAGE_SIZE,
                         write: true,
                     }),
                     18 => Some(Event::Munmap { region: 0 }),
@@ -418,7 +419,7 @@ mod tests {
                     }),
                     20..=35 => Some(Event::Access {
                         region: 1,
-                        offset: ((self.step - 20) as u64) * 4096,
+                        offset: ((self.step - 20) as u64) * BASE_PAGE_SIZE,
                         write: true,
                     }),
                     _ => None,

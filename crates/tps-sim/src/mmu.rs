@@ -374,6 +374,7 @@ impl Mmu {
 mod tests {
     use super::*;
     use crate::config::{MachineConfig, Mechanism};
+    use tps_core::BASE_PAGE_SIZE;
     use tps_os::{CowPolicy, PolicyConfig, PolicyKind};
 
     fn setup() -> (Os, Mmu, Asid) {
@@ -394,7 +395,7 @@ mod tests {
         let vma = os.mmap(parent, 64 << 10).unwrap();
         // Parent touches everything (writable), warming its TLB entries.
         for i in 0..16u64 {
-            let va = VirtAddr::new(vma.base().value() + i * 4096);
+            let va = VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE);
             mmu.access(&mut os, parent, va, true);
         }
         let (child, shootdowns) = os.fork(parent);
@@ -434,7 +435,7 @@ mod tests {
             mmu.access(
                 &mut os,
                 parent,
-                VirtAddr::new(vma.base().value() + i * 4096),
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 true,
             );
         }
@@ -447,16 +448,16 @@ mod tests {
             mmu.access(
                 &mut os,
                 child,
-                VirtAddr::new(vma.base().value() + i * 4096),
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 false,
             );
             mmu.access(
                 &mut os,
                 parent,
-                VirtAddr::new(vma.base().value() + i * 4096),
+                VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 false,
             );
         }
-        assert_eq!(os.stats().cow_bytes_copied, 4096);
+        assert_eq!(os.stats().cow_bytes_copied, BASE_PAGE_SIZE);
     }
 }

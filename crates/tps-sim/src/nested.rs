@@ -7,7 +7,7 @@
 //! (2 MB host pages, as hypervisors use) with its own MMU caches, and
 //! translate each guest walk reference through it.
 
-use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr};
+use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr, GIB};
 use tps_pt::{MmuCaches, PageTable, Walker, PT_POOL_BASE};
 
 /// The host (nested) translation stage.
@@ -21,7 +21,7 @@ pub struct NestedWalkModel {
 
 /// Guest page-table pool window the host maps (1 GB of node frames —
 /// far more nodes than any simulated process allocates).
-const PT_POOL_WINDOW: u64 = 1 << 30;
+const PT_POOL_WINDOW: u64 = GIB;
 
 impl NestedWalkModel {
     /// Builds a host page table covering `guest_memory_bytes` of
@@ -99,6 +99,7 @@ impl NestedWalkModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     #[test]
     fn cold_nested_translation_costs_a_full_walk() {
@@ -110,7 +111,7 @@ mod tests {
     #[test]
     fn warm_nested_translations_are_cheap() {
         let mut n = NestedWalkModel::new(64 << 20);
-        n.nested_refs(PhysAddr::new(0x1000));
+        n.nested_refs(PhysAddr::new(BASE_PAGE_SIZE));
         let warm = n.nested_refs(PhysAddr::new(0x2000));
         assert_eq!(warm, 1, "PDPTE cache hit leaves only the leaf access");
         assert!(n.host_refs() >= 3);

@@ -502,6 +502,7 @@ impl TlbHierarchy {
 mod tests {
     use super::*;
     use tps_core::PhysAddr;
+    use tps_core::GIB;
 
     fn leaf(pa: u64, order: u8) -> LeafInfo {
         LeafInfo {
@@ -547,12 +548,12 @@ mod tests {
     #[test]
     fn tps_hierarchy_accepts_tailored_sizes() {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Tps));
-        let va = VirtAddr::new(0x4000_0000);
-        let l = leaf(0x4000_0000, 14); // 64 MB tailored page
+        let va = VirtAddr::new(GIB);
+        let l = leaf(GIB, 14); // 64 MB tailored page
         h.fill_l1(0, va, &l, None);
         h.fill_l2(0, va, &l);
         // Anywhere within 64 MB hits the single TPS entry.
-        let deep = VirtAddr::new(0x4000_0000 + (63 << 20));
+        let deep = VirtAddr::new(GIB + (63 << 20));
         let t = h.lookup_l1(0, deep).unwrap();
         assert_eq!(t.pfn, deep.base_page_number());
         assert_eq!(h.stats().l1_hits, 1);
@@ -584,7 +585,7 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Rmm));
         h.fill_range(RangeEntry {
             asid: 0,
-            start_vpn: 0x1000,
+            start_vpn: 0x1000, // tps-lint::allow(no-magic-page-size, reason = "VPN index, not a byte size")
             end_vpn: 0x10_0000,
             delta: 0x5000,
             writable: true,
@@ -627,8 +628,8 @@ mod tests {
     #[test]
     fn asid_isolation_across_hierarchy() {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Tps));
-        let va = VirtAddr::new(0x4000_0000);
-        let l = leaf(0x4000_0000, 10);
+        let va = VirtAddr::new(GIB);
+        let l = leaf(GIB, 10);
         h.fill_l1(1, va, &l, None);
         assert!(h.lookup_l1(2, va).is_none());
         assert!(h.lookup_l1(1, va).is_some());
@@ -641,12 +642,10 @@ mod tests {
         let mut config = TlbConfig::with_kind(HierarchyKind::Tps);
         config.tps_l1_skewed = true;
         let mut h = TlbHierarchy::new(config);
-        let va = VirtAddr::new(0x4000_0000);
-        let l = leaf(0x4000_0000, 14);
+        let va = VirtAddr::new(GIB);
+        let l = leaf(GIB, 14);
         h.fill_l1(0, va, &l, None);
-        assert!(h
-            .lookup_l1(0, VirtAddr::new(0x4000_0000 + (63 << 20)))
-            .is_some());
+        assert!(h.lookup_l1(0, VirtAddr::new(GIB + (63 << 20))).is_some());
         h.invalidate_page(0, va, PageOrder::new(14).unwrap());
         assert!(h.lookup_l1(0, va).is_none());
     }

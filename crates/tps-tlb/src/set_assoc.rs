@@ -157,7 +157,7 @@ mod tests {
             asid: 0,
             vpn,
             order: PageOrder::P4K,
-            pfn: vpn + 0x1000,
+            pfn: vpn + 0x1000, // tps-lint::allow(no-magic-page-size, reason = "PFN index, not a byte size")
             writable: true,
         }
     }
@@ -166,7 +166,7 @@ mod tests {
     fn fill_lookup_roundtrip() {
         let mut t = SetAssocTlb::new(16, 4, PageOrder::P4K);
         t.fill(e(5));
-        assert_eq!(t.lookup(0, 5).unwrap().pfn, 5 + 0x1000);
+        assert_eq!(t.lookup(0, 5).unwrap().pfn, 5 + 0x1000); // tps-lint::allow(no-magic-page-size, reason = "PFN index, not a byte size")
         assert!(t.lookup(0, 6).is_none());
         assert!(t.lookup(1, 5).is_none(), "wrong ASID misses");
     }

@@ -4,6 +4,7 @@
 
 use crate::event::{Event, Workload, WorkloadProfile};
 use tps_core::rng::Rng;
+use tps_core::GIB;
 
 /// GUPS parameters.
 #[derive(Copy, Clone, Debug)]
@@ -19,7 +20,7 @@ pub struct GupsParams {
 impl Default for GupsParams {
     fn default() -> Self {
         GupsParams {
-            table_bytes: 1 << 30,
+            table_bytes: GIB,
             updates: 2_000_000,
             seed: 0x6075,
         }

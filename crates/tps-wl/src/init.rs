@@ -125,6 +125,7 @@ impl<W: Workload> Workload for Initialized<W> {
 mod tests {
     use super::*;
     use crate::gups::{Gups, GupsParams};
+    use tps_core::BASE_PAGE_SIZE;
 
     #[test]
     fn sweep_touches_every_page_before_run() {
@@ -143,7 +144,7 @@ mod tests {
                     write: true,
                     ..
                 }) => {
-                    assert_eq!(offset, i * 4096)
+                    assert_eq!(offset, i * BASE_PAGE_SIZE)
                 }
                 other => panic!("expected init write, got {other:?}"),
             }

@@ -480,6 +480,7 @@ impl Workload for Spec17Kernel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::BASE_PAGE_SIZE;
 
     fn run_events(bench: SpecBench, accesses: u64) -> Vec<Event> {
         let mut k = Spec17Kernel::new(bench, accesses, 6, 1);
@@ -552,7 +553,10 @@ mod tests {
             deltas.insert(w[1] - w[0]);
         }
         // Plane-stride neighbors are > 4 KB apart.
-        assert!(deltas.iter().any(|d| d.abs() > 4096), "deltas {deltas:?}");
+        assert!(
+            deltas.iter().any(|d| d.abs() > BASE_PAGE_SIZE as i64),
+            "deltas {deltas:?}"
+        );
     }
 
     #[test]

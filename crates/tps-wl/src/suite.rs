@@ -7,6 +7,7 @@ use crate::gups::{Gups, GupsParams};
 use crate::init::Initialized;
 use crate::spec17::{Spec17Kernel, SpecBench};
 use crate::xsbench::{XsBench, XsBenchParams};
+use tps_core::GIB;
 
 /// How large a suite run should be.
 ///
@@ -82,7 +83,7 @@ pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
                     seed,
                 },
                 SuiteScale::Paper => GupsParams {
-                    table_bytes: 1 << 30,
+                    table_bytes: GIB,
                     updates: 2_500_000,
                     seed,
                 },
@@ -149,7 +150,7 @@ pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
                     ..Default::default()
                 },
                 SuiteScale::Small => Dbx1000Params {
-                    rows: 1 << 21,
+                    rows: 1 << 21, // tps-lint::allow(no-magic-page-size, reason = "row count, not a byte size")
                     txns: 40_000,
                     ..Default::default()
                 },

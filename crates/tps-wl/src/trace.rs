@@ -206,6 +206,7 @@ mod tests {
     use super::*;
     use crate::gups::{Gups, GupsParams};
     use crate::init::Initialized;
+    use tps_core::GIB;
 
     fn collect<W: Workload>(mut w: W) -> Vec<Event> {
         std::iter::from_fn(move || w.next_event()).collect()
@@ -216,7 +217,7 @@ mod tests {
         let events = [
             Event::Mmap {
                 region: 3,
-                bytes: 1 << 30,
+                bytes: GIB,
             },
             Event::Munmap { region: 3 },
             Event::Access {

@@ -12,6 +12,7 @@
 use tps::prelude::*;
 use tps::wl::WorkloadProfile;
 use tps_core::rng::Rng;
+use tps_core::GIB;
 
 const R_BUILD: u32 = 0; // build-side relation, scanned sequentially
 const R_PROBE: u32 = 1; // probe-side relation, scanned sequentially
@@ -126,7 +127,7 @@ fn main() {
     for policy in [PolicyKind::Thp, PolicyKind::Tps] {
         let config = MachineConfig::default()
             .with_policy(policy)
-            .with_memory(1 << 30);
+            .with_memory(GIB);
         let mut machine = Machine::new(config);
         let mut join = HashJoin::new(64, 128, 7);
         let stats = machine.run(&mut join);

@@ -6,7 +6,7 @@
 //! cargo run --release --example os_features
 //! ```
 
-use tps::core::VirtAddr;
+use tps::core::{VirtAddr, BASE_PAGE_SIZE};
 use tps::os::{CowPolicy, Os, PolicyConfig, PolicyKind};
 use tps::sim::{Machine, MachineConfig, Mechanism, RunCounters};
 use tps::wl::{replay, Event, Gups, GupsParams, Recorder, Workload, WorkloadProfile};
@@ -29,7 +29,7 @@ fn cow_demo() {
         let mut va = vma.base();
         while va < vma.end() {
             os.handle_fault(parent, va, true).unwrap();
-            va = VirtAddr::new(va.value() + 4096);
+            va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
         }
         let (child, _sds) = os.fork(parent);
         // The child writes one word in the middle of the 256 KB page.
@@ -61,7 +61,7 @@ fn mprotect_demo() {
     let mut va = vma.base();
     while va < vma.end() {
         os.handle_fault(pid, va, true).unwrap();
-        va = VirtAddr::new(va.value() + 4096);
+        va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
     }
     let census = |os: &Os| {
         os.process(pid)

@@ -5,6 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use tps::core::GIB;
 use tps::prelude::*;
 
 fn main() {
@@ -13,7 +14,7 @@ fn main() {
     // any-size L1 TLB, and the tailored page table.
     let config = MachineConfig::default()
         .with_policy(PolicyKind::Tps)
-        .with_memory(1 << 30);
+        .with_memory(GIB);
     let mut machine = Machine::new(config);
 
     // GUPS: random read-modify-writes over a 256 MB table — the

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Ratchet guard for lint-baseline.toml.
+#
+# The baseline freezes pre-existing tps-lint violations per (rule, file).
+# It is allowed to shrink (burn-down) but never to grow: this script fails
+# if the working-tree baseline has any entry whose count exceeds the copy
+# committed at HEAD, or any entry HEAD does not know about.
+#
+# Usage: scripts/lint-ratchet.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=lint-baseline.toml
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "lint-ratchet: no $BASELINE in the working tree" >&2
+    exit 1
+fi
+
+if ! committed=$(git show "HEAD:$BASELINE" 2>/dev/null); then
+    echo "lint-ratchet: no committed $BASELINE at HEAD yet; nothing to ratchet against"
+    exit 0
+fi
+
+# Flattens the baseline's TOML subset to `rule<TAB>path<TAB>count` lines.
+flatten() {
+    awk '
+        /^[[:space:]]*(#|$)/ { next }
+        /^\[.*\]$/ { rule = substr($0, 2, length($0) - 2); next }
+        {
+            split($0, kv, "=")
+            path = kv[1]; gsub(/[[:space:]"]/, "", path)
+            count = kv[2]; gsub(/[[:space:]]/, "", count)
+            print rule "\t" path "\t" count
+        }
+    '
+}
+
+status=0
+while IFS=$'\t' read -r rule path count; do
+    frozen=$(printf '%s\n' "$committed" | flatten \
+        | awk -F'\t' -v r="$rule" -v p="$path" '$1 == r && $2 == p { print $3 }')
+    if [[ -z "$frozen" ]]; then
+        echo "lint-ratchet: NEW baseline entry [$rule] \"$path\" = $count (not in HEAD)" >&2
+        status=1
+    elif (( count > frozen )); then
+        echo "lint-ratchet: [$rule] \"$path\" grew $frozen -> $count" >&2
+        status=1
+    fi
+done < <(flatten < "$BASELINE")
+
+if (( status != 0 )); then
+    echo "lint-ratchet: the baseline may only shrink. Fix the new violations" >&2
+    echo "lint-ratchet: instead of refreezing them." >&2
+    exit $status
+fi
+
+echo "lint-ratchet: baseline is within the committed ratchet"

@@ -23,6 +23,12 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> tps-lint --workspace (workspace invariants, ratcheted)"
+cargo run -q --release -p tps-lint -- --workspace
+
+echo "==> scripts/lint-ratchet.sh (baseline may only shrink)"
+scripts/lint-ratchet.sh
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -2,7 +2,7 @@
 //! verifying the simulated memory system preserves the mapping contract
 //! through promotions, munmap/remap cycles and SMT sharing.
 
-use tps::core::VirtAddr;
+use tps::core::{VirtAddr, BASE_PAGE_SIZE, GIB};
 use tps::sim::{run_smt, Machine, MachineConfig, Mechanism, RunCounters};
 use tps::wl::{Event, Workload, WorkloadProfile};
 use tps_core::rng::Rng;
@@ -45,7 +45,7 @@ impl Workload for Churn {
         let roll = self.rng.next_f64();
         if self.live.is_empty() || roll < 0.1 {
             // Map a randomly sized region (4K .. 8M, odd sizes included).
-            let bytes = 4096 + self.rng.below(8 << 20);
+            let bytes = BASE_PAGE_SIZE + self.rng.below(8 << 20);
             let region = self.next_region;
             self.next_region += 1;
             self.live.push((region, bytes));
@@ -112,13 +112,13 @@ fn memory_is_fully_reclaimed_after_unmapping_everything() {
         for page in (0..64u64).rev() {
             events.push(Event::Access {
                 region: r,
-                offset: page * 4096,
+                offset: page * BASE_PAGE_SIZE,
                 write: true,
             });
         }
         events.push(Event::Mmap {
             region: r,
-            bytes: 64 * 4096,
+            bytes: 64 * BASE_PAGE_SIZE,
         });
     }
     for mech in [Mechanism::Thp, Mechanism::Tps, Mechanism::Rmm] {
@@ -142,7 +142,7 @@ fn memory_is_fully_reclaimed_after_unmapping_everything() {
 #[test]
 fn smt_churn_keeps_address_spaces_isolated() {
     let config = MachineConfig::for_mechanism(Mechanism::Tps)
-        .with_memory(1 << 30)
+        .with_memory(GIB)
         .with_verification();
     // verify_translations catches any cross-ASID TLB pollution.
     let stats = run_smt(config, &mut Churn::new(1, 2000), &mut Churn::new(2, 2000));
@@ -168,7 +168,7 @@ fn step_api_supports_custom_driving() {
         machine.step(
             Event::Access {
                 region: 9,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
             &mut counters,
@@ -209,7 +209,7 @@ fn virtual_addresses_never_leak_between_regions() {
         machine.step(
             Event::Access {
                 region: 0,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
             &mut counters,
@@ -217,7 +217,7 @@ fn virtual_addresses_never_leak_between_regions() {
         machine.step(
             Event::Access {
                 region: 1,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
             &mut counters,
@@ -260,7 +260,7 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
         machine.step(
             Event::Access {
                 region: 0,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
             &mut counters,
@@ -275,7 +275,7 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
         machine.step(
             Event::Access {
                 region: 0,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: false,
             },
             &mut counters,

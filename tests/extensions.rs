@@ -2,6 +2,7 @@
 //! TPS TLB, fine-grained A/D, trace replay — all through a verified
 //! machine.
 
+use tps::core::BASE_PAGE_SIZE;
 use tps::sim::{Machine, MachineConfig, Mechanism};
 use tps::wl::{
     build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, WorkloadProfile,
@@ -115,7 +116,7 @@ fn mprotect_round_trip_through_verified_accesses() {
         machine.step(
             Event::Access {
                 region: 0,
-                offset: i * 4096,
+                offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
             &mut counters,
@@ -144,7 +145,7 @@ fn mprotect_round_trip_through_verified_accesses() {
     let mut va = vma.base();
     while va < vma.end() {
         os.handle_fault(pid, va, true).unwrap();
-        va = VirtAddr::new(va.value() + 4096);
+        va = VirtAddr::new(va.value() + BASE_PAGE_SIZE);
     }
     os.mprotect(pid, vma.base(), 64 << 10, false).unwrap();
     assert!(os.needs_cow(pid, vma.base()), "read-only after mprotect");
