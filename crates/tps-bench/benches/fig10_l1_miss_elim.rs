@@ -1,19 +1,26 @@
 //! Fig. 10: percent of L1 DTLB misses eliminated, baseline
 //! reservation-based THP. TPS ~98 %, CoLT ~37 %, RMM ~0 % in the paper.
-use tps_bench::{mean, pct, print_table, scale_from_env, SuiteCache};
+//!
+//! The whole suite × mechanism sweep runs as one parallel experiment
+//! matrix; eliminations come from the report's derived metrics.
+use tps_bench::{mean, pct, print_table, scale_from_env, suite_matrix};
 use tps_sim::Mechanism;
 use tps_wl::suite_names;
 
 fn main() {
-    let mut cache = SuiteCache::new(scale_from_env());
+    let mechs = Mechanism::contenders();
+    let report = suite_matrix([Mechanism::Thp].into_iter().chain(mechs), scale_from_env());
     let mut rows = Vec::new();
     let mut cols: [Vec<f64>; 3] = Default::default();
     for name in suite_names() {
-        let base = cache.get(name, Mechanism::Thp).clone();
+        let base = report.stats(name, Mechanism::Thp).expect("baseline cell");
         let mut row = vec![name.to_string(), format!("{}", base.mem.l1_misses())];
-        for (i, mech) in Mechanism::contenders().into_iter().enumerate() {
-            let stats = cache.get(name, mech);
-            let elim = stats.l1_misses_eliminated_vs(&base);
+        for (i, mech) in mechs.into_iter().enumerate() {
+            let elim = report
+                .get(name, mech)
+                .and_then(|c| c.derived)
+                .and_then(|d| d.l1_miss_elimination)
+                .expect("contender cell");
             // The paper's bar chart floors at zero.
             cols[i].push(elim.max(0.0));
             row.push(pct(elim));

@@ -1,26 +1,32 @@
 //! Fig. 11: percent of page-walk memory references eliminated, baseline
 //! reservation-based THP. TPS and RMM nearly tie; TPS wins on gcc
 //! (Range-TLB entry pressure), eager paging is best overall.
-use tps_bench::{mean, pct, print_table, scale_from_env, SuiteCache};
+//!
+//! Runs as one parallel experiment matrix; eliminations come from the
+//! report's derived metrics.
+use tps_bench::{mean, pct, print_table, scale_from_env, suite_matrix};
 use tps_sim::Mechanism;
 use tps_wl::suite_names;
 
 fn main() {
-    let mut cache = SuiteCache::new(scale_from_env());
     let mechs = [
         Mechanism::Tps,
         Mechanism::TpsEager,
         Mechanism::Colt,
         Mechanism::Rmm,
     ];
+    let report = suite_matrix([Mechanism::Thp].into_iter().chain(mechs), scale_from_env());
     let mut rows = Vec::new();
     let mut cols = vec![Vec::new(); mechs.len()];
     for name in suite_names() {
-        let base = cache.get(name, Mechanism::Thp).clone();
+        let base = report.stats(name, Mechanism::Thp).expect("baseline cell");
         let mut row = vec![name.to_string(), format!("{}", base.walk_refs)];
         for (i, mech) in mechs.into_iter().enumerate() {
-            let stats = cache.get(name, mech);
-            let elim = stats.walk_refs_eliminated_vs(&base);
+            let elim = report
+                .get(name, mech)
+                .and_then(|c| c.derived)
+                .and_then(|d| d.walk_ref_elimination)
+                .expect("contender cell");
             cols[i].push(elim.max(0.0));
             row.push(pct(elim));
         }

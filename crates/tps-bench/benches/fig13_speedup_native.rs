@@ -1,32 +1,47 @@
 //! Fig. 13: speedup over the reservation-THP baseline, native execution.
 //! Paper: TPS 15.7 % avg > RMM 9.4 % > CoLT 2.7 %, and TPS captures
 //! ~99 % of the ideal (all-translation-eliminated) speedup.
-use tps_bench::{geomean, print_table, run_one_with, scale_from_env, SuiteCache};
-use tps_sim::{MachineConfig, Mechanism, TimingModel};
+//!
+//! Two experiment matrices: the mechanism sweep, and a perfect-L1 THP
+//! matrix supplying the ideal (no TLB miss) column.
+use tps_bench::{geomean, print_table, run_matrix, scale_from_env, suite_matrix};
+use tps_sim::{ExperimentSpec, Mechanism, TimingModel};
 use tps_wl::suite_names;
 
 fn main() {
-    let mut cache = SuiteCache::new(scale_from_env());
-    let scale = cache.scale();
+    let scale = scale_from_env();
     let model = TimingModel::default();
     let mechs = Mechanism::contenders();
+    let report = suite_matrix([Mechanism::Thp].into_iter().chain(mechs), scale);
+    // Ideal: perfect L1 TLB, no walks at all.
+    let ideal_report = run_matrix(
+        ExperimentSpec::new()
+            .suite()
+            .mechanism(Mechanism::Thp)
+            .scale(scale)
+            .perfect_l1(true),
+    );
     let mut rows = Vec::new();
     let mut cols = vec![Vec::new(); mechs.len() + 1];
     for name in suite_names() {
-        let base = model.evaluate(cache.get(name, Mechanism::Thp), false);
+        let base = model.evaluate(
+            report.stats(name, Mechanism::Thp).expect("baseline cell"),
+            false,
+        );
         let mut row = vec![name.to_string()];
         for (i, mech) in mechs.into_iter().enumerate() {
-            let t = model.evaluate(cache.get(name, mech), false);
-            let speedup = t.speedup_over(&base);
+            let speedup = report
+                .get(name, mech)
+                .and_then(|c| c.derived)
+                .and_then(|d| d.speedup_vs_baseline)
+                .expect("contender cell");
             cols[i].push(speedup);
             row.push(format!("{speedup:.3}x"));
         }
-        // Ideal: perfect L1 TLB, no walks at all.
-        let ideal_stats = run_one_with(name, Mechanism::Thp, scale, |c| MachineConfig {
-            perfect_l1: true,
-            ..c
-        });
-        let ideal = model.evaluate(&ideal_stats, false).speedup_over(&base);
+        let ideal_stats = ideal_report
+            .stats(name, Mechanism::Thp)
+            .expect("ideal cell");
+        let ideal = model.evaluate(ideal_stats, false).speedup_over(&base);
         cols[mechs.len()].push(ideal);
         row.push(format!("{ideal:.3}x"));
         rows.push(row);

@@ -12,7 +12,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use tps_sim::{Machine, MachineConfig, Mechanism, RunStats};
+use tps_sim::{ExperimentReport, ExperimentSpec, Machine, MachineConfig, Mechanism, RunStats};
 use tps_wl::{build, SuiteScale};
 
 /// Reads the suite scale from the `TPS_SCALE` environment variable.
@@ -45,6 +45,31 @@ pub fn run_one_with(
     let mut machine = Machine::new(config);
     let mut workload = build(name, scale);
     machine.run(&mut *workload)
+}
+
+/// Expands and runs one experiment spec on the worker pool.
+///
+/// # Panics
+///
+/// Panics when the spec fails validation — the figure harnesses are
+/// static in-tree callers, so a rejected spec is a bug, not input.
+pub fn run_matrix(spec: ExperimentSpec) -> ExperimentReport {
+    spec.build().expect("figure spec is valid").run()
+}
+
+/// Runs the whole evaluation suite under `mechanisms` at `scale` as one
+/// parallel experiment matrix (cells fan out across the worker pool, the
+/// report is byte-deterministic regardless of thread count).
+pub fn suite_matrix(
+    mechanisms: impl IntoIterator<Item = Mechanism>,
+    scale: SuiteScale,
+) -> ExperimentReport {
+    run_matrix(
+        ExperimentSpec::new()
+            .suite()
+            .mechanisms(mechanisms)
+            .scale(scale),
+    )
 }
 
 /// A lazily filled cache of `(benchmark, mechanism) -> RunStats` so one

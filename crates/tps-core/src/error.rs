@@ -67,6 +67,19 @@ pub enum TpsError {
         /// Human-readable description of the violated invariant.
         detail: String,
     },
+    /// An experiment specification failed validation before any cell ran
+    /// (unknown benchmark, empty matrix, out-of-range parameter).
+    InvalidSpec {
+        /// Human-readable description of the rejected field.
+        detail: String,
+    },
+    /// A worker thread panicked while executing one experiment cell. The
+    /// matrix runner converts the panic into this per-cell error so the
+    /// remaining cells still complete.
+    WorkerPanic {
+        /// The panic payload (message), when one was recoverable.
+        detail: String,
+    },
 }
 
 impl TpsError {
@@ -74,6 +87,20 @@ impl TpsError {
     pub fn invariant(layer: InvariantLayer, detail: impl Into<String>) -> Self {
         TpsError::InvariantViolation {
             layer,
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds an [`TpsError::InvalidSpec`] with the given description.
+    pub fn invalid_spec(detail: impl Into<String>) -> Self {
+        TpsError::InvalidSpec {
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds an [`TpsError::WorkerPanic`] from a recovered panic message.
+    pub fn worker_panic(detail: impl Into<String>) -> Self {
+        TpsError::WorkerPanic {
             detail: detail.into(),
         }
     }
@@ -141,6 +168,12 @@ impl fmt::Display for TpsError {
             TpsError::InvariantViolation { layer, detail } => {
                 write!(f, "invariant violation at {layer} layer: {detail}")
             }
+            TpsError::InvalidSpec { detail } => {
+                write!(f, "invalid experiment spec: {detail}")
+            }
+            TpsError::WorkerPanic { detail } => {
+                write!(f, "worker thread panicked: {detail}")
+            }
         }
     }
 }
@@ -172,6 +205,8 @@ mod tests {
             TpsError::InvalidFree { addr: 0x2000 },
             TpsError::SharedMapping { vaddr: 0x3000 },
             TpsError::invariant(InvariantLayer::Buddy, "free list lost a block"),
+            TpsError::invalid_spec("unknown benchmark \"nonesuch\""),
+            TpsError::worker_panic("machine out of physical memory"),
         ];
         for e in errs {
             let s = e.to_string();

@@ -49,7 +49,14 @@ pub const CORE_CRATE: &str = "tps-core";
 /// Crates whose exported items must be documented ([`PUB_ITEM_DOCS`]).
 pub const DOC_CRATES: [&str; 2] = ["tps-core", "tps-os"];
 /// Enums whose matches may not use a wildcard arm.
-pub const GUARDED_ENUMS: [&str; 4] = ["TpsError", "FaultSite", "InvariantLayer", "PteFlags"];
+pub const GUARDED_ENUMS: [&str; 6] = [
+    "TpsError",
+    "FaultSite",
+    "InvariantLayer",
+    "PteFlags",
+    "Mechanism",
+    "SuiteScale",
+];
 
 /// Runs every per-file rule over `ctx`.
 pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {

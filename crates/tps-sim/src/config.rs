@@ -1,5 +1,6 @@
 //! Machine configuration (the paper's Table I plus policy selection).
 
+use tps_core::TpsError;
 use tps_mem::BuddyAllocator;
 use tps_os::{AliasPolicy, PolicyConfig, PolicyKind};
 use tps_pt::MmuCacheConfig;
@@ -57,7 +58,7 @@ impl Mechanism {
             Mechanism::Colt => HierarchyKind::Colt,
             Mechanism::Rmm => HierarchyKind::Rmm,
             Mechanism::Tps | Mechanism::TpsEager => HierarchyKind::Tps,
-            _ => HierarchyKind::Baseline,
+            Mechanism::Thp | Mechanism::Only4K | Mechanism::Only2M => HierarchyKind::Baseline,
         }
     }
 
@@ -66,11 +67,59 @@ impl Mechanism {
     pub fn contenders() -> [Mechanism; 3] {
         [Mechanism::Tps, Mechanism::Colt, Mechanism::Rmm]
     }
+
+    /// Every mechanism, in the stable order used by CLI help and reports.
+    pub fn all() -> [Mechanism; 7] {
+        [
+            Mechanism::Only4K,
+            Mechanism::Only2M,
+            Mechanism::Thp,
+            Mechanism::Colt,
+            Mechanism::Rmm,
+            Mechanism::Tps,
+            Mechanism::TpsEager,
+        ]
+    }
+
+    /// Canonical CLI name: the figure-legend label, lowercased
+    /// (`thp`, `colt`, `rmm`, `tps`, `tps-eager`, `4k`, `2m`).
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Mechanism::Thp => "thp",
+            Mechanism::Colt => "colt",
+            Mechanism::Rmm => "rmm",
+            Mechanism::Tps => "tps",
+            Mechanism::TpsEager => "tps-eager",
+            Mechanism::Only4K => "4k",
+            Mechanism::Only2M => "2m",
+        }
+    }
 }
 
 impl std::fmt::Display for Mechanism {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for Mechanism {
+    type Err = TpsError;
+
+    /// Parses a mechanism from its CLI name or figure-legend label,
+    /// case-insensitively (`tpseager` is accepted for `tps-eager`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        if lower == "tpseager" {
+            return Ok(Mechanism::TpsEager);
+        }
+        Mechanism::all()
+            .into_iter()
+            .find(|m| m.cli_name() == lower || m.label().to_ascii_lowercase() == lower)
+            .ok_or_else(|| {
+                TpsError::invalid_spec(format!(
+                    "unknown mechanism {s:?} (4k, 2m, thp, colt, rmm, tps, tps-eager)"
+                ))
+            })
     }
 }
 
@@ -258,19 +307,47 @@ mod tests {
 
     #[test]
     fn labels_unique() {
-        let all = [
-            Mechanism::Thp,
-            Mechanism::Colt,
-            Mechanism::Rmm,
-            Mechanism::Tps,
-            Mechanism::TpsEager,
-            Mechanism::Only4K,
-            Mechanism::Only2M,
-        ];
+        let all = Mechanism::all();
         let mut labels: Vec<_> = all.iter().map(|m| m.label()).collect();
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        // Exhaustive over Mechanism: adding a variant must extend `all()`
+        // and keep parse(cli_name) == mechanism and parse(label) == it too.
+        let all = Mechanism::all();
+        assert_eq!(all.len(), 7);
+        for mech in all {
+            let cli = match mech {
+                Mechanism::Thp => "thp",
+                Mechanism::Colt => "colt",
+                Mechanism::Rmm => "rmm",
+                Mechanism::Tps => "tps",
+                Mechanism::TpsEager => "tps-eager",
+                Mechanism::Only4K => "4k",
+                Mechanism::Only2M => "2m",
+            };
+            assert_eq!(mech.cli_name(), cli);
+            assert_eq!(cli.parse::<Mechanism>().unwrap(), mech);
+            assert_eq!(mech.label().parse::<Mechanism>().unwrap(), mech);
+            assert_eq!(
+                mech.label()
+                    .to_ascii_uppercase()
+                    .parse::<Mechanism>()
+                    .unwrap(),
+                mech,
+                "parsing is case-insensitive"
+            );
+        }
+        assert_eq!(
+            "tpseager".parse::<Mechanism>().unwrap(),
+            Mechanism::TpsEager
+        );
+        let err = "hugepages".parse::<Mechanism>().unwrap_err();
+        assert!(err.to_string().contains("unknown mechanism"));
     }
 }
 

@@ -1,0 +1,176 @@
+//! Minimal in-tree JSON writer for experiment reports.
+//!
+//! The workspace is offline (no serde), and the determinism contract of
+//! [`crate::experiment`] needs byte-stable output anyway, so the report
+//! serializer is a small value tree with insertion-ordered objects and a
+//! fixed pretty-printing scheme. Floats use Rust's shortest-round-trip
+//! formatting, which is a pure function of the bit pattern; non-finite
+//! values (which JSON cannot represent) render as `null`.
+
+/// One JSON value. Object keys keep insertion order.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer number.
+    U64(u64),
+    /// A floating-point number (`null` when not finite).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object.
+    pub(crate) fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a key/value pair. Debug-asserts that `self` is an object
+    /// (a builder-time programming error, not a runtime input).
+    pub(crate) fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Object(pairs) => pairs.push((key.to_string(), value)),
+            other => debug_assert!(false, "set() on non-object {other:?}"),
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, `\n`
+    /// separators, no trailing newline). Byte-stable for equal values.
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(s, out),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    write_escaped(key, out);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<Option<f64>> for Json {
+    fn from(v: Option<f64>) -> Json {
+        match v {
+            Some(x) => Json::F64(x),
+            None => Json::Null,
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `s` as a JSON string literal with the mandatory escapes.
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::U64(42).render(), "42");
+        assert_eq!(Json::F64(1.5).render(), "1.5");
+        assert_eq!(Json::F64(1.0).render(), "1");
+        assert_eq!(Json::F64(f64::NAN).render(), "null");
+        assert_eq!(Json::F64(f64::INFINITY).render(), "null");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structure_is_stable() {
+        let mut obj = Json::object();
+        obj.set("b", Json::U64(2));
+        obj.set("a", Json::Array(vec![Json::U64(1), Json::Null]));
+        obj.set("empty", Json::Object(Vec::new()));
+        let rendered = obj.render();
+        assert_eq!(
+            rendered,
+            "{\n  \"b\": 2,\n  \"a\": [\n    1,\n    null\n  ],\n  \"empty\": {}\n}"
+        );
+        // Insertion order, not sorted: "b" stays before "a".
+        assert!(rendered.find("\"b\"").unwrap() < rendered.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn option_conversion() {
+        assert_eq!(Json::from(Some(2.5)).render(), "2.5");
+        assert_eq!(Json::from(None).render(), "null");
+    }
+}

@@ -1,0 +1,110 @@
+//! Deterministic parallel experiment-matrix runner.
+//!
+//! Every paper figure is a (benchmark × mechanism × machine-config)
+//! matrix whose cells are fully independent: each runs a fresh
+//! [`crate::Machine`] over a seeded workload. This module turns that
+//! property into wall-clock savings without touching any per-run
+//! statistic:
+//!
+//! 1. [`ExperimentSpec`] — declarative builder describing the sweep.
+//! 2. [`ExperimentMatrix`] — the validated expansion into cells, each
+//!    with a seed pinned to its stable position in spec order.
+//! 3. [`ExperimentMatrix::run`] — executes cells on a `std::thread`
+//!    worker pool and aggregates an [`ExperimentReport`] in spec order,
+//!    so parallel output is **byte-identical** to a serial run.
+//!
+//! A cell that panics (e.g. exhausting modeled physical memory) degrades
+//! to a per-cell [`tps_core::TpsError::WorkerPanic`] entry; the rest of
+//! the matrix completes. [`ExperimentReport::to_json`] serializes the
+//! results plus derived paper metrics to a versioned JSON document shared
+//! by the CLI, the figure harnesses, and regression tooling.
+//!
+//! # Example
+//!
+//! ```
+//! use tps_sim::{ExperimentSpec, Mechanism};
+//! use tps_wl::SuiteScale;
+//!
+//! let report = ExperimentSpec::new()
+//!     .bench("gups")
+//!     .mechanisms([Mechanism::Thp, Mechanism::Tps])
+//!     .scale(SuiteScale::Test)
+//!     .threads(2)
+//!     .build()
+//!     .unwrap()
+//!     .run();
+//! assert_eq!(report.error_count(), 0);
+//! assert!(report.stats("gups", Mechanism::Tps).is_some());
+//! ```
+
+mod json;
+mod pool;
+mod report;
+mod spec;
+
+pub use report::{CellReport, DerivedMetrics, ExperimentReport, REPORT_SCHEMA, REPORT_VERSION};
+pub use spec::{ExperimentCell, ExperimentMatrix, ExperimentSpec, DEFAULT_EXPERIMENT_SEED};
+
+impl ExperimentMatrix {
+    /// Runs every cell on the spec's worker pool and aggregates the
+    /// results in stable spec order.
+    ///
+    /// The output — including [`ExperimentReport::to_json`] bytes — is
+    /// identical for every thread count; only wall-clock time changes.
+    pub fn run(&self) -> ExperimentReport {
+        let threads = self.spec().resolved_threads(self.cells().len());
+        let results = pool::run_cells(self.spec(), self.cells(), threads);
+        ExperimentReport::aggregate(self, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+    use tps_wl::SuiteScale;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec::new()
+            .benches(["gups", "xsbench"])
+            .mechanisms([Mechanism::Thp, Mechanism::Tps, Mechanism::Only4K])
+            .scale(SuiteScale::Test)
+            .seed(0xfeed)
+    }
+
+    #[test]
+    fn parallel_report_is_byte_identical_to_serial() {
+        let serial = spec().threads(1).build().unwrap().run();
+        let parallel = spec().threads(4).build().unwrap().run();
+        assert_eq!(serial.to_json(), parallel.to_json());
+    }
+
+    #[test]
+    fn poisoned_cell_degrades_without_killing_the_matrix() {
+        // 1 MB of physical memory cannot hold any test-scale workload, so
+        // every cell panics inside the machine — and every cell must still
+        // be reported, as an error entry.
+        let report = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .memory(1 << 20)
+            .threads(2)
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(report.cells().len(), 2);
+        assert_eq!(report.error_count(), 2);
+        for cell in report.cells() {
+            let err = cell.result.as_ref().unwrap_err();
+            assert!(
+                matches!(err, tps_core::TpsError::WorkerPanic { .. }),
+                "{err}"
+            );
+            assert!(cell.derived.is_none());
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("worker thread panicked"));
+    }
+}

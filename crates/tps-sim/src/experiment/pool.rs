@@ -1,0 +1,156 @@
+//! Deterministic `std::thread` worker pool executing matrix cells.
+//!
+//! Cells are claimed from a shared atomic cursor (work stealing keeps the
+//! pool busy regardless of per-cell runtime skew) and every result is
+//! written back to the cell's stable index, so the aggregated output is
+//! identical for any thread count — including 1. A panicking cell is
+//! caught at the worker boundary and surfaced as a per-cell
+//! [`TpsError::WorkerPanic`]; the remaining cells keep running.
+
+#[cfg(test)]
+use crate::config::Mechanism;
+use crate::machine::Machine;
+use crate::smt::run_smt;
+use crate::stats::RunStats;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use tps_core::rng::SplitMix64;
+use tps_core::TpsError;
+use tps_wl::build_seeded;
+
+use super::spec::{ExperimentCell, ExperimentSpec};
+
+/// Runs every cell on `threads` workers, returning results in cell order.
+pub(crate) fn run_cells(
+    spec: &ExperimentSpec,
+    cells: &[ExperimentCell],
+    threads: usize,
+) -> Vec<Result<RunStats, TpsError>> {
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunStats, TpsError>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else {
+                    break;
+                };
+                let outcome = run_cell_caught(spec, cell);
+                match slots[i].lock() {
+                    Ok(mut slot) => *slot = Some(outcome),
+                    // A poisoned slot means another worker panicked while
+                    // holding this lock, which the assignment above cannot
+                    // do; recover the guard rather than aborting the pool.
+                    Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            let inner = match slot.into_inner() {
+                Ok(inner) => inner,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            inner.unwrap_or_else(|| {
+                Err(TpsError::worker_panic(
+                    "cell result missing after pool shutdown",
+                ))
+            })
+        })
+        .collect()
+}
+
+/// Runs one cell, converting a panic anywhere below into a `TpsError`.
+fn run_cell_caught(spec: &ExperimentSpec, cell: &ExperimentCell) -> Result<RunStats, TpsError> {
+    match catch_unwind(AssertUnwindSafe(|| run_cell(spec, cell))) {
+        Ok(result) => result,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(TpsError::worker_panic(format!(
+                "cell ({}, {}): {message}",
+                cell.benchmark(),
+                cell.mechanism()
+            )))
+        }
+    }
+}
+
+/// Executes one cell: a fresh machine, a freshly seeded workload.
+fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell) -> Result<RunStats, TpsError> {
+    let config = spec.machine_config(cell.mechanism());
+    let scale = spec.suite_scale();
+    if spec.is_smt() {
+        // Derive both sibling seeds from the cell seed so the pair is as
+        // pinned as a native run.
+        let mut sm = SplitMix64::new(cell.seed());
+        let mut primary = build_seeded(cell.benchmark(), scale, sm.next_u64());
+        let mut sibling = build_seeded(cell.benchmark(), scale, sm.next_u64());
+        Ok(run_smt(config, &mut *primary, &mut *sibling).primary)
+    } else {
+        let mut machine = Machine::new(config);
+        let mut workload = build_seeded(cell.benchmark(), scale, cell.seed());
+        Ok(machine.run(&mut *workload))
+    }
+}
+
+/// Convenience used by tests: runs one (benchmark, mechanism) cell the
+/// way the pool would, without building a full matrix.
+#[cfg(test)]
+pub(crate) fn run_single(
+    spec: &ExperimentSpec,
+    benchmark: &str,
+    mechanism: Mechanism,
+    seed: u64,
+) -> Result<RunStats, TpsError> {
+    run_cell_caught(
+        spec,
+        &ExperimentCell {
+            index: 0,
+            benchmark: benchmark.to_string(),
+            mechanism,
+            seed,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tps_wl::SuiteScale;
+
+    #[test]
+    fn single_cell_runs_and_panics_are_caught() {
+        let spec = ExperimentSpec::new().scale(SuiteScale::Test);
+        let ok = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
+        assert!(ok.mem.accesses > 0);
+        // 1 MB of physical memory cannot hold the test-scale GUPS table:
+        // the machine panics inside mmap, which must surface as a
+        // WorkerPanic, not abort the process.
+        let tiny = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .memory(1 << 20);
+        let err = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
+        assert!(
+            matches!(err, TpsError::WorkerPanic { .. }),
+            "expected WorkerPanic, got {err}"
+        );
+        assert!(err.to_string().contains("gups"));
+    }
+
+    #[test]
+    fn smt_cells_run() {
+        let spec = ExperimentSpec::new().scale(SuiteScale::Test).smt(true);
+        let stats = run_single(&spec, "gups", Mechanism::Thp, 3).unwrap();
+        assert!(stats.mem.accesses > 0);
+    }
+}

@@ -1,0 +1,536 @@
+//! Declarative experiment specification and its expansion into cells.
+
+use crate::config::{MachineConfig, Mechanism};
+use tps_core::rng::SplitMix64;
+use tps_core::TpsError;
+use tps_wl::{profiling_names, suite_names, SuiteScale};
+
+/// Default base seed of an [`ExperimentSpec`] (spells "TPS matrix").
+pub const DEFAULT_EXPERIMENT_SEED: u64 = 0x7e57_3a72_1000_0001;
+
+/// A declarative (benchmark × mechanism) experiment matrix, built with a
+/// fluent API and expanded by [`ExperimentSpec::build`].
+///
+/// One spec describes everything a paper figure needs: which benchmarks
+/// and mechanisms to sweep, the machine configuration shared by every
+/// cell, the base seed from which per-cell seeds derive, and how many
+/// worker threads may run cells concurrently. Expansion is deterministic:
+/// cells are ordered benchmark-major in the order given, and each cell's
+/// seed depends only on the base seed and the cell's position, never on
+/// thread scheduling.
+///
+/// # Example
+///
+/// ```
+/// use tps_sim::{ExperimentSpec, Mechanism};
+/// use tps_wl::SuiteScale;
+///
+/// let matrix = ExperimentSpec::new()
+///     .bench("gups")
+///     .mechanisms([Mechanism::Thp, Mechanism::Tps])
+///     .scale(SuiteScale::Test)
+///     .build()
+///     .unwrap();
+/// assert_eq!(matrix.cells().len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    benchmarks: Vec<String>,
+    mechanisms: Vec<Mechanism>,
+    scale: SuiteScale,
+    smt: bool,
+    virtualized: bool,
+    five_level: bool,
+    perfect_l1: bool,
+    perfect_l2: bool,
+    threshold: Option<f64>,
+    verify: bool,
+    memory_bytes: Option<u64>,
+    baseline: Option<Mechanism>,
+    seed: u64,
+    threads: Option<usize>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        ExperimentSpec {
+            benchmarks: Vec::new(),
+            mechanisms: Vec::new(),
+            scale: SuiteScale::Small,
+            smt: false,
+            virtualized: false,
+            five_level: false,
+            perfect_l1: false,
+            perfect_l2: false,
+            threshold: None,
+            verify: false,
+            memory_bytes: None,
+            baseline: None,
+            seed: DEFAULT_EXPERIMENT_SEED,
+            threads: None,
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// An empty spec: no benchmarks or mechanisms selected yet,
+    /// `SuiteScale::Small`, native (non-SMT) execution, default seed, and
+    /// worker threads = available parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one benchmark (a [`tps_wl::suite_names`] /
+    /// [`tps_wl::profiling_names`] member).
+    #[must_use]
+    pub fn bench(mut self, name: impl Into<String>) -> Self {
+        self.benchmarks.push(name.into());
+        self
+    }
+
+    /// Appends several benchmarks.
+    #[must_use]
+    pub fn benches<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.benchmarks.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Selects the paper's TLB-intensive evaluation suite (Figs. 10–18).
+    #[must_use]
+    pub fn suite(self) -> Self {
+        self.benches(suite_names())
+    }
+
+    /// Appends one mechanism.
+    #[must_use]
+    pub fn mechanism(mut self, mech: Mechanism) -> Self {
+        self.mechanisms.push(mech);
+        self
+    }
+
+    /// Appends several mechanisms.
+    #[must_use]
+    pub fn mechanisms<I>(mut self, mechs: I) -> Self
+    where
+        I: IntoIterator<Item = Mechanism>,
+    {
+        self.mechanisms.extend(mechs);
+        self
+    }
+
+    /// Selects every mechanism ([`Mechanism::all`]).
+    #[must_use]
+    pub fn all_mechanisms(self) -> Self {
+        let all = Mechanism::all();
+        self.mechanisms(all)
+    }
+
+    /// Sets the workload scale (default [`SuiteScale::Small`]).
+    #[must_use]
+    pub fn scale(mut self, scale: SuiteScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Runs each cell as two SMT siblings sharing translation hardware.
+    #[must_use]
+    pub fn smt(mut self, smt: bool) -> Self {
+        self.smt = smt;
+        self
+    }
+
+    /// Models two-dimensional (virtualized) page walks.
+    #[must_use]
+    pub fn virtualized(mut self, virtualized: bool) -> Self {
+        self.virtualized = virtualized;
+        self
+    }
+
+    /// Models five-level (LA57) paging.
+    #[must_use]
+    pub fn five_level(mut self, five_level: bool) -> Self {
+        self.five_level = five_level;
+        self
+    }
+
+    /// Models a perfect L1 TLB (Fig. 3 / ideal-speedup columns).
+    #[must_use]
+    pub fn perfect_l1(mut self, perfect: bool) -> Self {
+        self.perfect_l1 = perfect;
+        self
+    }
+
+    /// Models a perfect L2 (STLB) level (Fig. 3).
+    #[must_use]
+    pub fn perfect_l2(mut self, perfect: bool) -> Self {
+        self.perfect_l2 = perfect;
+        self
+    }
+
+    /// Overrides the paging policy's utilization threshold, in `(0, 1]`.
+    #[must_use]
+    pub fn threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Cross-checks every translation against the page table (slow).
+    #[must_use]
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Overrides the modeled physical memory size. Without this, each
+    /// cell models [`SuiteScale::recommended_memory`] (doubled under SMT).
+    #[must_use]
+    pub fn memory(mut self, bytes: u64) -> Self {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the mechanism derived metrics compare against. Without this,
+    /// [`Mechanism::Thp`] is used when it is part of the sweep.
+    #[must_use]
+    pub fn baseline(mut self, mech: Mechanism) -> Self {
+        self.baseline = Some(mech);
+        self
+    }
+
+    /// Sets the base seed from which every cell seed derives.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the worker pool at `threads` (must be ≥ 1). Without this, the
+    /// pool uses [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The selected benchmarks, in sweep order.
+    pub fn benchmark_names(&self) -> &[String] {
+        &self.benchmarks
+    }
+
+    /// The selected mechanisms, in sweep order.
+    pub fn mechanism_list(&self) -> &[Mechanism] {
+        &self.mechanisms
+    }
+
+    /// The workload scale.
+    pub fn suite_scale(&self) -> SuiteScale {
+        self.scale
+    }
+
+    /// Whether cells run as SMT sibling pairs.
+    pub fn is_smt(&self) -> bool {
+        self.smt
+    }
+
+    /// The base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The baseline mechanism derived metrics will use, if any.
+    pub fn baseline_mechanism(&self) -> Option<Mechanism> {
+        self.baseline.or_else(|| {
+            self.mechanisms
+                .contains(&Mechanism::Thp)
+                .then_some(Mechanism::Thp)
+        })
+    }
+
+    /// Worker threads the pool will use: the explicit cap, else available
+    /// parallelism, never more than the number of cells (and at least 1).
+    pub fn resolved_threads(&self, cells: usize) -> usize {
+        let requested = self
+            .threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        requested.min(cells).max(1)
+    }
+
+    /// The machine configuration one cell under `mech` runs.
+    pub fn machine_config(&self, mech: Mechanism) -> MachineConfig {
+        let memory = self.memory_bytes.unwrap_or_else(|| {
+            let base = self.scale.recommended_memory();
+            if self.smt {
+                2 * base
+            } else {
+                base
+            }
+        });
+        let mut config = MachineConfig::for_mechanism(mech).with_memory(memory);
+        config.virtualized = self.virtualized;
+        config.five_level_paging = self.five_level;
+        config.perfect_l1 = self.perfect_l1;
+        config.perfect_l2 = self.perfect_l2;
+        config.verify_translations = self.verify;
+        if let Some(t) = self.threshold {
+            config.policy = config.policy.with_threshold(t);
+        }
+        config
+    }
+
+    /// Validates the spec and expands it into runnable cells, ordered
+    /// benchmark-major in the order benchmarks and mechanisms were added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpsError::InvalidSpec`] when no benchmark or mechanism is
+    /// selected, a benchmark name is unknown, a (benchmark, mechanism)
+    /// pair repeats, the threshold is outside `(0, 1]`, the explicit
+    /// baseline is not part of the sweep, or `threads` is zero.
+    pub fn build(self) -> Result<ExperimentMatrix, TpsError> {
+        if self.benchmarks.is_empty() {
+            return Err(TpsError::invalid_spec("no benchmarks selected"));
+        }
+        if self.mechanisms.is_empty() {
+            return Err(TpsError::invalid_spec("no mechanisms selected"));
+        }
+        let known = profiling_names();
+        for name in &self.benchmarks {
+            if !known.contains(&name.as_str()) {
+                return Err(TpsError::invalid_spec(format!(
+                    "unknown benchmark {name:?} (known: {})",
+                    known.join(", ")
+                )));
+            }
+        }
+        if let Some(t) = self.threshold {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(TpsError::invalid_spec(format!(
+                    "threshold {t} outside (0, 1]"
+                )));
+            }
+        }
+        if let Some(base) = self.baseline {
+            if !self.mechanisms.contains(&base) {
+                return Err(TpsError::invalid_spec(format!(
+                    "baseline {base} is not part of the mechanism sweep"
+                )));
+            }
+        }
+        if self.threads == Some(0) {
+            return Err(TpsError::invalid_spec("threads must be >= 1"));
+        }
+        let mut cells = Vec::with_capacity(self.benchmarks.len() * self.mechanisms.len());
+        for bench in &self.benchmarks {
+            for &mech in &self.mechanisms {
+                let index = cells.len() as u64;
+                if cells
+                    .iter()
+                    .any(|c: &ExperimentCell| c.benchmark == *bench && c.mechanism == mech)
+                {
+                    return Err(TpsError::invalid_spec(format!(
+                        "duplicate cell ({bench}, {mech})"
+                    )));
+                }
+                cells.push(ExperimentCell {
+                    index,
+                    benchmark: bench.clone(),
+                    mechanism: mech,
+                    seed: cell_seed(self.seed, index),
+                });
+            }
+        }
+        Ok(ExperimentMatrix { spec: self, cells })
+    }
+}
+
+/// The per-cell seed: a SplitMix64 hash of the base seed and the cell's
+/// stable position, so reordering threads can never change it.
+fn cell_seed(base: u64, index: u64) -> u64 {
+    SplitMix64::new(base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)).next_u64()
+}
+
+/// One runnable (benchmark × mechanism) combination of a matrix.
+#[derive(Clone, Debug)]
+pub struct ExperimentCell {
+    pub(crate) index: u64,
+    pub(crate) benchmark: String,
+    pub(crate) mechanism: Mechanism,
+    pub(crate) seed: u64,
+}
+
+impl ExperimentCell {
+    /// The cell's stable position in spec order.
+    pub fn index(&self) -> u64 {
+        self.index
+    }
+
+    /// The benchmark this cell runs.
+    pub fn benchmark(&self) -> &str {
+        &self.benchmark
+    }
+
+    /// The mechanism this cell runs under.
+    pub fn mechanism(&self) -> Mechanism {
+        self.mechanism
+    }
+
+    /// The cell's deterministic workload seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// A validated, expanded experiment matrix, ready to run.
+#[derive(Clone, Debug)]
+pub struct ExperimentMatrix {
+    pub(crate) spec: ExperimentSpec,
+    pub(crate) cells: Vec<ExperimentCell>,
+}
+
+impl ExperimentMatrix {
+    /// The spec this matrix was expanded from.
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The cells, in stable spec order.
+    pub fn cells(&self) -> &[ExperimentCell] {
+        &self.cells
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix has no cells (impossible for a built matrix,
+    /// provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_benchmark_major_and_seeded() {
+        let matrix = ExperimentSpec::new()
+            .benches(["gups", "xsbench"])
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .seed(7)
+            .build()
+            .unwrap();
+        let order: Vec<(String, Mechanism)> = matrix
+            .cells()
+            .iter()
+            .map(|c| (c.benchmark().to_string(), c.mechanism()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("gups".to_string(), Mechanism::Thp),
+                ("gups".to_string(), Mechanism::Tps),
+                ("xsbench".to_string(), Mechanism::Thp),
+                ("xsbench".to_string(), Mechanism::Tps),
+            ]
+        );
+        // Seeds are pinned by (base seed, index) alone.
+        let again = ExperimentSpec::new()
+            .benches(["gups", "xsbench"])
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .seed(7)
+            .build()
+            .unwrap();
+        for (a, b) in matrix.cells().iter().zip(again.cells()) {
+            assert_eq!(a.seed(), b.seed());
+        }
+        let seeds: std::collections::BTreeSet<u64> =
+            matrix.cells().iter().map(|c| c.seed()).collect();
+        assert_eq!(seeds.len(), 4, "cell seeds are distinct");
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let unknown = ExperimentSpec::new()
+            .bench("nonesuch")
+            .mechanism(Mechanism::Tps)
+            .build();
+        assert!(matches!(unknown, Err(TpsError::InvalidSpec { .. })));
+        let empty = ExperimentSpec::new().mechanism(Mechanism::Tps).build();
+        assert!(matches!(empty, Err(TpsError::InvalidSpec { .. })));
+        let no_mech = ExperimentSpec::new().bench("gups").build();
+        assert!(matches!(no_mech, Err(TpsError::InvalidSpec { .. })));
+        let dup = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Tps, Mechanism::Tps])
+            .build();
+        assert!(matches!(dup, Err(TpsError::InvalidSpec { .. })));
+        let thr = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps)
+            .threshold(1.5)
+            .build();
+        assert!(matches!(thr, Err(TpsError::InvalidSpec { .. })));
+        let zero = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps)
+            .threads(0)
+            .build();
+        assert!(matches!(zero, Err(TpsError::InvalidSpec { .. })));
+        let stray_baseline = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps)
+            .baseline(Mechanism::Rmm)
+            .build();
+        assert!(matches!(stray_baseline, Err(TpsError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn baseline_defaults_to_thp_when_swept() {
+        let with_thp = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps]);
+        assert_eq!(with_thp.baseline_mechanism(), Some(Mechanism::Thp));
+        let without = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps);
+        assert_eq!(without.baseline_mechanism(), None);
+    }
+
+    #[test]
+    fn machine_config_mirrors_spec() {
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .virtualized(true)
+            .five_level(true)
+            .threshold(0.5)
+            .verify(true);
+        let config = spec.machine_config(Mechanism::Tps);
+        assert!(config.virtualized && config.five_level_paging && config.verify_translations);
+        assert_eq!(config.memory_bytes, SuiteScale::Test.recommended_memory());
+        let smt_config = spec.smt(true).machine_config(Mechanism::Tps);
+        assert_eq!(
+            smt_config.memory_bytes,
+            2 * SuiteScale::Test.recommended_memory()
+        );
+        let tiny = ExperimentSpec::new().memory(1 << 20);
+        assert_eq!(tiny.machine_config(Mechanism::Thp).memory_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn resolved_threads_is_bounded() {
+        let spec = ExperimentSpec::new().threads(8);
+        assert_eq!(spec.resolved_threads(3), 3, "never more threads than cells");
+        assert_eq!(spec.resolved_threads(100), 8);
+        let auto = ExperimentSpec::new();
+        assert!(auto.resolved_threads(1000) >= 1);
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`NestedWalkModel`] — two-dimensional (virtualized) page walks.
 //! * [`TimingModel`] — the paper's `T = T_IDEAL + T_L1DTLBM + T_PW`
 //!   execution-time decomposition.
+//! * [`experiment`] — the deterministic parallel experiment-matrix
+//!   runner ([`ExperimentSpec`] → [`ExperimentMatrix`] →
+//!   [`ExperimentReport`]) behind the CLI and the figure harnesses.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 mod config;
+pub mod experiment;
 mod machine;
 mod mmu;
 mod nested;
@@ -38,6 +42,10 @@ mod stats;
 mod timing;
 
 pub use config::{table1_rows, MachineConfig, Mechanism};
+pub use experiment::{
+    CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport, ExperimentSpec,
+    DEFAULT_EXPERIMENT_SEED, REPORT_SCHEMA, REPORT_VERSION,
+};
 pub use machine::{Machine, RunCounters, ThreadCounters};
 pub use mmu::{AccessLevel, AccessOutcome, Mmu};
 pub use nested::NestedWalkModel;

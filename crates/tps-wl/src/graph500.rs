@@ -130,13 +130,18 @@ impl Graph500 {
     fn start_next_root(&mut self) -> bool {
         while self.roots_left > 0 {
             self.roots_left -= 1;
-            let root = self.rng.below(self.n());
-            if !self.visited[root as usize]
-                && self.xadj[root as usize] != self.xadj[root as usize + 1]
-            {
-                self.visited[root as usize] = true;
-                self.queue.push_back(root);
-                return true;
+            // Graph500 samples search keys among vertices with degree >= 1,
+            // so retry the draw (bounded, to stay total when every such
+            // vertex is already visited) instead of dropping the root.
+            for _ in 0..4 * self.n() {
+                let root = self.rng.below(self.n());
+                if !self.visited[root as usize]
+                    && self.xadj[root as usize] != self.xadj[root as usize + 1]
+                {
+                    self.visited[root as usize] = true;
+                    self.queue.push_back(root);
+                    return true;
+                }
             }
         }
         false

@@ -36,6 +36,8 @@ pub use graph500::{Graph500, Graph500Params};
 pub use gups::{Gups, GupsParams};
 pub use init::Initialized;
 pub use spec17::{Spec17Kernel, SpecBench};
-pub use suite::{build, profiling_names, suite_names, SuiteScale};
+pub use suite::{
+    build, build_seeded, default_suite_seed, profiling_names, suite_names, SuiteScale,
+};
 pub use trace::{format_event, parse_event, replay, Recorder, TraceReplay};
 pub use xsbench::{XsBench, XsBenchParams};

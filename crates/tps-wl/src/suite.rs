@@ -7,14 +7,14 @@ use crate::gups::{Gups, GupsParams};
 use crate::init::Initialized;
 use crate::spec17::{Spec17Kernel, SpecBench};
 use crate::xsbench::{XsBench, XsBenchParams};
-use tps_core::GIB;
+use tps_core::{TpsError, GIB};
 
 /// How large a suite run should be.
 ///
 /// The paper traces full executions; we provide three deterministic scales
 /// trading fidelity for wall-clock time. Relative behavior (who wins and by
 /// roughly how much) is stable across scales.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum SuiteScale {
     /// Tiny footprints for unit tests (seconds).
     Test,
@@ -25,6 +25,21 @@ pub enum SuiteScale {
 }
 
 impl SuiteScale {
+    /// Every scale, smallest first (CLI help, round-trip tests).
+    pub fn all() -> [SuiteScale; 3] {
+        [SuiteScale::Test, SuiteScale::Small, SuiteScale::Paper]
+    }
+
+    /// Canonical name as accepted by [`SuiteScale::from_str`] and used in
+    /// CLI flags and JSON labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteScale::Test => "test",
+            SuiteScale::Small => "small",
+            SuiteScale::Paper => "paper",
+        }
+    }
+
     fn spec_shrink(self) -> u32 {
         match self {
             SuiteScale::Test => 6,
@@ -51,6 +66,30 @@ impl SuiteScale {
     }
 }
 
+impl std::fmt::Display for SuiteScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for SuiteScale {
+    type Err = TpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        SuiteScale::all()
+            .into_iter()
+            .find(|scale| scale.label() == s)
+            .ok_or_else(|| {
+                TpsError::invalid_spec(format!("unknown scale {s:?} (test, small, paper)"))
+            })
+    }
+}
+
+/// The suite's default seed for one benchmark, as used by [`build`].
+pub fn default_suite_seed(name: &str) -> u64 {
+    0x7e57_0000 ^ name.len() as u64
+}
+
 /// Builds one suite benchmark by name (see [`suite_names`]).
 ///
 /// All workloads are wrapped in the [`Initialized`] sweep, matching the
@@ -60,7 +99,17 @@ impl SuiteScale {
 ///
 /// Panics on an unknown benchmark name.
 pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
-    let seed = 0x7e57_0000 ^ name.len() as u64;
+    build_seeded(name, scale, default_suite_seed(name))
+}
+
+/// [`build`] with an explicit workload seed, for experiment matrices that
+/// pin per-cell seeds. `build(name, scale)` is
+/// `build_seeded(name, scale, default_suite_seed(name))`.
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn build_seeded(name: &str, scale: SuiteScale, seed: u64) -> Box<dyn Workload> {
     if let Some(bench) = SpecBench::all().iter().find(|b| b.label() == name) {
         return Box::new(Initialized::new(Spec17Kernel::new(
             *bench,
@@ -147,16 +196,19 @@ pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
                 SuiteScale::Test => Dbx1000Params {
                     rows: 1 << 16,
                     txns: 1_000,
+                    seed,
                     ..Default::default()
                 },
                 SuiteScale::Small => Dbx1000Params {
                     rows: 1 << 21, // tps-lint::allow(no-magic-page-size, reason = "row count, not a byte size")
                     txns: 40_000,
+                    seed,
                     ..Default::default()
                 },
                 SuiteScale::Paper => Dbx1000Params {
                     rows: 4 << 20,
                     txns: 100_000,
+                    seed,
                     ..Default::default()
                 },
             };
@@ -223,6 +275,59 @@ mod tests {
     #[should_panic(expected = "unknown benchmark")]
     fn unknown_name_panics() {
         build("nonesuch", SuiteScale::Test);
+    }
+
+    #[test]
+    fn scale_labels_round_trip() {
+        // Exhaustive over SuiteScale: adding a scale must extend `all()`
+        // (asserted by the length check) and keep parse(label) == scale.
+        let all = SuiteScale::all();
+        assert_eq!(all.len(), 3);
+        for scale in all {
+            let label = match scale {
+                SuiteScale::Test => "test",
+                SuiteScale::Small => "small",
+                SuiteScale::Paper => "paper",
+            };
+            assert_eq!(scale.label(), label);
+            assert_eq!(scale.to_string(), label);
+            assert_eq!(label.parse::<SuiteScale>().unwrap(), scale);
+        }
+        assert!("huge".parse::<SuiteScale>().is_err());
+        assert!(
+            "Test".parse::<SuiteScale>().is_err(),
+            "labels are lowercase"
+        );
+    }
+
+    #[test]
+    fn build_seeded_controls_the_stream() {
+        let drain = |seed: u64| {
+            let mut wl = build_seeded("gups", SuiteScale::Test, seed);
+            // Skip the seed-independent Initialized sweep: sample the
+            // measured region after the ROI barrier.
+            while !matches!(wl.next_event(), Some(Event::StatsBarrier) | None) {}
+            let mut sig = Vec::new();
+            for _ in 0..500 {
+                match wl.next_event() {
+                    Some(Event::Access { offset, .. }) => sig.push(offset),
+                    Some(_) => {}
+                    None => break,
+                }
+            }
+            sig
+        };
+        assert_eq!(drain(1), drain(1), "same seed, same stream");
+        assert_ne!(drain(1), drain(2), "different seed, different stream");
+        // `build` is exactly `build_seeded` at the default suite seed.
+        let mut a = build("gups", SuiteScale::Test);
+        let mut b = build_seeded("gups", SuiteScale::Test, default_suite_seed("gups"));
+        for _ in 0..200 {
+            assert_eq!(
+                format!("{:?}", a.next_event()),
+                format!("{:?}", b.next_event())
+            );
+        }
     }
 
     #[test]

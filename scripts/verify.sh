@@ -20,6 +20,17 @@ cargo test -q
 echo "==> cargo test --workspace -q (all crates)"
 cargo test --workspace -q
 
+echo "==> matrix determinism gate (parallel JSON == serial JSON)"
+cargo test -q --test matrix_determinism
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --threads 1 --json "$tmpdir/serial.json" >/dev/null
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --threads 4 --json "$tmpdir/parallel.json" >/dev/null
+cmp "$tmpdir/serial.json" "$tmpdir/parallel.json" \
+    || { echo "verify: tps_run --threads changed the report bytes" >&2; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

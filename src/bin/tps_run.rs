@@ -1,104 +1,115 @@
 //! `tps-run`: command-line driver for the TPS simulator.
 //!
 //! ```text
-//! tps-run [--bench NAME] [--mech MECH | --all] [--scale test|small|paper]
-//!         [--smt] [--virtualized] [--five-level] [--threshold F] [--verify]
+//! tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix]
+//!         [--scale test|small|paper] [--threads N] [--seed S]
+//!         [--smt] [--virtualized] [--five-level] [--threshold F]
+//!         [--verify] [--json PATH|-]
 //! ```
 //!
-//! Examples:
+//! Flags build one declarative [`ExperimentSpec`]; the matrix of
+//! (benchmark × mechanism) cells runs on a worker pool (`--threads`,
+//! default = available parallelism) with per-cell pinned seeds, so the
+//! output — including `--json` bytes — is identical at every thread
+//! count. Examples:
 //!
 //! ```sh
 //! tps-run --bench gups --all --scale small
+//! tps-run --matrix --scale test --threads 8 --json report.json
 //! tps-run --bench xsbench --mech tps --smt
 //! ```
 
-use tps::sim::{run_smt, Machine, MachineConfig, Mechanism, RunStats, TimingModel};
-use tps::wl::{build, suite_names, SuiteScale};
+use tps::sim::{ExperimentReport, ExperimentSpec, Mechanism};
+use tps::wl::{suite_names, SuiteScale};
 
+/// Parsed command line: the spec plus output options.
 struct Options {
-    bench: String,
-    mechs: Vec<Mechanism>,
-    scale: SuiteScale,
-    smt: bool,
-    virtualized: bool,
-    five_level: bool,
-    threshold: Option<f64>,
-    verify: bool,
+    spec: ExperimentSpec,
+    json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: tps-run [--bench NAME] [--mech MECH | --all] \
-         [--scale test|small|paper] [--smt] [--virtualized] [--five-level] \
-         [--threshold F] [--verify]\n\
+        "usage: tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix] \
+         [--scale test|small|paper] [--threads N] [--seed S] [--smt] \
+         [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-]\n\
          benchmarks: {}\n\
-         mechanisms: 4k, 2m, thp, colt, rmm, tps, tps-eager",
-        suite_names().join(", ")
+         mechanisms: {}",
+        suite_names().join(", "),
+        Mechanism::all()
+            .iter()
+            .map(|m| m.cli_name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
     std::process::exit(2)
 }
 
-fn parse_mech(s: &str) -> Option<Mechanism> {
-    Some(match s.to_ascii_lowercase().as_str() {
-        "4k" => Mechanism::Only4K,
-        "2m" => Mechanism::Only2M,
-        "thp" => Mechanism::Thp,
-        "colt" => Mechanism::Colt,
-        "rmm" => Mechanism::Rmm,
-        "tps" => Mechanism::Tps,
-        "tps-eager" | "tpseager" => Mechanism::TpsEager,
-        _ => return None,
-    })
-}
-
 fn parse_args() -> Options {
-    let mut opts = Options {
-        bench: "gups".into(),
-        mechs: vec![Mechanism::Tps],
-        scale: SuiteScale::Small,
-        smt: false,
-        virtualized: false,
-        five_level: false,
-        threshold: None,
-        verify: false,
-    };
+    let mut benches: Vec<String> = Vec::new();
+    let mut mechs: Vec<Mechanism> = Vec::new();
+    let mut matrix = false;
+    let mut spec = ExperimentSpec::new();
+    let mut json = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--bench" => opts.bench = args.next().unwrap_or_else(|| usage()),
+            "--bench" => benches.push(args.next().unwrap_or_else(|| usage())),
             "--mech" => {
                 let m = args.next().unwrap_or_else(|| usage());
-                opts.mechs = vec![parse_mech(&m).unwrap_or_else(|| usage())];
-            }
-            "--all" => {
-                opts.mechs = vec![
-                    Mechanism::Only4K,
-                    Mechanism::Thp,
-                    Mechanism::Colt,
-                    Mechanism::Rmm,
-                    Mechanism::Tps,
-                    Mechanism::TpsEager,
-                ]
-            }
-            "--scale" => {
-                opts.scale = match args.next().as_deref() {
-                    Some("test") => SuiteScale::Test,
-                    Some("small") => SuiteScale::Small,
-                    Some("paper") => SuiteScale::Paper,
-                    _ => usage(),
+                match m.parse::<Mechanism>() {
+                    Ok(mech) => mechs.push(mech),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        usage()
+                    }
                 }
             }
-            "--smt" => opts.smt = true,
-            "--virtualized" => opts.virtualized = true,
-            "--five-level" => opts.five_level = true,
+            "--all" => mechs.extend([
+                Mechanism::Only4K,
+                Mechanism::Thp,
+                Mechanism::Colt,
+                Mechanism::Rmm,
+                Mechanism::Tps,
+                Mechanism::TpsEager,
+            ]),
+            "--matrix" => matrix = true,
+            "--scale" => {
+                let s = args.next().unwrap_or_else(|| usage());
+                match s.parse::<SuiteScale>() {
+                    Ok(scale) => spec = spec.scale(scale),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        usage()
+                    }
+                }
+            }
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                spec = spec.threads(n);
+            }
+            "--seed" => {
+                let s: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                spec = spec.seed(s);
+            }
+            "--smt" => spec = spec.smt(true),
+            "--virtualized" => spec = spec.virtualized(true),
+            "--five-level" => spec = spec.five_level(true),
             "--threshold" => {
                 let v: f64 = args
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
-                opts.threshold = Some(v);
+                spec = spec.threshold(v);
             }
-            "--verify" => opts.verify = true,
+            "--verify" => spec = spec.verify(true),
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -106,72 +117,107 @@ fn parse_args() -> Options {
             }
         }
     }
-    if !suite_names().contains(&opts.bench.as_str()) {
-        eprintln!("unknown benchmark {:?}", opts.bench);
-        usage()
+    if matrix {
+        if benches.is_empty() {
+            spec = spec.suite();
+        } else {
+            spec = spec.benches(benches);
+        }
+        if mechs.is_empty() {
+            spec = spec.mechanisms([
+                Mechanism::Thp,
+                Mechanism::Colt,
+                Mechanism::Rmm,
+                Mechanism::Tps,
+            ]);
+        } else {
+            spec = spec.mechanisms(mechs);
+        }
+    } else {
+        if benches.is_empty() {
+            benches.push("gups".into());
+        }
+        if mechs.is_empty() {
+            mechs.push(Mechanism::Tps);
+        }
+        spec = spec.benches(benches).mechanisms(mechs);
     }
-    opts
+    Options { spec, json }
 }
 
-fn configure(opts: &Options, mech: Mechanism) -> MachineConfig {
-    let mut config = MachineConfig::for_mechanism(mech).with_memory(if opts.smt {
-        2 * opts.scale.recommended_memory()
-    } else {
-        opts.scale.recommended_memory()
-    });
-    config.virtualized = opts.virtualized;
-    config.five_level_paging = opts.five_level;
-    config.verify_translations = opts.verify;
-    if let Some(t) = opts.threshold {
-        config.policy = config.policy.with_threshold(t);
-    }
-    config
-}
-
-fn run(opts: &Options, mech: Mechanism) -> RunStats {
-    let config = configure(opts, mech);
-    if opts.smt {
-        let mut a = build(&opts.bench, opts.scale);
-        let mut b = build(&opts.bench, opts.scale);
-        run_smt(config, &mut *a, &mut *b).primary
-    } else {
-        let mut machine = Machine::new(config);
-        let mut workload = build(&opts.bench, opts.scale);
-        machine.run(&mut *workload)
+fn print_report(report: &ExperimentReport) {
+    println!(
+        "scale: {}   smt: {}   seed: {:#x}   baseline: {}",
+        report.scale(),
+        report.is_smt(),
+        report.base_seed(),
+        report
+            .baseline_mechanism()
+            .map_or("-".into(), |m| m.to_string())
+    );
+    println!(
+        "{:>10} {:>10} {:>12} {:>9} {:>12} {:>9} {:>10} {:>8}",
+        "benchmark",
+        "mechanism",
+        "L1 misses",
+        "hit rate",
+        "walk refs",
+        "faults",
+        "promotions",
+        "speedup"
+    );
+    for cell in report.cells() {
+        match &cell.result {
+            Ok(stats) => {
+                let speedup = cell
+                    .derived
+                    .and_then(|d| d.speedup_vs_baseline)
+                    .map_or("-".into(), |s| format!("{s:.3}x"));
+                println!(
+                    "{:>10} {:>10} {:>12} {:>8.2}% {:>12} {:>9} {:>10} {:>8}",
+                    cell.benchmark,
+                    cell.mechanism.label(),
+                    stats.mem.l1_misses(),
+                    100.0 * stats.mem.l1_hit_rate(),
+                    stats.walk_refs,
+                    stats.os.faults,
+                    stats.os.promotions,
+                    speedup
+                );
+            }
+            Err(err) => println!(
+                "{:>10} {:>10} ERROR: {err}",
+                cell.benchmark,
+                cell.mechanism.label()
+            ),
+        }
     }
 }
 
 fn main() {
     let opts = parse_args();
-    let model = TimingModel::default();
-    println!(
-        "benchmark: {}   scale: {:?}   smt: {}   virtualized: {}   5-level: {}",
-        opts.bench, opts.scale, opts.smt, opts.virtualized, opts.five_level
-    );
-    println!(
-        "{:>10} {:>12} {:>9} {:>12} {:>9} {:>10} {:>8}",
-        "mechanism", "L1 misses", "hit rate", "walk refs", "faults", "promotions", "time"
-    );
-    let mut baseline: Option<f64> = None;
-    for &mech in &opts.mechs {
-        let stats = run(&opts, mech);
-        let timing = model.evaluate(&stats, opts.smt);
-        if mech == Mechanism::Thp {
-            baseline = Some(timing.total());
+    let matrix = match opts.spec.build() {
+        Ok(matrix) => matrix,
+        Err(err) => {
+            eprintln!("{err}");
+            usage()
         }
-        let speedup = match baseline {
-            Some(b) => format!("{:.3}x", b / timing.total()),
-            None => "-".into(),
-        };
-        println!(
-            "{:>10} {:>12} {:>8.2}% {:>12} {:>9} {:>10} {:>8}",
-            mech.label(),
-            stats.mem.l1_misses(),
-            100.0 * stats.mem.l1_hit_rate(),
-            stats.walk_refs,
-            stats.os.faults,
-            stats.os.promotions,
-            speedup
-        );
+    };
+    let report = matrix.run();
+    print_report(&report);
+    if let Some(path) = opts.json {
+        let doc = report.to_json();
+        if path == "-" {
+            println!("{doc}");
+        } else if let Err(err) = std::fs::write(&path, doc + "\n") {
+            eprintln!("cannot write {path}: {err}");
+            std::process::exit(1);
+        } else {
+            eprintln!("wrote {path}");
+        }
+    }
+    if report.error_count() > 0 {
+        eprintln!("{} cell(s) failed", report.error_count());
+        std::process::exit(1);
     }
 }

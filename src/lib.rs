@@ -27,6 +27,22 @@
 //! assert!(stats.mem.accesses > 0);
 //! println!("L1 hit rate: {:.2}%", 100.0 * stats.mem.l1_hit_rate());
 //! ```
+//!
+//! ## Experiment matrices
+//!
+//! Whole (benchmark × mechanism) sweeps go through the declarative
+//! experiment API; the matrix runs on a worker pool with per-cell pinned
+//! seeds, and the report (including its JSON form) is byte-identical at
+//! any thread count:
+//!
+//! ```
+//! use tps::prelude::*;
+//!
+//! let matrix = ExperimentSpec::new().bench("gups").all_mechanisms().scale(SuiteScale::Test).build()?;
+//! let report = matrix.run();
+//! assert!(report.stats("gups", Mechanism::Tps).is_some());
+//! # Ok::<(), tps::core::TpsError>(())
+//! ```
 
 pub use tps_core as core;
 pub use tps_mem as mem;
@@ -38,11 +54,15 @@ pub use tps_wl as wl;
 
 /// Commonly used items, importable with `use tps::prelude::*`.
 pub mod prelude {
-    pub use tps_core::{PageOrder, PageSize, PhysAddr, Pte, PteFlags, VirtAddr};
+    pub use tps_core::{PageOrder, PageSize, PhysAddr, Pte, PteFlags, TpsError, VirtAddr};
     pub use tps_os::{AliasPolicy, PolicyKind};
-    pub use tps_sim::{Machine, MachineConfig, RunStats};
+    pub use tps_sim::{
+        CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport,
+        ExperimentSpec, Machine, MachineConfig, Mechanism, RunStats, DEFAULT_EXPERIMENT_SEED,
+        REPORT_SCHEMA, REPORT_VERSION,
+    };
     pub use tps_wl::{
         Dbx1000, Dbx1000Params, Event, Graph500, Graph500Params, Gups, GupsParams, Spec17Kernel,
-        Workload, XsBench, XsBenchParams,
+        SuiteScale, Workload, XsBench, XsBenchParams,
     };
 }

@@ -1,0 +1,83 @@
+//! Integration gate for the experiment runner's determinism contract:
+//! the aggregated JSON of a parallel run must be byte-identical to the
+//! serial run of the same spec, and a panicking cell must surface as a
+//! per-cell error without aborting the rest of the matrix.
+
+use tps::prelude::*;
+
+/// The pinned seed every test in this file uses, so the gate exercises
+/// one fixed matrix rather than whatever the default happens to be.
+const PINNED_SEED: u64 = 0x7e57_0bad_cafe_f00d;
+
+fn gups_matrix(threads: usize) -> ExperimentReport {
+    ExperimentSpec::new()
+        .bench("gups")
+        .mechanisms([Mechanism::Only4K, Mechanism::Thp, Mechanism::Tps])
+        .scale(SuiteScale::Test)
+        .seed(PINNED_SEED)
+        .threads(threads)
+        .build()
+        .expect("static spec is valid")
+        .run()
+}
+
+#[test]
+fn parallel_json_is_byte_identical_to_serial() {
+    let serial = gups_matrix(1).to_json();
+    let parallel = gups_matrix(4).to_json();
+    assert_eq!(serial, parallel, "thread count changed the report bytes");
+    // The document is versioned and carries the pinned seed, not the
+    // thread count.
+    assert!(serial.contains(&format!("\"schema\": \"{REPORT_SCHEMA}\"")));
+    assert!(serial.contains(&format!("\"version\": {REPORT_VERSION}")));
+    assert!(serial.contains(&format!("\"seed\": {PINNED_SEED}")));
+    assert!(!serial.contains("thread"));
+}
+
+#[test]
+fn parallel_report_matches_serial_cell_for_cell() {
+    let serial = gups_matrix(1);
+    let parallel = gups_matrix(4);
+    assert_eq!(serial.cells().len(), 3);
+    for (a, b) in serial.cells().iter().zip(parallel.cells()) {
+        assert_eq!(a.benchmark, b.benchmark);
+        assert_eq!(a.mechanism, b.mechanism);
+        assert_eq!(a.seed, b.seed);
+        let (sa, sb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        assert_eq!(sa.mem.accesses, sb.mem.accesses);
+        assert_eq!(sa.mem.l1_misses(), sb.mem.l1_misses());
+        assert_eq!(sa.walk_refs, sb.walk_refs);
+        assert_eq!(sa.os.faults, sb.os.faults);
+    }
+}
+
+#[test]
+fn worker_panic_surfaces_as_per_cell_error() {
+    // 1 MiB of physical memory cannot hold even the test-scale GUPS
+    // table, so every cell's machine panics out of physical memory. The
+    // pool must catch each panic and keep running the remaining cells.
+    let report = ExperimentSpec::new()
+        .bench("gups")
+        .mechanisms([Mechanism::Thp, Mechanism::Tps])
+        .scale(SuiteScale::Test)
+        .seed(PINNED_SEED)
+        .memory(1 << 20)
+        .threads(2)
+        .build()
+        .expect("static spec is valid")
+        .run();
+    assert_eq!(report.cells().len(), 2, "no cell was dropped");
+    assert_eq!(report.error_count(), 2);
+    for cell in report.cells() {
+        match &cell.result {
+            Err(TpsError::WorkerPanic { detail }) => {
+                assert!(detail.contains("gups"), "panic names the cell: {detail}")
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(cell.derived.is_none(), "failed cells carry no metrics");
+    }
+    let json = report.to_json();
+    assert!(json.contains("\"ok\": false"));
+    assert!(json.contains("worker thread panicked"));
+}
