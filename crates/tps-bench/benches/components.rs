@@ -83,7 +83,7 @@ fn bench_walk(c: &mut Criterion) {
         )
         .unwrap();
     }
-    let walker = Walker::default();
+    let mut walker = Walker::default();
     c.bench_function("page_walk_cold", |b| {
         let mut i = 0u64;
         b.iter(|| {

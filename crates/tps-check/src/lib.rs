@@ -19,6 +19,11 @@
 //!   plan and audits as it goes. The headline robustness claim — ~1,000
 //!   seeded schedules complete with zero panics and every invariant held —
 //!   is `tests/campaign.rs` running [`campaign::run_campaign`].
+//! * [`shadow`] — a differential shadow-walk oracle for the *hardware*
+//!   fault sites: every translation performed under injected walker /
+//!   MMU-cache / TLB faults is replayed against a naive cache-free
+//!   reference walker, proving injected hardware faults only ever cost
+//!   time, never correctness.
 //!
 //! Nothing here is in the simulator's hot path: production crates only
 //! carry the `Option<InjectorHandle>` hook, which stays `None` (one
@@ -30,6 +35,7 @@
 mod audit;
 pub mod campaign;
 mod plan;
+pub mod shadow;
 
 pub use audit::Auditor;
 pub use plan::{FaultPlan, FaultPlanConfig};

@@ -1,182 +1,8 @@
-//! Deterministic fault plans.
+//! Deterministic fault plans (re-exported).
 //!
-//! A [`FaultPlan`] is the standard [`FaultInjector`] implementation: each
-//! consultation draws from a seeded [`Rng`] stream against a per-site
-//! probability, so a (seed, config) pair replays the exact same fault
-//! sequence every run — a failing campaign schedule is reproducible from
-//! its seed alone.
+//! [`FaultPlan`] and [`FaultPlanConfig`] originated here but moved to
+//! `tps-core` when the experiment runner (which must not depend on this
+//! crate) grew fault-injection support. This module re-exports them so
+//! harness code and the campaign keep their historical import paths.
 
-use std::cell::RefCell;
-use std::collections::BTreeMap;
-use std::rc::Rc;
-use tps_core::rng::Rng;
-use tps_core::{FaultInjector, FaultSite, InjectorHandle};
-
-/// Per-site fault probabilities plus the stream seed.
-///
-/// A probability of `0.0` disables a site without consuming randomness,
-/// so the injected stream depends only on the enabled sites.
-#[derive(Copy, Clone, Debug, PartialEq)]
-pub struct FaultPlanConfig {
-    /// Seed for the injector's private random stream.
-    pub seed: u64,
-    /// Probability that a buddy allocation is forced to fail.
-    pub buddy_alloc: f64,
-    /// Probability that a whole-span reservation is denied.
-    pub reserve_span: f64,
-    /// Probability that a compaction pass is interrupted at each block.
-    pub compaction_step: f64,
-    /// Probability that a TLB shootdown delivery is dropped (and retried).
-    pub shootdown_deliver: f64,
-}
-
-impl FaultPlanConfig {
-    /// A plan that never faults. Installing it must be behaviorally
-    /// indistinguishable from installing no injector at all — the
-    /// zero-cost-default property the campaign tests pin down.
-    pub fn disabled(seed: u64) -> Self {
-        FaultPlanConfig {
-            seed,
-            buddy_alloc: 0.0,
-            reserve_span: 0.0,
-            compaction_step: 0.0,
-            shootdown_deliver: 0.0,
-        }
-    }
-
-    /// The same probability at every site.
-    pub fn uniform(seed: u64, p: f64) -> Self {
-        FaultPlanConfig {
-            seed,
-            buddy_alloc: p,
-            reserve_span: p,
-            compaction_step: p,
-            shootdown_deliver: p,
-        }
-    }
-}
-
-/// A seeded, replayable fault injector with per-site hit counters.
-#[derive(Debug)]
-pub struct FaultPlan {
-    cfg: FaultPlanConfig,
-    rng: Rng,
-    consultations: u64,
-    injected: BTreeMap<&'static str, u64>,
-}
-
-impl FaultPlan {
-    /// Builds a plan from its configuration.
-    pub fn new(cfg: FaultPlanConfig) -> Self {
-        FaultPlan {
-            cfg,
-            rng: Rng::new(cfg.seed),
-            consultations: 0,
-            injected: BTreeMap::new(),
-        }
-    }
-
-    /// Builds a plan and returns both a shareable [`InjectorHandle`] (to
-    /// install via `Os::set_fault_injector`) and a concrete handle the
-    /// caller keeps for reading counters after the run.
-    pub fn handles(cfg: FaultPlanConfig) -> (InjectorHandle, Rc<RefCell<FaultPlan>>) {
-        let concrete = Rc::new(RefCell::new(FaultPlan::new(cfg)));
-        let dyn_handle: InjectorHandle = concrete.clone();
-        (dyn_handle, concrete)
-    }
-
-    /// How many times any site consulted this plan.
-    pub fn consultations(&self) -> u64 {
-        self.consultations
-    }
-
-    /// Total faults injected across all sites.
-    pub fn injected_total(&self) -> u64 {
-        self.injected.values().sum()
-    }
-
-    /// Faults injected at the site with the given [`FaultSite::label`].
-    pub fn injected_at(&self, label: &str) -> u64 {
-        self.injected.get(label).copied().unwrap_or(0)
-    }
-}
-
-impl FaultInjector for FaultPlan {
-    fn should_fault(&mut self, site: FaultSite) -> bool {
-        self.consultations += 1;
-        let p = match site {
-            FaultSite::BuddyAlloc { .. } => self.cfg.buddy_alloc,
-            FaultSite::ReserveSpan => self.cfg.reserve_span,
-            FaultSite::CompactionStep => self.cfg.compaction_step,
-            FaultSite::ShootdownDeliver => self.cfg.shootdown_deliver,
-        };
-        let hit = p > 0.0 && self.rng.chance(p);
-        if hit {
-            *self.injected.entry(site.label()).or_insert(0) += 1;
-        }
-        hit
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn drive(plan: &mut FaultPlan, n: u64) -> Vec<bool> {
-        (0..n)
-            .map(|i| {
-                plan.should_fault(FaultSite::BuddyAlloc {
-                    order: (i % 10) as u8,
-                })
-            })
-            .collect()
-    }
-
-    #[test]
-    fn replays_identically_from_the_seed() {
-        let cfg = FaultPlanConfig::uniform(42, 0.3);
-        let a = drive(&mut FaultPlan::new(cfg), 500);
-        let b = drive(&mut FaultPlan::new(cfg), 500);
-        assert_eq!(a, b);
-        assert!(a.iter().any(|&x| x), "p=0.3 over 500 draws must hit");
-        assert!(!a.iter().all(|&x| x), "p=0.3 over 500 draws must miss");
-    }
-
-    #[test]
-    fn disabled_plan_never_faults_and_draws_no_randomness() {
-        let mut plan = FaultPlan::new(FaultPlanConfig::disabled(7));
-        for v in drive(&mut plan, 200) {
-            assert!(!v);
-        }
-        assert_eq!(plan.consultations(), 200);
-        assert_eq!(plan.injected_total(), 0);
-    }
-
-    #[test]
-    fn counters_split_by_site_label() {
-        let cfg = FaultPlanConfig {
-            seed: 1,
-            buddy_alloc: 1.0,
-            reserve_span: 0.0,
-            compaction_step: 1.0,
-            shootdown_deliver: 0.0,
-        };
-        let mut plan = FaultPlan::new(cfg);
-        assert!(plan.should_fault(FaultSite::BuddyAlloc { order: 0 }));
-        assert!(!plan.should_fault(FaultSite::ReserveSpan));
-        assert!(plan.should_fault(FaultSite::CompactionStep));
-        assert!(!plan.should_fault(FaultSite::ShootdownDeliver));
-        assert_eq!(plan.injected_at("buddy-alloc"), 1);
-        assert_eq!(plan.injected_at("compaction-step"), 1);
-        assert_eq!(plan.injected_at("reserve-span"), 0);
-        assert_eq!(plan.injected_total(), 2);
-    }
-
-    #[test]
-    fn shared_handle_feeds_one_stream() {
-        let (handle, concrete) = FaultPlan::handles(FaultPlanConfig::uniform(9, 1.0));
-        assert!(handle.borrow_mut().should_fault(FaultSite::ReserveSpan));
-        assert_eq!(concrete.borrow().consultations(), 1);
-        assert_eq!(concrete.borrow().injected_total(), 1);
-    }
-}
+pub use tps_core::{FaultPlan, FaultPlanConfig};

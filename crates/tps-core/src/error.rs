@@ -80,6 +80,13 @@ pub enum TpsError {
         /// The panic payload (message), when one was recoverable.
         detail: String,
     },
+    /// A checkpoint journal could not be written, read, or reconciled with
+    /// the spec it claims to belong to (I/O failure, malformed record,
+    /// version or fingerprint mismatch).
+    Checkpoint {
+        /// Human-readable description of what went wrong.
+        detail: String,
+    },
 }
 
 impl TpsError {
@@ -101,6 +108,13 @@ impl TpsError {
     /// Builds an [`TpsError::WorkerPanic`] from a recovered panic message.
     pub fn worker_panic(detail: impl Into<String>) -> Self {
         TpsError::WorkerPanic {
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds an [`TpsError::Checkpoint`] with the given description.
+    pub fn checkpoint(detail: impl Into<String>) -> Self {
+        TpsError::Checkpoint {
             detail: detail.into(),
         }
     }
@@ -174,6 +188,9 @@ impl fmt::Display for TpsError {
             TpsError::WorkerPanic { detail } => {
                 write!(f, "worker thread panicked: {detail}")
             }
+            TpsError::Checkpoint { detail } => {
+                write!(f, "checkpoint error: {detail}")
+            }
         }
     }
 }
@@ -207,6 +224,7 @@ mod tests {
             TpsError::invariant(InvariantLayer::Buddy, "free list lost a block"),
             TpsError::invalid_spec("unknown benchmark \"nonesuch\""),
             TpsError::worker_panic("machine out of physical memory"),
+            TpsError::checkpoint("journal header missing"),
         ];
         for e in errs {
             let s = e.to_string();

@@ -47,7 +47,7 @@ pub use addr::{
     PAGE_2M_BYTES, PA_BITS, VA_BITS,
 };
 pub use error::{InvariantLayer, TpsError};
-pub use inject::{FaultInjector, FaultSite, InjectorHandle};
+pub use inject::{FaultInjector, FaultPlan, FaultPlanConfig, FaultSite, InjectorHandle};
 pub use page::{
     level_base_order, level_for_order, PageOrder, PageSize, LEVELS, MAX_PAGE_ORDER, PT_ENTRIES,
     PT_INDEX_BITS,

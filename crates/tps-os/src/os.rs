@@ -210,11 +210,15 @@ impl Os {
 
     /// Installs a deterministic fault injector across the whole OS stack:
     /// buddy allocations, span reservations, compaction steps (via the
-    /// allocator) and TLB-shootdown delivery (checked here). Pass `None`
-    /// to remove it; with no injector every hook is a single branch and
-    /// behavior is identical to an uninstrumented build.
+    /// allocator), TLB-shootdown delivery (checked here), and alias-PTE
+    /// installs in every process page table — existing and future. Pass
+    /// `None` to remove it; with no injector every hook is a single branch
+    /// and behavior is identical to an uninstrumented build.
     pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
         self.buddy.set_injector(injector.clone());
+        for proc in &mut self.processes {
+            proc.page_table.set_fault_injector(injector.clone());
+        }
         self.injector = injector;
     }
 
@@ -305,6 +309,7 @@ impl Os {
         let asid = self.processes.len() as Asid;
         let mut page_table = PageTable::with_levels(self.pt_levels);
         page_table.set_fine_grained_ad(self.fine_grained_ad);
+        page_table.set_fault_injector(self.injector.clone());
         self.processes.push(Process {
             asid,
             page_table,

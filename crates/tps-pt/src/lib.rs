@@ -26,7 +26,7 @@
 //! pt.map(VirtAddr::new(0x4000_8000), PhysAddr::new(0x200_0000),
 //!        order, PteFlags::WRITABLE).unwrap();
 //!
-//! let walker = Walker::new(AliasPolicy::Pointer);
+//! let mut walker = Walker::new(AliasPolicy::Pointer);
 //! let mut caches = MmuCaches::default();
 //! // An access inside the page, but not at its first 4 KB slot: the walk
 //! // lands on an alias PTE and performs one extra access.

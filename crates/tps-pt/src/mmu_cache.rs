@@ -12,8 +12,9 @@
 //!
 //! A hit in the PDE cache leaves only the leaf access to perform.
 
+use tps_core::inject::should_fault;
 use tps_core::lru::LruCache;
-use tps_core::{PhysAddr, VirtAddr};
+use tps_core::{FaultSite, InjectorHandle, PhysAddr, VirtAddr};
 
 /// Address-space id distinguishing processes sharing the MMU caches (SMT).
 pub type Asid = u16;
@@ -48,6 +49,8 @@ pub struct MmuCaches {
     caches: [LruCache<(Asid, u64), PhysAddr>; 3],
     hits: [u64; 3],
     misses: u64,
+    injector: Option<InjectorHandle>,
+    fill_drops: u64,
 }
 
 impl Default for MmuCaches {
@@ -67,7 +70,22 @@ impl MmuCaches {
             ],
             hits: [0; 3],
             misses: 0,
+            injector: None,
+            fill_drops: 0,
         }
+    }
+
+    /// Installs (or removes) a fault injector consulted at every fill. A
+    /// [`FaultSite::MmuCacheFill`] hit drops the insertion: later walks
+    /// miss and re-reference the page table — slower, never incorrect.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// How many fills were dropped by injected [`FaultSite::MmuCacheFill`]
+    /// faults (degradation counter).
+    pub fn fill_drops(&self) -> u64 {
+        self.fill_drops
     }
 
     fn tag(asid: Asid, va: VirtAddr, level: u8) -> (Asid, u64) {
@@ -97,17 +115,26 @@ impl MmuCaches {
     /// Records the non-leaf entry read at `level` for `va`, whose content
     /// points to `next_node`.
     ///
-    /// # Panics
-    ///
-    /// Panics if `level` is not 2, 3 or 4 (leaf levels are cached by TLBs,
-    /// not MMU caches).
+    /// Levels outside 2..=4 are ignored (leaf levels are cached by TLBs,
+    /// not MMU caches), as are fills dropped by an injected
+    /// [`FaultSite::MmuCacheFill`] fault.
     pub fn insert(&mut self, asid: Asid, va: VirtAddr, level: u8, next_node: PhysAddr) {
         let slot = match level {
             2 => 0,
             3 => 1,
             4 => 2,
-            _ => panic!("MMU caches hold only level 2..=4 entries"),
+            other => {
+                debug_assert!(
+                    false,
+                    "MMU caches hold only level 2..=4 entries, not {other}"
+                );
+                return;
+            }
         };
+        if should_fault(&self.injector, FaultSite::MmuCacheFill) {
+            self.fill_drops += 1;
+            return;
+        }
         self.caches[slot].insert(Self::tag(asid, va, level), next_node);
     }
 
@@ -198,5 +225,27 @@ mod tests {
         c.invalidate_all();
         assert!(c.lookup(0, VirtAddr::new(0)).is_none());
         assert_eq!(c.miss_count(), 1);
+    }
+
+    #[test]
+    fn injected_fill_fault_drops_the_insert() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tps_core::{FaultPlan, FaultPlanConfig, InjectorHandle};
+
+        let mut c = MmuCaches::default();
+        let plan = Rc::new(RefCell::new(FaultPlan::new(FaultPlanConfig {
+            mmu_cache_fill: 1.0,
+            ..FaultPlanConfig::disabled(11)
+        })));
+        c.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(BASE_PAGE_SIZE));
+        assert_eq!(c.fill_drops(), 1);
+        assert!(c.lookup(0, VirtAddr::new(0)).is_none(), "fill was dropped");
+        assert_eq!(plan.borrow().injected_at("mmu-cache-fill"), 1);
+        // Removing the injector restores normal fills.
+        c.set_fault_injector(None);
+        c.insert(0, VirtAddr::new(0), 2, PhysAddr::new(BASE_PAGE_SIZE));
+        assert!(c.lookup(0, VirtAddr::new(0)).is_some());
     }
 }

@@ -1,9 +1,10 @@
 //! The 4-level radix page table with tailored-page support.
 
 use std::collections::{BTreeMap, HashMap};
+use tps_core::inject::should_fault;
 use tps_core::{
-    level_base_order, level_for_order, LeafInfo, PageOrder, PhysAddr, Pte, PteFlags, TpsError,
-    VirtAddr, BASE_PAGE_SIZE, PT_ENTRIES,
+    level_base_order, level_for_order, FaultSite, InjectorHandle, LeafInfo, PageOrder, PhysAddr,
+    Pte, PteFlags, TpsError, VirtAddr, BASE_PAGE_SIZE, PT_ENTRIES,
 };
 
 /// Physical base of the pool from which page-table node frames are drawn.
@@ -33,6 +34,8 @@ pub struct PageTable {
     /// its constituents, capped at 16 bits. Keyed by page base VA.
     fine_grained_ad: bool,
     ad_vectors: HashMap<u64, u16>,
+    injector: Option<InjectorHandle>,
+    alias_install_retries: u64,
 }
 
 impl Default for PageTable {
@@ -65,6 +68,8 @@ impl PageTable {
             levels,
             fine_grained_ad: false,
             ad_vectors: HashMap::new(),
+            injector: None,
+            alias_install_retries: 0,
         };
         let root = pt.alloc_node();
         pt.root = root;
@@ -107,6 +112,19 @@ impl PageTable {
     /// input for the OS system-time model.
     pub fn pte_writes(&self) -> u64 {
         self.pte_writes
+    }
+
+    /// Installs (or removes) a fault injector consulted at every alias-PTE
+    /// store. A [`FaultSite::AliasInstall`] hit models a dropped store the
+    /// mapping path detects and retries, charging one extra PTE write.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// How many alias-PTE stores were retried after an injected
+    /// [`FaultSite::AliasInstall`] fault (degradation counter).
+    pub fn alias_install_retries(&self) -> u64 {
+        self.alias_install_retries
     }
 
     fn alloc_node(&mut self) -> PhysAddr {
@@ -209,6 +227,13 @@ impl PageTable {
             if old.is_present() && !old.is_leaf(level) {
                 // Promotion over an existing subtree: reclaim its nodes.
                 self.free_subtree(old.next_table(), level - 1);
+            }
+            if i > 0 && should_fault(&self.injector, FaultSite::AliasInstall) {
+                // A dropped alias store (pointer or full-copy policy) is
+                // detected and retried; the failed attempt still cost one
+                // PTE write.
+                self.alias_install_retries += 1;
+                self.write_entry(node, first + i, pte);
             }
             self.write_entry(node, first + i, pte);
         }
@@ -356,7 +381,12 @@ impl PageTable {
             let pte = entries[idx];
             if pte.is_present() {
                 if pte.is_leaf(level) {
-                    let leaf = pte.decode_leaf(level).expect("leaf checked");
+                    // `is_leaf` passed, so decode cannot fail; an undecodable
+                    // entry is skipped rather than panicking mid-census.
+                    let Ok(leaf) = pte.decode_leaf(level) else {
+                        idx += 1;
+                        continue;
+                    };
                     let rel = leaf.order.get() - level_base_order(level);
                     *census.entry(leaf.order).or_insert(0) += 1;
                     idx += 1usize << rel; // skip alias PTEs
@@ -721,6 +751,41 @@ mod tests {
             .unwrap();
         // 3 intermediate entries + 8 leaf slots.
         assert_eq!(pt.pte_writes() - before, 3 + 8);
+    }
+
+    #[test]
+    fn injected_alias_install_fault_retries_the_store() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tps_core::{FaultPlan, FaultPlanConfig, InjectorHandle};
+
+        let mut pt = PageTable::new();
+        let plan = Rc::new(RefCell::new(FaultPlan::new(FaultPlanConfig {
+            alias_install: 1.0,
+            ..FaultPlanConfig::disabled(21)
+        })));
+        pt.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        let before = pt.pte_writes();
+        pt.map(VirtAddr::new(0x10_0000), PhysAddr::new(2 * MIB), o(3), w())
+            .unwrap();
+        // Every one of the 7 alias stores faulted once and was retried:
+        // 3 intermediate + 8 leaf + 7 retries.
+        assert_eq!(pt.alias_install_retries(), 7);
+        assert_eq!(pt.pte_writes() - before, 3 + 8 + 7);
+        assert_eq!(plan.borrow().injected_at("alias-install"), 7);
+        // The mapping is intact: every constituent translates.
+        for i in 0..8u64 {
+            let va = VirtAddr::new(0x10_0000 + i * BASE_PAGE_SIZE);
+            assert_eq!(
+                pt.translate(va).unwrap().value(),
+                2 * MIB + i * BASE_PAGE_SIZE
+            );
+        }
+        // A plain 4K map has no alias stores and never consults the plan.
+        let consults = plan.borrow().consultations();
+        pt.map(VirtAddr::new(0x80_0000), PhysAddr::new(0x5000), o(0), w())
+            .unwrap();
+        assert_eq!(plan.borrow().consultations(), consults);
     }
 }
 

@@ -2,7 +2,8 @@
 
 use crate::mmu_cache::{Asid, MmuCaches};
 use crate::table::PageTable;
-use tps_core::{level_base_order, LeafInfo, PhysAddr, VirtAddr};
+use tps_core::inject::should_fault;
+use tps_core::{level_base_order, FaultSite, InjectorHandle, LeafInfo, PhysAddr, VirtAddr};
 
 /// How alias PTEs of tailored pages behave (paper §III-A1).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -56,25 +57,45 @@ pub struct WalkFault {
 /// let mut pt = PageTable::new();
 /// pt.map(VirtAddr::new(BASE_PAGE_SIZE), PhysAddr::new(0x7000), PageOrder::P4K,
 ///        PteFlags::WRITABLE).unwrap();
-/// let walker = Walker::new(AliasPolicy::Pointer);
+/// let mut walker = Walker::new(AliasPolicy::Pointer);
 /// let ok = walker.walk(&pt, VirtAddr::new(0x1abc), None).unwrap();
 /// assert_eq!(ok.refs.len(), 4); // full 4-level walk, no MMU caches
 /// assert_eq!(ok.translate(VirtAddr::new(0x1abc)).value(), 0x7abc);
 /// ```
-#[derive(Copy, Clone, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Walker {
     alias_policy: AliasPolicy,
+    injector: Option<InjectorHandle>,
+    walk_restarts: u64,
 }
 
 impl Walker {
     /// Creates a walker with the given alias-PTE policy.
     pub fn new(alias_policy: AliasPolicy) -> Self {
-        Walker { alias_policy }
+        Walker {
+            alias_policy,
+            injector: None,
+            walk_restarts: 0,
+        }
     }
 
     /// The configured alias policy.
     pub fn alias_policy(&self) -> AliasPolicy {
         self.alias_policy
+    }
+
+    /// Installs (or removes) a fault injector consulted at every walk
+    /// step. A [`FaultSite::WalkStep`] hit models a transient translation
+    /// error: the walk restarts from the root, bypassing the MMU caches,
+    /// at most once per walk — slower, never incorrect.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// How many walks restarted from the root due to an injected
+    /// [`FaultSite::WalkStep`] fault (degradation counter).
+    pub fn walk_restarts(&self) -> u64 {
+        self.walk_restarts
     }
 
     /// Walks the page table for `va`.
@@ -86,7 +107,7 @@ impl Walker {
     ///
     /// Returns [`WalkFault`] when an entry on the path is not present.
     pub fn walk(
-        &self,
+        &mut self,
         pt: &PageTable,
         va: VirtAddr,
         caches: Option<&mut MmuCaches>,
@@ -101,7 +122,7 @@ impl Walker {
     ///
     /// Returns [`WalkFault`] when an entry on the path is not present.
     pub fn walk_for(
-        &self,
+        &mut self,
         asid: Asid,
         pt: &PageTable,
         va: VirtAddr,
@@ -112,7 +133,16 @@ impl Walker {
             Some((lvl, node)) => (lvl, node),
             None => (pt.levels(), pt.root()),
         };
+        let mut restarted = false;
         loop {
+            if !restarted && should_fault(&self.injector, FaultSite::WalkStep { level }) {
+                // Transient step fault: restart from the root, bypassing
+                // the MMU caches. At most one restart per walk keeps the
+                // walk finite under a pathological (p = 1.0) plan.
+                restarted = true;
+                self.walk_restarts += 1;
+                (level, node) = (pt.levels(), pt.root());
+            }
             let idx = va.pt_index(level);
             let entry_pa = PhysAddr::new(node.value() + (idx as u64) * 8);
             refs.push(entry_pa);
@@ -121,7 +151,11 @@ impl Walker {
                 return Err(WalkFault { level, refs });
             }
             if pte.is_leaf(level) {
-                let leaf = pte.decode_leaf(level).expect("checked leaf");
+                // `is_leaf` passed, so decode cannot fail; treat a decode
+                // error as a not-present entry rather than panicking.
+                let Ok(leaf) = pte.decode_leaf(level) else {
+                    return Err(WalkFault { level, refs });
+                };
                 // Alias detection: the index bits that are really page
                 // offset must be zero in the true PTE's slot.
                 let rel = leaf.order.get() - level_base_order(level);
@@ -215,7 +249,7 @@ mod tests {
     #[test]
     fn alias_pte_costs_one_extra_access() {
         let pt = mapped_pt();
-        let w = Walker::new(AliasPolicy::Pointer);
+        let mut w = Walker::new(AliasPolicy::Pointer);
         // First 4K slot of the 32K page: true PTE, no extra access.
         let ok = w.walk(&pt, VirtAddr::new(0x10_0abc), None).unwrap();
         assert!(!ok.alias_extra);
@@ -234,7 +268,7 @@ mod tests {
     #[test]
     fn full_copy_policy_has_no_extra_access() {
         let pt = mapped_pt();
-        let w = Walker::new(AliasPolicy::FullCopy);
+        let mut w = Walker::new(AliasPolicy::FullCopy);
         let ok = w.walk(&pt, VirtAddr::new(0x10_5abc), None).unwrap();
         assert!(!ok.alias_extra);
         assert_eq!(ok.refs.len(), 4);
@@ -261,7 +295,7 @@ mod tests {
     fn mmu_caches_shorten_repeat_walks() {
         let pt = mapped_pt();
         let mut caches = MmuCaches::new(MmuCacheConfig::default());
-        let w = Walker::default();
+        let mut w = Walker::default();
         let first = w
             .walk(&pt, VirtAddr::new(0x1123), Some(&mut caches))
             .unwrap();
@@ -291,7 +325,7 @@ mod tests {
     fn cached_walk_translates_identically() {
         let pt = mapped_pt();
         let mut caches = MmuCaches::default();
-        let w = Walker::default();
+        let mut w = Walker::default();
         let va = VirtAddr::new(0x10_6eef);
         let cold = w.walk(&pt, va, None).unwrap();
         let warm = w.walk(&pt, va, Some(&mut caches)).unwrap();
@@ -330,11 +364,40 @@ mod tests {
     #[test]
     fn walker_agrees_with_functional_lookup() {
         let pt = mapped_pt();
-        let w = Walker::default();
+        let mut w = Walker::default();
         for raw in [0x1001u64, 0x10_0000, 0x10_7fff, GIB, 0x401f_ffff] {
             let va = VirtAddr::new(raw);
             let ok = w.walk(&pt, va, None).unwrap();
             assert_eq!(Some(ok.translate(va)), pt.translate(va), "va {va}");
         }
+    }
+
+    #[test]
+    fn injected_step_fault_restarts_once_and_translates_correctly() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tps_core::{FaultPlan, FaultPlanConfig, InjectorHandle};
+
+        let pt = mapped_pt();
+        let mut w = Walker::default();
+        let plan = Rc::new(RefCell::new(FaultPlan::new(FaultPlanConfig {
+            walk_step: 1.0,
+            ..FaultPlanConfig::disabled(3)
+        })));
+        w.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        let va = VirtAddr::new(0x1123);
+        let ok = w.walk(&pt, va, None).unwrap();
+        // One restart: the first step faulted, the rerun's four accesses
+        // follow the aborted attempt's zero accesses.
+        assert_eq!(w.walk_restarts(), 1);
+        assert_eq!(ok.refs.len(), 4);
+        assert_eq!(Some(ok.translate(va)), pt.translate(va));
+        assert_eq!(plan.borrow().injected_at("walk-step"), 1);
+        // Warm caches are bypassed on restart: a faulted cached walk still
+        // translates identically.
+        let mut caches = MmuCaches::default();
+        let warm = w.walk(&pt, va, Some(&mut caches)).unwrap();
+        assert_eq!(Some(warm.translate(va)), pt.translate(va));
+        assert_eq!(w.walk_restarts(), 2);
     }
 }

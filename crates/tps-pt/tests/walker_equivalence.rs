@@ -44,7 +44,7 @@ proptest! {
         let (pt, maps) = random_mappings(seed, 12, levels);
         let mut caches = MmuCaches::default();
         for policy in [AliasPolicy::Pointer, AliasPolicy::FullCopy] {
-            let walker = Walker::new(policy);
+            let mut walker = Walker::new(policy);
             for &(slot, off) in &probes {
                 let (va_base, _, order) = maps[slot];
                 let va = VirtAddr::new(va_base.value() + off % order.bytes());
@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn unmapped_probes_fault(seed in 0u64..100_000) {
         let (pt, _maps) = random_mappings(seed, 4, 4);
-        let walker = Walker::default();
+        let mut walker = Walker::default();
         // Far outside any mapping slot.
         let va = VirtAddr::new(0x7000_0000_0000);
         let fault = walker.walk(&pt, va, None).unwrap_err();

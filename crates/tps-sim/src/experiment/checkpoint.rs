@@ -1,0 +1,547 @@
+//! Append-only checkpoint journal for resumable matrix runs.
+//!
+//! The journal is line-oriented: a versioned header line followed by one
+//! compact-JSON entry per completed cell, appended (and flushed) the
+//! moment the cell finishes. A run killed mid-flight therefore leaves a
+//! valid journal of everything it completed; `--resume` replays those
+//! cells from the journal and only executes the rest. A final possibly
+//! truncated line (the victim of the kill) is tolerated and discarded.
+//!
+//! Entries round-trip the **full** [`RunStats`] — not the abridged stats
+//! block of the report — so a resumed run's aggregated report, including
+//! derived metrics and the rendered JSON document, is byte-identical to
+//! an uninterrupted run's.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+use tps_core::{PageOrder, TpsError};
+use tps_os::OsStats;
+use tps_tlb::TlbStats;
+use tps_wl::WorkloadProfile;
+
+use crate::stats::{HwFaultStats, RunStats};
+
+use super::json::Json;
+use super::report::{CellFailure, FailureCause};
+use super::spec::ExperimentMatrix;
+
+/// The `"schema"` marker on a journal's header line.
+pub const CHECKPOINT_SCHEMA: &str = "tps-experiment-checkpoint";
+
+/// Version of the journal layout. Bump on any entry-shape change: resume
+/// refuses other versions rather than guessing.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// One journaled outcome, keyed by the cell's stable index.
+pub(crate) type ResumeMap = BTreeMap<u64, Result<RunStats, CellFailure>>;
+
+/// Serializer/appender for the journal. Shared by the worker pool behind
+/// a mutex so each entry is written (and flushed) as one atomic line.
+pub(crate) struct CheckpointWriter {
+    file: Mutex<BufWriter<File>>,
+}
+
+impl CheckpointWriter {
+    /// Creates a fresh journal at `path`, truncating any previous file,
+    /// and writes the header line.
+    pub(crate) fn create(path: &Path, matrix: &ExperimentMatrix) -> Result<Self, TpsError> {
+        let file = File::create(path)
+            .map_err(|e| TpsError::checkpoint(format!("cannot create {}: {e}", path.display())))?;
+        let writer = CheckpointWriter {
+            file: Mutex::new(BufWriter::new(file)),
+        };
+        writer.write_line(&header_json(matrix).render_compact())?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal for appending (resume continues
+    /// journaling into the same file). The header must already be there.
+    pub(crate) fn append_to(path: &Path) -> Result<Self, TpsError> {
+        let file = OpenOptions::new().append(true).open(path).map_err(|e| {
+            TpsError::checkpoint(format!("cannot append to {}: {e}", path.display()))
+        })?;
+        Ok(CheckpointWriter {
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Appends one completed cell. Flushes so a subsequent crash cannot
+    /// lose the entry.
+    pub(crate) fn record(
+        &self,
+        index: u64,
+        outcome: &Result<RunStats, CellFailure>,
+    ) -> Result<(), TpsError> {
+        self.write_line(&entry_json(index, outcome).render_compact())
+    }
+
+    fn write_line(&self, line: &str) -> Result<(), TpsError> {
+        let mut file = match self.file.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush())
+            .map_err(|e| TpsError::checkpoint(format!("journal write failed: {e}")))
+    }
+}
+
+/// Loads a journal and returns the completed cells, validating that it
+/// belongs to `matrix` (schema, version, spec fingerprint, cell count).
+///
+/// # Errors
+///
+/// [`TpsError::Checkpoint`] on I/O failure, a malformed header, or a
+/// journal written for a different spec. A truncated or corrupt **final**
+/// entry line is discarded silently — that is the expected wreckage of a
+/// killed run — but corruption earlier in the file is an error.
+pub(crate) fn load(path: &Path, matrix: &ExperimentMatrix) -> Result<ResumeMap, TpsError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TpsError::checkpoint(format!("cannot read {}: {e}", path.display())))?;
+    let mut lines = text.split('\n');
+    let header_line = lines
+        .next()
+        .filter(|l| !l.is_empty())
+        .ok_or_else(|| TpsError::checkpoint("journal header missing"))?;
+    let header = Json::parse(header_line)
+        .map_err(|e| TpsError::checkpoint(format!("malformed journal header: {e}")))?;
+    check_header(&header, matrix)?;
+
+    let mut done = ResumeMap::new();
+    let lines: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
+    for (i, line) in lines.iter().enumerate() {
+        let last = i + 1 == lines.len();
+        let entry = match Json::parse(line) {
+            Ok(entry) => entry,
+            Err(_) if last => break, // torn final line from a killed run
+            Err(e) => {
+                return Err(TpsError::checkpoint(format!(
+                    "corrupt journal entry {}: {e}",
+                    i + 1
+                )))
+            }
+        };
+        match parse_entry(&entry, matrix.cells().len() as u64) {
+            Ok((index, outcome)) => {
+                done.insert(index, outcome);
+            }
+            Err(_) if last => break,
+            Err(e) => {
+                return Err(TpsError::checkpoint(format!(
+                    "corrupt journal entry {}: {e}",
+                    i + 1
+                )))
+            }
+        }
+    }
+    Ok(done)
+}
+
+fn header_json(matrix: &ExperimentMatrix) -> Json {
+    let mut header = Json::object();
+    header.set("schema", Json::Str(CHECKPOINT_SCHEMA.to_string()));
+    header.set("version", Json::U64(CHECKPOINT_VERSION));
+    header.set("fingerprint", Json::U64(matrix.spec().fingerprint()));
+    header.set("cells", Json::U64(matrix.cells().len() as u64));
+    header
+}
+
+fn check_header(header: &Json, matrix: &ExperimentMatrix) -> Result<(), TpsError> {
+    let schema = header.get("schema").and_then(Json::as_str);
+    if schema != Some(CHECKPOINT_SCHEMA) {
+        return Err(TpsError::checkpoint(format!(
+            "not a checkpoint journal (schema {schema:?})"
+        )));
+    }
+    let version = header.get("version").and_then(Json::as_u64);
+    if version != Some(CHECKPOINT_VERSION) {
+        return Err(TpsError::checkpoint(format!(
+            "unsupported journal version {version:?} (expected {CHECKPOINT_VERSION})"
+        )));
+    }
+    let fingerprint = header.get("fingerprint").and_then(Json::as_u64);
+    if fingerprint != Some(matrix.spec().fingerprint()) {
+        return Err(TpsError::checkpoint(
+            "journal was written for a different experiment spec",
+        ));
+    }
+    let cells = header.get("cells").and_then(Json::as_u64);
+    if cells != Some(matrix.cells().len() as u64) {
+        return Err(TpsError::checkpoint(format!(
+            "journal covers {cells:?} cells, matrix has {}",
+            matrix.cells().len()
+        )));
+    }
+    Ok(())
+}
+
+fn entry_json(index: u64, outcome: &Result<RunStats, CellFailure>) -> Json {
+    let mut entry = Json::object();
+    entry.set("cell", Json::U64(index));
+    match outcome {
+        Ok(stats) => {
+            entry.set("ok", Json::Bool(true));
+            entry.set("stats", stats_to_json(stats));
+        }
+        Err(failure) => {
+            entry.set("ok", Json::Bool(false));
+            entry.set("cause", Json::Str(failure.cause.label().to_string()));
+            entry.set("attempts", Json::U64(u64::from(failure.attempts)));
+            entry.set("message", Json::Str(failure.message.clone()));
+        }
+    }
+    entry
+}
+
+fn parse_entry(
+    entry: &Json,
+    cell_count: u64,
+) -> Result<(u64, Result<RunStats, CellFailure>), String> {
+    let index = entry
+        .get("cell")
+        .and_then(Json::as_u64)
+        .ok_or("missing cell index")?;
+    if index >= cell_count {
+        return Err(format!("cell index {index} out of range"));
+    }
+    let ok = entry
+        .get("ok")
+        .and_then(Json::as_bool)
+        .ok_or("missing ok")?;
+    let outcome = if ok {
+        Ok(stats_from_json(entry.get("stats").ok_or("missing stats")?)?)
+    } else {
+        let cause = entry
+            .get("cause")
+            .and_then(Json::as_str)
+            .and_then(FailureCause::from_label)
+            .ok_or("missing or unknown cause")?;
+        let attempts = entry
+            .get("attempts")
+            .and_then(Json::as_u64)
+            .and_then(|v| u32::try_from(v).ok())
+            .ok_or("missing attempts")?;
+        let message = entry
+            .get("message")
+            .and_then(Json::as_str)
+            .ok_or("missing message")?
+            .to_string();
+        Err(CellFailure {
+            cause,
+            attempts,
+            message,
+        })
+    };
+    Ok((index, outcome))
+}
+
+// --- full RunStats codec ------------------------------------------------
+//
+// The report's stats block drops fields the figures never read; a resumed
+// run must rebuild the *exact* RunStats, so the journal carries all of
+// them. u64 fields round-trip trivially; f64 fields round-trip exactly
+// because the writer uses Rust's shortest-round-trip formatting.
+
+fn stats_to_json(stats: &RunStats) -> Json {
+    let mut obj = Json::object();
+    obj.set("name", Json::Str(stats.name.clone()));
+    let p = &stats.profile;
+    let mut profile = Json::object();
+    profile.set("name", Json::Str(p.name.clone()));
+    profile.set("base_cpi", Json::F64(p.base_cpi));
+    profile.set("insts_per_access", Json::F64(p.insts_per_access));
+    profile.set("l1_miss_criticality", Json::F64(p.l1_miss_criticality));
+    profile.set("walk_savable", Json::F64(p.walk_savable));
+    profile.set("smt_slowdown", Json::F64(p.smt_slowdown));
+    obj.set("profile", profile);
+    obj.set("mem", tlb_stats_to_json(&stats.mem));
+    obj.set("walks", Json::U64(stats.walks));
+    obj.set("walk_refs", Json::U64(stats.walk_refs));
+    obj.set("alias_extras", Json::U64(stats.alias_extras));
+    obj.set("ad_updates", Json::U64(stats.ad_updates));
+    let o = &stats.os;
+    let mut os = Json::object();
+    os.set("mmaps", Json::U64(o.mmaps));
+    os.set("munmaps", Json::U64(o.munmaps));
+    os.set("faults", Json::U64(o.faults));
+    os.set("promotions", Json::U64(o.promotions));
+    os.set("reservations_created", Json::U64(o.reservations_created));
+    os.set("fallback_4k", Json::U64(o.fallback_4k));
+    os.set("shootdowns", Json::U64(o.shootdowns));
+    os.set("cow_faults", Json::U64(o.cow_faults));
+    os.set("cow_bytes_copied", Json::U64(o.cow_bytes_copied));
+    os.set("op_cycles", Json::U64(o.op_cycles));
+    os.set("oom_fallbacks", Json::U64(o.oom_fallbacks));
+    os.set("compaction_aborts", Json::U64(o.compaction_aborts));
+    os.set("shootdowns_retried", Json::U64(o.shootdowns_retried));
+    obj.set("os", os);
+    obj.set("instructions", Json::U64(stats.instructions));
+    obj.set("full_instructions", Json::U64(stats.full_instructions));
+    obj.set("full_mem", tlb_stats_to_json(&stats.full_mem));
+    obj.set("full_walk_refs", Json::U64(stats.full_walk_refs));
+    let mut census = Json::object();
+    for (order, pages) in &stats.page_census {
+        census.set(&format!("{}", order.get()), Json::U64(*pages));
+    }
+    obj.set("page_census", census);
+    obj.set("resident_bytes", Json::U64(stats.resident_bytes));
+    obj.set("touched_bytes", Json::U64(stats.touched_bytes));
+    let (pde, pdpte, pml4e) = stats.mmu_cache_hits;
+    obj.set(
+        "mmu_cache_hits",
+        Json::Array(vec![Json::U64(pde), Json::U64(pdpte), Json::U64(pml4e)]),
+    );
+    let hw = &stats.hw_faults;
+    let mut hw_obj = Json::object();
+    hw_obj.set("walk_restarts", Json::U64(hw.walk_restarts));
+    hw_obj.set("alias_install_retries", Json::U64(hw.alias_install_retries));
+    hw_obj.set("mmu_cache_fill_drops", Json::U64(hw.mmu_cache_fill_drops));
+    hw_obj.set("tlb_fill_drops", Json::U64(hw.tlb_fill_drops));
+    hw_obj.set("tlb_evict_abandons", Json::U64(hw.tlb_evict_abandons));
+    hw_obj.set("stlb_probe_misses", Json::U64(hw.stlb_probe_misses));
+    obj.set("hw_faults", hw_obj);
+    obj
+}
+
+fn tlb_stats_to_json(mem: &TlbStats) -> Json {
+    let mut obj = Json::object();
+    obj.set("accesses", Json::U64(mem.accesses));
+    obj.set("l1_hits", Json::U64(mem.l1_hits));
+    obj.set("stlb_hits", Json::U64(mem.stlb_hits));
+    obj.set("range_hits", Json::U64(mem.range_hits));
+    obj.set("l2_misses", Json::U64(mem.l2_misses));
+    obj
+}
+
+fn u64_field(obj: &Json, key: &str) -> Result<u64, String> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing u64 field {key:?}"))
+}
+
+fn f64_field(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing f64 field {key:?}"))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+fn tlb_stats_from_json(obj: &Json) -> Result<TlbStats, String> {
+    Ok(TlbStats {
+        accesses: u64_field(obj, "accesses")?,
+        l1_hits: u64_field(obj, "l1_hits")?,
+        stlb_hits: u64_field(obj, "stlb_hits")?,
+        range_hits: u64_field(obj, "range_hits")?,
+        l2_misses: u64_field(obj, "l2_misses")?,
+    })
+}
+
+fn stats_from_json(obj: &Json) -> Result<RunStats, String> {
+    let profile_obj = obj.get("profile").ok_or("missing profile")?;
+    let profile = WorkloadProfile {
+        name: str_field(profile_obj, "name")?.to_string(),
+        base_cpi: f64_field(profile_obj, "base_cpi")?,
+        insts_per_access: f64_field(profile_obj, "insts_per_access")?,
+        l1_miss_criticality: f64_field(profile_obj, "l1_miss_criticality")?,
+        walk_savable: f64_field(profile_obj, "walk_savable")?,
+        smt_slowdown: f64_field(profile_obj, "smt_slowdown")?,
+    };
+    let os_obj = obj.get("os").ok_or("missing os")?;
+    let os = OsStats {
+        mmaps: u64_field(os_obj, "mmaps")?,
+        munmaps: u64_field(os_obj, "munmaps")?,
+        faults: u64_field(os_obj, "faults")?,
+        promotions: u64_field(os_obj, "promotions")?,
+        reservations_created: u64_field(os_obj, "reservations_created")?,
+        fallback_4k: u64_field(os_obj, "fallback_4k")?,
+        shootdowns: u64_field(os_obj, "shootdowns")?,
+        cow_faults: u64_field(os_obj, "cow_faults")?,
+        cow_bytes_copied: u64_field(os_obj, "cow_bytes_copied")?,
+        op_cycles: u64_field(os_obj, "op_cycles")?,
+        oom_fallbacks: u64_field(os_obj, "oom_fallbacks")?,
+        compaction_aborts: u64_field(os_obj, "compaction_aborts")?,
+        shootdowns_retried: u64_field(os_obj, "shootdowns_retried")?,
+    };
+    let mut page_census = std::collections::BTreeMap::new();
+    if let Json::Object(pairs) = obj.get("page_census").ok_or("missing page_census")? {
+        for (key, value) in pairs {
+            let order: u8 = key.parse().map_err(|_| format!("bad order key {key:?}"))?;
+            let order = PageOrder::new(order).map_err(|e| e.to_string())?;
+            let pages = value.as_u64().ok_or("bad census count")?;
+            page_census.insert(order, pages);
+        }
+    } else {
+        return Err("page_census is not an object".to_string());
+    }
+    let hits = match obj.get("mmu_cache_hits") {
+        Some(Json::Array(items)) if items.len() == 3 => {
+            let mut it = items.iter().map(Json::as_u64);
+            let mut next = || it.next().flatten().ok_or("bad mmu_cache_hits entry");
+            (next()?, next()?, next()?)
+        }
+        _ => return Err("mmu_cache_hits is not a 3-array".to_string()),
+    };
+    let hw_obj = obj.get("hw_faults").ok_or("missing hw_faults")?;
+    let hw_faults = HwFaultStats {
+        walk_restarts: u64_field(hw_obj, "walk_restarts")?,
+        alias_install_retries: u64_field(hw_obj, "alias_install_retries")?,
+        mmu_cache_fill_drops: u64_field(hw_obj, "mmu_cache_fill_drops")?,
+        tlb_fill_drops: u64_field(hw_obj, "tlb_fill_drops")?,
+        tlb_evict_abandons: u64_field(hw_obj, "tlb_evict_abandons")?,
+        stlb_probe_misses: u64_field(hw_obj, "stlb_probe_misses")?,
+    };
+    Ok(RunStats {
+        name: str_field(obj, "name")?.to_string(),
+        profile,
+        mem: tlb_stats_from_json(obj.get("mem").ok_or("missing mem")?)?,
+        walks: u64_field(obj, "walks")?,
+        walk_refs: u64_field(obj, "walk_refs")?,
+        alias_extras: u64_field(obj, "alias_extras")?,
+        ad_updates: u64_field(obj, "ad_updates")?,
+        os,
+        instructions: u64_field(obj, "instructions")?,
+        full_instructions: u64_field(obj, "full_instructions")?,
+        full_mem: tlb_stats_from_json(obj.get("full_mem").ok_or("missing full_mem")?)?,
+        full_walk_refs: u64_field(obj, "full_walk_refs")?,
+        page_census,
+        resident_bytes: u64_field(obj, "resident_bytes")?,
+        touched_bytes: u64_field(obj, "touched_bytes")?,
+        mmu_cache_hits: hits,
+        hw_faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mechanism;
+    use crate::experiment::spec::ExperimentSpec;
+    use tps_wl::SuiteScale;
+
+    fn matrix() -> ExperimentMatrix {
+        ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .seed(9)
+            .build()
+            .unwrap()
+    }
+
+    fn sample_stats() -> RunStats {
+        let m = matrix();
+        let report = m.run();
+        report
+            .stats("gups", Mechanism::Tps)
+            .expect("test-scale gups runs")
+            .clone()
+    }
+
+    #[test]
+    fn stats_round_trip_exactly() {
+        let stats = sample_stats();
+        let json = stats_to_json(&stats).render_compact();
+        let back = stats_from_json(&Json::parse(&json).unwrap()).unwrap();
+        // Re-serializing the reconstruction is byte-identical, which is
+        // the property resume rests on.
+        assert_eq!(stats_to_json(&back).render_compact(), json);
+        assert_eq!(back.mem, stats.mem);
+        assert_eq!(back.page_census, stats.page_census);
+        assert_eq!(back.hw_faults, stats.hw_faults);
+        assert_eq!(
+            back.profile.base_cpi.to_bits(),
+            stats.profile.base_cpi.to_bits()
+        );
+    }
+
+    #[test]
+    fn journal_writes_and_loads() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-basic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        let stats = sample_stats();
+        let failure = CellFailure {
+            cause: FailureCause::Panic,
+            attempts: 3,
+            message: "worker thread panicked: cell (gups, THP): boom".to_string(),
+        };
+        {
+            let writer = CheckpointWriter::create(&path, &m).unwrap();
+            writer.record(1, &Ok(stats.clone())).unwrap();
+            writer.record(0, &Err(failure.clone())).unwrap();
+        }
+        let done = load(&path, &m).unwrap();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[&0].as_ref().unwrap_err(), &failure);
+        let loaded = done[&1].as_ref().unwrap();
+        assert_eq!(
+            stats_to_json(loaded).render_compact(),
+            stats_to_json(&stats).render_compact()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        {
+            let writer = CheckpointWriter::create(&path, &m).unwrap();
+            writer
+                .record(
+                    0,
+                    &Err(CellFailure {
+                        cause: FailureCause::Fault,
+                        attempts: 1,
+                        message: "x".to_string(),
+                    }),
+                )
+                .unwrap();
+        }
+        // Simulate a kill mid-write: append half an entry.
+        use std::io::Write as _;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":1,\"ok\":tr").unwrap();
+        drop(f);
+        let done = load(&path, &m).unwrap();
+        assert_eq!(done.len(), 1, "torn tail dropped, intact entry kept");
+        assert!(done.contains_key(&0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_spec_is_rejected() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        CheckpointWriter::create(&path, &m).unwrap();
+        let other = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .seed(10) // different seed → different fingerprint
+            .build()
+            .unwrap();
+        let err = load(&path, &other).unwrap_err();
+        assert!(matches!(err, TpsError::Checkpoint { .. }), "{err}");
+        assert!(err.to_string().contains("different experiment spec"));
+        // Not-a-journal files are rejected too.
+        std::fs::write(&path, "{\"schema\":\"nope\"}\n").unwrap();
+        assert!(load(&path, &m).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,4 +1,5 @@
-//! Deterministic parallel experiment-matrix runner.
+//! Deterministic parallel experiment-matrix runner with retry, watchdog,
+//! and checkpoint/resume.
 //!
 //! Every paper figure is a (benchmark × mechanism × machine-config)
 //! matrix whose cells are fully independent: each runs a fresh
@@ -6,18 +7,25 @@
 //! property into wall-clock savings without touching any per-run
 //! statistic:
 //!
-//! 1. [`ExperimentSpec`] — declarative builder describing the sweep.
+//! 1. [`ExperimentSpec`] — declarative builder describing the sweep,
+//!    including the resilience knobs ([`ExperimentSpec::retries`],
+//!    [`ExperimentSpec::cell_timeout_ms`], [`ExperimentSpec::faults`]).
 //! 2. [`ExperimentMatrix`] — the validated expansion into cells, each
 //!    with a seed pinned to its stable position in spec order.
-//! 3. [`ExperimentMatrix::run`] — executes cells on a `std::thread`
-//!    worker pool and aggregates an [`ExperimentReport`] in spec order,
-//!    so parallel output is **byte-identical** to a serial run.
+//! 3. [`ExperimentMatrix::run`] / [`ExperimentMatrix::run_with`] —
+//!    executes cells on a `std::thread` worker pool and aggregates an
+//!    [`ExperimentReport`] in spec order, so parallel output is
+//!    **byte-identical** to a serial run.
 //!
-//! A cell that panics (e.g. exhausting modeled physical memory) degrades
-//! to a per-cell [`tps_core::TpsError::WorkerPanic`] entry; the rest of
-//! the matrix completes. [`ExperimentReport::to_json`] serializes the
-//! results plus derived paper metrics to a versioned JSON document shared
-//! by the CLI, the figure harnesses, and regression tooling.
+//! A cell that keeps failing through its retry budget — panicking,
+//! blowing its watchdog deadline, or succumbing to injected faults —
+//! degrades to a per-cell [`CellFailure`] entry; the rest of the matrix
+//! completes. With [`RunOptions::checkpoint`] set, completed cells stream
+//! to an append-only journal from which [`RunOptions::resume`] replays
+//! them, producing output byte-identical to an uninterrupted run.
+//! [`ExperimentReport::to_json`] serializes the results plus derived
+//! paper metrics to a versioned JSON document shared by the CLI, the
+//! figure harnesses, and regression tooling.
 //!
 //! # Example
 //!
@@ -37,13 +45,42 @@
 //! assert!(report.stats("gups", Mechanism::Tps).is_some());
 //! ```
 
+mod checkpoint;
 mod json;
 mod pool;
 mod report;
 mod spec;
 
-pub use report::{CellReport, DerivedMetrics, ExperimentReport, REPORT_SCHEMA, REPORT_VERSION};
+use std::path::PathBuf;
+
+use tps_core::TpsError;
+
+pub use checkpoint::{CHECKPOINT_SCHEMA, CHECKPOINT_VERSION};
+pub use report::{
+    CellFailure, CellReport, DerivedMetrics, ExperimentReport, FailureCause, REPORT_SCHEMA,
+    REPORT_VERSION,
+};
 pub use spec::{ExperimentCell, ExperimentMatrix, ExperimentSpec, DEFAULT_EXPERIMENT_SEED};
+
+/// Exit code of a run halted by [`RunOptions::halt_after`] — the
+/// deterministic stand-in for a mid-flight kill in crash/resume tests.
+pub const HALT_EXIT_CODE: i32 = 5;
+
+/// Checkpoint/resume options for [`ExperimentMatrix::run_with`].
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Start a fresh journal here (truncating any existing file) and
+    /// stream every completed cell into it.
+    pub checkpoint: Option<PathBuf>,
+    /// Load completed cells from this journal, skip them, and append the
+    /// newly completed cells to the same file. The journal must have been
+    /// written for an identical spec (verified by fingerprint).
+    pub resume: Option<PathBuf>,
+    /// Crash simulation: exit the process with [`HALT_EXIT_CODE`] after
+    /// this many cells have been journaled. Only meaningful with a
+    /// journal; used by the resume gates in `scripts/verify.sh`.
+    pub halt_after: Option<u64>,
+}
 
 impl ExperimentMatrix {
     /// Runs every cell on the spec's worker pool and aggregates the
@@ -52,9 +89,36 @@ impl ExperimentMatrix {
     /// The output — including [`ExperimentReport::to_json`] bytes — is
     /// identical for every thread count; only wall-clock time changes.
     pub fn run(&self) -> ExperimentReport {
+        self.run_with(&RunOptions::default())
+            .expect("no checkpoint I/O configured")
+    }
+
+    /// [`ExperimentMatrix::run`] plus checkpoint journaling and resume.
+    ///
+    /// # Errors
+    ///
+    /// [`TpsError::Checkpoint`] when the journal cannot be created,
+    /// loaded, or does not match this matrix's spec. Per-cell failures
+    /// never surface here — they degrade to [`CellFailure`] entries in
+    /// the report.
+    pub fn run_with(&self, options: &RunOptions) -> Result<ExperimentReport, TpsError> {
+        let resume = match &options.resume {
+            Some(path) => Some(checkpoint::load(path, self)?),
+            None => None,
+        };
+        let journal = match (&options.checkpoint, &options.resume) {
+            (Some(path), _) => Some(checkpoint::CheckpointWriter::create(path, self)?),
+            (None, Some(path)) => Some(checkpoint::CheckpointWriter::append_to(path)?),
+            (None, None) => None,
+        };
         let threads = self.spec().resolved_threads(self.cells().len());
-        let results = pool::run_cells(self.spec(), self.cells(), threads);
-        ExperimentReport::aggregate(self, results)
+        let hooks = pool::PoolHooks {
+            resume: resume.as_ref(),
+            journal: journal.as_ref(),
+            halt_after: options.halt_after,
+        };
+        let results = pool::run_cells(self.spec(), self.cells(), threads, &hooks);
+        Ok(ExperimentReport::aggregate(self, results))
     }
 }
 
@@ -83,7 +147,7 @@ mod tests {
     fn poisoned_cell_degrades_without_killing_the_matrix() {
         // 1 MB of physical memory cannot hold any test-scale workload, so
         // every cell panics inside the machine — and every cell must still
-        // be reported, as an error entry.
+        // be reported, as a structured failure entry.
         let report = ExperimentSpec::new()
             .bench("gups")
             .mechanisms([Mechanism::Thp, Mechanism::Tps])
@@ -96,15 +160,95 @@ mod tests {
         assert_eq!(report.cells().len(), 2);
         assert_eq!(report.error_count(), 2);
         for cell in report.cells() {
-            let err = cell.result.as_ref().unwrap_err();
-            assert!(
-                matches!(err, tps_core::TpsError::WorkerPanic { .. }),
-                "{err}"
-            );
+            let failure = cell.result.as_ref().unwrap_err();
+            assert_eq!(failure.cause, FailureCause::Panic, "{failure}");
+            assert_eq!(failure.attempts, 1);
             assert!(cell.derived.is_none());
         }
         let json = report.to_json();
         assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"cause\": \"panic\""));
+        assert!(json.contains("\"attempts\": 1"));
         assert!(json.contains("worker thread panicked"));
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_byte_identically() {
+        let dir = std::env::temp_dir().join("tps-experiment-resume-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.ckpt");
+
+        let uninterrupted = spec().threads(2).build().unwrap().run().to_json();
+
+        // Pass 1: journal everything.
+        let matrix = spec().threads(2).build().unwrap();
+        let options = RunOptions {
+            checkpoint: Some(path.clone()),
+            ..RunOptions::default()
+        };
+        let journaled = matrix.run_with(&options).unwrap().to_json();
+        assert_eq!(journaled, uninterrupted);
+
+        // Pass 2: truncate the journal after 3 entries (header + 3 cells)
+        // to simulate a kill, then resume: the remaining cells run, and
+        // the report is still byte-identical.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let partial: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&path, format!("{}\n", partial.join("\n"))).unwrap();
+        let resumed = matrix
+            .run_with(&RunOptions {
+                resume: Some(path.clone()),
+                ..RunOptions::default()
+            })
+            .unwrap()
+            .to_json();
+        assert_eq!(resumed, uninterrupted);
+
+        // The journal now covers every cell: a second resume replays all
+        // of them without running anything.
+        let replayed = matrix
+            .run_with(&RunOptions {
+                resume: Some(path.clone()),
+                ..RunOptions::default()
+            })
+            .unwrap()
+            .to_json();
+        assert_eq!(replayed, uninterrupted);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_includes_failed_cells() {
+        let dir = std::env::temp_dir().join("tps-experiment-resume-failure");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("matrix.ckpt");
+        // Every cell panics (1 MB memory); the journal must replay the
+        // failures exactly, attempts and all.
+        let matrix = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .memory(1 << 20)
+            .retries(1)
+            .threads(1)
+            .build()
+            .unwrap();
+        let first = matrix
+            .run_with(&RunOptions {
+                checkpoint: Some(path.clone()),
+                ..RunOptions::default()
+            })
+            .unwrap()
+            .to_json();
+        let resumed = matrix
+            .run_with(&RunOptions {
+                resume: Some(path.clone()),
+                ..RunOptions::default()
+            })
+            .unwrap()
+            .to_json();
+        assert_eq!(first, resumed);
+        assert!(resumed.contains("\"attempts\": 2"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,34 +1,57 @@
-//! Deterministic `std::thread` worker pool executing matrix cells.
+//! Deterministic `std::thread` worker pool executing matrix cells, with
+//! per-cell retry, an optional watchdog deadline, and checkpoint
+//! journaling.
 //!
 //! Cells are claimed from a shared atomic cursor (work stealing keeps the
 //! pool busy regardless of per-cell runtime skew) and every result is
 //! written back to the cell's stable index, so the aggregated output is
-//! identical for any thread count — including 1. A panicking cell is
-//! caught at the worker boundary and surfaced as a per-cell
-//! [`TpsError::WorkerPanic`]; the remaining cells keep running.
+//! identical for any thread count — including 1. A failing cell (panic,
+//! injected fault, or blown deadline) is retried through the spec's
+//! budget — every attempt from the cell's same pinned workload seed —
+//! then degrades to a structured [`CellFailure`]; the remaining cells
+//! keep running either way.
 
 #[cfg(test)]
 use crate::config::Mechanism;
 use crate::machine::Machine;
 use crate::smt::run_smt;
 use crate::stats::RunStats;
+use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
+use std::time::Duration;
 use tps_core::rng::SplitMix64;
-use tps_core::TpsError;
+use tps_core::{FaultPlan, InjectorHandle};
 use tps_wl::build_seeded;
 
+use super::checkpoint::{CheckpointWriter, ResumeMap};
+use super::report::{CellFailure, FailureCause};
 use super::spec::{ExperimentCell, ExperimentSpec};
+
+/// Journal/resume/crash-simulation hooks threaded into one pool run.
+pub(crate) struct PoolHooks<'a> {
+    /// Outcomes replayed from a journal; their cells are not executed.
+    pub resume: Option<&'a ResumeMap>,
+    /// Journal that newly completed cells are appended to.
+    pub journal: Option<&'a CheckpointWriter>,
+    /// Crash simulation: after this many cells have been journaled, the
+    /// process exits with [`super::HALT_EXIT_CODE`] — as close to `kill -9`
+    /// mid-run as a test can deterministically get.
+    pub halt_after: Option<u64>,
+}
 
 /// Runs every cell on `threads` workers, returning results in cell order.
 pub(crate) fn run_cells(
     spec: &ExperimentSpec,
     cells: &[ExperimentCell],
     threads: usize,
-) -> Vec<Result<RunStats, TpsError>> {
+    hooks: &PoolHooks<'_>,
+) -> Vec<Result<RunStats, CellFailure>> {
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<RunStats, TpsError>>>> =
+    let completed = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<RunStats, CellFailure>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -37,14 +60,22 @@ pub(crate) fn run_cells(
                 let Some(cell) = cells.get(i) else {
                     break;
                 };
-                let outcome = run_cell_caught(spec, cell);
-                match slots[i].lock() {
-                    Ok(mut slot) => *slot = Some(outcome),
-                    // A poisoned slot means another worker panicked while
-                    // holding this lock, which the assignment above cannot
-                    // do; recover the guard rather than aborting the pool.
-                    Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+                if let Some(done) = hooks.resume.and_then(|map| map.get(&cell.index())) {
+                    store(&slots[i], done.clone());
+                    continue;
                 }
+                let outcome = run_cell_resilient(spec, cell);
+                if let Some(journal) = hooks.journal {
+                    // A journal write failure must not lose the in-memory
+                    // result; degrade to an unjournaled (non-resumable)
+                    // cell and keep going.
+                    let _ = journal.record(cell.index(), &outcome);
+                    let finished = completed.fetch_add(1, Ordering::SeqCst) as u64 + 1;
+                    if hooks.halt_after == Some(finished) {
+                        std::process::exit(super::HALT_EXIT_CODE);
+                    }
+                }
+                store(&slots[i], outcome);
             });
         }
     });
@@ -56,18 +87,120 @@ pub(crate) fn run_cells(
                 Err(poisoned) => poisoned.into_inner(),
             };
             inner.unwrap_or_else(|| {
-                Err(TpsError::worker_panic(
-                    "cell result missing after pool shutdown",
-                ))
+                Err(CellFailure {
+                    cause: FailureCause::Panic,
+                    attempts: 1,
+                    message: "cell result missing after pool shutdown".to_string(),
+                })
             })
         })
         .collect()
 }
 
-/// Runs one cell, converting a panic anywhere below into a `TpsError`.
-fn run_cell_caught(spec: &ExperimentSpec, cell: &ExperimentCell) -> Result<RunStats, TpsError> {
-    match catch_unwind(AssertUnwindSafe(|| run_cell(spec, cell))) {
-        Ok(result) => result,
+fn store(
+    slot: &Mutex<Option<Result<RunStats, CellFailure>>>,
+    outcome: Result<RunStats, CellFailure>,
+) {
+    match slot.lock() {
+        Ok(mut guard) => *guard = Some(outcome),
+        // A poisoned slot means another worker panicked while holding this
+        // lock, which the assignment above cannot do; recover the guard
+        // rather than aborting the pool.
+        Err(poisoned) => *poisoned.into_inner() = Some(outcome),
+    }
+}
+
+/// Runs one cell through its retry budget: the original attempt plus up
+/// to `spec.retry_limit()` retries, each from the cell's same pinned
+/// workload seed (only the fault-plan seed varies, deterministically, by
+/// attempt). The last failure is returned when the budget runs out.
+pub(crate) fn run_cell_resilient(
+    spec: &ExperimentSpec,
+    cell: &ExperimentCell,
+) -> Result<RunStats, CellFailure> {
+    let budget = spec.retry_limit();
+    let mut attempt = 1u32;
+    loop {
+        match run_attempt(spec, cell, attempt) {
+            Ok(stats) => return Ok(stats),
+            Err((cause, message)) => {
+                if attempt <= budget {
+                    attempt += 1;
+                    continue;
+                }
+                return Err(CellFailure {
+                    cause,
+                    attempts: attempt,
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Runs one attempt, under the watchdog when the spec has a deadline.
+fn run_attempt(
+    spec: &ExperimentSpec,
+    cell: &ExperimentCell,
+    attempt: u32,
+) -> Result<RunStats, (FailureCause, String)> {
+    match spec.cell_timeout() {
+        None => run_attempt_caught(spec, cell, attempt),
+        Some(deadline) => run_attempt_watched(spec, cell, attempt, deadline),
+    }
+}
+
+/// Watchdog: the attempt runs on a detached thread; the monitor waits on
+/// a channel with the deadline. A timed-out attempt is *abandoned* — the
+/// simulator has no preemption points to interrupt, so its thread is left
+/// to finish (or spin) on its own and the result, if any, is discarded.
+fn run_attempt_watched(
+    spec: &ExperimentSpec,
+    cell: &ExperimentCell,
+    attempt: u32,
+    deadline: Duration,
+) -> Result<RunStats, (FailureCause, String)> {
+    let (tx, rx) = mpsc::channel();
+    let spec_owned = spec.clone();
+    let cell_owned = cell.clone();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_attempt_caught(&spec_owned, &cell_owned, attempt));
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => outcome,
+        Err(mpsc::RecvTimeoutError::Timeout) => Err((
+            FailureCause::Timeout,
+            format!(
+                "cell ({}, {}): exceeded the {} ms deadline",
+                cell.benchmark(),
+                cell.mechanism(),
+                deadline.as_millis()
+            ),
+        )),
+        // The sender can only drop without sending if the runner thread
+        // died outside catch_unwind, which an abort-on-panic build would
+        // turn into process death anyway; classify as a panic.
+        Err(mpsc::RecvTimeoutError::Disconnected) => Err((
+            FailureCause::Panic,
+            format!(
+                "cell ({}, {}): attempt thread died without a result",
+                cell.benchmark(),
+                cell.mechanism()
+            ),
+        )),
+    }
+}
+
+/// Runs one attempt in place, converting a panic anywhere below into a
+/// failure. With fault injection configured, a panic is classified as
+/// [`FailureCause::Fault`] — the injected faults are the presumed trigger.
+fn run_attempt_caught(
+    spec: &ExperimentSpec,
+    cell: &ExperimentCell,
+    attempt: u32,
+) -> Result<RunStats, (FailureCause, String)> {
+    match catch_unwind(AssertUnwindSafe(|| run_cell(spec, cell, attempt))) {
+        Ok(stats) => Ok(stats),
         Err(payload) => {
             let message = if let Some(s) = payload.downcast_ref::<&str>() {
                 (*s).to_string()
@@ -76,31 +209,55 @@ fn run_cell_caught(spec: &ExperimentSpec, cell: &ExperimentCell) -> Result<RunSt
             } else {
                 "non-string panic payload".to_string()
             };
-            Err(TpsError::worker_panic(format!(
-                "cell ({}, {}): {message}",
-                cell.benchmark(),
-                cell.mechanism()
-            )))
+            let cause = if spec.fault_config().is_some() {
+                FailureCause::Fault
+            } else {
+                FailureCause::Panic
+            };
+            Err((
+                cause,
+                format!(
+                    "worker thread panicked: cell ({}, {}): {message}",
+                    cell.benchmark(),
+                    cell.mechanism()
+                ),
+            ))
         }
     }
 }
 
-/// Executes one cell: a fresh machine, a freshly seeded workload.
-fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell) -> Result<RunStats, TpsError> {
+/// Executes one cell attempt: a fresh machine, a freshly seeded workload,
+/// and (when configured) a fresh fault plan pinned to (cell, attempt).
+fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell, attempt: u32) -> RunStats {
     let config = spec.machine_config(cell.mechanism());
     let scale = spec.suite_scale();
     if spec.is_smt() {
         // Derive both sibling seeds from the cell seed so the pair is as
-        // pinned as a native run.
+        // pinned as a native run. (Faults + SMT is rejected at build time.)
         let mut sm = SplitMix64::new(cell.seed());
         let mut primary = build_seeded(cell.benchmark(), scale, sm.next_u64());
         let mut sibling = build_seeded(cell.benchmark(), scale, sm.next_u64());
-        Ok(run_smt(config, &mut *primary, &mut *sibling).primary)
+        run_smt(config, &mut *primary, &mut *sibling).primary
     } else {
         let mut machine = Machine::new(config);
+        if let Some(mut fault_cfg) = spec.fault_config() {
+            fault_cfg.seed = attempt_fault_seed(fault_cfg.seed, cell.seed(), attempt);
+            let plan = Rc::new(RefCell::new(FaultPlan::new(fault_cfg)));
+            machine.set_fault_injector(Some(plan as InjectorHandle));
+        }
         let mut workload = build_seeded(cell.benchmark(), scale, cell.seed());
-        Ok(machine.run(&mut *workload))
+        machine.run(&mut *workload)
     }
+}
+
+/// The fault-plan seed of one (cell, attempt) pair. Pinned to the plan's
+/// base seed, the cell's position-pinned seed, and the attempt number —
+/// never to scheduling — so retries are deterministic yet see a fresh
+/// fault stream (a faulted attempt can deterministically succeed on
+/// retry).
+fn attempt_fault_seed(base: u64, cell_seed: u64, attempt: u32) -> u64 {
+    SplitMix64::new(base ^ cell_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .next_u64()
 }
 
 /// Convenience used by tests: runs one (benchmark, mechanism) cell the
@@ -111,8 +268,8 @@ pub(crate) fn run_single(
     benchmark: &str,
     mechanism: Mechanism,
     seed: u64,
-) -> Result<RunStats, TpsError> {
-    run_cell_caught(
+) -> Result<RunStats, CellFailure> {
+    run_cell_resilient(
         spec,
         &ExperimentCell {
             index: 0,
@@ -126,6 +283,7 @@ pub(crate) fn run_single(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tps_core::FaultPlanConfig;
     use tps_wl::SuiteScale;
 
     #[test]
@@ -134,17 +292,16 @@ mod tests {
         let ok = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
         assert!(ok.mem.accesses > 0);
         // 1 MB of physical memory cannot hold the test-scale GUPS table:
-        // the machine panics inside mmap, which must surface as a
-        // WorkerPanic, not abort the process.
+        // the machine panics inside mmap, which must surface as a cell
+        // failure, not abort the process.
         let tiny = ExperimentSpec::new()
             .scale(SuiteScale::Test)
             .memory(1 << 20);
-        let err = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
-        assert!(
-            matches!(err, TpsError::WorkerPanic { .. }),
-            "expected WorkerPanic, got {err}"
-        );
-        assert!(err.to_string().contains("gups"));
+        let failure = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
+        assert_eq!(failure.cause, FailureCause::Panic);
+        assert_eq!(failure.attempts, 1);
+        assert!(failure.message.contains("worker thread panicked"));
+        assert!(failure.message.contains("gups"));
     }
 
     #[test]
@@ -152,5 +309,93 @@ mod tests {
         let spec = ExperimentSpec::new().scale(SuiteScale::Test).smt(true);
         let stats = run_single(&spec, "gups", Mechanism::Thp, 3).unwrap();
         assert!(stats.mem.accesses > 0);
+    }
+
+    #[test]
+    fn deterministic_panic_exhausts_the_retry_budget() {
+        let tiny = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .memory(1 << 20)
+            .retries(2);
+        let failure = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
+        assert_eq!(failure.attempts, 3, "original attempt + 2 retries");
+        assert_eq!(failure.cause, FailureCause::Panic);
+    }
+
+    #[test]
+    fn panics_under_fault_injection_classify_as_faults() {
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .memory(1 << 20)
+            .faults(FaultPlanConfig::disabled(1));
+        let failure = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap_err();
+        assert_eq!(failure.cause, FailureCause::Fault);
+    }
+
+    #[test]
+    fn faulted_cells_degrade_not_fail() {
+        // Heavy uniform fault pressure on every OS and hardware site: the
+        // run must still complete with correct translations, counting its
+        // degradations instead of failing.
+        let mut cfg = FaultPlanConfig::uniform(7, 0.05);
+        let hw = FaultPlanConfig::uniform_hw(7, 0.05);
+        cfg.walk_step = hw.walk_step;
+        cfg.alias_install = hw.alias_install;
+        cfg.mmu_cache_fill = hw.mmu_cache_fill;
+        cfg.any_size_fill = hw.any_size_fill;
+        cfg.any_size_evict = hw.any_size_evict;
+        cfg.stlb_probe = hw.stlb_probe;
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .verify(true)
+            .faults(cfg);
+        let stats = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
+        assert!(
+            stats.hw_faults.total() > 0,
+            "hardware sites absorbed faults: {:?}",
+            stats.hw_faults
+        );
+    }
+
+    #[test]
+    fn retries_are_deterministic() {
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .retries(2)
+            .faults(FaultPlanConfig::uniform(3, 0.02));
+        let a = run_single(&spec, "gups", Mechanism::Tps, 5);
+        let b = run_single(&spec, "gups", Mechanism::Tps, 5);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => assert_eq!(x.mem, y.mem),
+            (Err(x), Err(y)) => assert_eq!(x, y),
+            _ => panic!("outcomes diverged between identical runs"),
+        }
+    }
+
+    #[test]
+    fn watchdog_times_a_cell_out() {
+        // A 0 ms deadline fires immediately; the cell degrades to a
+        // Timeout failure after its whole retry budget.
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .cell_timeout_ms(0)
+            .retries(1);
+        let failure = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap_err();
+        assert_eq!(failure.cause, FailureCause::Timeout);
+        assert_eq!(failure.attempts, 2);
+        assert!(failure.message.contains("deadline"));
+        // A generous deadline does not perturb the result.
+        let ok = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .cell_timeout_ms(600_000);
+        let stats = run_single(&ok, "gups", Mechanism::Tps, 11).unwrap();
+        let plain = run_single(
+            &ExperimentSpec::new().scale(SuiteScale::Test),
+            "gups",
+            Mechanism::Tps,
+            11,
+        )
+        .unwrap();
+        assert_eq!(stats.mem, plain.mem);
     }
 }

@@ -3,7 +3,6 @@
 use crate::config::Mechanism;
 use crate::stats::RunStats;
 use crate::timing::TimingModel;
-use tps_core::TpsError;
 use tps_wl::SuiteScale;
 
 use super::json::Json;
@@ -15,6 +14,72 @@ pub const REPORT_SCHEMA: &str = "tps-experiment-report";
 /// Version of the serialized report layout. Bump when a field changes
 /// meaning or disappears; adding fields is backward compatible.
 pub const REPORT_VERSION: u64 = 1;
+
+/// Why one cell ended in failure after exhausting its retry budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureCause {
+    /// The cell exceeded the spec's per-cell deadline.
+    Timeout,
+    /// The cell panicked with no fault injection configured.
+    Panic,
+    /// The cell failed (panicked or errored) while fault injection was
+    /// active — the injected faults are the presumed trigger.
+    Fault,
+}
+
+impl FailureCause {
+    /// The stable label serialized into reports and checkpoints.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureCause::Timeout => "timeout",
+            FailureCause::Panic => "panic",
+            FailureCause::Fault => "fault",
+        }
+    }
+
+    /// Parses a serialized label back (checkpoint resume).
+    pub fn from_label(label: &str) -> Option<FailureCause> {
+        match label {
+            "timeout" => Some(FailureCause::Timeout),
+            "panic" => Some(FailureCause::Panic),
+            "fault" => Some(FailureCause::Fault),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The structured failure record of one cell: every attempt (original run
+/// plus retries) failed, and the last failure is preserved here instead of
+/// poisoning the rest of the matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellFailure {
+    /// What went wrong on the final attempt.
+    pub cause: FailureCause,
+    /// Attempts consumed (1 without retries; `retries + 1` when the cell
+    /// kept failing through its whole budget).
+    pub attempts: u32,
+    /// Human-readable description of the final failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} after {} attempt{}: {}",
+            self.cause,
+            self.attempts,
+            if self.attempts == 1 { "" } else { "s" },
+            self.message
+        )
+    }
+}
 
 /// Paper metrics derived for one cell at aggregation time.
 ///
@@ -42,9 +107,9 @@ pub struct CellReport {
     pub mechanism: Mechanism,
     /// The cell's pinned workload seed.
     pub seed: u64,
-    /// The run's statistics, or the per-cell error (a failed or panicked
-    /// cell never aborts the rest of the matrix).
-    pub result: Result<RunStats, TpsError>,
+    /// The run's statistics, or the structured failure (a failed or
+    /// panicked cell never aborts the rest of the matrix).
+    pub result: Result<RunStats, CellFailure>,
     /// Derived paper metrics; `None` for failed cells.
     pub derived: Option<DerivedMetrics>,
 }
@@ -68,7 +133,7 @@ impl ExperimentReport {
     /// Aggregates pool results (in cell order) into a report.
     pub(crate) fn aggregate(
         matrix: &ExperimentMatrix,
-        results: Vec<Result<RunStats, TpsError>>,
+        results: Vec<Result<RunStats, CellFailure>>,
     ) -> ExperimentReport {
         let spec = matrix.spec();
         let baseline = spec.baseline_mechanism();
@@ -198,9 +263,11 @@ fn cell_json(cell: &CellReport) -> Json {
             obj.set("ok", Json::Bool(true));
             obj.set("stats", stats_json(stats));
         }
-        Err(err) => {
+        Err(failure) => {
             obj.set("ok", Json::Bool(false));
-            obj.set("error", Json::Str(err.to_string()));
+            obj.set("error", Json::Str(failure.message.clone()));
+            obj.set("cause", Json::Str(failure.cause.label().to_string()));
+            obj.set("attempts", Json::U64(u64::from(failure.attempts)));
         }
     }
     if let Some(d) = cell.derived {
@@ -241,6 +308,15 @@ fn stats_json(stats: &RunStats) -> Json {
         census.set(&format!("{}", order.get()), Json::U64(*pages));
     }
     obj.set("page_census", census);
+    let hw = &stats.hw_faults;
+    let mut hw_obj = Json::object();
+    hw_obj.set("walk_restarts", Json::U64(hw.walk_restarts));
+    hw_obj.set("alias_install_retries", Json::U64(hw.alias_install_retries));
+    hw_obj.set("mmu_cache_fill_drops", Json::U64(hw.mmu_cache_fill_drops));
+    hw_obj.set("tlb_fill_drops", Json::U64(hw.tlb_fill_drops));
+    hw_obj.set("tlb_evict_abandons", Json::U64(hw.tlb_evict_abandons));
+    hw_obj.set("stlb_probe_misses", Json::U64(hw.stlb_probe_misses));
+    obj.set("hw_faults", hw_obj);
     obj
 }
 

@@ -2,7 +2,7 @@
 
 use crate::config::{MachineConfig, Mechanism};
 use tps_core::rng::SplitMix64;
-use tps_core::TpsError;
+use tps_core::{FaultPlanConfig, TpsError};
 use tps_wl::{profiling_names, suite_names, SuiteScale};
 
 /// Default base seed of an [`ExperimentSpec`] (spells "TPS matrix").
@@ -49,6 +49,9 @@ pub struct ExperimentSpec {
     baseline: Option<Mechanism>,
     seed: u64,
     threads: Option<usize>,
+    cell_timeout_ms: Option<u64>,
+    retries: u32,
+    faults: Option<FaultPlanConfig>,
 }
 
 impl Default for ExperimentSpec {
@@ -68,6 +71,9 @@ impl Default for ExperimentSpec {
             baseline: None,
             seed: DEFAULT_EXPERIMENT_SEED,
             threads: None,
+            cell_timeout_ms: None,
+            retries: 0,
+            faults: None,
         }
     }
 }
@@ -216,6 +222,42 @@ impl ExperimentSpec {
         self
     }
 
+    /// Gives every cell attempt a wall-clock deadline in milliseconds,
+    /// enforced by a watchdog. A timed-out attempt is abandoned and counts
+    /// as a failure ([`super::FailureCause::Timeout`]); the cell is retried
+    /// through its [`ExperimentSpec::retries`] budget. Off by default.
+    ///
+    /// Timeouts depend on wall-clock speed, so a spec relying on them is
+    /// outside the byte-determinism contract; panic- and fault-caused
+    /// failures stay deterministic.
+    #[must_use]
+    pub fn cell_timeout_ms(mut self, ms: u64) -> Self {
+        self.cell_timeout_ms = Some(ms);
+        self
+    }
+
+    /// Retries a failed (timed-out, panicked, or faulted) cell up to
+    /// `retries` more times, each attempt from the cell's same pinned
+    /// workload seed. Fault-plan seeds differ per attempt (deterministically
+    /// — they derive from the attempt number), so a fault-induced failure
+    /// can succeed on retry; a deterministic panic fails every attempt and
+    /// degrades to a [`super::CellFailure`]. Default 0.
+    #[must_use]
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Injects faults into every cell from this plan configuration. Each
+    /// cell (and each retry attempt) runs its own [`tps_core::FaultPlan`]
+    /// seeded from `config.seed`, the cell's pinned seed, and the attempt
+    /// number, so results stay independent of thread scheduling.
+    #[must_use]
+    pub fn faults(mut self, config: FaultPlanConfig) -> Self {
+        self.faults = Some(config);
+        self
+    }
+
     /// The selected benchmarks, in sweep order.
     pub fn benchmark_names(&self) -> &[String] {
         &self.benchmarks
@@ -239,6 +281,21 @@ impl ExperimentSpec {
     /// The base seed.
     pub fn base_seed(&self) -> u64 {
         self.seed
+    }
+
+    /// The per-attempt cell deadline, if one is configured.
+    pub fn cell_timeout(&self) -> Option<std::time::Duration> {
+        self.cell_timeout_ms.map(std::time::Duration::from_millis)
+    }
+
+    /// Extra attempts granted to a failing cell.
+    pub fn retry_limit(&self) -> u32 {
+        self.retries
+    }
+
+    /// The fault-plan configuration cells run under, if any.
+    pub fn fault_config(&self) -> Option<FaultPlanConfig> {
+        self.faults
     }
 
     /// The baseline mechanism derived metrics will use, if any.
@@ -281,6 +338,48 @@ impl ExperimentSpec {
         config
     }
 
+    /// A stable fingerprint over every result-affecting field, written
+    /// into checkpoint journals so a resume against a different spec is
+    /// rejected instead of splicing mismatched results together. Worker
+    /// thread count is deliberately excluded (it never changes results).
+    pub fn fingerprint(&self) -> u64 {
+        let faults = match self.faults {
+            Some(cfg) => format!("{cfg:?}"),
+            None => "none".to_string(),
+        };
+        let desc = format!(
+            "benches={:?} mechs={:?} scale={} smt={} virt={} five={} pl1={} pl2={} \
+             thr={:?} verify={} mem={:?} base={:?} seed={} retries={} timeout={:?} faults={}",
+            self.benchmarks,
+            self.mechanisms
+                .iter()
+                .map(|m| m.label())
+                .collect::<Vec<_>>(),
+            self.scale.label(),
+            self.smt,
+            self.virtualized,
+            self.five_level,
+            self.perfect_l1,
+            self.perfect_l2,
+            self.threshold.map(f64::to_bits),
+            self.verify,
+            self.memory_bytes,
+            self.baseline.map(Mechanism::label),
+            self.seed,
+            self.retries,
+            self.cell_timeout_ms,
+            faults,
+        );
+        // FNV-1a: tiny, dependency-free, and stable across builds (the
+        // std hasher's keys are unspecified between releases).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in desc.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Validates the spec and expands it into runnable cells, ordered
     /// benchmark-major in the order benchmarks and mechanisms were added.
     ///
@@ -289,7 +388,8 @@ impl ExperimentSpec {
     /// Returns [`TpsError::InvalidSpec`] when no benchmark or mechanism is
     /// selected, a benchmark name is unknown, a (benchmark, mechanism)
     /// pair repeats, the threshold is outside `(0, 1]`, the explicit
-    /// baseline is not part of the sweep, or `threads` is zero.
+    /// baseline is not part of the sweep, `threads` is zero, or fault
+    /// injection is combined with SMT.
     pub fn build(self) -> Result<ExperimentMatrix, TpsError> {
         if self.benchmarks.is_empty() {
             return Err(TpsError::invalid_spec("no benchmarks selected"));
@@ -322,6 +422,12 @@ impl ExperimentSpec {
         }
         if self.threads == Some(0) {
             return Err(TpsError::invalid_spec("threads must be >= 1"));
+        }
+        if self.faults.is_some() && self.smt {
+            return Err(TpsError::invalid_spec(
+                "fault injection is not supported under SMT \
+                 (sibling threads would share one fault stream)",
+            ));
         }
         let mut cells = Vec::with_capacity(self.benchmarks.len() * self.mechanisms.len());
         for bench in &self.benchmarks {

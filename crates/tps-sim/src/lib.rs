@@ -43,12 +43,13 @@ mod timing;
 
 pub use config::{table1_rows, MachineConfig, Mechanism};
 pub use experiment::{
-    CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport, ExperimentSpec,
-    DEFAULT_EXPERIMENT_SEED, REPORT_SCHEMA, REPORT_VERSION,
+    CellFailure, CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport,
+    ExperimentSpec, FailureCause, RunOptions, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
+    DEFAULT_EXPERIMENT_SEED, HALT_EXIT_CODE, REPORT_SCHEMA, REPORT_VERSION,
 };
 pub use machine::{Machine, RunCounters, ThreadCounters};
 pub use mmu::{AccessLevel, AccessOutcome, Mmu};
 pub use nested::NestedWalkModel;
 pub use smt::{run_smt, SmtRunStats};
-pub use stats::RunStats;
+pub use stats::{HwFaultStats, RunStats};
 pub use timing::{TimingBreakdown, TimingModel};

@@ -3,9 +3,9 @@
 
 use crate::config::MachineConfig;
 use crate::mmu::{AccessLevel, Mmu};
-use crate::stats::RunStats;
+use crate::stats::{HwFaultStats, RunStats};
 use std::collections::HashMap;
-use tps_core::VirtAddr;
+use tps_core::{InjectorHandle, VirtAddr};
 use tps_mem::BuddyAllocator;
 use tps_os::Os;
 use tps_tlb::{Asid, TlbStats};
@@ -153,6 +153,16 @@ impl Machine {
         &self.mmu
     }
 
+    /// Installs (or removes) a fault injector on every instrumented layer
+    /// of this machine: the OS fault sites (buddy alloc, reserve spans,
+    /// compaction steps, shootdown delivery) plus the hardware-model sites
+    /// (page walker, alias-PTE installs, MMU caches, TLBs). Each site
+    /// degrades on a panic-free path; the run stays correct, only slower.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.os.set_fault_injector(injector.clone());
+        self.mmu.set_fault_injector(injector);
+    }
+
     /// Runs the memory-compaction daemon and applies the resulting TLB
     /// shootdowns (paper §III-B3). Subsequent `mmap`s find the recovered
     /// contiguity.
@@ -238,6 +248,15 @@ impl Machine {
             (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts
         };
         let process = self.os.process(self.asid);
+        let (walk_restarts, mmu_cache_fill_drops, tlb) = self.mmu.hw_fault_counters();
+        let hw_faults = HwFaultStats {
+            walk_restarts,
+            alias_install_retries: process.page_table().alias_install_retries(),
+            mmu_cache_fill_drops,
+            tlb_fill_drops: tlb.fill_drops,
+            tlb_evict_abandons: tlb.evict_abandons,
+            stlb_probe_misses: tlb.stlb_probe_misses,
+        };
         RunStats {
             name: profile.name.clone(),
             instructions: insts(&counters.measured),
@@ -255,6 +274,7 @@ impl Machine {
             resident_bytes: process.resident_bytes(),
             touched_bytes: process.touched_bytes(),
             mmu_cache_hits: self.mmu.mmu_cache_hits(),
+            hw_faults,
         }
     }
 }

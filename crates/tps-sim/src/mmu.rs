@@ -78,6 +78,26 @@ impl Mmu {
         self.caches.hit_counts()
     }
 
+    /// Installs (or removes) a fault injector on every hardware structure
+    /// this MMU owns: the page walker (walk-step restarts), the MMU
+    /// page-structure caches (dropped fills), and the TLB hierarchy
+    /// (dropped fills, abandoned evictions, forced STLB probe misses).
+    pub fn set_fault_injector(&mut self, injector: Option<tps_core::InjectorHandle>) {
+        self.walker.set_fault_injector(injector.clone());
+        self.caches.set_fault_injector(injector.clone());
+        self.tlb.set_fault_injector(injector);
+    }
+
+    /// Degradation counters from injected hardware faults: walk restarts,
+    /// dropped MMU-cache fills, and the TLB hierarchy's fault stats.
+    pub fn hw_fault_counters(&self) -> (u64, u64, tps_tlb::TlbFaultStats) {
+        (
+            self.walker.walk_restarts(),
+            self.caches.fill_drops(),
+            self.tlb.fault_stats(),
+        )
+    }
+
     /// Flushes the paging-structure caches only (page merges free
     /// page-table nodes but leave TLB entries valid — paper §III-C2).
     pub fn flush_structure_caches(&mut self) {

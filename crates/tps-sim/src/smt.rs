@@ -143,6 +143,15 @@ fn finish<W: Workload + ?Sized>(
     let insts =
         |c: &ThreadCounters| (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts;
     let process = os.process(asid);
+    let (walk_restarts, mmu_cache_fill_drops, tlb) = mmu.hw_fault_counters();
+    let hw_faults = crate::stats::HwFaultStats {
+        walk_restarts,
+        alias_install_retries: process.page_table().alias_install_retries(),
+        mmu_cache_fill_drops,
+        tlb_fill_drops: tlb.fill_drops,
+        tlb_evict_abandons: tlb.evict_abandons,
+        stlb_probe_misses: tlb.stlb_probe_misses,
+    };
     RunStats {
         name: profile.name.clone(),
         instructions: insts(&counters.measured),
@@ -160,6 +169,7 @@ fn finish<W: Workload + ?Sized>(
         resident_bytes: process.resident_bytes(),
         touched_bytes: process.touched_bytes(),
         mmu_cache_hits: mmu.mmu_cache_hits(),
+        hw_faults,
     }
 }
 

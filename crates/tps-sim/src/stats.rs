@@ -6,6 +6,39 @@ use tps_os::OsStats;
 use tps_tlb::TlbStats;
 use tps_wl::WorkloadProfile;
 
+/// Degradation counters from injected hardware-model faults.
+///
+/// Every counter records a fault a hardware structure absorbed on a
+/// panic-free path: the run stays architecturally correct, only slower.
+/// All zero when no fault injector is installed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HwFaultStats {
+    /// Page walks restarted from the root after a `walk-step` fault.
+    pub walk_restarts: u64,
+    /// Alias-PTE stores retried after an `alias-install` fault.
+    pub alias_install_retries: u64,
+    /// MMU paging-structure-cache fills dropped by a `mmu-cache-fill` fault.
+    pub mmu_cache_fill_drops: u64,
+    /// Any-size TLB fills dropped by an `any-size-fill` fault.
+    pub tlb_fill_drops: u64,
+    /// Any-size TLB evictions abandoned by an `any-size-evict` fault.
+    pub tlb_evict_abandons: u64,
+    /// Dual-STLB probes forced to miss by an `stlb-probe` fault.
+    pub stlb_probe_misses: u64,
+}
+
+impl HwFaultStats {
+    /// Sum of every degradation counter.
+    pub fn total(&self) -> u64 {
+        self.walk_restarts
+            + self.alias_install_retries
+            + self.mmu_cache_fill_drops
+            + self.tlb_fill_drops
+            + self.tlb_evict_abandons
+            + self.stlb_probe_misses
+    }
+}
+
 /// Everything one simulated run produced.
 ///
 /// TLB/walk counters come in two flavors: the *measured region* (after the
@@ -48,6 +81,8 @@ pub struct RunStats {
     pub touched_bytes: u64,
     /// MMU-cache hits (PDE, PDPTE, PML4E).
     pub mmu_cache_hits: (u64, u64, u64),
+    /// Hardware-fault degradation counters (all zero without an injector).
+    pub hw_faults: HwFaultStats,
 }
 
 impl RunStats {
@@ -116,6 +151,7 @@ mod tests {
             resident_bytes: 0,
             touched_bytes: 0,
             mmu_cache_hits: (0, 0, 0),
+            hw_faults: HwFaultStats::default(),
         }
     }
 

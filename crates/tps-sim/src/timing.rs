@@ -178,6 +178,7 @@ mod tests {
             resident_bytes: 0,
             touched_bytes: 0,
             mmu_cache_hits: (0, 0, 0),
+            hw_faults: crate::stats::HwFaultStats::default(),
         }
     }
 

@@ -7,7 +7,8 @@
 //! the TPS-mode STLB, whose design the paper leaves unspecified.
 
 use crate::entry::{Asid, TlbEntry};
-use tps_core::{PageOrder, VirtAddr};
+use tps_core::inject::should_fault;
+use tps_core::{FaultSite, InjectorHandle, PageOrder, VirtAddr};
 
 /// Fully-associative TLB accepting entries of any page order.
 ///
@@ -32,6 +33,9 @@ pub struct AnySizeTlb {
     capacity: usize,
     entries: Vec<(TlbEntry, u64)>,
     clock: u64,
+    injector: Option<InjectorHandle>,
+    fill_drops: u64,
+    evict_abandons: u64,
 }
 
 impl AnySizeTlb {
@@ -46,7 +50,30 @@ impl AnySizeTlb {
             capacity,
             entries: Vec::with_capacity(capacity),
             clock: 0,
+            injector: None,
+            fill_drops: 0,
+            evict_abandons: 0,
         }
+    }
+
+    /// Installs (or removes) a fault injector consulted at every fill and
+    /// eviction. A [`FaultSite::AnySizeFill`] hit drops the fill; an
+    /// [`FaultSite::AnySizeEvict`] hit evicts the LRU victim but abandons
+    /// the incoming entry. Both only lower the hit rate.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// Fills dropped by injected [`FaultSite::AnySizeFill`] faults
+    /// (degradation counter).
+    pub fn fill_drops(&self) -> u64 {
+        self.fill_drops
+    }
+
+    /// Evictions whose incoming entry was abandoned by injected
+    /// [`FaultSite::AnySizeEvict`] faults (degradation counter).
+    pub fn evict_abandons(&self) -> u64 {
+        self.evict_abandons
     }
 
     /// Entry capacity.
@@ -82,6 +109,10 @@ impl AnySizeTlb {
     /// If an existing entry covers the same page start at the same order it
     /// is updated in place.
     pub fn fill(&mut self, entry: TlbEntry) {
+        if should_fault(&self.injector, FaultSite::AnySizeFill) {
+            self.fill_drops += 1;
+            return;
+        }
         self.clock += 1;
         if let Some((e, stamp)) = self
             .entries
@@ -96,13 +127,25 @@ impl AnySizeTlb {
             self.entries.push((entry, self.clock));
             return;
         }
-        let victim = self
+        // A full TLB with positive capacity always yields a victim; fall
+        // back to a plain push rather than panicking if it somehow cannot.
+        let Some(victim) = self
             .entries
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, stamp))| *stamp)
             .map(|(i, _)| i)
-            .expect("full TLB is non-empty");
+        else {
+            self.entries.push((entry, self.clock));
+            return;
+        };
+        if should_fault(&self.injector, FaultSite::AnySizeEvict) {
+            // The victim is already gone when the install fails: the slot
+            // ends up empty until a later fill reuses it.
+            self.evict_abandons += 1;
+            self.entries.remove(victim);
+            return;
+        }
         self.entries[victim] = (entry, self.clock);
     }
 
@@ -215,5 +258,53 @@ mod tests {
         t.fill(updated);
         assert_eq!(t.len(), 1);
         assert!(!t.lookup(0, 8).unwrap().writable);
+    }
+
+    fn hw_plan(
+        cfg: tps_core::FaultPlanConfig,
+    ) -> std::rc::Rc<std::cell::RefCell<tps_core::FaultPlan>> {
+        std::rc::Rc::new(std::cell::RefCell::new(tps_core::FaultPlan::new(cfg)))
+    }
+
+    #[test]
+    fn injected_fill_fault_drops_the_entry() {
+        use tps_core::{FaultPlanConfig, InjectorHandle};
+        let mut t = AnySizeTlb::new(4);
+        let plan = hw_plan(FaultPlanConfig {
+            any_size_fill: 1.0,
+            ..FaultPlanConfig::disabled(31)
+        });
+        t.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        t.fill(e(0, 0));
+        assert_eq!(t.fill_drops(), 1);
+        assert!(t.is_empty(), "fill was dropped");
+        assert!(t.lookup(0, 0).is_none());
+        assert_eq!(plan.borrow().injected_at("any-size-fill"), 1);
+    }
+
+    #[test]
+    fn injected_evict_fault_abandons_the_incoming_entry() {
+        use tps_core::{FaultPlanConfig, InjectorHandle};
+        let mut t = AnySizeTlb::new(2);
+        t.fill(e(0, 0));
+        t.fill(e(1, 0));
+        let plan = hw_plan(FaultPlanConfig {
+            any_size_evict: 1.0,
+            ..FaultPlanConfig::disabled(32)
+        });
+        t.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        t.fill(e(2, 0));
+        // The LRU victim (vpn 0) is gone, the incoming entry never landed.
+        assert_eq!(t.evict_abandons(), 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.lookup(0, 0).is_none(), "victim evicted");
+        assert!(t.lookup(0, 2).is_none(), "incoming abandoned");
+        assert!(t.lookup(0, 1).is_some());
+        assert_eq!(plan.borrow().injected_at("any-size-evict"), 1);
+        // The freed slot is reusable once the injector is removed.
+        t.set_fault_injector(None);
+        t.fill(e(3, 0));
+        assert_eq!(t.len(), 2);
+        assert!(t.lookup(0, 3).is_some());
     }
 }

@@ -5,7 +5,8 @@
 //! each size — we model that dual probe directly.
 
 use crate::entry::{Asid, TlbEntry};
-use tps_core::{PageOrder, VirtAddr};
+use tps_core::inject::should_fault;
+use tps_core::{FaultSite, InjectorHandle, PageOrder, VirtAddr};
 
 /// Set-associative second-level TLB with 4 KB / 2 MB dual-probe lookup.
 ///
@@ -29,6 +30,8 @@ pub struct DualStlb {
     ways: usize,
     entries: Vec<Vec<(TlbEntry, u64)>>,
     clock: u64,
+    injector: Option<InjectorHandle>,
+    probe_misses: u64,
 }
 
 impl DualStlb {
@@ -45,7 +48,22 @@ impl DualStlb {
             ways,
             entries: vec![Vec::with_capacity(ways); sets],
             clock: 0,
+            injector: None,
+            probe_misses: 0,
         }
+    }
+
+    /// Installs (or removes) a fault injector consulted at every lookup.
+    /// A [`FaultSite::StlbProbe`] hit forces the dual probe to miss, so
+    /// the access falls through to the walk path — slower, never wrong.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        self.injector = injector;
+    }
+
+    /// Lookups forced to miss by injected [`FaultSite::StlbProbe`] faults
+    /// (degradation counter).
+    pub fn probe_misses(&self) -> u64 {
+        self.probe_misses
     }
 
     /// Total entry capacity.
@@ -68,6 +86,10 @@ impl DualStlb {
 
     /// Dual-probe lookup: tries the 4 KB index then the 2 MB index.
     pub fn lookup(&mut self, asid: Asid, vpn: u64) -> Option<TlbEntry> {
+        if should_fault(&self.injector, FaultSite::StlbProbe) {
+            self.probe_misses += 1;
+            return None;
+        }
         self.clock += 1;
         let clock = self.clock;
         for order in [PageOrder::P4K, PageOrder::P2M] {
@@ -110,13 +132,17 @@ impl DualStlb {
             slot.push((entry, self.clock));
             return;
         }
-        let victim = slot
+        // A full set with positive way count always yields a victim; fall
+        // back to a plain push rather than panicking if it somehow cannot.
+        match slot
             .iter()
             .enumerate()
             .min_by_key(|(_, (_, stamp))| *stamp)
             .map(|(i, _)| i)
-            .expect("set full");
-        slot[victim] = (entry, self.clock);
+        {
+            Some(victim) => slot[victim] = (entry, self.clock),
+            None => slot.push((entry, self.clock)),
+        }
     }
 
     /// Shoots down entries overlapping the page range for the ASID.
@@ -227,5 +253,26 @@ mod tests {
     #[test]
     fn capacity_reported() {
         assert_eq!(DualStlb::new(128, 12).capacity(), 1536);
+    }
+
+    #[test]
+    fn injected_probe_fault_forces_a_miss() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        use tps_core::{FaultPlan, FaultPlanConfig, InjectorHandle};
+
+        let mut s = DualStlb::new(8, 2);
+        s.fill(e4k(3));
+        let plan = Rc::new(RefCell::new(FaultPlan::new(FaultPlanConfig {
+            stlb_probe: 1.0,
+            ..FaultPlanConfig::disabled(41)
+        })));
+        s.set_fault_injector(Some(plan.clone() as InjectorHandle));
+        assert!(s.lookup(0, 3).is_none(), "probe forced to miss");
+        assert_eq!(s.probe_misses(), 1);
+        assert_eq!(plan.borrow().injected_at("stlb-probe"), 1);
+        // The entry itself is untouched: removing the injector hits again.
+        s.set_fault_injector(None);
+        assert!(s.lookup(0, 3).is_some());
     }
 }

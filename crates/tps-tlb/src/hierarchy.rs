@@ -19,7 +19,7 @@ use crate::entry::{Asid, TlbEntry};
 use crate::range_tlb::{RangeEntry, RangeTlb};
 use crate::set_assoc::SetAssocTlb;
 use crate::skewed::SkewedTlb;
-use tps_core::{LeafInfo, PageOrder, PteFlags, VirtAddr};
+use tps_core::{InjectorHandle, LeafInfo, PageOrder, PteFlags, VirtAddr};
 
 /// Which TLB organization to build.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
@@ -154,6 +154,27 @@ impl TlbStats {
     /// L1 misses that still hit somewhere in the L2 level.
     pub fn l1_miss_l2_hit(&self) -> u64 {
         self.stlb_hits + self.range_hits
+    }
+}
+
+/// Degradation counters accumulated by injected TLB faults, summed over
+/// every any-size structure and the dual STLB of one hierarchy.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TlbFaultStats {
+    /// Any-size fills dropped ([`tps_core::FaultSite::AnySizeFill`]).
+    pub fill_drops: u64,
+    /// Evictions whose incoming entry was abandoned
+    /// ([`tps_core::FaultSite::AnySizeEvict`]).
+    pub evict_abandons: u64,
+    /// Dual-STLB probes forced to miss
+    /// ([`tps_core::FaultSite::StlbProbe`]).
+    pub stlb_probe_misses: u64,
+}
+
+impl TlbFaultStats {
+    /// Total injected TLB degradations.
+    pub fn total(&self) -> u64 {
+        self.fill_drops + self.evict_abandons + self.stlb_probe_misses
     }
 }
 
@@ -480,6 +501,51 @@ impl TlbHierarchy {
         if let Some(t) = &mut self.range {
             t.flush();
         }
+    }
+
+    /// Installs (or removes) a fault injector on every structure that
+    /// carries injection hooks: the any-size TLBs (fill/evict sites) and
+    /// the dual STLB (probe site). The set-associative, CoLT, skewed and
+    /// range structures are not instrumented.
+    pub fn set_fault_injector(&mut self, injector: Option<InjectorHandle>) {
+        for t in [
+            &mut self.l1_2m,
+            &mut self.l1_1g,
+            &mut self.tps_l1,
+            &mut self.stlb_1g,
+            &mut self.tps_stlb,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            t.set_fault_injector(injector.clone());
+        }
+        if let Some(s) = &mut self.stlb {
+            s.set_fault_injector(injector);
+        }
+    }
+
+    /// Degradation counters from injected TLB faults, summed across the
+    /// instrumented structures.
+    pub fn fault_stats(&self) -> TlbFaultStats {
+        let mut out = TlbFaultStats::default();
+        for t in [
+            &self.l1_2m,
+            &self.l1_1g,
+            &self.tps_l1,
+            &self.stlb_1g,
+            &self.tps_stlb,
+        ]
+        .into_iter()
+        .flatten()
+        {
+            out.fill_drops += t.fill_drops();
+            out.evict_abandons += t.evict_abandons();
+        }
+        if let Some(s) = &self.stlb {
+            out.stlb_probe_misses += s.probe_misses();
+        }
+        out
     }
 
     /// Current counters.

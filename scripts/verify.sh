@@ -31,6 +31,46 @@ trap 'rm -rf "$tmpdir"' EXIT
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json" \
     || { echo "verify: tps_run --threads changed the report bytes" >&2; exit 1; }
 
+echo "==> retry determinism gate (faults + retries, threads 1 vs 4)"
+# Cells may exhaust their retry budget under injected faults; exit 3
+# (structured cell failure, full JSON still written) is part of the
+# contract being gated — only other codes are verify failures.
+set +e
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --fault-rate 0.02 --fault-seed 7 --retries 2 \
+    --threads 1 --json "$tmpdir/retry-serial.json" >/dev/null 2>&1
+serial_rc=$?
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --fault-rate 0.02 --fault-seed 7 --retries 2 \
+    --threads 4 --json "$tmpdir/retry-parallel.json" >/dev/null 2>&1
+parallel_rc=$?
+set -e
+for rc in "$serial_rc" "$parallel_rc"; do
+    [ "$rc" -eq 0 ] || [ "$rc" -eq 3 ] \
+        || { echo "verify: faulted run exited $rc (want 0 or 3)" >&2; exit 1; }
+done
+[ "$serial_rc" -eq "$parallel_rc" ] \
+    || { echo "verify: exit code differs across thread counts ($serial_rc vs $parallel_rc)" >&2; exit 1; }
+cmp "$tmpdir/retry-serial.json" "$tmpdir/retry-parallel.json" \
+    || { echo "verify: faulted retried runs diverged across thread counts" >&2; exit 1; }
+
+echo "==> checkpoint/resume gate (kill mid-flight, resume, cmp)"
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --threads 1 --json "$tmpdir/full.json" >/dev/null
+# Crash simulation: journal the same matrix and halt (exit 5) after the
+# second cell reaches the journal.
+set +e
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --threads 1 --checkpoint "$tmpdir/run.ckpt" --halt-after 2 >/dev/null
+halt=$?
+set -e
+[ "$halt" -eq 5 ] \
+    || { echo "verify: --halt-after exited $halt, expected 5" >&2; exit 1; }
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --threads 1 --resume "$tmpdir/run.ckpt" --json "$tmpdir/resumed.json" >/dev/null
+cmp "$tmpdir/full.json" "$tmpdir/resumed.json" \
+    || { echo "verify: resumed run differs from the uninterrupted run" >&2; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

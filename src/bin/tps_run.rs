@@ -5,34 +5,58 @@
 //!         [--scale test|small|paper] [--threads N] [--seed S]
 //!         [--smt] [--virtualized] [--five-level] [--threshold F]
 //!         [--verify] [--json PATH|-]
+//!         [--cell-timeout MS] [--retries N]
+//!         [--fault-rate P] [--fault-seed S]
+//!         [--checkpoint PATH] [--resume PATH] [--halt-after N]
 //! ```
 //!
 //! Flags build one declarative [`ExperimentSpec`]; the matrix of
 //! (benchmark × mechanism) cells runs on a worker pool (`--threads`,
 //! default = available parallelism) with per-cell pinned seeds, so the
 //! output — including `--json` bytes — is identical at every thread
-//! count. Examples:
+//! count. `--cell-timeout`/`--retries` arm the per-cell watchdog and
+//! retry budget; `--fault-rate` injects faults at every site with a
+//! per-cell derived seed; `--checkpoint`/`--resume` stream completed
+//! cells through an append-only journal so an interrupted run replays
+//! byte-identically. Examples:
 //!
 //! ```sh
 //! tps-run --bench gups --all --scale small
 //! tps-run --matrix --scale test --threads 8 --json report.json
 //! tps-run --bench xsbench --mech tps --smt
+//! tps-run --matrix --retries 2 --cell-timeout 60000 --checkpoint run.ckpt
+//! tps-run --matrix --resume run.ckpt --json report.json
 //! ```
+//!
+//! Exit codes: 0 success, 1 I/O error, 2 usage, 3 one or more cells
+//! failed (report still written), 4 checkpoint error, 5 halted by
+//! `--halt-after`.
 
-use tps::sim::{ExperimentReport, ExperimentSpec, Mechanism};
+use std::path::PathBuf;
+
+use tps::core::FaultPlanConfig;
+use tps::sim::{ExperimentReport, ExperimentSpec, Mechanism, RunOptions};
 use tps::wl::{suite_names, SuiteScale};
 
-/// Parsed command line: the spec plus output options.
+/// One or more cells degraded to a structured failure entry.
+const EXIT_CELL_FAILURES: i32 = 3;
+/// The checkpoint journal could not be created, loaded, or verified.
+const EXIT_CHECKPOINT: i32 = 4;
+
+/// Parsed command line: the spec plus output and resilience options.
 struct Options {
     spec: ExperimentSpec,
     json: Option<String>,
+    run: RunOptions,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix] \
          [--scale test|small|paper] [--threads N] [--seed S] [--smt] \
-         [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-]\n\
+         [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-] \
+         [--cell-timeout MS] [--retries N] [--fault-rate P] [--fault-seed S] \
+         [--checkpoint PATH] [--resume PATH] [--halt-after N]\n\
          benchmarks: {}\n\
          mechanisms: {}",
         suite_names().join(", "),
@@ -45,12 +69,32 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// A fault plan arming every OS and hardware site at probability `rate`.
+fn uniform_all_sites(seed: u64, rate: f64) -> FaultPlanConfig {
+    FaultPlanConfig {
+        buddy_alloc: rate,
+        reserve_span: rate,
+        compaction_step: rate,
+        shootdown_deliver: rate,
+        walk_step: rate,
+        alias_install: rate,
+        mmu_cache_fill: rate,
+        any_size_fill: rate,
+        any_size_evict: rate,
+        stlb_probe: rate,
+        ..FaultPlanConfig::disabled(seed)
+    }
+}
+
 fn parse_args() -> Options {
     let mut benches: Vec<String> = Vec::new();
     let mut mechs: Vec<Mechanism> = Vec::new();
     let mut matrix = false;
     let mut spec = ExperimentSpec::new();
     let mut json = None;
+    let mut run = RunOptions::default();
+    let mut fault_rate: Option<f64> = None;
+    let mut fault_seed: u64 = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -110,6 +154,47 @@ fn parse_args() -> Options {
             }
             "--verify" => spec = spec.verify(true),
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--cell-timeout" => {
+                let ms: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                spec = spec.cell_timeout_ms(ms);
+            }
+            "--retries" => {
+                let n: u32 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                spec = spec.retries(n);
+            }
+            "--fault-rate" => {
+                let p: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| usage());
+                fault_rate = Some(p);
+            }
+            "--fault-seed" => {
+                fault_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--checkpoint" => {
+                run.checkpoint = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--resume" => {
+                run.resume = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+            }
+            "--halt-after" => {
+                let n: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                run.halt_after = Some(n);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -142,7 +227,10 @@ fn parse_args() -> Options {
         }
         spec = spec.benches(benches).mechanisms(mechs);
     }
-    Options { spec, json }
+    if let Some(rate) = fault_rate {
+        spec = spec.faults(uniform_all_sites(fault_seed, rate));
+    }
+    Options { spec, json, run }
 }
 
 fn print_report(report: &ExperimentReport) {
@@ -203,7 +291,13 @@ fn main() {
             usage()
         }
     };
-    let report = matrix.run();
+    let report = match matrix.run_with(&opts.run) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("{err}");
+            std::process::exit(EXIT_CHECKPOINT);
+        }
+    };
     print_report(&report);
     if let Some(path) = opts.json {
         let doc = report.to_json();
@@ -218,6 +312,6 @@ fn main() {
     }
     if report.error_count() > 0 {
         eprintln!("{} cell(s) failed", report.error_count());
-        std::process::exit(1);
+        std::process::exit(EXIT_CELL_FAILURES);
     }
 }

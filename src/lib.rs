@@ -57,9 +57,9 @@ pub mod prelude {
     pub use tps_core::{PageOrder, PageSize, PhysAddr, Pte, PteFlags, TpsError, VirtAddr};
     pub use tps_os::{AliasPolicy, PolicyKind};
     pub use tps_sim::{
-        CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport,
-        ExperimentSpec, Machine, MachineConfig, Mechanism, RunStats, DEFAULT_EXPERIMENT_SEED,
-        REPORT_SCHEMA, REPORT_VERSION,
+        CellFailure, CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix,
+        ExperimentReport, ExperimentSpec, FailureCause, HwFaultStats, Machine, MachineConfig,
+        Mechanism, RunOptions, RunStats, DEFAULT_EXPERIMENT_SEED, REPORT_SCHEMA, REPORT_VERSION,
     };
     pub use tps_wl::{
         Dbx1000, Dbx1000Params, Event, Graph500, Graph500Params, Gups, GupsParams, Spec17Kernel,

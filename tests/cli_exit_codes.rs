@@ -1,0 +1,126 @@
+//! Pins the `tps-run` exit-code contract:
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | every cell completed                           |
+//! | 2    | usage error                                    |
+//! | 3    | one or more cells failed (JSON still written)  |
+//! | 4    | checkpoint error                               |
+//! | 5    | halted by `--halt-after` (crash simulation)    |
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn tps_run() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_tps_run"))
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn clean_run_exits_zero() {
+    let status = tps_run()
+        .args(["--bench", "gups", "--mech", "thp", "--scale", "test"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn usage_error_exits_two() {
+    let status = tps_run().arg("--no-such-flag").status().unwrap();
+    assert_eq!(status.code(), Some(2));
+}
+
+#[test]
+fn failing_cells_exit_three_but_still_write_full_json() {
+    // A zero-millisecond deadline times every cell out; the run must
+    // still write the complete report (with structured failure entries)
+    // before exiting with the distinct cell-failure code.
+    let dir = temp_dir("tps-cli-exit-three");
+    let json = dir.join("report.json");
+    let status = tps_run()
+        .args(["--bench", "gups", "--mech", "thp", "--mech", "tps"])
+        .args(["--scale", "test", "--cell-timeout", "0"])
+        .args(["--json", json.to_str().unwrap()])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(3));
+    let doc = std::fs::read_to_string(&json).unwrap();
+    assert!(doc.contains("\"ok\": false"));
+    assert!(doc.contains("\"cause\": \"timeout\""));
+    // Both cells are present: partial output is complete output.
+    assert!(doc.contains("\"THP\"") && doc.contains("\"TPS\""));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_checkpoint_exits_four() {
+    let status = tps_run()
+        .args(["--bench", "gups", "--mech", "thp", "--scale", "test"])
+        .args(["--resume", "/nonexistent/journal.ckpt"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(4));
+}
+
+#[test]
+fn halt_after_exits_five_and_resume_completes_byte_identically() {
+    let dir = temp_dir("tps-cli-halt-resume");
+    let ckpt = dir.join("run.ckpt");
+    let full = dir.join("full.json");
+    let resumed = dir.join("resumed.json");
+    let base = [
+        "--bench",
+        "gups",
+        "--mech",
+        "4k",
+        "--mech",
+        "thp",
+        "--mech",
+        "tps",
+        "--scale",
+        "test",
+        "--threads",
+        "1",
+    ];
+
+    let status = tps_run()
+        .args(base)
+        .args(["--json"])
+        .arg(&full)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+
+    // Crash simulation: journal the run, halt after one journaled cell.
+    let status = tps_run()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .args(["--halt-after", "1"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(5), "halt code distinguishes the kill");
+
+    // Resume finishes the matrix; its JSON matches the uninterrupted run.
+    let status = tps_run()
+        .args(base)
+        .args(["--resume"])
+        .arg(&ckpt)
+        .args(["--json"])
+        .arg(&resumed)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+    assert_eq!(
+        std::fs::read(&full).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed JSON differs from the uninterrupted run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

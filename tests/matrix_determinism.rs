@@ -1,9 +1,13 @@
 //! Integration gate for the experiment runner's determinism contract:
 //! the aggregated JSON of a parallel run must be byte-identical to the
-//! serial run of the same spec, and a panicking cell must surface as a
-//! per-cell error without aborting the rest of the matrix.
+//! serial run of the same spec — including under fault injection with
+//! retries — a panicking cell must surface as a per-cell failure without
+//! aborting the rest of the matrix, and a resumed run must reproduce an
+//! uninterrupted run byte-for-byte.
 
+use tps::core::FaultPlanConfig;
 use tps::prelude::*;
+use tps::sim::{FailureCause, RunOptions};
 
 /// The pinned seed every test in this file uses, so the gate exercises
 /// one fixed matrix rather than whatever the default happens to be.
@@ -52,7 +56,7 @@ fn parallel_report_matches_serial_cell_for_cell() {
 }
 
 #[test]
-fn worker_panic_surfaces_as_per_cell_error() {
+fn worker_panic_surfaces_as_per_cell_failure() {
     // 1 MiB of physical memory cannot hold even the test-scale GUPS
     // table, so every cell's machine panics out of physical memory. The
     // pool must catch each panic and keep running the remaining cells.
@@ -69,15 +73,100 @@ fn worker_panic_surfaces_as_per_cell_error() {
     assert_eq!(report.cells().len(), 2, "no cell was dropped");
     assert_eq!(report.error_count(), 2);
     for cell in report.cells() {
-        match &cell.result {
-            Err(TpsError::WorkerPanic { detail }) => {
-                assert!(detail.contains("gups"), "panic names the cell: {detail}")
-            }
-            other => panic!("expected WorkerPanic, got {other:?}"),
-        }
+        let failure = cell.result.as_ref().expect_err("cell must fail");
+        assert_eq!(failure.cause, FailureCause::Panic);
+        assert_eq!(failure.attempts, 1, "no retries were configured");
+        assert!(
+            failure.message.contains("gups"),
+            "failure names the cell: {failure}"
+        );
         assert!(cell.derived.is_none(), "failed cells carry no metrics");
     }
     let json = report.to_json();
     assert!(json.contains("\"ok\": false"));
+    assert!(json.contains("\"cause\": \"panic\""));
+    assert!(json.contains("\"attempts\": 1"));
     assert!(json.contains("worker thread panicked"));
+}
+
+/// A spec with faults armed on every OS and hardware site plus a retry
+/// budget — the resilient configuration the determinism contract must
+/// also hold for.
+fn faulted_spec(threads: usize) -> ExperimentSpec {
+    let plan = FaultPlanConfig {
+        buddy_alloc: 0.02,
+        reserve_span: 0.05,
+        compaction_step: 0.05,
+        shootdown_deliver: 0.05,
+        walk_step: 0.02,
+        alias_install: 0.02,
+        mmu_cache_fill: 0.02,
+        any_size_fill: 0.02,
+        any_size_evict: 0.02,
+        stlb_probe: 0.02,
+        ..FaultPlanConfig::disabled(PINNED_SEED)
+    };
+    ExperimentSpec::new()
+        .bench("gups")
+        .mechanisms([Mechanism::Thp, Mechanism::Tps])
+        .scale(SuiteScale::Test)
+        .seed(PINNED_SEED)
+        .faults(plan)
+        .retries(2)
+        .threads(threads)
+}
+
+#[test]
+fn faulted_retried_runs_stay_byte_identical_across_thread_counts() {
+    let serial = faulted_spec(1).build().expect("valid spec").run();
+    let parallel = faulted_spec(4).build().expect("valid spec").run();
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "fault injection with retries broke the determinism contract"
+    );
+    // The faulted run did real work and absorbed real hardware faults.
+    let stats = serial
+        .stats("gups", Mechanism::Tps)
+        .expect("faulted cell still completes");
+    assert!(stats.hw_faults.total() > 0, "{:?}", stats.hw_faults);
+}
+
+#[test]
+fn resumed_run_matches_uninterrupted_run_byte_for_byte() {
+    let dir = std::env::temp_dir().join("tps-matrix-determinism-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("matrix.ckpt");
+
+    let uninterrupted = gups_matrix(2).to_json();
+
+    // Journal a full run, then truncate the journal to the header plus
+    // one completed cell — the deterministic stand-in for a kill.
+    let matrix = ExperimentSpec::new()
+        .bench("gups")
+        .mechanisms([Mechanism::Only4K, Mechanism::Thp, Mechanism::Tps])
+        .scale(SuiteScale::Test)
+        .seed(PINNED_SEED)
+        .threads(2)
+        .build()
+        .expect("static spec is valid");
+    matrix
+        .run_with(&RunOptions {
+            checkpoint: Some(path.clone()),
+            ..RunOptions::default()
+        })
+        .expect("journal is writable");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let partial: Vec<&str> = text.lines().take(2).collect();
+    std::fs::write(&path, format!("{}\n", partial.join("\n"))).unwrap();
+
+    let resumed = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            ..RunOptions::default()
+        })
+        .expect("journal is readable")
+        .to_json();
+    assert_eq!(resumed, uninterrupted, "resume changed the report bytes");
+    std::fs::remove_dir_all(&dir).ok();
 }
