@@ -24,6 +24,12 @@
 //!   MMU-cache / TLB faults is replayed against a naive cache-free
 //!   reference walker, proving injected hardware faults only ever cost
 //!   time, never correctness.
+//! * [`chaos`] — a deterministic chaos campaign for the experiment
+//!   engine's *artifact* I/O: whole matrix runs driven through
+//!   [`tps_sim::FaultyIo`], killed at randomized byte offsets and fed
+//!   corrupted journals, proving every salvageable journal resumes
+//!   byte-identically and every corruption is detected — never a
+//!   silently wrong report.
 //!
 //! Nothing here is in the simulator's hot path: production crates only
 //! carry the `Option<InjectorHandle>` hook, which stays `None` (one
@@ -34,6 +40,7 @@
 
 mod audit;
 pub mod campaign;
+pub mod chaos;
 mod plan;
 pub mod shadow;
 

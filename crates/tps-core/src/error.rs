@@ -87,6 +87,14 @@ pub enum TpsError {
         /// Human-readable description of what went wrong.
         detail: String,
     },
+    /// A checkpoint journal was read back corrupted: a CRC mismatch,
+    /// broken entry framing, or a non-monotone sequence number. Distinct
+    /// from [`TpsError::Checkpoint`] so callers (and the CLI exit code)
+    /// can tell "the file is damaged" from "the file does not match".
+    CheckpointCorrupt {
+        /// Human-readable description of the damaged record.
+        detail: String,
+    },
 }
 
 impl TpsError {
@@ -115,6 +123,13 @@ impl TpsError {
     /// Builds an [`TpsError::Checkpoint`] with the given description.
     pub fn checkpoint(detail: impl Into<String>) -> Self {
         TpsError::Checkpoint {
+            detail: detail.into(),
+        }
+    }
+
+    /// Builds an [`TpsError::CheckpointCorrupt`] with the given description.
+    pub fn checkpoint_corrupt(detail: impl Into<String>) -> Self {
+        TpsError::CheckpointCorrupt {
             detail: detail.into(),
         }
     }
@@ -191,6 +206,9 @@ impl fmt::Display for TpsError {
             TpsError::Checkpoint { detail } => {
                 write!(f, "checkpoint error: {detail}")
             }
+            TpsError::CheckpointCorrupt { detail } => {
+                write!(f, "checkpoint corruption detected: {detail}")
+            }
         }
     }
 }
@@ -225,6 +243,7 @@ mod tests {
             TpsError::invalid_spec("unknown benchmark \"nonesuch\""),
             TpsError::worker_panic("machine out of physical memory"),
             TpsError::checkpoint("journal header missing"),
+            TpsError::checkpoint_corrupt("entry 3 failed its crc"),
         ];
         for e in errs {
             let s = e.to_string();

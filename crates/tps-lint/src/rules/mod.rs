@@ -29,9 +29,12 @@ pub const NO_WILDCARD_ENUM_MATCH: &str = "no-wildcard-enum-match";
 pub const PUB_ITEM_DOCS: &str = "pub-item-docs";
 /// Meta-rule: a `tps-lint::allow` directive that cannot be honored.
 pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+/// Direct `std::fs` writes are banned inside the experiment engine; all
+/// artifact output must flow through `experiment::io`.
+pub const RAW_ARTIFACT_IO: &str = "raw-artifact-io";
 
 /// Every rule name, in reporting order.
-pub const RULES: [&str; 8] = [
+pub const RULES: [&str; 9] = [
     PANIC_FREE,
     NO_MAGIC_PAGE_SIZE,
     ADDR_OPACITY,
@@ -40,6 +43,7 @@ pub const RULES: [&str; 8] = [
     NO_WILDCARD_ENUM_MATCH,
     PUB_ITEM_DOCS,
     MALFORMED_SUPPRESSION,
+    RAW_ARTIFACT_IO,
 ];
 
 /// Crates forming the mmap/fault/munmap/compact path ([`PANIC_FREE`]).
@@ -65,6 +69,7 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     per_file::addr_opacity(ctx, out);
     per_file::wildcard_enum_match(ctx, out);
     per_file::pub_item_docs(ctx, out);
+    per_file::raw_artifact_io(ctx, out);
     out.extend(ctx.malformed.iter().cloned());
 }
 

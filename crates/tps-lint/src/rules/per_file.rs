@@ -2,7 +2,7 @@
 
 use super::{
     ADDR_OPACITY, CORE_CRATE, DOC_CRATES, FAULT_PATH_CRATES, GUARDED_ENUMS, NO_MAGIC_PAGE_SIZE,
-    NO_WILDCARD_ENUM_MATCH, PANIC_FREE, PUB_ITEM_DOCS,
+    NO_WILDCARD_ENUM_MATCH, PANIC_FREE, PUB_ITEM_DOCS, RAW_ARTIFACT_IO,
 };
 use crate::diag::Diagnostic;
 use crate::file::{FileCtx, Sig};
@@ -332,6 +332,64 @@ fn parse_arms(sig: &[Sig<'_>], start: usize, end: usize) -> Vec<Arm> {
         j = b;
     }
     arms
+}
+
+/// The experiment-engine directory whose writes must use `experiment::io`.
+const EXPERIMENT_DIR: &str = "crates/tps-sim/src/experiment/";
+/// `std::fs` free functions that write or replace files.
+const FS_WRITE_FNS: [&str; 2] = ["write", "rename"];
+
+/// [`RAW_ARTIFACT_IO`]: inside `tps-sim`'s experiment engine, file output
+/// must flow through the `experiment::io` sink layer (`ArtifactSink` /
+/// `write_atomic`) so crash-safety and fault injection cover every byte
+/// that reaches disk. Direct `File::create` / `OpenOptions` /
+/// `fs::write` / `fs::rename` calls are flagged everywhere but `io.rs`
+/// itself (the one place allowed to touch the real filesystem).
+pub fn raw_artifact_io(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.rel_path.starts_with(EXPERIMENT_DIR) || ctx.rel_path.ends_with("/io.rs") {
+        return;
+    }
+    for i in 0..ctx.sig.len() {
+        if ctx.is_test(i) || ctx.sig[i].kind != TokenKind::Ident {
+            continue;
+        }
+        match ctx.sig[i].text {
+            "OpenOptions" => out.push(
+                ctx.diag(
+                    i,
+                    RAW_ARTIFACT_IO,
+                    "`OpenOptions` bypasses the experiment::io sink layer; open artifacts via \
+                 ArtifactIo so crash injection and fsync discipline cover this write"
+                        .to_string(),
+                ),
+            ),
+            "File"
+                if ctx.text(i + 1) == "::" && matches!(ctx.text(i + 2), "create" | "options") =>
+            {
+                out.push(ctx.diag(
+                    i,
+                    RAW_ARTIFACT_IO,
+                    format!(
+                        "`File::{}` bypasses the experiment::io sink layer; create artifacts via \
+                         ArtifactIo::create / write_atomic",
+                        ctx.text(i + 2)
+                    ),
+                ));
+            }
+            "fs" if ctx.text(i + 1) == "::" && FS_WRITE_FNS.contains(&ctx.text(i + 2)) => {
+                out.push(ctx.diag(
+                    i,
+                    RAW_ARTIFACT_IO,
+                    format!(
+                        "`fs::{}` bypasses the experiment::io sink layer; write artifacts via \
+                         write_atomic (or an ArtifactSink) so publication stays atomic and faultable",
+                        ctx.text(i + 2)
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Item keywords that may follow `pub` in an item that needs docs.

@@ -169,6 +169,11 @@ fn malformed_suppression_fixtures() {
 }
 
 #[test]
+fn raw_artifact_io_fixtures() {
+    check_single_rule("raw-artifact-io");
+}
+
+#[test]
 fn fault_site_coverage_fixtures() {
     check_multi_rule("fault-site-coverage");
 }

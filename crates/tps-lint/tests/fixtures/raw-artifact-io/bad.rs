@@ -1,0 +1,32 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/experiment/checkpoint.rs
+
+use std::io::Write;
+
+fn journal(path: &std::path::Path) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?; //~ ERROR raw-artifact-io
+    f.write_all(b"header\n")
+}
+
+fn reopen(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).open(path) //~ ERROR raw-artifact-io
+}
+
+fn publish(path: &std::path::Path, doc: &str) -> std::io::Result<()> {
+    std::fs::write(path, doc)?; //~ ERROR raw-artifact-io
+    std::fs::rename(path, path.with_extension("json")) //~ ERROR raw-artifact-io
+}
+
+// Reads are fine: only the write path must go through the sink layer.
+fn load(path: &std::path::Path) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code writes scratch files directly all the time.
+    #[test]
+    fn scratch() {
+        std::fs::write("/tmp/x", b"ok").unwrap();
+        std::fs::File::create("/tmp/y").unwrap();
+    }
+}

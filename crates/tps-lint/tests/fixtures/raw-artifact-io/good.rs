@@ -1,0 +1,22 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/experiment/io.rs
+
+// io.rs itself is the one file allowed to touch the real filesystem:
+// everything here is exempt.
+use std::fs::{File, OpenOptions};
+
+fn create(path: &std::path::Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+fn open_append(path: &std::path::Path) -> std::io::Result<File> {
+    OpenOptions::new().append(true).open(path)
+}
+
+fn publish(tmp: &std::path::Path, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::rename(tmp, path)
+}
+
+// Reads never need the sink layer (this would be fine in any file).
+fn inspect(path: &std::path::Path) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,11 +1,33 @@
 //! Append-only checkpoint journal for resumable matrix runs.
 //!
 //! The journal is line-oriented: a versioned header line followed by one
-//! compact-JSON entry per completed cell, appended (and flushed) the
-//! moment the cell finishes. A run killed mid-flight therefore leaves a
-//! valid journal of everything it completed; `--resume` replays those
-//! cells from the journal and only executes the rest. A final possibly
-//! truncated line (the victim of the kill) is tolerated and discarded.
+//! compact-JSON entry per completed cell, appended, fsynced, the moment
+//! the cell finishes. A run killed mid-flight therefore leaves a valid
+//! journal of everything it completed; `--resume` replays those cells
+//! from the journal and only executes the rest.
+//!
+//! Since version 2 every entry line is self-checking:
+//!
+//! ```text
+//! {"seq":K,"crc":C,"body":{...v1 entry shape...}}
+//! ```
+//!
+//! `seq` is the strictly increasing append sequence number and `crc` is
+//! the CRC-32 (IEEE) of `"{seq}:{body}"` with `body` in compact
+//! rendering, so any single-byte damage — to the body, the sequence
+//! number, or the checksum itself — is detected at load time. Resume
+//! distinguishes two kinds of damage:
+//!
+//! * **Torn tail** — the final line has no terminating newline. That is
+//!   the expected wreckage of a killed run; the fragment is discarded,
+//!   the file is truncated back to its last clean byte before appending,
+//!   and the victim cell simply re-runs.
+//! * **Mid-file corruption** — a newline-terminated line that fails its
+//!   CRC, does not parse, or breaks sequence monotonicity. That means
+//!   the storage lied after an acknowledged fsync; resume refuses with
+//!   [`TpsError::CheckpointCorrupt`] unless salvage mode is requested,
+//!   which drops the damaged entries (re-running their cells) and
+//!   reports how many were dropped.
 //!
 //! Entries round-trip the **full** [`RunStats`] — not the abridged stats
 //! block of the report — so a resumed run's aggregated report, including
@@ -13,8 +35,6 @@
 //! an uninterrupted run's.
 
 use std::collections::BTreeMap;
-use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -25,6 +45,7 @@ use tps_wl::WorkloadProfile;
 
 use crate::stats::{HwFaultStats, RunStats};
 
+use super::io::{crc32, ArtifactIo, ArtifactSink};
 use super::json::Json;
 use super::report::{CellFailure, FailureCause};
 use super::spec::ExperimentMatrix;
@@ -33,113 +54,269 @@ use super::spec::ExperimentMatrix;
 pub const CHECKPOINT_SCHEMA: &str = "tps-experiment-checkpoint";
 
 /// Version of the journal layout. Bump on any entry-shape change: resume
-/// refuses other versions rather than guessing.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// refuses other versions rather than guessing. Version 2 added per-entry
+/// sequence numbers and CRC-32 checksums.
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// One journaled outcome, keyed by the cell's stable index.
 pub(crate) type ResumeMap = BTreeMap<u64, Result<RunStats, CellFailure>>;
 
-/// Serializer/appender for the journal. Shared by the worker pool behind
-/// a mutex so each entry is written (and flushed) as one atomic line.
-pub(crate) struct CheckpointWriter {
-    file: Mutex<BufWriter<File>>,
+/// Everything [`load`] recovered from a journal.
+#[derive(Debug)]
+pub(crate) struct LoadedJournal {
+    /// Completed cells, replayed instead of executed.
+    pub(crate) done: ResumeMap,
+    /// The sequence number the next appended entry must carry.
+    pub(crate) next_seq: u64,
+    /// Byte length of the clean newline-terminated prefix; appending
+    /// truncates the file here first, cutting off any torn tail.
+    pub(crate) clean_len: u64,
+    /// Corrupt entries dropped by salvage mode (0 without salvage).
+    pub(crate) dropped: u64,
 }
 
-impl CheckpointWriter {
-    /// Creates a fresh journal at `path`, truncating any previous file,
-    /// and writes the header line.
-    pub(crate) fn create(path: &Path, matrix: &ExperimentMatrix) -> Result<Self, TpsError> {
-        let file = File::create(path)
-            .map_err(|e| TpsError::checkpoint(format!("cannot create {}: {e}", path.display())))?;
-        let writer = CheckpointWriter {
-            file: Mutex::new(BufWriter::new(file)),
-        };
-        writer.write_line(&header_json(matrix).render_compact())?;
-        Ok(writer)
-    }
+/// Serializer/appender for the journal. Shared by the worker pool behind
+/// a mutex so each entry is written — and fsynced — as one atomic line.
+pub(crate) struct CheckpointWriter<'io> {
+    inner: Mutex<WriterState<'io>>,
+}
 
-    /// Reopens an existing journal for appending (resume continues
-    /// journaling into the same file). The header must already be there.
-    pub(crate) fn append_to(path: &Path) -> Result<Self, TpsError> {
-        let file = OpenOptions::new().append(true).open(path).map_err(|e| {
-            TpsError::checkpoint(format!("cannot append to {}: {e}", path.display()))
-        })?;
+struct WriterState<'io> {
+    sink: Box<dyn ArtifactSink + 'io>,
+    next_seq: u64,
+    /// Set when the previous append failed partway: the next entry is
+    /// prefixed with a newline so its line framing re-synchronizes
+    /// regardless of how many bytes of the failed record landed.
+    dirty: bool,
+}
+
+impl<'io> CheckpointWriter<'io> {
+    /// Creates a fresh journal at `path` and writes (and syncs) the
+    /// header line. Refuses to clobber an existing journal that already
+    /// contains entries, or that belongs to a different experiment spec,
+    /// unless `force` is set.
+    pub(crate) fn create(
+        io: &'io dyn ArtifactIo,
+        path: &Path,
+        matrix: &ExperimentMatrix,
+        force: bool,
+    ) -> Result<Self, TpsError> {
+        if !force {
+            guard_clobber(path, matrix)?;
+        }
+        let mut sink = io
+            .create(path)
+            .map_err(|e| TpsError::checkpoint(format!("cannot create {}: {e}", path.display())))?;
+        let header = header_json(matrix).render_compact();
+        sink.write_all(header.as_bytes())
+            .and_then(|()| sink.write_all(b"\n"))
+            .and_then(|()| sink.sync_data())
+            .map_err(|e| TpsError::checkpoint(format!("journal write failed: {e}")))?;
         Ok(CheckpointWriter {
-            file: Mutex::new(BufWriter::new(file)),
+            inner: Mutex::new(WriterState {
+                sink,
+                next_seq: 0,
+                dirty: false,
+            }),
         })
     }
 
-    /// Appends one completed cell. Flushes so a subsequent crash cannot
-    /// lose the entry.
+    /// Reopens an existing journal for appending (resume continues
+    /// journaling into the same file). `next_seq` and `truncate_to` come
+    /// from [`load`]: appended entries continue the sequence, and any
+    /// torn tail beyond the clean prefix is cut off first.
+    pub(crate) fn append_to(
+        io: &'io dyn ArtifactIo,
+        path: &Path,
+        next_seq: u64,
+        truncate_to: Option<u64>,
+    ) -> Result<Self, TpsError> {
+        let sink = io.open_append(path, truncate_to).map_err(|e| {
+            TpsError::checkpoint(format!("cannot append to {}: {e}", path.display()))
+        })?;
+        Ok(CheckpointWriter {
+            inner: Mutex::new(WriterState {
+                sink,
+                next_seq,
+                dirty: false,
+            }),
+        })
+    }
+
+    /// Appends one completed cell as a checksummed, sequenced entry line
+    /// and fsyncs, so neither a process kill nor a host crash can lose an
+    /// acknowledged cell.
     pub(crate) fn record(
         &self,
         index: u64,
         outcome: &Result<RunStats, CellFailure>,
     ) -> Result<(), TpsError> {
-        self.write_line(&entry_json(index, outcome).render_compact())
+        let mut state = self.lock();
+        let seq = state.next_seq;
+        // A failed append consumes its sequence number: seq gaps are
+        // legal (strict monotonicity is all load checks), overlaps would
+        // read as corruption.
+        state.next_seq = seq + 1;
+        let mut line = String::new();
+        if state.dirty {
+            line.push('\n');
+        }
+        line.push_str(&entry_line(seq, index, outcome));
+        line.push('\n');
+        let result = state
+            .sink
+            .write_all(line.as_bytes())
+            .and_then(|()| state.sink.sync_data());
+        state.dirty = result.is_err();
+        result.map_err(|e| TpsError::checkpoint(format!("journal write failed: {e}")))
     }
 
-    fn write_line(&self, line: &str) -> Result<(), TpsError> {
-        let mut file = match self.file.lock() {
+    /// Final sync before the journal is dropped, so a host crash after a
+    /// completed run cannot lose its tail.
+    pub(crate) fn finish(&self) -> Result<(), TpsError> {
+        self.lock()
+            .sink
+            .sync_data()
+            .map_err(|e| TpsError::checkpoint(format!("journal sync failed: {e}")))
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, WriterState<'io>> {
+        match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        };
-        file.write_all(line.as_bytes())
-            .and_then(|()| file.write_all(b"\n"))
-            .and_then(|()| file.flush())
-            .map_err(|e| TpsError::checkpoint(format!("journal write failed: {e}")))
+        }
     }
 }
 
+impl std::fmt::Debug for CheckpointWriter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.lock();
+        f.debug_struct("CheckpointWriter")
+            .field("next_seq", &state.next_seq)
+            .field("dirty", &state.dirty)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The clobber guard of [`CheckpointWriter::create`]: refuse to truncate
+/// anything but a missing, empty, or same-spec entry-free journal.
+fn guard_clobber(path: &Path, matrix: &ExperimentMatrix) -> Result<(), TpsError> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => {
+            return Err(TpsError::checkpoint(format!(
+                "cannot inspect existing {}: {e}",
+                path.display()
+            )))
+        }
+    };
+    if bytes.is_empty() {
+        return Ok(());
+    }
+    let text = String::from_utf8_lossy(&bytes);
+    let mut lines = text.split('\n');
+    let header = lines.next().unwrap_or("");
+    let refuse = |what: &str| {
+        Err(TpsError::checkpoint(format!(
+            "refusing to overwrite {}: {what} (pass --force-checkpoint to discard it)",
+            path.display()
+        )))
+    };
+    let Ok(header) = Json::parse(header) else {
+        return refuse("existing file is not a checkpoint journal");
+    };
+    if header.get("schema").and_then(Json::as_str) != Some(CHECKPOINT_SCHEMA) {
+        return refuse("existing file is not a checkpoint journal");
+    }
+    if header.get("fingerprint").and_then(Json::as_u64) != Some(matrix.spec().fingerprint()) {
+        return refuse("existing journal belongs to a different experiment spec");
+    }
+    let entries = lines.filter(|l| !l.is_empty()).count();
+    if entries > 0 {
+        return refuse(&format!(
+            "existing journal already holds {entries} entr{}",
+            {
+                if entries == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            }
+        ));
+    }
+    Ok(())
+}
+
 /// Loads a journal and returns the completed cells, validating that it
-/// belongs to `matrix` (schema, version, spec fingerprint, cell count).
+/// belongs to `matrix` (schema, version, spec fingerprint, cell count)
+/// and that every entry passes its CRC and sequence check.
 ///
 /// # Errors
 ///
-/// [`TpsError::Checkpoint`] on I/O failure, a malformed header, or a
-/// journal written for a different spec. A truncated or corrupt **final**
-/// entry line is discarded silently — that is the expected wreckage of a
-/// killed run — but corruption earlier in the file is an error.
-pub(crate) fn load(path: &Path, matrix: &ExperimentMatrix) -> Result<ResumeMap, TpsError> {
+/// [`TpsError::Checkpoint`] on I/O failure, a missing or mismatched
+/// header, or an unsupported version. [`TpsError::CheckpointCorrupt`]
+/// when a newline-terminated entry line fails its CRC, does not parse,
+/// or breaks sequence monotonicity — unless `salvage` is set, in which
+/// case the damaged entries are dropped (and counted) so their cells
+/// re-run. A torn **final** line without a newline is never an error:
+/// that is the expected wreckage of a killed run.
+pub(crate) fn load(
+    path: &Path,
+    matrix: &ExperimentMatrix,
+    salvage: bool,
+) -> Result<LoadedJournal, TpsError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| TpsError::checkpoint(format!("cannot read {}: {e}", path.display())))?;
-    let mut lines = text.split('\n');
-    let header_line = lines
+    let mut segments = text.split_inclusive('\n');
+    let header_seg = segments
         .next()
-        .filter(|l| !l.is_empty())
-        .ok_or_else(|| TpsError::checkpoint("journal header missing"))?;
-    let header = Json::parse(header_line)
-        .map_err(|e| TpsError::checkpoint(format!("malformed journal header: {e}")))?;
+        .filter(|seg| seg.ends_with('\n'))
+        .ok_or_else(|| TpsError::checkpoint("journal header missing or torn"))?;
+    let header = Json::parse(header_seg.trim_end_matches('\n'))
+        .map_err(|e| TpsError::checkpoint_corrupt(format!("malformed journal header: {e}")))?;
     check_header(&header, matrix)?;
 
-    let mut done = ResumeMap::new();
-    let lines: Vec<&str> = lines.filter(|l| !l.is_empty()).collect();
-    for (i, line) in lines.iter().enumerate() {
-        let last = i + 1 == lines.len();
-        let entry = match Json::parse(line) {
-            Ok(entry) => entry,
-            Err(_) if last => break, // torn final line from a killed run
-            Err(e) => {
-                return Err(TpsError::checkpoint(format!(
-                    "corrupt journal entry {}: {e}",
-                    i + 1
-                )))
-            }
+    let mut loaded = LoadedJournal {
+        done: ResumeMap::new(),
+        next_seq: 0,
+        clean_len: header_seg.len() as u64,
+        dropped: 0,
+    };
+    for (lineno, seg) in segments.enumerate() {
+        let Some(line) = seg.strip_suffix('\n') else {
+            // Torn tail: the kill victim's partial entry. Stop here;
+            // clean_len excludes it so append truncates it away.
+            break;
         };
-        match parse_entry(&entry, matrix.cells().len() as u64) {
-            Ok((index, outcome)) => {
-                done.insert(index, outcome);
+        if line.is_empty() {
+            // Re-synchronization blank from a recovered append failure.
+            loaded.clean_len += seg.len() as u64;
+            continue;
+        }
+        let damage = match parse_entry_line(line, matrix.cells().len() as u64) {
+            Ok((seq, index, outcome)) => {
+                if seq >= loaded.next_seq {
+                    loaded.next_seq = seq + 1;
+                    loaded.done.insert(index, outcome);
+                    loaded.clean_len += seg.len() as u64;
+                    continue;
+                }
+                format!("sequence number {seq} is not increasing")
             }
-            Err(_) if last => break,
-            Err(e) => {
-                return Err(TpsError::checkpoint(format!(
-                    "corrupt journal entry {}: {e}",
-                    i + 1
-                )))
-            }
+            Err(e) => e,
+        };
+        if salvage {
+            loaded.dropped += 1;
+            loaded.clean_len += seg.len() as u64;
+        } else {
+            return Err(TpsError::checkpoint_corrupt(format!(
+                "corrupt journal entry at line {}: {damage}",
+                lineno + 2
+            )));
         }
     }
-    Ok(done)
+    Ok(loaded)
 }
 
 fn header_json(matrix: &ExperimentMatrix) -> Json {
@@ -178,6 +355,38 @@ fn check_header(header: &Json, matrix: &ExperimentMatrix) -> Result<(), TpsError
         )));
     }
     Ok(())
+}
+
+/// Renders one complete v2 entry line (without the trailing newline).
+fn entry_line(seq: u64, index: u64, outcome: &Result<RunStats, CellFailure>) -> String {
+    let body = entry_json(index, outcome).render_compact();
+    let crc = crc32(format!("{seq}:{body}").as_bytes());
+    format!("{{\"seq\":{seq},\"crc\":{crc},\"body\":{body}}}")
+}
+
+/// Parses and verifies one v2 entry line: wrapper shape, CRC over the
+/// re-rendered body (byte-identical by the `Json` round-trip property),
+/// then the body itself. Returns `(seq, cell index, outcome)`.
+fn parse_entry_line(
+    line: &str,
+    cell_count: u64,
+) -> Result<(u64, u64, Result<RunStats, CellFailure>), String> {
+    let wrapper = Json::parse(line).map_err(|e| format!("malformed entry: {e}"))?;
+    let seq = wrapper
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or("missing seq")?;
+    let crc = wrapper
+        .get("crc")
+        .and_then(Json::as_u64)
+        .ok_or("missing crc")?;
+    let body = wrapper.get("body").ok_or("missing body")?;
+    let computed = u64::from(crc32(format!("{seq}:{}", body.render_compact()).as_bytes()));
+    if crc != computed {
+        return Err(format!("crc mismatch (stored {crc}, computed {computed})"));
+    }
+    let (index, outcome) = parse_entry(body, cell_count)?;
+    Ok((seq, index, outcome))
 }
 
 fn entry_json(index: u64, outcome: &Result<RunStats, CellFailure>) -> Json {
@@ -423,9 +632,12 @@ fn stats_from_json(obj: &Json) -> Result<RunStats, String> {
 
 #[cfg(test)]
 mod tests {
+    use super::super::io::{FaultyIo, FaultyIoConfig, RealIo};
     use super::*;
     use crate::config::Mechanism;
     use crate::experiment::spec::ExperimentSpec;
+    use proptest::prelude::*;
+    use std::fs::OpenOptions;
     use tps_wl::SuiteScale;
 
     fn matrix() -> ExperimentMatrix {
@@ -447,13 +659,18 @@ mod tests {
             .clone()
     }
 
+    fn cached_stats() -> &'static RunStats {
+        static STATS: std::sync::OnceLock<RunStats> = std::sync::OnceLock::new();
+        STATS.get_or_init(sample_stats)
+    }
+
     #[test]
     fn stats_round_trip_exactly() {
         let stats = sample_stats();
         let json = stats_to_json(&stats).render_compact();
         let back = stats_from_json(&Json::parse(&json).unwrap()).unwrap();
         // Re-serializing the reconstruction is byte-identical, which is
-        // the property resume rests on.
+        // the property resume (and the entry CRC check) rests on.
         assert_eq!(stats_to_json(&back).render_compact(), json);
         assert_eq!(back.mem, stats.mem);
         assert_eq!(back.page_census, stats.page_census);
@@ -470,36 +687,69 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.ckpt");
         let m = matrix();
-        let stats = sample_stats();
+        let stats = cached_stats().clone();
         let failure = CellFailure {
             cause: FailureCause::Panic,
             attempts: 3,
             message: "worker thread panicked: cell (gups, THP): boom".to_string(),
         };
         {
-            let writer = CheckpointWriter::create(&path, &m).unwrap();
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
             writer.record(1, &Ok(stats.clone())).unwrap();
             writer.record(0, &Err(failure.clone())).unwrap();
+            writer.finish().unwrap();
         }
-        let done = load(&path, &m).unwrap();
-        assert_eq!(done.len(), 2);
-        assert_eq!(done[&0].as_ref().unwrap_err(), &failure);
-        let loaded = done[&1].as_ref().unwrap();
+        let loaded = load(&path, &m, false).unwrap();
+        assert_eq!(loaded.done.len(), 2);
+        assert_eq!(loaded.next_seq, 2, "two entries consumed seqs 0 and 1");
+        assert_eq!(loaded.dropped, 0);
         assert_eq!(
-            stats_to_json(loaded).render_compact(),
+            loaded.clean_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "a clean journal has no torn tail"
+        );
+        assert_eq!(loaded.done[&0].as_ref().unwrap_err(), &failure);
+        let replayed = loaded.done[&1].as_ref().unwrap();
+        assert_eq!(
+            stats_to_json(replayed).render_compact(),
             stats_to_json(&stats).render_compact()
         );
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
-    fn torn_final_line_is_discarded() {
+    fn every_append_is_fsynced_and_finish_syncs_again() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-fsync");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        let io = FaultyIo::new(FaultyIoConfig::default());
+        let writer = CheckpointWriter::create(&io, &path, &m, false).unwrap();
+        assert_eq!(io.syncs(), 1, "header is synced");
+        writer
+            .record(
+                0,
+                &Err(CellFailure {
+                    cause: FailureCause::Fault,
+                    attempts: 1,
+                    message: "x".to_string(),
+                }),
+            )
+            .unwrap();
+        assert_eq!(io.syncs(), 2, "each appended entry is synced");
+        writer.finish().unwrap();
+        assert_eq!(io.syncs(), 3, "finish syncs before close");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_final_line_is_discarded_and_truncated_on_append() {
         let dir = std::env::temp_dir().join("tps-ckpt-test-torn");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.ckpt");
         let m = matrix();
         {
-            let writer = CheckpointWriter::create(&path, &m).unwrap();
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
             writer
                 .record(
                     0,
@@ -511,14 +761,150 @@ mod tests {
                 )
                 .unwrap();
         }
+        let clean = std::fs::metadata(&path).unwrap().len();
         // Simulate a kill mid-write: append half an entry.
         use std::io::Write as _;
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
-        f.write_all(b"{\"cell\":1,\"ok\":tr").unwrap();
+        f.write_all(b"{\"seq\":1,\"crc\":123,\"body\":{\"cell\":1,\"ok\":tr")
+            .unwrap();
         drop(f);
-        let done = load(&path, &m).unwrap();
-        assert_eq!(done.len(), 1, "torn tail dropped, intact entry kept");
-        assert!(done.contains_key(&0));
+        let loaded = load(&path, &m, false).unwrap();
+        assert_eq!(loaded.done.len(), 1, "torn tail dropped, intact entry kept");
+        assert!(loaded.done.contains_key(&0));
+        assert_eq!(loaded.next_seq, 1);
+        assert_eq!(loaded.clean_len, clean, "clean prefix excludes the tail");
+        // Appending truncates the wreckage before writing the next entry.
+        {
+            let writer = CheckpointWriter::append_to(
+                &RealIo,
+                &path,
+                loaded.next_seq,
+                Some(loaded.clean_len),
+            )
+            .unwrap();
+            writer.record(1, &Ok(cached_stats().clone())).unwrap();
+        }
+        let reloaded = load(&path, &m, false).unwrap();
+        assert_eq!(reloaded.done.len(), 2, "resumed journal is fully clean");
+        assert_eq!(reloaded.next_seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn midfile_corruption_is_detected_and_salvageable() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-midfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        {
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
+            writer.record(0, &Ok(cached_stats().clone())).unwrap();
+            writer.record(1, &Ok(cached_stats().clone())).unwrap();
+        }
+        // Flip one byte in the middle of the first entry's body.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let entry_end = header_end
+            + bytes[header_end..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap();
+        let victim = header_end + (entry_end - header_end) / 2;
+        bytes[victim] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let err = load(&path, &m, false).unwrap_err();
+        assert!(matches!(err, TpsError::CheckpointCorrupt { .. }), "{err}");
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let salvaged = load(&path, &m, true).unwrap();
+        assert_eq!(salvaged.dropped, 1, "the damaged entry is dropped");
+        assert_eq!(salvaged.done.len(), 1, "the intact entry survives");
+        assert!(salvaged.done.contains_key(&1));
+        assert_eq!(salvaged.next_seq, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nonmonotone_sequence_reads_as_corruption() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-seq");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        let failure = Err(CellFailure {
+            cause: FailureCause::Panic,
+            attempts: 1,
+            message: "x".to_string(),
+        });
+        let doc = format!(
+            "{}\n{}\n{}\n",
+            header_json(&m).render_compact(),
+            entry_line(1, 0, &failure),
+            entry_line(1, 1, &failure), // replayed sequence number
+        );
+        std::fs::write(&path, doc).unwrap();
+        let err = load(&path, &m, false).unwrap_err();
+        assert!(matches!(err, TpsError::CheckpointCorrupt { .. }), "{err}");
+        assert!(err.to_string().contains("not increasing"), "{err}");
+        let salvaged = load(&path, &m, true).unwrap();
+        assert_eq!(salvaged.dropped, 1);
+        assert_eq!(salvaged.next_seq, 2, "seq gaps stay legal after salvage");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_a_journal_with_entries() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-clobber");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        {
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
+            writer
+                .record(
+                    0,
+                    &Err(CellFailure {
+                        cause: FailureCause::Panic,
+                        attempts: 1,
+                        message: "x".to_string(),
+                    }),
+                )
+                .unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let err = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap_err();
+        assert!(err.to_string().contains("--force-checkpoint"), "{err}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            before,
+            "refused create must not touch the journal"
+        );
+        // A journal of a *different* spec is refused even when empty of
+        // entries; --force-checkpoint overrides both refusals.
+        let other = ExperimentSpec::new()
+            .bench("gups")
+            .mechanisms([Mechanism::Thp, Mechanism::Tps])
+            .scale(SuiteScale::Test)
+            .seed(10)
+            .build()
+            .unwrap();
+        let err = CheckpointWriter::create(&RealIo, &path, &other, false).unwrap_err();
+        assert!(
+            err.to_string().contains("different experiment spec"),
+            "{err}"
+        );
+        CheckpointWriter::create(&RealIo, &path, &m, true).unwrap();
+        let reloaded = load(&path, &m, false).unwrap();
+        assert_eq!(reloaded.done.len(), 0, "forced create truncated");
+        // Recreating over a header-only journal of the same spec is fine.
+        CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
+        // A random non-journal file is protected too.
+        std::fs::write(&path, "important notes, definitely not a journal\n").unwrap();
+        let err = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap_err();
+        assert!(
+            err.to_string().contains("not a checkpoint journal"),
+            "{err}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -528,7 +914,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("run.ckpt");
         let m = matrix();
-        CheckpointWriter::create(&path, &m).unwrap();
+        CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
         let other = ExperimentSpec::new()
             .bench("gups")
             .mechanisms([Mechanism::Thp, Mechanism::Tps])
@@ -536,12 +922,77 @@ mod tests {
             .seed(10) // different seed → different fingerprint
             .build()
             .unwrap();
-        let err = load(&path, &other).unwrap_err();
+        let err = load(&path, &other, false).unwrap_err();
         assert!(matches!(err, TpsError::Checkpoint { .. }), "{err}");
         assert!(err.to_string().contains("different experiment spec"));
         // Not-a-journal files are rejected too.
         std::fs::write(&path, "{\"schema\":\"nope\"}\n").unwrap();
-        assert!(load(&path, &m).is_err());
+        assert!(load(&path, &m, false).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        #[test]
+        fn single_byte_corruption_is_detected_or_irrelevant(
+            seq in 0u64..10_000,
+            kind in 0u64..2,
+            attempts in 1u64..9,
+            walks in 0u64..u64::MAX,
+            message in prop::sample::select(vec![
+                "plain",
+                "with \"quotes\" and \\ backslash",
+                "newline\nand tab\tinside",
+                "unicode π ✓ ∞",
+                "",
+            ]),
+            pos_draw in 0u64..u64::MAX,
+            xor_draw in 0u64..u64::MAX,
+        ) {
+            let cell = seq % 2;
+            let outcome = if kind == 0 {
+                let mut stats = cached_stats().clone();
+                stats.walks = walks; // vary one journaled field per case
+                Ok(stats)
+            } else {
+                Err(CellFailure {
+                    cause: FailureCause::Panic,
+                    attempts: attempts as u32,
+                    message: message.to_string(),
+                })
+            };
+            let line = entry_line(seq, cell, &outcome);
+            let reference = entry_json(cell, &outcome).render_compact();
+            // Sanity: the clean line parses back to the same entry.
+            let (s, i, o) = parse_entry_line(&line, 2).expect("clean line parses");
+            prop_assert_eq!(s, seq);
+            prop_assert_eq!(i, cell);
+            prop_assert_eq!(&entry_json(i, &o).render_compact(), &reference);
+
+            let mut bytes = line.clone().into_bytes();
+            let pos = (pos_draw % bytes.len() as u64) as usize;
+            let xor = (xor_draw % 255 + 1) as u8; // never a no-op flip
+            bytes[pos] ^= xor;
+            match String::from_utf8(bytes) {
+                // Invalid UTF-8 fails read_to_string at load: detected.
+                Err(_) => {}
+                Ok(corrupted) => {
+                    // A corruption byte may be '\n', splitting the line;
+                    // every resulting piece must either fail verification
+                    // or decode to exactly the original entry.
+                    for piece in corrupted.split('\n').filter(|p| !p.is_empty()) {
+                        if let Ok((s, i, o)) = parse_entry_line(piece, 2) {
+                            prop_assert_eq!(s, seq, "undetected seq change");
+                            prop_assert_eq!(i, cell, "undetected cell change");
+                            prop_assert_eq!(
+                                &entry_json(i, &o).render_compact(),
+                                &reference,
+                                "undetected body change"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,577 @@
+//! Crash-safe artifact I/O: the sink abstraction every experiment-engine
+//! file write goes through, plus a deterministic fault-injecting wrapper.
+//!
+//! The experiment engine's outputs — the checkpoint journal and the final
+//! report JSON — are the reproduction's externally visible claims, so
+//! their write paths get the same treatment PR 1 gave the simulated OS
+//! fault paths: one narrow seam ([`ArtifactIo`] / [`ArtifactSink`]),
+//! a real-filesystem implementation ([`RealIo`]) that fsyncs where the
+//! durability contract requires it, and a seeded [`FaultyIo`] wrapper
+//! that deterministically injects short writes, intermittent I/O errors,
+//! disk-full, and byte-granularity kill points. The `tps-check::chaos`
+//! campaign drives whole matrix runs through [`FaultyIo`] to prove the
+//! journal/report hardening actually holds under those failures.
+//!
+//! A "kill" is modeled in-process: once the global write cursor crosses
+//! the configured byte offset, the prefix up to the offset reaches the
+//! real file and **everything afterwards silently evaporates** — writes,
+//! syncs, and renames all pretend to succeed, exactly like a process that
+//! died mid-run as observed by the filesystem. The run itself continues,
+//! which lets a single test process produce the on-disk wreckage of a
+//! kill and then immediately attempt the resume.
+
+use std::io::{self, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use tps_core::rng::SplitMix64;
+
+/// One open artifact file. Writes may be short (that is the point of the
+/// fault layer); use [`ArtifactSink::write_all`] for all-or-error writes.
+pub trait ArtifactSink: Send {
+    /// Writes a prefix of `buf`, returning how many bytes were accepted.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+
+    /// Flushes buffered data and asks the OS to persist file contents
+    /// (`fdatasync`) so a host crash cannot lose acknowledged bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn sync_data(&mut self) -> io::Result<()>;
+
+    /// Writes all of `buf`, looping over short writes.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error; a sink that accepts zero
+    /// bytes yields [`io::ErrorKind::WriteZero`].
+    fn write_all(&mut self, mut buf: &[u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            let n = self.write(buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "sink accepted no bytes",
+                ));
+            }
+            buf = &buf[n..];
+        }
+        Ok(())
+    }
+}
+
+/// Factory for artifact sinks plus the directory-level operations atomic
+/// publication needs. All experiment-engine file *writes* go through an
+/// implementation of this trait (enforced by the `raw-artifact-io` lint);
+/// reads stay on plain `std::fs`.
+pub trait ArtifactIo: Sync {
+    /// Creates (or truncates) the file at `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn ArtifactSink + '_>>;
+
+    /// Opens an existing file for appending. When `truncate_to` is given,
+    /// the file is first truncated to that byte length — resume uses this
+    /// to cut a torn tail off a journal before appending fresh entries.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> io::Result<Box<dyn ArtifactSink + '_>>;
+
+    /// Atomically renames `from` to `to` (same directory).
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Syncs the directory itself so a completed rename survives a host
+    /// crash. Best-effort on platforms where directories cannot be opened.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying (or injected) I/O error.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// Publishes `bytes` at `path` atomically: write to a same-directory temp
+/// file, `sync_data`, rename over `path`, then sync the directory. A
+/// reader can observe the old content or the new content at `path`, never
+/// a prefix.
+///
+/// # Errors
+///
+/// Any underlying (or injected) I/O error.
+pub fn write_atomic(io: &dyn ArtifactIo, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut sink = io.create(&tmp)?;
+        sink.write_all(bytes)?;
+        sink.sync_data()?;
+    }
+    io.rename(&tmp, path)?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    io.sync_dir(&dir)
+}
+
+/// The real filesystem: plain `File` sinks, real renames, real dir syncs.
+#[derive(Debug, Default)]
+pub struct RealIo;
+
+struct RealSink {
+    file: std::fs::File,
+}
+
+impl ArtifactSink for RealSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_data()
+    }
+}
+
+impl ArtifactIo for RealIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn ArtifactSink + '_>> {
+        let file = std::fs::File::create(path)?;
+        Ok(Box::new(RealSink { file }))
+    }
+
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> io::Result<Box<dyn ArtifactSink + '_>> {
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .read(true)
+            .open(path)?;
+        if let Some(len) = truncate_to {
+            file.set_len(len)?;
+        }
+        file.seek(io::SeekFrom::End(0))?;
+        Ok(Box::new(RealSink { file }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // Directories cannot be opened for reading on every platform;
+        // treat an un-openable directory as "nothing to sync" rather than
+        // failing the publication that already renamed successfully.
+        match std::fs::File::open(dir) {
+            Ok(handle) => handle.sync_all(),
+            Err(_) => Ok(()),
+        }
+    }
+}
+
+/// Configuration of a [`FaultyIo`] wrapper. All faults are deterministic
+/// functions of `seed` and the byte-exact write sequence.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultyIoConfig {
+    /// Seed of the injection PRNG (SplitMix64).
+    pub seed: u64,
+    /// Kill the "process" once this many bytes have reached the real
+    /// files: the prefix up to the offset is written, everything after —
+    /// writes, syncs, renames — silently evaporates.
+    pub kill_at: Option<u64>,
+    /// Per-write probability of an injected intermittent `io::Error`.
+    pub error_rate: f64,
+    /// Per-write probability that only a prefix of the buffer is accepted.
+    pub short_write_rate: f64,
+    /// Byte budget after which every write fails like a full disk.
+    pub disk_full_at: Option<u64>,
+}
+
+impl Default for FaultyIoConfig {
+    fn default() -> Self {
+        FaultyIoConfig {
+            seed: 0,
+            kill_at: None,
+            error_rate: 0.0,
+            short_write_rate: 0.0,
+            disk_full_at: None,
+        }
+    }
+}
+
+struct FaultyState {
+    rng: SplitMix64,
+    bytes_written: u64,
+    syncs: u64,
+    killed: bool,
+}
+
+/// A deterministic fault-injecting [`ArtifactIo`] wrapping [`RealIo`].
+///
+/// One wrapper instance models one filesystem-under-test: the byte
+/// counter, kill switch, and PRNG are shared across every sink it opens,
+/// so a kill point lands at one global offset in the run's total write
+/// stream no matter how many files are involved.
+pub struct FaultyIo {
+    inner: RealIo,
+    config: FaultyIoConfig,
+    state: Mutex<FaultyState>,
+}
+
+impl FaultyIo {
+    /// Creates a fault layer with the given deterministic configuration.
+    pub fn new(config: FaultyIoConfig) -> Self {
+        FaultyIo {
+            inner: RealIo,
+            config,
+            state: Mutex::new(FaultyState {
+                rng: SplitMix64::new(config.seed),
+                bytes_written: 0,
+                syncs: 0,
+                killed: false,
+            }),
+        }
+    }
+
+    /// Whether the kill point has been crossed.
+    pub fn killed(&self) -> bool {
+        self.lock().killed
+    }
+
+    /// Bytes that actually reached the real filesystem.
+    pub fn bytes_written(&self) -> u64 {
+        self.lock().bytes_written
+    }
+
+    /// Number of `sync_data` calls that reached the real filesystem.
+    pub fn syncs(&self) -> u64 {
+        self.lock().syncs
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultyState> {
+        match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// A sink that swallows everything: the view a dead process's writes get.
+struct DeadSink;
+
+impl ArtifactSink for DeadSink {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+struct FaultySink<'a> {
+    inner: Box<dyn ArtifactSink + 'a>,
+    io: &'a FaultyIo,
+}
+
+impl ArtifactSink for FaultySink<'_> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut state = self.io.lock();
+        if state.killed {
+            return Ok(buf.len());
+        }
+        if chance(&mut state.rng, self.io.config.error_rate) {
+            return Err(io::Error::other("injected intermittent I/O error"));
+        }
+        let mut n = buf.len();
+        if let Some(limit) = self.io.config.disk_full_at {
+            let budget = limit.saturating_sub(state.bytes_written);
+            if budget == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected disk-full",
+                ));
+            }
+            n = n.min(budget as usize);
+        }
+        if n > 1 && chance(&mut state.rng, self.io.config.short_write_rate) {
+            // A short write accepts a non-empty strict prefix.
+            n = 1 + (state.rng.next_u64() % (n as u64 - 1)) as usize;
+        }
+        if let Some(kill_at) = self.io.config.kill_at {
+            let budget = kill_at.saturating_sub(state.bytes_written);
+            if (n as u64) >= budget {
+                // The prefix up to the kill point reaches the disk; the
+                // process "dies" and every later byte silently vanishes,
+                // so the caller observes success (it is dead either way).
+                self.inner.write_all(&buf[..budget as usize])?;
+                let _ = self.inner.sync_data();
+                state.bytes_written += budget;
+                state.killed = true;
+                return Ok(buf.len());
+            }
+        }
+        self.inner.write_all(&buf[..n])?;
+        state.bytes_written += n as u64;
+        Ok(n)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        let mut state = self.io.lock();
+        if state.killed {
+            return Ok(());
+        }
+        state.syncs += 1;
+        self.inner.sync_data()
+    }
+}
+
+impl ArtifactIo for FaultyIo {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn ArtifactSink + '_>> {
+        if self.killed() {
+            return Ok(Box::new(DeadSink));
+        }
+        let inner = self.inner.create(path)?;
+        Ok(Box::new(FaultySink { inner, io: self }))
+    }
+
+    fn open_append(
+        &self,
+        path: &Path,
+        truncate_to: Option<u64>,
+    ) -> io::Result<Box<dyn ArtifactSink + '_>> {
+        if self.killed() {
+            return Ok(Box::new(DeadSink));
+        }
+        let inner = self.inner.open_append(path, truncate_to)?;
+        Ok(Box::new(FaultySink { inner, io: self }))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.killed() {
+            return Ok(());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        if self.killed() {
+            return Ok(());
+        }
+        self.inner.sync_dir(dir)
+    }
+}
+
+/// One Bernoulli draw at probability `p` (53-bit uniform mantissa).
+fn chance(rng: &mut SplitMix64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    unit < p
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the per-entry checksum of checkpoint
+/// journal v2. Detects every single-byte (indeed every ≤ 32-bit burst)
+/// corruption of a journal entry.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xffff_ffff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn real_io_round_trips_and_appends() {
+        let dir = temp_dir("tps-io-real");
+        let path = dir.join("a.txt");
+        {
+            let mut sink = RealIo.create(&path).unwrap();
+            sink.write_all(b"hello ").unwrap();
+            sink.sync_data().unwrap();
+        }
+        {
+            let mut sink = RealIo.open_append(&path, None).unwrap();
+            sink.write_all(b"world").unwrap();
+            sink.sync_data().unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello world");
+        // truncate_to cuts a torn tail before appending.
+        let mut sink = RealIo.open_append(&path, Some(5)).unwrap();
+        sink.write_all(b"!").unwrap();
+        drop(sink);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello!");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_file() {
+        let dir = temp_dir("tps-io-atomic");
+        let path = dir.join("report.json");
+        write_atomic(&RealIo, &path, b"{\"v\":1}\n").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\":1}\n");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "temp file left behind");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kill_point_writes_exactly_the_prefix() {
+        let dir = temp_dir("tps-io-kill");
+        let path = dir.join("k.bin");
+        let io = FaultyIo::new(FaultyIoConfig {
+            kill_at: Some(10),
+            ..FaultyIoConfig::default()
+        });
+        let mut sink = io.create(&path).unwrap();
+        sink.write_all(b"0123456789abcdef").unwrap();
+        sink.write_all(b"more after death").unwrap();
+        sink.sync_data().unwrap();
+        drop(sink);
+        assert!(io.killed());
+        assert_eq!(io.bytes_written(), 10);
+        assert_eq!(std::fs::read(&path).unwrap(), b"0123456789");
+        // Post-kill file operations are swallowed silently.
+        let other = dir.join("other.bin");
+        let mut dead = io.create(&other).unwrap();
+        dead.write_all(b"never lands").unwrap();
+        drop(dead);
+        assert!(!other.exists(), "a dead process creates no files");
+        io.rename(&path, &other).unwrap();
+        assert!(
+            path.exists() && !other.exists(),
+            "post-kill rename is a no-op"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_full_errors_after_the_budget() {
+        let dir = temp_dir("tps-io-full");
+        let path = dir.join("f.bin");
+        let io = FaultyIo::new(FaultyIoConfig {
+            disk_full_at: Some(4),
+            ..FaultyIoConfig::default()
+        });
+        let mut sink = io.create(&path).unwrap();
+        // First write is cut short at the budget, the next one errors.
+        assert_eq!(sink.write(b"123456").unwrap(), 4);
+        let err = sink.write(b"56").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        drop(sink);
+        assert_eq!(std::fs::read(&path).unwrap(), b"1234");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_faults_are_deterministic() {
+        let dir = temp_dir("tps-io-det");
+        let run = |tag: &str| {
+            let path = dir.join(format!("{tag}.bin"));
+            let io = FaultyIo::new(FaultyIoConfig {
+                seed: 42,
+                error_rate: 0.3,
+                short_write_rate: 0.5,
+                ..FaultyIoConfig::default()
+            });
+            let mut sink = io.create(&path).unwrap();
+            let mut log = Vec::new();
+            for _ in 0..50 {
+                match sink.write(b"abcdefgh") {
+                    Ok(n) => log.push(n as i64),
+                    Err(_) => log.push(-1),
+                }
+            }
+            drop(sink);
+            (log, std::fs::read(&path).unwrap())
+        };
+        assert_eq!(run("a"), run("b"), "same seed, same fault schedule");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_writes_complete_via_write_all() {
+        let dir = temp_dir("tps-io-short");
+        let path = dir.join("s.bin");
+        let io = FaultyIo::new(FaultyIoConfig {
+            seed: 7,
+            short_write_rate: 1.0,
+            ..FaultyIoConfig::default()
+        });
+        let mut sink = io.create(&path).unwrap();
+        sink.write_all(b"the whole message arrives in pieces")
+            .unwrap();
+        drop(sink);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"the whole message arrives in pieces"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

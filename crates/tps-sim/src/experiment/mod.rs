@@ -46,6 +46,7 @@
 //! ```
 
 mod checkpoint;
+pub mod io;
 mod json;
 mod pool;
 mod report;
@@ -56,6 +57,7 @@ use std::path::PathBuf;
 use tps_core::TpsError;
 
 pub use checkpoint::{CHECKPOINT_SCHEMA, CHECKPOINT_VERSION};
+pub use io::{write_atomic, ArtifactIo, ArtifactSink, FaultyIo, FaultyIoConfig, RealIo};
 pub use report::{
     CellFailure, CellReport, DerivedMetrics, ExperimentReport, FailureCause, REPORT_SCHEMA,
     REPORT_VERSION,
@@ -80,6 +82,14 @@ pub struct RunOptions {
     /// this many cells have been journaled. Only meaningful with a
     /// journal; used by the resume gates in `scripts/verify.sh`.
     pub halt_after: Option<u64>,
+    /// Salvage mode for [`RunOptions::resume`]: instead of refusing a
+    /// journal with mid-file corruption, drop the damaged entries,
+    /// recompute their cells, and note the drop count in the report.
+    pub salvage: bool,
+    /// Let [`RunOptions::checkpoint`] overwrite an existing journal that
+    /// holds entries or belongs to a different spec. Without this the
+    /// clobber guard refuses.
+    pub force_checkpoint: bool,
 }
 
 impl ExperimentMatrix {
@@ -93,32 +103,73 @@ impl ExperimentMatrix {
             .expect("no checkpoint I/O configured")
     }
 
-    /// [`ExperimentMatrix::run`] plus checkpoint journaling and resume.
+    /// [`ExperimentMatrix::run`] plus checkpoint journaling and resume,
+    /// on the real filesystem.
     ///
     /// # Errors
     ///
     /// [`TpsError::Checkpoint`] when the journal cannot be created,
-    /// loaded, or does not match this matrix's spec. Per-cell failures
-    /// never surface here — they degrade to [`CellFailure`] entries in
-    /// the report.
+    /// loaded, or does not match this matrix's spec, and
+    /// [`TpsError::CheckpointCorrupt`] when resume finds mid-file damage
+    /// without [`RunOptions::salvage`]. Per-cell failures never surface
+    /// here — they degrade to [`CellFailure`] entries in the report.
     pub fn run_with(&self, options: &RunOptions) -> Result<ExperimentReport, TpsError> {
-        let resume = match &options.resume {
-            Some(path) => Some(checkpoint::load(path, self)?),
+        self.run_with_io(options, &io::RealIo)
+    }
+
+    /// [`ExperimentMatrix::run_with`] over an explicit [`ArtifactIo`] —
+    /// the seam the chaos campaign uses to drive whole runs through the
+    /// fault-injecting [`FaultyIo`] layer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ExperimentMatrix::run_with`], plus whatever I/O errors the
+    /// supplied artifact layer injects.
+    pub fn run_with_io(
+        &self,
+        options: &RunOptions,
+        artifact_io: &dyn ArtifactIo,
+    ) -> Result<ExperimentReport, TpsError> {
+        let loaded = match &options.resume {
+            Some(path) => Some(checkpoint::load(path, self, options.salvage)?),
             None => None,
         };
         let journal = match (&options.checkpoint, &options.resume) {
-            (Some(path), _) => Some(checkpoint::CheckpointWriter::create(path, self)?),
-            (None, Some(path)) => Some(checkpoint::CheckpointWriter::append_to(path)?),
+            (Some(path), _) => Some(checkpoint::CheckpointWriter::create(
+                artifact_io,
+                path,
+                self,
+                options.force_checkpoint,
+            )?),
+            (None, Some(path)) => {
+                let resumed = loaded
+                    .as_ref()
+                    .expect("resume path implies a loaded journal");
+                Some(checkpoint::CheckpointWriter::append_to(
+                    artifact_io,
+                    path,
+                    resumed.next_seq,
+                    Some(resumed.clean_len),
+                )?)
+            }
             (None, None) => None,
         };
         let threads = self.spec().resolved_threads(self.cells().len());
         let hooks = pool::PoolHooks {
-            resume: resume.as_ref(),
+            resume: loaded.as_ref().map(|l| &l.done),
             journal: journal.as_ref(),
             halt_after: options.halt_after,
         };
         let results = pool::run_cells(self.spec(), self.cells(), threads, &hooks);
-        Ok(ExperimentReport::aggregate(self, results))
+        if let Some(journal) = &journal {
+            journal.finish()?;
+        }
+        let mut report = ExperimentReport::aggregate(self, results);
+        match &loaded {
+            Some(l) if l.dropped > 0 => report.note_salvage(l.dropped),
+            _ => {}
+        }
+        Ok(report)
     }
 }
 
@@ -177,6 +228,7 @@ mod tests {
         let dir = std::env::temp_dir().join("tps-experiment-resume-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("matrix.ckpt");
+        std::fs::remove_file(&path).ok(); // leftover journal would trip the clobber guard
 
         let uninterrupted = spec().threads(2).build().unwrap().run().to_json();
 
@@ -222,8 +274,9 @@ mod tests {
         let dir = std::env::temp_dir().join("tps-experiment-resume-failure");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("matrix.ckpt");
-        // Every cell panics (1 MB memory); the journal must replay the
-        // failures exactly, attempts and all.
+        std::fs::remove_file(&path).ok(); // leftover journal would trip the clobber guard
+                                          // Every cell panics (1 MB memory); the journal must replay the
+                                          // failures exactly, attempts and all.
         let matrix = ExperimentSpec::new()
             .bench("gups")
             .mechanisms([Mechanism::Thp, Mechanism::Tps])

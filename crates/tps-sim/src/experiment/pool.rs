@@ -31,11 +31,11 @@ use super::report::{CellFailure, FailureCause};
 use super::spec::{ExperimentCell, ExperimentSpec};
 
 /// Journal/resume/crash-simulation hooks threaded into one pool run.
-pub(crate) struct PoolHooks<'a> {
+pub(crate) struct PoolHooks<'a, 'io> {
     /// Outcomes replayed from a journal; their cells are not executed.
     pub resume: Option<&'a ResumeMap>,
     /// Journal that newly completed cells are appended to.
-    pub journal: Option<&'a CheckpointWriter>,
+    pub journal: Option<&'a CheckpointWriter<'io>>,
     /// Crash simulation: after this many cells have been journaled, the
     /// process exits with [`super::HALT_EXIT_CODE`] — as close to `kill -9`
     /// mid-run as a test can deterministically get.
@@ -47,7 +47,7 @@ pub(crate) fn run_cells(
     spec: &ExperimentSpec,
     cells: &[ExperimentCell],
     threads: usize,
-    hooks: &PoolHooks<'_>,
+    hooks: &PoolHooks<'_, '_>,
 ) -> Vec<Result<RunStats, CellFailure>> {
     let cursor = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);

@@ -127,6 +127,10 @@ pub struct ExperimentReport {
     seed: u64,
     baseline: Option<Mechanism>,
     cells: Vec<CellReport>,
+    /// Corrupt journal entries a salvage resume dropped (and re-ran).
+    /// `None` for every run that did not salvage, so the serialized
+    /// document of a clean run is unchanged.
+    salvage_dropped: Option<u64>,
 }
 
 impl ExperimentReport {
@@ -181,7 +185,20 @@ impl ExperimentReport {
             seed: spec.base_seed(),
             baseline,
             cells,
+            salvage_dropped: None,
         }
+    }
+
+    /// Records that a salvage resume dropped `dropped` corrupt journal
+    /// entries (their cells were recomputed). Shows up in the serialized
+    /// document so a salvaged report is always distinguishable.
+    pub(crate) fn note_salvage(&mut self, dropped: u64) {
+        self.salvage_dropped = Some(dropped);
+    }
+
+    /// Corrupt journal entries dropped by a salvage resume, when one ran.
+    pub fn salvage_dropped(&self) -> Option<u64> {
+        self.salvage_dropped
     }
 
     /// The workload scale the matrix ran at.
@@ -247,9 +264,24 @@ impl ExperimentReport {
                 None => Json::Null,
             },
         );
+        if let Some(dropped) = self.salvage_dropped {
+            let mut salvage = Json::object();
+            salvage.set("dropped_entries", Json::U64(dropped));
+            doc.set("salvage", salvage);
+        }
         let cells = self.cells.iter().map(cell_json).collect();
         doc.set("cells", Json::Array(cells));
         doc.render()
+    }
+}
+
+impl CellReport {
+    /// Serializes this one cell the way [`ExperimentReport::to_json`]
+    /// embeds it — the unit of comparison when a salvaged run (whose
+    /// document carries a `"salvage"` block) is checked cell-by-cell
+    /// against an uninterrupted one.
+    pub fn to_json(&self) -> String {
+        cell_json(self).render()
     }
 }
 

@@ -43,8 +43,9 @@ mod timing;
 
 pub use config::{table1_rows, MachineConfig, Mechanism};
 pub use experiment::{
-    CellFailure, CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix, ExperimentReport,
-    ExperimentSpec, FailureCause, RunOptions, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
+    write_atomic, ArtifactIo, ArtifactSink, CellFailure, CellReport, DerivedMetrics,
+    ExperimentCell, ExperimentMatrix, ExperimentReport, ExperimentSpec, FailureCause, FaultyIo,
+    FaultyIoConfig, RealIo, RunOptions, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
     DEFAULT_EXPERIMENT_SEED, HALT_EXIT_CODE, REPORT_SCHEMA, REPORT_VERSION,
 };
 pub use machine::{Machine, RunCounters, ThreadCounters};

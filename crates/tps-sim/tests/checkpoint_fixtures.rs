@@ -1,0 +1,144 @@
+//! Pins the on-disk checkpoint journal format against committed fixture
+//! files, so a future format change cannot silently reinterpret old
+//! journals:
+//!
+//! * `v1-version.ckpt` — a version-1 header must be refused outright
+//!   (resume never guesses at an older format).
+//! * `midfile-corrupt.ckpt.in` — a newline-terminated entry whose CRC
+//!   does not match is mid-file corruption: refused without salvage,
+//!   dropped (and counted) with it.
+//! * `torn-tail.ckpt.in` — an unterminated final line is a torn write,
+//!   not corruption: resume silently discards it and recomputes the
+//!   victim cell.
+//!
+//! The fixtures carry a `{{FINGERPRINT}}` placeholder because the spec
+//! fingerprint hashes the full experiment configuration (which may
+//! legitimately evolve); everything else — header fields, entry framing,
+//! CRC values — is pinned byte-for-byte.
+
+use std::path::PathBuf;
+
+use tps_core::TpsError;
+use tps_sim::{ExperimentMatrix, ExperimentSpec, FailureCause, Mechanism, RunOptions};
+use tps_wl::SuiteScale;
+
+/// The fixed two-cell matrix every fixture journal describes.
+fn fixture_matrix() -> ExperimentMatrix {
+    ExperimentSpec::new()
+        .bench("gups")
+        .mechanisms([Mechanism::Thp, Mechanism::Tps])
+        .scale(SuiteScale::Test)
+        .seed(9)
+        .threads(1)
+        .build()
+        .unwrap()
+}
+
+/// Instantiates a fixture template into a scratch journal path.
+fn instantiate(matrix: &ExperimentMatrix, name: &str, dest: &str) -> PathBuf {
+    let src = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/checkpoint")
+        .join(name);
+    let template = std::fs::read_to_string(&src).unwrap();
+    let doc = template.replace("{{FINGERPRINT}}", &matrix.spec().fingerprint().to_string());
+    let path = std::env::temp_dir().join(dest);
+    std::fs::write(&path, doc).unwrap();
+    path
+}
+
+#[test]
+fn version_1_journal_is_refused() {
+    let matrix = fixture_matrix();
+    let path = instantiate(&matrix, "v1-version.ckpt", "tps-fixture-v1.ckpt");
+    let err = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            ..RunOptions::default()
+        })
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("version"),
+        "refusal names the version: {err}"
+    );
+    // Salvage does not override a version refusal: the format itself is
+    // unknown, there is nothing trustworthy to salvage.
+    let err = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            salvage: true,
+            ..RunOptions::default()
+        })
+        .unwrap_err();
+    assert!(err.to_string().contains("version"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn midfile_corruption_is_refused_then_salvaged() {
+    let matrix = fixture_matrix();
+    let path = instantiate(
+        &matrix,
+        "midfile-corrupt.ckpt.in",
+        "tps-fixture-midfile.ckpt",
+    );
+    let err = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            ..RunOptions::default()
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, TpsError::CheckpointCorrupt { .. }),
+        "mid-file damage is the distinct corruption error: {err}"
+    );
+    assert!(err.to_string().contains("crc mismatch"), "{err}");
+
+    let report = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            salvage: true,
+            ..RunOptions::default()
+        })
+        .unwrap();
+    assert_eq!(report.salvage_dropped(), Some(1), "one entry dropped");
+    // The surviving entries (both recorded failures) replay as-is; the
+    // dropped line duplicated cell 1, so nothing needed recomputing.
+    assert_eq!(report.error_count(), 2);
+    for cell in report.cells() {
+        let failure = cell.result.as_ref().unwrap_err();
+        assert_eq!(failure.message, "fixture");
+    }
+    assert!(report.to_json().contains("\"dropped_entries\": 1"));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn torn_tail_is_discarded_and_recomputed() {
+    let matrix = fixture_matrix();
+    let path = instantiate(&matrix, "torn-tail.ckpt.in", "tps-fixture-torn.ckpt");
+    let report = matrix
+        .run_with(&RunOptions {
+            resume: Some(path.clone()),
+            ..RunOptions::default()
+        })
+        .unwrap();
+    // A torn tail is crash wreckage, not corruption: no salvage flag
+    // needed, nothing dropped, nothing logged.
+    assert_eq!(report.salvage_dropped(), None);
+    // Cell 0's journaled failure replays; cell 1 (the torn victim) is
+    // recomputed for real.
+    assert_eq!(report.error_count(), 1);
+    let cell0 = &report.cells()[0];
+    let failure = cell0.result.as_ref().unwrap_err();
+    assert_eq!(failure.cause, FailureCause::Panic);
+    assert_eq!(failure.message, "fixture");
+    assert!(report.cells()[1].result.is_ok());
+    // The journal itself was repaired: the torn fragment is gone and the
+    // recomputed cell was appended as a complete, checksummed entry.
+    let repaired = std::fs::read_to_string(&path).unwrap();
+    assert!(!repaired.contains("{\"seq\":1,\"cr\n"));
+    assert!(repaired.ends_with('\n'), "every line is newline-terminated");
+    let last = repaired.lines().last().unwrap();
+    assert!(last.contains("\"seq\":1") && last.contains("\"cell\":1"));
+    std::fs::remove_file(&path).ok();
+}

@@ -71,6 +71,15 @@ set -e
 cmp "$tmpdir/full.json" "$tmpdir/resumed.json" \
     || { echo "verify: resumed run differs from the uninterrupted run" >&2; exit 1; }
 
+echo "==> artifact chaos gate (pinned seeds: kill / corrupt / storm)"
+# Release build of the tps-check chaos campaign: ~240 deterministic
+# schedules driving whole matrix runs through FaultyIo (randomized
+# byte-offset kills, single-byte journal corruptions, I/O storms) and
+# asserting resume is byte-identical, corruption is always detected, and
+# salvage recovers. Seconds in release; the same test also runs (slower)
+# under `cargo test --workspace` above.
+cargo test --release -q -p tps-check --test chaos
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -7,7 +7,8 @@
 //!         [--verify] [--json PATH|-]
 //!         [--cell-timeout MS] [--retries N]
 //!         [--fault-rate P] [--fault-seed S]
-//!         [--checkpoint PATH] [--resume PATH] [--halt-after N]
+//!         [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH]
+//!         [--force-checkpoint] [--halt-after N]
 //! ```
 //!
 //! Flags build one declarative [`ExperimentSpec`]; the matrix of
@@ -17,8 +18,15 @@
 //! count. `--cell-timeout`/`--retries` arm the per-cell watchdog and
 //! retry budget; `--fault-rate` injects faults at every site with a
 //! per-cell derived seed; `--checkpoint`/`--resume` stream completed
-//! cells through an append-only journal so an interrupted run replays
-//! byte-identically. Examples:
+//! cells through an append-only journal (checksummed and fsynced per
+//! entry) so an interrupted run replays byte-identically. A journal with
+//! mid-file corruption is refused with its own exit code;
+//! `--resume-salvage` drops the damaged entries and recomputes those
+//! cells instead, noting the drop count in the report. `--checkpoint`
+//! refuses to overwrite a journal holding entries (or one of another
+//! spec) unless `--force-checkpoint` is passed. Report JSON is published
+//! atomically (temp file + rename), so a partial report is never
+//! observable at the output path. Examples:
 //!
 //! ```sh
 //! tps-run --bench gups --all --scale small
@@ -30,18 +38,22 @@
 //!
 //! Exit codes: 0 success, 1 I/O error, 2 usage, 3 one or more cells
 //! failed (report still written), 4 checkpoint error, 5 halted by
-//! `--halt-after`.
+//! `--halt-after`, 6 checkpoint corruption detected.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use tps::core::FaultPlanConfig;
-use tps::sim::{ExperimentReport, ExperimentSpec, Mechanism, RunOptions};
+use tps::core::{FaultPlanConfig, TpsError};
+use tps::sim::{write_atomic, ExperimentReport, ExperimentSpec, Mechanism, RealIo, RunOptions};
 use tps::wl::{suite_names, SuiteScale};
 
 /// One or more cells degraded to a structured failure entry.
 const EXIT_CELL_FAILURES: i32 = 3;
 /// The checkpoint journal could not be created, loaded, or verified.
 const EXIT_CHECKPOINT: i32 = 4;
+/// The checkpoint journal was read back damaged (CRC/framing/sequence):
+/// distinct from [`EXIT_CHECKPOINT`] so tooling can tell "storage lied"
+/// from "wrong file" and decide to re-run with `--resume-salvage`.
+const EXIT_CHECKPOINT_CORRUPT: i32 = 6;
 
 /// Parsed command line: the spec plus output and resilience options.
 struct Options {
@@ -56,7 +68,8 @@ fn usage() -> ! {
          [--scale test|small|paper] [--threads N] [--seed S] [--smt] \
          [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-] \
          [--cell-timeout MS] [--retries N] [--fault-rate P] [--fault-seed S] \
-         [--checkpoint PATH] [--resume PATH] [--halt-after N]\n\
+         [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH] \
+         [--force-checkpoint] [--halt-after N]\n\
          benchmarks: {}\n\
          mechanisms: {}",
         suite_names().join(", "),
@@ -188,6 +201,11 @@ fn parse_args() -> Options {
             "--resume" => {
                 run.resume = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
             }
+            "--resume-salvage" => {
+                run.resume = Some(PathBuf::from(args.next().unwrap_or_else(|| usage())));
+                run.salvage = true;
+            }
+            "--force-checkpoint" => run.force_checkpoint = true,
             "--halt-after" => {
                 let n: u64 = args
                     .next()
@@ -295,15 +313,23 @@ fn main() {
         Ok(report) => report,
         Err(err) => {
             eprintln!("{err}");
-            std::process::exit(EXIT_CHECKPOINT);
+            let code = if matches!(err, TpsError::CheckpointCorrupt { .. }) {
+                EXIT_CHECKPOINT_CORRUPT
+            } else {
+                EXIT_CHECKPOINT
+            };
+            std::process::exit(code);
         }
     };
     print_report(&report);
+    if let Some(dropped) = report.salvage_dropped() {
+        eprintln!("salvage: dropped {dropped} corrupt journal entr(ies) and re-ran those cells");
+    }
     if let Some(path) = opts.json {
-        let doc = report.to_json();
+        let doc = report.to_json() + "\n";
         if path == "-" {
-            println!("{doc}");
-        } else if let Err(err) = std::fs::write(&path, doc + "\n") {
+            print!("{doc}");
+        } else if let Err(err) = write_atomic(&RealIo, Path::new(&path), doc.as_bytes()) {
             eprintln!("cannot write {path}: {err}");
             std::process::exit(1);
         } else {

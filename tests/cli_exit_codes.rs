@@ -7,6 +7,7 @@
 //! | 3    | one or more cells failed (JSON still written)  |
 //! | 4    | checkpoint error                               |
 //! | 5    | halted by `--halt-after` (crash simulation)    |
+//! | 6    | checkpoint corruption detected on resume       |
 
 use std::path::PathBuf;
 use std::process::Command;
@@ -69,9 +70,133 @@ fn bad_checkpoint_exits_four() {
 }
 
 #[test]
+fn corrupt_journal_exits_six_and_salvage_recovers() {
+    let dir = temp_dir("tps-cli-exit-six");
+    let ckpt = dir.join("run.ckpt");
+    let full = dir.join("full.json");
+    let salvaged = dir.join("salvaged.json");
+    std::fs::remove_file(&ckpt).ok();
+    let base = [
+        "--bench",
+        "gups",
+        "--mech",
+        "thp",
+        "--mech",
+        "tps",
+        "--scale",
+        "test",
+        "--threads",
+        "1",
+    ];
+
+    let status = tps_run()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .args(["--json"])
+        .arg(&full)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+
+    // Flip one byte in the middle of the first entry line: storage lied.
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+    let entry_len = bytes[header_end..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .unwrap();
+    bytes[header_end + entry_len / 2] ^= 0x01;
+    std::fs::write(&ckpt, &bytes).unwrap();
+
+    let status = tps_run()
+        .args(base)
+        .args(["--resume"])
+        .arg(&ckpt)
+        .status()
+        .unwrap();
+    assert_eq!(
+        status.code(),
+        Some(6),
+        "detected corruption has its own exit code"
+    );
+
+    // Salvage mode drops the damaged entry, recomputes its cell, and
+    // still produces the full (correct) report.
+    let output = tps_run()
+        .args(base)
+        .args(["--resume-salvage"])
+        .arg(&ckpt)
+        .args(["--json"])
+        .arg(&salvaged)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0), "salvage resume completes");
+    let doc = std::fs::read_to_string(&salvaged).unwrap();
+    assert!(
+        doc.contains("\"salvage\""),
+        "salvage is logged in the report"
+    );
+    assert!(doc.contains("\"dropped_entries\": 1"));
+    // Cell content matches the uninterrupted run; only the salvage block
+    // (and nothing else) distinguishes the documents.
+    let full_doc = std::fs::read_to_string(&full).unwrap();
+    let salvage_block = "  \"salvage\": {\n    \"dropped_entries\": 1\n  },\n";
+    assert!(doc.contains(salvage_block), "{doc}");
+    assert_eq!(doc.replacen(salvage_block, "", 1), full_doc);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_refuses_to_clobber_without_force() {
+    let dir = temp_dir("tps-cli-clobber");
+    let ckpt = dir.join("run.ckpt");
+    std::fs::remove_file(&ckpt).ok();
+    let base = [
+        "--bench",
+        "gups",
+        "--mech",
+        "thp",
+        "--scale",
+        "test",
+        "--threads",
+        "1",
+    ];
+
+    let status = tps_run()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+
+    // The journal now holds entries: a second --checkpoint run refuses.
+    let output = tps_run()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(4), "clobber refused");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--force-checkpoint"));
+
+    let status = tps_run()
+        .args(base)
+        .args(["--checkpoint"])
+        .arg(&ckpt)
+        .args(["--force-checkpoint"])
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0), "--force-checkpoint overrides");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn halt_after_exits_five_and_resume_completes_byte_identically() {
     let dir = temp_dir("tps-cli-halt-resume");
     let ckpt = dir.join("run.ckpt");
+    std::fs::remove_file(&ckpt).ok();
     let full = dir.join("full.json");
     let resumed = dir.join("resumed.json");
     let base = [
