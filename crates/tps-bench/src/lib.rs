@@ -11,7 +11,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tps_sim::{ExperimentReport, ExperimentSpec, Machine, MachineConfig, Mechanism, RunStats};
 use tps_wl::{build, SuiteScale};
 
@@ -77,7 +77,7 @@ pub fn suite_matrix(
 #[derive(Default)]
 pub struct SuiteCache {
     scale: Option<SuiteScale>,
-    runs: HashMap<(String, Mechanism), RunStats>,
+    runs: BTreeMap<(String, Mechanism), RunStats>,
 }
 
 impl SuiteCache {
@@ -85,7 +85,7 @@ impl SuiteCache {
     pub fn new(scale: SuiteScale) -> Self {
         SuiteCache {
             scale: Some(scale),
-            runs: HashMap::new(),
+            runs: BTreeMap::new(),
         }
     }
 

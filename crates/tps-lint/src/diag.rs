@@ -45,7 +45,11 @@ fn json_escape(s: &str, out: &mut String) {
 }
 
 /// Renders diagnostics as a machine-readable JSON document.
-pub fn to_json(diags: &[Diagnostic], failed: bool) -> String {
+///
+/// `grandfathered` is the number of violations absorbed by the frozen
+/// ratchet baseline — CI consumers need it to distinguish "clean" from
+/// "clean because the baseline still carries debt".
+pub fn to_json(diags: &[Diagnostic], grandfathered: usize, failed: bool) -> String {
     let mut out = String::from("{\n  \"diagnostics\": [\n");
     for (i, d) in diags.iter().enumerate() {
         out.push_str("    {\"path\": \"");
@@ -62,8 +66,9 @@ pub fn to_json(diags: &[Diagnostic], failed: bool) -> String {
         out.push('\n');
     }
     out.push_str(&format!(
-        "  ],\n  \"total\": {},\n  \"failed\": {}\n}}\n",
+        "  ],\n  \"total\": {},\n  \"grandfathered\": {},\n  \"failed\": {}\n}}\n",
         diags.len(),
+        grandfathered,
         failed
     ));
     out
@@ -97,10 +102,18 @@ mod tests {
             rule: "pub-item-docs",
             message: "tab\there\nnewline".into(),
         };
-        let j = to_json(&[d], true);
+        let j = to_json(&[d], 4, true);
         assert!(j.contains("a\\\"b"));
         assert!(j.contains("tab\\there\\nnewline"));
         assert!(j.contains("\"failed\": true"));
         assert!(j.contains("\"total\": 1"));
+        assert!(j.contains("\"grandfathered\": 4"));
+    }
+
+    #[test]
+    fn empty_json_document_is_well_formed() {
+        let j = to_json(&[], 0, false);
+        assert!(j.contains("\"diagnostics\": [\n  ]"));
+        assert!(j.contains("\"failed\": false"));
     }
 }

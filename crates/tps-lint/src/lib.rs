@@ -8,6 +8,13 @@
 //! file ([`baseline`]) that freezes pre-existing violations so they can
 //! only shrink.
 //!
+//! The workspace pass is two-phase: pass 1 builds a conservative symbol
+//! index ([`symbol_index`] — definitions, `use` resolution, type bindings,
+//! struct fields, fn returns, and a call graph), pass 2 runs the
+//! determinism rule family ([`rules::determinism`]) over it to statically
+//! enforce the byte-identical-report contract the experiment engine
+//! guarantees dynamically.
+//!
 //! Std-only by construction — the workspace has no registry access (the
 //! same constraint that produced the proptest/criterion shims).
 //!
@@ -25,6 +32,7 @@ pub mod diag;
 pub mod file;
 pub mod lexer;
 pub mod rules;
+pub mod symbol_index;
 
 use baseline::Baseline;
 use diag::Diagnostic;
@@ -83,11 +91,12 @@ impl LintReport {
 /// share.
 pub fn lint_files(files: &[SourceFile]) -> LintReport {
     let ctxs: Vec<FileCtx<'_>> = files.iter().map(FileCtx::build).collect();
+    let index = symbol_index::SymbolIndex::build(&ctxs);
     let mut diags = Vec::new();
     for ctx in &ctxs {
         rules::check_file(ctx, &mut diags);
     }
-    rules::check_workspace(&ctxs, &mut diags);
+    rules::check_workspace(&ctxs, &index, &mut diags);
     let mut diagnostics = rules::apply_suppressions(&ctxs, diags);
     diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));

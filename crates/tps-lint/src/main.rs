@@ -1,8 +1,9 @@
 //! CLI driver for `tps-lint`.
 //!
 //! ```text
-//! cargo run -p tps-lint -- --workspace [--json] [--write-baseline]
+//! cargo run -p tps-lint -- --workspace [--format json] [--write-baseline]
 //!                          [--root DIR] [--baseline FILE] [--no-baseline]
+//! cargo run -p tps-lint -- --explain <rule>
 //! ```
 //!
 //! Exit codes: 0 clean (or within the frozen baseline), 1 violations,
@@ -14,17 +15,20 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tps_lint::baseline::Baseline;
-use tps_lint::diag;
+use tps_lint::{diag, rules};
 
 const USAGE: &str = "\
 tps-lint: static analysis for the TPS workspace
 
 USAGE:
     tps-lint --workspace [OPTIONS]
+    tps-lint --explain <rule>
 
 OPTIONS:
     --workspace        lint every crate in the enclosing workspace
-    --json             emit diagnostics as JSON on stdout
+    --format FMT       output format: text (default) or json
+    --json             shorthand for --format json
+    --explain RULE     print what a rule enforces and why, then exit
     --write-baseline   freeze the current violations into the ratchet file
     --no-baseline      ignore the ratchet file (report every violation)
     --root DIR         workspace root (default: nearest [workspace] upward)
@@ -34,6 +38,7 @@ OPTIONS:
 
 struct Options {
     json: bool,
+    explain: Option<String>,
     write_baseline: bool,
     no_baseline: bool,
     root: Option<PathBuf>,
@@ -43,6 +48,7 @@ struct Options {
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         json: false,
+        explain: None,
         write_baseline: false,
         no_baseline: false,
         root: None,
@@ -54,6 +60,18 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--workspace" => workspace = true,
             "--json" => opts.json = true,
+            "--format" => {
+                let v = args.next().ok_or("--format needs `text` or `json`")?;
+                match v.as_str() {
+                    "json" => opts.json = true,
+                    "text" => opts.json = false,
+                    other => return Err(format!("unknown format `{other}` (text or json)")),
+                }
+            }
+            "--explain" => {
+                let v = args.next().ok_or("--explain needs a rule name")?;
+                opts.explain = Some(v);
+            }
             "--write-baseline" => opts.write_baseline = true,
             "--no-baseline" => opts.no_baseline = true,
             "--root" => {
@@ -68,8 +86,8 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !workspace {
-        return Err("pass --workspace (the only supported mode)".to_string());
+    if !workspace && opts.explain.is_none() {
+        return Err("pass --workspace or --explain <rule>".to_string());
     }
     Ok(opts)
 }
@@ -85,6 +103,22 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(rule) = &opts.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "error: unknown rule `{rule}` (known rules: {})",
+                    rules::RULES.join(", ")
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
 
     let root = match opts.root.clone().or_else(|| {
         env::current_dir()
@@ -152,7 +186,7 @@ fn main() -> ExitCode {
     let failed = !over.is_empty();
 
     if opts.json {
-        print!("{}", diag::to_json(&over, failed));
+        print!("{}", diag::to_json(&over, within.len(), failed));
     } else {
         for d in &over {
             println!("{d}");

@@ -5,10 +5,12 @@
 //! analysis") for the rationale behind each rule.
 
 mod cross_file;
+pub mod determinism;
 mod per_file;
 
 use crate::diag::Diagnostic;
 use crate::file::FileCtx;
+use crate::symbol_index::SymbolIndex;
 
 /// `unwrap`/`expect`/`panic!` and friends are banned on the
 /// mmap/fault/munmap/compact path.
@@ -32,9 +34,21 @@ pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
 /// Direct `std::fs` writes are banned inside the experiment engine; all
 /// artifact output must flow through `experiment::io`.
 pub const RAW_ARTIFACT_IO: &str = "raw-artifact-io";
+/// Observable iteration over `HashMap`/`HashSet` is banned in the
+/// deterministic crates unless the sink is an order-insensitive fold.
+pub const UNORDERED_ITERATION: &str = "unordered-iteration";
+/// `Instant::now`/`SystemTime::now` are banned in the deterministic crates
+/// outside the allowlisted watchdog/campaign-timing modules.
+pub const WALL_CLOCK: &str = "wall-clock-in-sim";
+/// Hasher state, OS RNGs, environment variables and thread identity may
+/// not reach sim state or report fields.
+pub const UNSEEDED_ENTROPY: &str = "unseeded-entropy";
+/// Floating-point accumulation over an unordered container is banned (the
+/// result depends on iteration order).
+pub const FLOAT_ACCUM_ORDER: &str = "float-accum-order";
 
 /// Every rule name, in reporting order.
-pub const RULES: [&str; 9] = [
+pub const RULES: [&str; 13] = [
     PANIC_FREE,
     NO_MAGIC_PAGE_SIZE,
     ADDR_OPACITY,
@@ -44,6 +58,10 @@ pub const RULES: [&str; 9] = [
     PUB_ITEM_DOCS,
     MALFORMED_SUPPRESSION,
     RAW_ARTIFACT_IO,
+    UNORDERED_ITERATION,
+    WALL_CLOCK,
+    UNSEEDED_ENTROPY,
+    FLOAT_ACCUM_ORDER,
 ];
 
 /// Crates forming the mmap/fault/munmap/compact path ([`PANIC_FREE`]).
@@ -73,10 +91,92 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     out.extend(ctx.malformed.iter().cloned());
 }
 
-/// Runs every cross-file rule over the whole workspace.
-pub fn check_workspace(files: &[FileCtx<'_>], out: &mut Vec<Diagnostic>) {
+/// Runs every cross-file rule over the whole workspace, including the
+/// symbol-indexed determinism pass.
+pub fn check_workspace(files: &[FileCtx<'_>], index: &SymbolIndex, out: &mut Vec<Diagnostic>) {
     cross_file::fault_site_coverage(files, out);
     cross_file::stats_counter_coverage(files, out);
+    determinism::check(files, index, out);
+}
+
+/// A prose explanation of `rule` for `tps-lint --explain`, or `None` for
+/// an unknown rule name.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        PANIC_FREE => {
+            "panic-free-fault-path: `unwrap`, `expect`, `panic!`, indexing and friends are \
+             banned in tps-os/tps-mem/tps-pt non-test code. The mmap/fault/munmap/compact \
+             path must degrade into TpsError values — a panic mid-compaction corrupts the \
+             machine state the fault-injection campaigns replay."
+        }
+        NO_MAGIC_PAGE_SIZE => {
+            "no-magic-page-size: bare page-size literals (4096, 0x1000, 1 << 12, ...) are \
+             banned outside tps-core. Every size must come from the PageOrder/PAGE_SIZE \
+             constants so a page-geometry change cannot silently miss a site."
+        }
+        ADDR_OPACITY => {
+            "addr-newtype-opacity: `.0` projection or tuple-construction of VirtAddr/PhysAddr \
+             is banned outside tps-core. Address arithmetic must go through the newtype \
+             methods, which carry the alignment and overflow contracts."
+        }
+        FAULT_SITE_COVERAGE => {
+            "fault-site-coverage: every FaultSite variant must be consulted by an injection \
+             hook somewhere in the workspace, so the chaos campaigns cannot silently lose \
+             coverage of a fault point."
+        }
+        STATS_COUNTER_COVERAGE => {
+            "stats-counter-coverage: every OsStats counter must be incremented somewhere; a \
+             counter nothing increments reports a permanently-zero metric as if it were real."
+        }
+        NO_WILDCARD_ENUM_MATCH => {
+            "no-wildcard-enum-match: `_` arms are banned in matches over the workspace's core \
+             enums (TpsError, FaultSite, Mechanism, ...), so adding a variant forces every \
+             consumer to decide its behavior explicitly."
+        }
+        PUB_ITEM_DOCS => {
+            "pub-item-docs: exported items of tps-core and tps-os must carry doc comments; \
+             these two crates are the API surface the paper-reproduction experiments script."
+        }
+        MALFORMED_SUPPRESSION => {
+            "malformed-suppression: a `tps-lint::allow(<rule>, reason = \"...\")` directive \
+             that names an unknown rule or omits the mandatory reason is itself a violation — \
+             a suppression that cannot be honored must not look like it works."
+        }
+        RAW_ARTIFACT_IO => {
+            "raw-artifact-io: direct std::fs writes are banned inside the experiment engine; \
+             artifacts must flow through experiment::io, which provides the crash-safe \
+             tmp+rename+checksum protocol the chaos campaign verifies."
+        }
+        UNORDERED_ITERATION => {
+            "unordered-iteration: iterating a HashMap/HashSet observably (iter/keys/values/\
+             into_iter/drain or `for ... in &map`) is banned in the deterministic crates \
+             (tps-core/mem/os/pt/tlb/wl/sim) unless the chain provably ends in an \
+             order-insensitive fold (integer sum/count/min/max/any/all, or collect into a \
+             BTree container). Hash iteration order varies per process, so any escape into \
+             sim state or reports breaks byte-identical output across --threads and --resume. \
+             Audited order-insensitive sites may use tps-lint::allow with a reason."
+        }
+        WALL_CLOCK => {
+            "wall-clock-in-sim: Instant::now/SystemTime::now/UNIX_EPOCH are banned in the \
+             deterministic crates and tps-check, outside the allowlisted harness-timing \
+             modules (the worker-pool watchdog and the chaos campaign's own timer). \
+             Simulated time must come from the simulator; wall-clock readings differ per \
+             run and poison replayability."
+        }
+        UNSEEDED_ENTROPY => {
+            "unseeded-entropy: RandomState::new, thread_rng, rand::random, std::env::var and \
+             thread::current() are banned in the deterministic crates. Every run-affecting \
+             value must derive from the experiment seed. Helpers provably reachable only \
+             from test code are exempt (the call graph decides)."
+        }
+        FLOAT_ACCUM_ORDER => {
+            "float-accum-order: f32/f64 sum/product/fold over a hash-ordered container is \
+             banned — float addition is not associative, so hasher order changes the result \
+             in the low bits and the report bytes with it. Iterate an ordered container or \
+             accumulate integers."
+        }
+        _ => return None,
+    })
 }
 
 /// Drops diagnostics covered by a valid same-file suppression directive.

@@ -174,6 +174,26 @@ fn raw_artifact_io_fixtures() {
 }
 
 #[test]
+fn unordered_iteration_fixtures() {
+    check_single_rule("unordered-iteration");
+}
+
+#[test]
+fn wall_clock_in_sim_fixtures() {
+    check_single_rule("wall-clock-in-sim");
+}
+
+#[test]
+fn unseeded_entropy_fixtures() {
+    check_single_rule("unseeded-entropy");
+}
+
+#[test]
+fn float_accum_order_fixtures() {
+    check_single_rule("float-accum-order");
+}
+
+#[test]
 fn fault_site_coverage_fixtures() {
     check_multi_rule("fault-site-coverage");
 }

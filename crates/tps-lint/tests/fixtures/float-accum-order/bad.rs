@@ -1,0 +1,16 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Bad: float addition is not associative, so accumulating f64 in hasher
+//! order changes the low bits — and the report bytes — per process.
+
+use std::collections::HashMap;
+
+/// Turbofish float sum over a hash-ordered container.
+pub fn mean_latency(samples: &HashMap<u32, f64>) -> f64 {
+    let total = samples.values().sum::<f64>(); //~ ERROR float-accum-order
+    total / samples.len() as f64
+}
+
+/// Float-seeded fold over a hash-ordered container.
+pub fn folded(samples: &HashMap<u32, f64>) -> f64 {
+    samples.values().fold(0.0f64, |acc, &v| acc + v) //~ ERROR float-accum-order
+}

@@ -1,0 +1,15 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Good: float folds over ordered containers, and integer folds over
+//! hash-ordered ones, are both deterministic.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Float accumulation over a BTreeMap visits entries in key order.
+pub fn mean_latency(samples: &BTreeMap<u32, f64>) -> f64 {
+    samples.values().sum::<f64>() / samples.len() as f64
+}
+
+/// Integer addition is associative and commutative: hash order is fine.
+pub fn total_accesses(counts: &HashMap<u32, u64>) -> u64 {
+    counts.values().sum::<u64>()
+}

@@ -1,0 +1,36 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Bad: hash-ordered iteration escaping into observable results inside a
+//! deterministic crate.
+
+use std::collections::{HashMap, HashSet};
+
+/// Per-region counters, hash-keyed.
+pub struct Stats {
+    regions: HashMap<u32, u64>,
+}
+
+/// Returns a hash-ordered census (the call sites below are the findings).
+pub fn census() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+impl Stats {
+    /// Field iteration resolved through the struct declaration.
+    pub fn dump(&self) -> Vec<(u32, u64)> {
+        self.regions.iter().map(|(&k, &v)| (k, v)).collect() //~ ERROR unordered-iteration
+    }
+}
+
+/// Parameter bindings and call-returned maps are resolved too.
+pub fn report(map: &HashMap<u32, u64>, tags: &mut HashSet<u32>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (_k, v) in map { //~ ERROR unordered-iteration
+        out.push(*v);
+    }
+    for t in tags.drain() { //~ ERROR unordered-iteration
+        out.push(t as u64);
+    }
+    let keys: Vec<u64> = census().keys().copied().collect(); //~ ERROR unordered-iteration
+    out.extend(keys);
+    out
+}

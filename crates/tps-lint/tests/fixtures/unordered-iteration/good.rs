@@ -1,0 +1,60 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Good: ordered containers, order-insensitive folds, audited
+//! suppressions and test code are all silent.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Holds one ordered and one hash-ordered map.
+pub struct Stats {
+    regions: BTreeMap<u32, u64>,
+    scratch: HashMap<u32, u64>,
+}
+
+impl Stats {
+    /// BTreeMap iteration is ordered: fine to observe.
+    pub fn ordered_dump(&self) -> Vec<(u32, u64)> {
+        self.regions.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+
+    /// Integer sum is order-insensitive: fine over a HashMap.
+    pub fn total(&self) -> u64 {
+        self.scratch.values().sum::<u64>()
+    }
+
+    /// count() is order-insensitive.
+    pub fn occupied(&self) -> usize {
+        self.scratch.keys().count()
+    }
+
+    /// Audited case: hash order escapes the iterator but is sorted before
+    /// anything can observe it — suppressed with a reason.
+    pub fn sorted_keys(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self
+            .scratch
+            // tps-lint::allow(unordered-iteration, reason = "audited: collected into a Vec that is sorted before observation")
+            .keys()
+            .copied()
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Collecting into a BTree container re-establishes a total order.
+pub fn ordered_copy(set: &HashSet<u32>) -> BTreeSet<u32> {
+    set.iter().copied().collect::<BTreeSet<u32>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_iterate_hash_maps() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (k, v) in &m {
+            let _ = (k, v);
+        }
+        let _: Vec<u32> = m.values().copied().collect();
+    }
+}

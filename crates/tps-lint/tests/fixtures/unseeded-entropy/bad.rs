@@ -1,0 +1,20 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Bad: per-process entropy reaching deterministic code. Nothing here is
+//! reachable only from tests, so every source is a finding.
+
+use std::collections::hash_map::RandomState;
+
+/// Mixes four entropy sources into a "seed" — four violations.
+pub fn entropy_soup() -> u64 {
+    let state = RandomState::new(); //~ ERROR unseeded-entropy
+    let scale = std::env::var("TPS_SCALE").unwrap_or_default(); //~ ERROR unseeded-entropy
+    let tid = std::thread::current().name().map(str::len).unwrap_or(0); //~ ERROR unseeded-entropy
+    let noise: u64 = rand::random(); //~ ERROR unseeded-entropy
+    let _ = (state, scale);
+    tid as u64 ^ noise
+}
+
+/// Having a non-test caller keeps the helper non-exempt.
+pub fn run() -> u64 {
+    entropy_soup()
+}

@@ -1,0 +1,23 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/fixture.rs
+//! Good: entropy sources that are provably test-only — either in test code
+//! directly, or in helpers the call graph shows only tests reach.
+
+/// Reads a test-scale override. Every caller is test code (see below), so
+/// the call-graph exemption applies: this value cannot taint sim state or
+/// report fields at run time.
+fn scale_override() -> Option<String> {
+    std::env::var("TPS_SCALE").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::hash_map::RandomState;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn helper_is_test_only() {
+        let _ = super::scale_override();
+        let state = RandomState::new();
+        let _ = state.hash_one(1u8);
+    }
+}

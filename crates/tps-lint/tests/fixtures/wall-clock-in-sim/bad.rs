@@ -1,0 +1,16 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/machine.rs
+//! Bad: wall-clock reads inside the deterministic pipeline. Simulated time
+//! must come from the simulator's own event clock.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Stamps a report field with host time — three violations.
+pub fn stamp() -> u64 {
+    let t0 = Instant::now(); //~ ERROR wall-clock-in-sim
+    let wall = SystemTime::now() //~ ERROR wall-clock-in-sim
+        .duration_since(UNIX_EPOCH) //~ ERROR wall-clock-in-sim
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = t0;
+    wall
+}

@@ -1,0 +1,16 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/experiment/pool.rs
+//! Good: the worker-pool watchdog is an allowlisted harness-timing module,
+//! so wall-clock reads here are legitimate (they time the harness, not the
+//! simulation).
+
+use std::time::{Duration, Instant};
+
+/// Deadline for declaring a worker hung.
+pub fn watchdog_deadline(budget: Duration) -> Instant {
+    Instant::now() + budget
+}
+
+/// Imports alone never count as a wall-clock read.
+pub fn elapsed_since(t0: Instant) -> Duration {
+    t0.elapsed()
+}

@@ -62,6 +62,67 @@ fn no_magic_page_size_budget_is_zero() {
 }
 
 #[test]
+fn determinism_rules_have_no_grandfathered_debt() {
+    // The four determinism rules shipped with their findings burned down
+    // (BTreeMap conversions) or suppressed with an audit reason — the
+    // baseline must not quietly grow entries for them.
+    let base = committed_baseline();
+    for rule in [
+        rules::UNORDERED_ITERATION,
+        rules::WALL_CLOCK,
+        rules::UNSEEDED_ENTROPY,
+        rules::FLOAT_ACCUM_ORDER,
+    ] {
+        assert_eq!(
+            base.rule_total(rule),
+            0,
+            "determinism rule {rule} must not carry grandfathered violations"
+        );
+    }
+}
+
+#[test]
+fn write_baseline_output_is_deterministic() {
+    // `--write-baseline` must produce byte-identical output regardless of
+    // the order files reach the linter, and must round-trip through parse —
+    // otherwise regenerating the baseline creates spurious diffs.
+    let mut files = tps_lint::collect_files(workspace_root()).expect("workspace readable");
+    let forward = tps_lint::lint_files(&files).to_baseline().serialize();
+    files.reverse();
+    let reversed = tps_lint::lint_files(&files).to_baseline().serialize();
+    assert_eq!(
+        forward, reversed,
+        "baseline serialization depends on file discovery order"
+    );
+    let reparsed = Baseline::parse(&forward).expect("serialized baseline parses");
+    assert_eq!(
+        reparsed.serialize(),
+        forward,
+        "baseline does not round-trip byte-identically"
+    );
+    // Sections must appear in sorted rule order, entries in sorted path
+    // order — the property that makes diffs reviewable.
+    let mut rules_seen = Vec::new();
+    let mut paths_in_section = Vec::new();
+    for line in forward.lines() {
+        if let Some(rule) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            rules_seen.push(rule.to_string());
+            paths_in_section.clear();
+        } else if let Some((path, _)) = line.split_once('=') {
+            let path = path.trim().trim_matches('"').to_string();
+            assert!(
+                paths_in_section.last().map(|p| p < &path).unwrap_or(true),
+                "paths out of order in baseline section"
+            );
+            paths_in_section.push(path);
+        }
+    }
+    let mut sorted = rules_seen.clone();
+    sorted.sort();
+    assert_eq!(rules_seen, sorted, "rule sections out of order in baseline");
+}
+
+#[test]
 fn baseline_only_freezes_known_rules() {
     for (rule, path, count) in committed_baseline().iter() {
         assert!(

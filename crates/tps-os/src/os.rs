@@ -4,7 +4,7 @@
 use crate::address_space::{round_up_pages, AddressSpace, Vma};
 use crate::cow::{CowPolicy, FrameShares};
 use crate::policy::{CostModel, PolicyConfig, PolicyKind, ReservationRounding};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tps_core::inject::{self, FaultSite, InjectorHandle};
 use tps_core::{
     InvariantLayer, PageOrder, PhysAddr, PteFlags, TpsError, VirtAddr, BASE_PAGE_SHIFT,
@@ -92,7 +92,7 @@ pub struct Process {
     /// RMM range table, sorted by `start_vpn`.
     ranges: Vec<RangeEntry>,
     /// Directly allocated blocks (no reservation), keyed by VMA base.
-    direct_blocks: HashMap<u64, Vec<(PhysAddr, PageOrder)>>,
+    direct_blocks: BTreeMap<u64, Vec<(PhysAddr, PageOrder)>>,
     /// Distinct base pages demand-touched (for footprint accounting).
     touched_pages: u64,
 }
@@ -316,7 +316,7 @@ impl Os {
             address_space: AddressSpace::new(),
             reservations: ReservationTable::new(),
             ranges: Vec::new(),
-            direct_blocks: HashMap::new(),
+            direct_blocks: BTreeMap::new(),
             touched_pages: 0,
         });
         asid

@@ -7,7 +7,7 @@ use tps_pt::MmuCacheConfig;
 use tps_tlb::{HierarchyKind, TlbConfig};
 
 /// The translation mechanisms compared in the paper's figures.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Mechanism {
     /// Reservation-based THP on the conventional TLB hierarchy — the
     /// baseline of Figs. 10–14.

@@ -4,7 +4,7 @@
 use crate::config::MachineConfig;
 use crate::mmu::{AccessLevel, Mmu};
 use crate::stats::{HwFaultStats, RunStats};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tps_core::{InjectorHandle, VirtAddr};
 use tps_mem::BuddyAllocator;
 use tps_os::Os;
@@ -111,7 +111,7 @@ pub struct Machine {
     os: Os,
     asid: Asid,
     mmu: Mmu,
-    regions: HashMap<u32, VirtAddr>,
+    regions: BTreeMap<u32, VirtAddr>,
 }
 
 impl Machine {
@@ -134,7 +134,7 @@ impl Machine {
             os,
             asid,
             mmu,
-            regions: HashMap::new(),
+            regions: BTreeMap::new(),
         }
     }
 

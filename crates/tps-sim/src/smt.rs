@@ -5,7 +5,7 @@ use crate::config::MachineConfig;
 use crate::machine::{RunCounters, ThreadCounters};
 use crate::mmu::Mmu;
 use crate::stats::RunStats;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tps_core::VirtAddr;
 use tps_mem::BuddyAllocator;
 use tps_os::Os;
@@ -55,8 +55,8 @@ where
     let asid_b = os.spawn();
     let mut mmu = Mmu::new(&config);
 
-    let mut regions_a: HashMap<u32, VirtAddr> = HashMap::new();
-    let mut regions_b: HashMap<u32, VirtAddr> = HashMap::new();
+    let mut regions_a: BTreeMap<u32, VirtAddr> = BTreeMap::new();
+    let mut regions_b: BTreeMap<u32, VirtAddr> = BTreeMap::new();
     let mut counters_a = RunCounters::default();
     let mut counters_b = RunCounters::default();
 
@@ -101,7 +101,7 @@ fn step(
     os: &mut Os,
     mmu: &mut Mmu,
     asid: Asid,
-    regions: &mut HashMap<u32, VirtAddr>,
+    regions: &mut BTreeMap<u32, VirtAddr>,
     counters: &mut RunCounters,
     event: Event,
 ) {

@@ -6,6 +6,11 @@
 # if the working-tree baseline has any entry whose count exceeds the copy
 # committed at HEAD, or any entry HEAD does not know about.
 #
+# One exception: a rule whose section is entirely absent from HEAD's
+# committed baseline is brand new (this PR introduces it), and its initial
+# entries are accepted with a notice. Once committed, those entries ratchet
+# shrink-only like everything else.
+#
 # Usage: scripts/lint-ratchet.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,6 +46,12 @@ while IFS=$'\t' read -r rule path count; do
     frozen=$(printf '%s\n' "$committed" | flatten \
         | awk -F'\t' -v r="$rule" -v p="$path" '$1 == r && $2 == p { print $3 }')
     if [[ -z "$frozen" ]]; then
+        rule_known=$(printf '%s\n' "$committed" | flatten \
+            | awk -F'\t' -v r="$rule" '$1 == r { print "y"; exit }')
+        if [[ -z "$rule_known" ]]; then
+            echo "lint-ratchet: notice: new rule [$rule] freezes \"$path\" = $count"
+            continue
+        fi
         echo "lint-ratchet: NEW baseline entry [$rule] \"$path\" = $count (not in HEAD)" >&2
         status=1
     elif (( count > frozen )); then

@@ -86,6 +86,27 @@ cargo clippy --workspace -- -D warnings
 echo "==> tps-lint --workspace (workspace invariants, ratcheted)"
 cargo run -q --release -p tps-lint -- --workspace
 
+echo "==> tps-lint --workspace --format json (machine-readable gate)"
+cargo run -q --release -p tps-lint -- --workspace --format json > "$tmpdir/lint.json"
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$tmpdir/lint.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+for key in ("diagnostics", "total", "grandfathered", "failed"):
+    assert key in doc, f"lint JSON is missing {key!r}"
+assert isinstance(doc["diagnostics"], list), "diagnostics must be a list"
+assert doc["total"] == len(doc["diagnostics"]), "total disagrees with the list"
+assert doc["failed"] is False, "lint JSON reports failed=true (non-ratcheted output)"
+PYEOF
+else
+    # Fallback without python3: structural greps.
+    grep -q '"failed": false' "$tmpdir/lint.json" \
+        || { echo "verify: lint JSON reports failure or is malformed" >&2; exit 1; }
+    grep -q '"grandfathered":' "$tmpdir/lint.json" \
+        || { echo "verify: lint JSON is missing the grandfathered count" >&2; exit 1; }
+fi
+
 echo "==> scripts/lint-ratchet.sh (baseline may only shrink)"
 scripts/lint-ratchet.sh
 
