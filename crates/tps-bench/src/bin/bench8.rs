@@ -1,0 +1,173 @@
+//! Pinned-seed translation microbench (the committed `BENCH_8.json`).
+//!
+//! Drives a deterministic access stream straight through [`Mmu::access`] —
+//! no workload framework, no worker pool — so the measured loop is exactly
+//! the translation fast path the hot-path lint rules fence: L1/L2 TLB
+//! probes, page walks, MMU-cache hits and the CoLT contiguity probe.
+//!
+//! ```sh
+//! cargo run --release -p tps-bench --bin bench8
+//! ```
+//!
+//! Prints one JSON object: per-mechanism wall time plus the TLB-hit/walk
+//! counters. The counters are seed-pinned and byte-stable; wall time is a
+//! snapshot of the machine that ran it. `BENCH_8.json` commits a before/
+//! after pair of these measurements around the PR 8 dyn-dispatch and
+//! allocation burn-down.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use tps_core::VirtAddr;
+use tps_mem::BuddyAllocator;
+use tps_os::Os;
+use tps_sim::{AccessLevel, MachineConfig, Mechanism, Mmu};
+
+/// Pinned microbench seed.
+const SEED: u64 = 0x5EED_0008;
+/// Modeled physical memory.
+const MEMORY: u64 = 512 << 20;
+/// Number of mapped regions. Warm-up touches them interleaved so buddy
+/// frames alternate between regions, breaking physical contiguity: CoLT
+/// cannot coalesce giant runs and must keep refilling its L1 through the
+/// contiguity probe, which is the call the dyn burn-down devirtualizes.
+const VMAS: u64 = 8;
+/// Bytes per mapped region. The total (256 MB as 2 MB pages) overflows
+/// the 32-entry huge L1 TLB, so the timed loop exercises L1 misses, STLB
+/// probes, probe-driven refills and real page walks rather than parking
+/// in a handful of L1 entries.
+const VMA_SIZE: u64 = 32 << 20;
+/// Hot window the stream favors (L1-resident under every mechanism).
+const HOT_WINDOW: u64 = 8 << 20;
+/// Timed accesses per mechanism.
+const ACCESSES: u64 = 2_000_000;
+/// STLB sets for the microbench: shrunk from the Table I 128 so the
+/// uniform tail of the stream overflows L2 and reaches the walker.
+const STLB_SETS: usize = 8;
+
+/// SplitMix64: the workspace's standard pinned-seed generator.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+struct Measurement {
+    wall_ms: f64,
+    accesses: u64,
+    l1_hits: u64,
+    stlb_hits: u64,
+    range_hits: u64,
+    l2_misses: u64,
+    walks: u64,
+    walk_refs: u64,
+    faults: u64,
+}
+
+fn run_mechanism(mechanism: Mechanism) -> Measurement {
+    let mut config = MachineConfig::for_mechanism(mechanism).with_memory(MEMORY);
+    config.tlb.stlb_sets = STLB_SETS;
+    config.tlb.tps_stlb_entries = STLB_SETS * config.tlb.stlb_ways;
+    let mut os = Os::with_buddy(BuddyAllocator::new(MEMORY), config.policy);
+    let asid = os.spawn();
+    let mut mmu = Mmu::new(&config);
+    let bases: Vec<u64> = (0..VMAS)
+        .map(|_| {
+            let vma = os.mmap(asid, VMA_SIZE).expect("microbench region maps");
+            vma.base().value()
+        })
+        .collect();
+
+    // Warm-up: touch every base page once (faults, promotions, fills), so
+    // the timed loop measures translation, not first-touch policy. The
+    // regions are touched interleaved to scatter frames between them.
+    let mut off = 0;
+    while off < VMA_SIZE {
+        for base in &bases {
+            mmu.access(&mut os, asid, VirtAddr::new(base + off), true);
+        }
+        off += tps_core::BASE_PAGE_SIZE;
+    }
+    let warm = mmu.tlb().stats();
+
+    // Timed loop: 7 of 8 accesses land in the hot window (L1-friendly),
+    // the rest are uniform over all regions (stressing STLB/walks).
+    let mut rng = SplitMix64(SEED);
+    let mut walks = 0u64;
+    let mut walk_refs = 0u64;
+    let mut faults = 0u64;
+    let start = Instant::now();
+    for _ in 0..ACCESSES {
+        let r = rng.next();
+        let va = if r & 7 != 0 {
+            bases[0] + r % HOT_WINDOW
+        } else {
+            bases[((r >> 32) % VMAS) as usize] + r % VMA_SIZE
+        };
+        let out = mmu.access(&mut os, asid, VirtAddr::new(va), r & 1 == 0);
+        if out.level == AccessLevel::Walk {
+            walks += 1;
+        }
+        walk_refs += out.walk_refs;
+        faults += u64::from(out.faults);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let stats = mmu.tlb().stats();
+    Measurement {
+        wall_ms,
+        accesses: stats.accesses - warm.accesses,
+        l1_hits: stats.l1_hits - warm.l1_hits,
+        stlb_hits: stats.stlb_hits - warm.stlb_hits,
+        range_hits: stats.range_hits - warm.range_hits,
+        l2_misses: stats.l2_misses - warm.l2_misses,
+        walks,
+        walk_refs,
+        faults,
+    }
+}
+
+fn main() {
+    let mechanisms = [
+        ("thp", Mechanism::Thp),
+        ("tps", Mechanism::Tps),
+        ("colt", Mechanism::Colt),
+        ("rmm", Mechanism::Rmm),
+    ];
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema\": \"tps-bench8/v1\",");
+    let _ = writeln!(out, "  \"seed\": {SEED},");
+    let _ = writeln!(out, "  \"accesses\": {ACCESSES},");
+    let _ = writeln!(out, "  \"mechanisms\": {{");
+    for (i, (name, mech)) in mechanisms.iter().enumerate() {
+        let m = run_mechanism(*mech);
+        let _ = write!(
+            out,
+            "    \"{name}\": {{\"wall_ms\": {:.1}, \"accesses\": {}, \"l1_hits\": {}, \
+             \"stlb_hits\": {}, \"range_hits\": {}, \"l2_misses\": {}, \"walks\": {}, \
+             \"walk_refs\": {}, \"faults\": {}}}",
+            m.wall_ms,
+            m.accesses,
+            m.l1_hits,
+            m.stlb_hits,
+            m.range_hits,
+            m.l2_misses,
+            m.walks,
+            m.walk_refs,
+            m.faults
+        );
+        out.push_str(if i + 1 < mechanisms.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  }\n}\n");
+    print!("{out}");
+}

@@ -30,6 +30,7 @@
 pub mod baseline;
 pub mod diag;
 pub mod file;
+pub mod hot_paths;
 pub mod lexer;
 pub mod rules;
 pub mod symbol_index;
@@ -37,6 +38,7 @@ pub mod symbol_index;
 use baseline::Baseline;
 use diag::Diagnostic;
 use file::{FileCtx, SourceFile};
+use hot_paths::HotPaths;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;
@@ -88,15 +90,20 @@ impl LintReport {
 
 /// Lints a set of in-memory files: per-file rules, cross-file rules and
 /// suppression filtering. This is the core the CLI and the fixture tests
-/// share.
+/// share; the hot-path contract is the committed builtin.
 pub fn lint_files(files: &[SourceFile]) -> LintReport {
+    lint_files_with(files, &HotPaths::builtin())
+}
+
+/// [`lint_files`] with an explicit hot-path contract.
+pub fn lint_files_with(files: &[SourceFile], hot: &HotPaths) -> LintReport {
     let ctxs: Vec<FileCtx<'_>> = files.iter().map(FileCtx::build).collect();
     let index = symbol_index::SymbolIndex::build(&ctxs);
     let mut diags = Vec::new();
     for ctx in &ctxs {
         rules::check_file(ctx, &mut diags);
     }
-    rules::check_workspace(&ctxs, &index, &mut diags);
+    rules::check_workspace(&ctxs, &index, hot, &mut diags);
     let mut diagnostics = rules::apply_suppressions(&ctxs, diags);
     diagnostics
         .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
@@ -114,9 +121,18 @@ pub fn lint_single(crate_name: &str, rel_path: &str, text: &str) -> Vec<Diagnost
     .diagnostics
 }
 
-/// Walks the workspace at `root` and lints every Rust source file.
+/// Walks the workspace at `root` and lints every Rust source file, using
+/// `<root>/hot-paths.toml` when present (the compiled-in copy otherwise).
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
-    Ok(lint_files(&collect_files(root)?))
+    let hot_file = root.join("hot-paths.toml");
+    let hot = if hot_file.is_file() {
+        HotPaths::parse(&fs::read_to_string(&hot_file)?).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("hot-paths.toml: {e}"))
+        })?
+    } else {
+        HotPaths::builtin()
+    };
+    Ok(lint_files_with(&collect_files(root)?, &hot))
 }
 
 /// Finds the workspace root at or above `start` (the directory whose

@@ -1,0 +1,296 @@
+//! Pass 3 of the workspace analysis: hot-path cost rules.
+//!
+//! ROADMAP item 2 wants a measured speedup on the translation path;
+//! nothing in passes 1–2 stops a `format!` or a `&dyn Fn` from creeping
+//! back into `Mmu::access`. This pass computes the transitive closure of
+//! workspace functions reachable from the entry points declared in
+//! `hot-paths.toml` (walking the PR 6 call graph, stopping at declared
+//! cold boundaries) and then scans every closure member's body in the
+//! hot crates for four cost classes:
+//!
+//! * [`super::HOT_PATH_ALLOC`] — heap allocation: `Vec::new`, `Box::new`,
+//!   `vec!`/`format!`, `.to_vec()`/`.to_string()`/`.to_owned()`, heap
+//!   `collect::<...>` turbofish.
+//! * [`super::HOT_PATH_DYN_DISPATCH`] — `dyn` anywhere in the function,
+//!   uses of `type` aliases that expand to `dyn`, and reads of struct
+//!   fields declared with `dyn` types.
+//! * [`super::HOT_PATH_LOCK_IO`] — `Mutex`/`RwLock`/`Condvar`, `.lock()`,
+//!   console macros, `std::fs`/`File` calls and std stream handles.
+//! * [`super::HOT_PATH_CLONE`] — `.clone()` where the receiver's
+//!   flow-insensitive type is a heap container or a workspace type that
+//!   does not derive `Copy`.
+//!
+//! Everything is name-merged and over-approximate, like the rest of the
+//! index: a shared method name pulls every same-named workspace fn into
+//! the closure. That can only make the fence wider, and audited false
+//! positives use the standard allow-with-reason suppression.
+
+use super::{HOT_PATH_ALLOC, HOT_PATH_CLONE, HOT_PATH_DYN_DISPATCH, HOT_PATH_LOCK_IO};
+use crate::diag::Diagnostic;
+use crate::file::FileCtx;
+use crate::hot_paths::{name_tail, HotPaths};
+use crate::lexer::TokenKind;
+use crate::symbol_index::{DefKind, SymbolIndex};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Crates whose function bodies are scanned when hot-reachable. The
+/// closure itself is workspace-wide (name merging crosses crates), but
+/// findings outside the simulator core would only be noise.
+pub const HOT_CRATES: [&str; 6] = [
+    "tps-core", "tps-mem", "tps-os", "tps-pt", "tps-tlb", "tps-sim",
+];
+
+/// Heap-allocating type heads.
+const HEAP_TYPES: [&str; 10] = [
+    "Vec", "VecDeque", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Box", "Rc", "Arc",
+];
+/// Constructor names that allocate when called on a heap type.
+const HEAP_CTORS: [&str; 4] = ["new", "with_capacity", "from", "default"];
+/// Allocating conversion methods.
+const ALLOC_METHODS: [&str; 3] = ["to_vec", "to_string", "to_owned"];
+/// Allocating macros.
+const ALLOC_MACROS: [&str; 2] = ["vec", "format"];
+/// Console/debug output macros.
+const IO_MACROS: [&str; 5] = ["println", "print", "eprintln", "eprint", "dbg"];
+/// Lock types.
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+/// Std stream handles.
+const STD_STREAMS: [&str; 3] = ["stdout", "stderr", "stdin"];
+
+/// Computes the hot closure: bare fn name → the declared entry point it
+/// is reachable from (the first one, in deterministic order).
+pub fn hot_closure(index: &SymbolIndex, hot: &HotPaths) -> BTreeMap<String, String> {
+    let cold: BTreeSet<&str> = hot.cold_boundaries.keys().map(|k| name_tail(k)).collect();
+    let mut origin: BTreeMap<String, String> = BTreeMap::new();
+    let mut queue: VecDeque<String> = VecDeque::new();
+    for full in hot.entry_points.keys() {
+        let t = name_tail(full);
+        if cold.contains(t) || origin.contains_key(t) {
+            continue;
+        }
+        origin.insert(t.to_string(), full.clone());
+        queue.push_back(t.to_string());
+    }
+    while let Some(name) = queue.pop_front() {
+        let entry = origin[&name].clone();
+        let Some(info) = index.fn_info(&name) else {
+            continue;
+        };
+        for callee in &info.calls {
+            if cold.contains(callee.as_str()) || origin.contains_key(callee) {
+                continue;
+            }
+            // Only names the workspace defines can be scanned or call
+            // further workspace code; std method names without a local
+            // definition end the walk naturally.
+            if index.fn_info(callee).is_none() {
+                continue;
+            }
+            origin.insert(callee.clone(), entry.clone());
+            queue.push_back(callee.clone());
+        }
+    }
+    origin
+}
+
+/// Runs all four hot-path rules over the workspace.
+pub fn check(
+    files: &[FileCtx<'_>],
+    index: &SymbolIndex,
+    hot: &HotPaths,
+    out: &mut Vec<Diagnostic>,
+) {
+    if hot.entry_points.is_empty() {
+        return;
+    }
+    let closure = hot_closure(index, hot);
+    // Workspace struct/enum names that do not derive Copy: cloning a value
+    // of such a type is (potentially) a deep copy.
+    let non_copy: BTreeSet<&str> = index
+        .defs
+        .iter()
+        .filter(|d| matches!(d.kind, DefKind::Struct | DefKind::Enum))
+        .filter(|d| !index.is_copy_type(&d.name))
+        .map(|d| d.name.as_str())
+        .collect();
+    for ctx in files {
+        if !HOT_CRATES.contains(&ctx.crate_name) {
+            continue;
+        }
+        let Some(fs) = index.file(ctx.rel_path) else {
+            continue;
+        };
+        for span in &fs.fn_spans {
+            if ctx.is_test(span.start) {
+                continue;
+            }
+            let Some(entry) = closure.get(&span.name) else {
+                continue;
+            };
+            scan_span(
+                ctx,
+                index,
+                span.name.as_str(),
+                span.start,
+                span.end,
+                entry,
+                &non_copy,
+                out,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scan_span(
+    ctx: &FileCtx<'_>,
+    index: &SymbolIndex,
+    fn_name: &str,
+    start: usize,
+    end: usize,
+    entry: &str,
+    non_copy: &BTreeSet<&str>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let sig = &ctx.sig;
+    let last = end.min(sig.len().saturating_sub(1));
+    for (j, tok) in sig.iter().enumerate().take(last + 1).skip(start) {
+        if ctx.is_test(j) {
+            continue;
+        }
+        let t = tok.text;
+        let is_ident = tok.kind == TokenKind::Ident;
+        let prev = if j == 0 { "" } else { ctx.text(j - 1) };
+        let next = ctx.text(j + 1);
+        let via = format!("`{fn_name}` is hot-reachable from `{entry}`");
+
+        // ---- hot-path-dyn-dispatch -----------------------------------
+        if t == "dyn" {
+            out.push(ctx.diag(
+                j,
+                HOT_PATH_DYN_DISPATCH,
+                format!("`dyn` dispatch on the hot path: {via}; use a generic parameter or a small enum so the call inlines"),
+            ));
+            continue;
+        }
+        if is_ident && index.is_dyn_alias(t) {
+            out.push(ctx.diag(
+                j,
+                HOT_PATH_DYN_DISPATCH,
+                format!("`{t}` is a type alias expanding to `dyn`: {via}"),
+            ));
+        }
+        if is_ident && prev == "." && next != "(" && index.is_dyn_field(t) {
+            out.push(ctx.diag(
+                j,
+                HOT_PATH_DYN_DISPATCH,
+                format!("field `{t}` holds a `dyn` value: {via}"),
+            ));
+        }
+
+        // ---- hot-path-alloc ------------------------------------------
+        if is_ident {
+            if HEAP_TYPES.contains(&t)
+                && next == "::"
+                && HEAP_CTORS.contains(&ctx.text(j + 2))
+                && ctx.text(j + 3) == "("
+            {
+                out.push(ctx.diag(
+                    j,
+                    HOT_PATH_ALLOC,
+                    format!("`{t}::{}` allocates: {via}", ctx.text(j + 2)),
+                ));
+            } else if ALLOC_MACROS.contains(&t) && next == "!" {
+                out.push(ctx.diag(j, HOT_PATH_ALLOC, format!("`{t}!` allocates: {via}")));
+            } else if prev == "." && next == "(" && ALLOC_METHODS.contains(&t) {
+                out.push(ctx.diag(j, HOT_PATH_ALLOC, format!("`.{t}()` allocates: {via}")));
+            } else if t == "collect"
+                && next == "::"
+                && ctx.text(j + 2) == "<"
+                && HEAP_TYPES.contains(&ctx.text(j + 3))
+            {
+                out.push(ctx.diag(
+                    j,
+                    HOT_PATH_ALLOC,
+                    format!("`collect::<{}<..>>` allocates: {via}", ctx.text(j + 3)),
+                ));
+            }
+        }
+
+        // ---- hot-path-lock-io ----------------------------------------
+        if is_ident {
+            if LOCK_TYPES.contains(&t) {
+                out.push(ctx.diag(j, HOT_PATH_LOCK_IO, format!("`{t}` on the hot path: {via}")));
+            } else if t == "lock" && prev == "." && next == "(" {
+                out.push(ctx.diag(j, HOT_PATH_LOCK_IO, format!("`.lock()` blocks: {via}")));
+            } else if IO_MACROS.contains(&t) && next == "!" {
+                out.push(ctx.diag(
+                    j,
+                    HOT_PATH_LOCK_IO,
+                    format!("`{t}!` performs console I/O: {via}"),
+                ));
+            } else if (t == "fs" || t == "File") && next == "::" {
+                out.push(ctx.diag(
+                    j,
+                    HOT_PATH_LOCK_IO,
+                    format!("`{t}::` filesystem access: {via}"),
+                ));
+            } else if STD_STREAMS.contains(&t) && next == "(" && prev == "::" {
+                out.push(ctx.diag(
+                    j,
+                    HOT_PATH_LOCK_IO,
+                    format!("`{t}()` std stream handle: {via}"),
+                ));
+            }
+        }
+
+        // ---- hot-path-clone ------------------------------------------
+        if is_ident && t == "clone" && prev == "." && next == "(" {
+            if let Some((recv, head)) = clone_receiver_head(ctx, index, j) {
+                let resolved = index.resolve_head(ctx, &head);
+                let tail = resolved.rsplit("::").next().unwrap_or(&resolved);
+                if HEAP_TYPES.contains(&tail) || non_copy.contains(tail) {
+                    out.push(ctx.diag(
+                        j,
+                        HOT_PATH_CLONE,
+                        format!("`.clone()` of `{recv}` ({tail} is not `Copy`): {via}"),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// The receiver identifier and its flow-insensitive type head for a
+/// `.clone()` at `clone_idx`, when both are resolvable. Chained or
+/// expression receivers return `None` — the rule is deliberately
+/// conservative about what it cannot type.
+fn clone_receiver_head(
+    ctx: &FileCtx<'_>,
+    index: &SymbolIndex,
+    clone_idx: usize,
+) -> Option<(String, String)> {
+    let r = clone_idx.checked_sub(2)?;
+    if ctx.sig[r].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = ctx.sig[r].text;
+    if name == "self" {
+        return None;
+    }
+    let before = if r == 0 { "" } else { ctx.text(r - 1) };
+    // `x.field.clone()`: type the field through the crate's field map.
+    if before == "." {
+        return index
+            .field_head(ctx.crate_name, name)
+            .map(|h| (name.to_string(), h.to_string()));
+    }
+    if let Some(fs) = index.file(ctx.rel_path) {
+        if let Some(h) = fs.bindings.get(name) {
+            return Some((name.to_string(), h.clone()));
+        }
+    }
+    index
+        .field_head(ctx.crate_name, name)
+        .map(|h| (name.to_string(), h.to_string()))
+}

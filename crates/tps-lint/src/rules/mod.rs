@@ -6,10 +6,12 @@
 
 mod cross_file;
 pub mod determinism;
+pub mod hot_path;
 mod per_file;
 
 use crate::diag::Diagnostic;
 use crate::file::FileCtx;
+use crate::hot_paths::HotPaths;
 use crate::symbol_index::SymbolIndex;
 
 /// `unwrap`/`expect`/`panic!` and friends are banned on the
@@ -46,9 +48,19 @@ pub const UNSEEDED_ENTROPY: &str = "unseeded-entropy";
 /// Floating-point accumulation over an unordered container is banned (the
 /// result depends on iteration order).
 pub const FLOAT_ACCUM_ORDER: &str = "float-accum-order";
+/// Heap allocation is banned in functions hot-reachable from a declared
+/// translation entry point.
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
+/// `dyn` dispatch (params, fields, aliases) is banned in hot-reachable
+/// functions.
+pub const HOT_PATH_DYN_DISPATCH: &str = "hot-path-dyn-dispatch";
+/// Locks and console/filesystem I/O are banned in hot-reachable functions.
+pub const HOT_PATH_LOCK_IO: &str = "hot-path-lock-io";
+/// `.clone()` of non-`Copy` values is banned in hot-reachable functions.
+pub const HOT_PATH_CLONE: &str = "hot-path-clone";
 
 /// Every rule name, in reporting order.
-pub const RULES: [&str; 13] = [
+pub const RULES: [&str; 17] = [
     PANIC_FREE,
     NO_MAGIC_PAGE_SIZE,
     ADDR_OPACITY,
@@ -62,6 +74,10 @@ pub const RULES: [&str; 13] = [
     WALL_CLOCK,
     UNSEEDED_ENTROPY,
     FLOAT_ACCUM_ORDER,
+    HOT_PATH_ALLOC,
+    HOT_PATH_DYN_DISPATCH,
+    HOT_PATH_LOCK_IO,
+    HOT_PATH_CLONE,
 ];
 
 /// Crates forming the mmap/fault/munmap/compact path ([`PANIC_FREE`]).
@@ -92,11 +108,17 @@ pub fn check_file(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// Runs every cross-file rule over the whole workspace, including the
-/// symbol-indexed determinism pass.
-pub fn check_workspace(files: &[FileCtx<'_>], index: &SymbolIndex, out: &mut Vec<Diagnostic>) {
+/// symbol-indexed determinism and hot-path passes.
+pub fn check_workspace(
+    files: &[FileCtx<'_>],
+    index: &SymbolIndex,
+    hot: &HotPaths,
+    out: &mut Vec<Diagnostic>,
+) {
     cross_file::fault_site_coverage(files, out);
     cross_file::stats_counter_coverage(files, out);
     determinism::check(files, index, out);
+    hot_path::check(files, index, hot, out);
 }
 
 /// A prose explanation of `rule` for `tps-lint --explain`, or `None` for
@@ -174,6 +196,33 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              banned — float addition is not associative, so hasher order changes the result \
              in the low bits and the report bytes with it. Iterate an ordered container or \
              accumulate integers."
+        }
+        HOT_PATH_ALLOC => {
+            "hot-path-alloc: heap allocation (Vec/Box/String constructors, vec!/format!, \
+             .to_vec()/.to_string()/.to_owned(), heap collect::<..>) is banned in functions \
+             reachable from a hot-paths.toml entry point. The translation fast path runs \
+             per simulated memory access; one allocation there multiplies into millions per \
+             experiment cell. Preallocate in a constructor, use a fixed-size buffer, or \
+             declare a cold boundary if the call edge is genuinely a slow path."
+        }
+        HOT_PATH_DYN_DISPATCH => {
+            "hot-path-dyn-dispatch: `dyn Trait` parameters, fields and aliases are banned in \
+             functions reachable from a hot-paths.toml entry point. A virtual call cannot \
+             inline, so the compiler cannot hoist or vectorize across it; use a generic \
+             parameter or a small enum instead. The rule also flags uses of type aliases \
+             that expand to `dyn` and reads of struct fields declared with `dyn` types."
+        }
+        HOT_PATH_LOCK_IO => {
+            "hot-path-lock-io: Mutex/RwLock/Condvar, .lock(), console macros (println!/dbg!/\
+             ...), and std::fs/File access are banned in functions reachable from a \
+             hot-paths.toml entry point. The experiment worker pool runs one cell per \
+             thread precisely so the per-access path never synchronizes or touches the OS."
+        }
+        HOT_PATH_CLONE => {
+            "hot-path-clone: `.clone()` is banned in functions reachable from a hot-paths.toml \
+             entry point when the receiver's flow-insensitive type is a heap container or a \
+             workspace struct/enum that does not derive Copy. Clones of such values allocate \
+             or deep-copy per access; restructure to borrow, or derive Copy for small PODs."
         }
         _ => return None,
     })

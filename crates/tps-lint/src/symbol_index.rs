@@ -126,6 +126,12 @@ pub struct SymbolIndex {
     fns: BTreeMap<String, FnInfo>,
     /// callee name → set of (caller name, caller-is-test).
     callers: BTreeMap<String, BTreeSet<(String, bool)>>,
+    /// struct/enum names that `#[derive(Copy)]` (merged across crates).
+    copy_types: BTreeSet<String>,
+    /// `type` alias names whose right-hand side mentions `dyn`.
+    dyn_aliases: BTreeSet<String>,
+    /// struct field names whose declared type mentions `dyn`.
+    dyn_fields: BTreeSet<String>,
 }
 
 /// Type heads that denote a hash-ordered (iteration-order-unstable)
@@ -161,6 +167,31 @@ impl SymbolIndex {
     /// every definition of that name.
     pub fn fn_info(&self, name: &str) -> Option<&FnInfo> {
         self.fns.get(name)
+    }
+
+    /// True when a workspace `struct`/`enum` named `name` derives `Copy`.
+    pub fn is_copy_type(&self, name: &str) -> bool {
+        self.copy_types.contains(name)
+    }
+
+    /// True when `name` is a `type` alias whose aliased type mentions
+    /// `dyn` (e.g. `type Probe<'a> = &'a dyn Fn(..)`).
+    pub fn is_dyn_alias(&self, name: &str) -> bool {
+        self.dyn_aliases.contains(name)
+    }
+
+    /// True when `name` is a struct field declared with a type that
+    /// mentions `dyn` (e.g. `cb: Box<dyn Fn(..)>`).
+    pub fn is_dyn_field(&self, name: &str) -> bool {
+        self.dyn_fields.contains(name)
+    }
+
+    /// The declared type head of the struct field `name` in `crate_name`.
+    pub fn field_head(&self, crate_name: &str, name: &str) -> Option<&str> {
+        self.fields
+            .get(crate_name)
+            .and_then(|m| m.get(name))
+            .map(String::as_str)
     }
 
     /// Resolves a type head through the file's imports and the crate's
@@ -375,6 +406,9 @@ impl SymbolIndex {
                 col: sig[i].col,
                 is_test: ctx.is_test(i),
             });
+            if matches!(kind, DefKind::Struct | DefKind::Enum) && has_copy_derive(ctx, i) {
+                self.copy_types.insert(name.clone());
+            }
             match kind {
                 DefKind::Fn => {
                     let end = item_body_end(ctx, i).unwrap_or(i + 1);
@@ -393,12 +427,19 @@ impl SymbolIndex {
                 DefKind::Struct => {
                     self.index_struct_fields(ctx, i);
                 }
-                DefKind::TypeAlias if ctx.text(i + 2) == "=" => {
-                    if let Some((head, _)) = type_head(ctx, i + 3) {
-                        self.aliases
-                            .entry(ctx.crate_name.to_string())
-                            .or_default()
-                            .insert(name, head);
+                DefKind::TypeAlias => {
+                    // `type Name<...> = ...;` — find the `=` past any
+                    // generic parameters.
+                    if let Some(eq) = alias_eq_idx(ctx, i + 2) {
+                        if let Some((head, _)) = type_head(ctx, eq + 1) {
+                            self.aliases
+                                .entry(ctx.crate_name.to_string())
+                                .or_default()
+                                .insert(name.clone(), head);
+                        }
+                        if alias_rhs_has_dyn(ctx, eq + 1) {
+                            self.dyn_aliases.insert(name);
+                        }
                     }
                 }
                 _ => {}
@@ -444,6 +485,22 @@ impl SymbolIndex {
                             .entry(ctx.crate_name.to_string())
                             .or_default()
                             .insert(sig[k - 1].text.to_string(), head);
+                    }
+                    // A `dyn` anywhere in the declared type (up to the
+                    // field's top-level comma) marks the field dynamic.
+                    let mut d = 0i32;
+                    for t in k + 1..close {
+                        match sig[t].text {
+                            "{" | "(" | "[" | "<" => d += 1,
+                            "<<" => d += 2,
+                            "}" | ")" | "]" | ">" => d -= 1,
+                            ">>" => d -= 2,
+                            "," if d == 0 => break,
+                            "dyn" => {
+                                self.dyn_fields.insert(sig[k - 1].text.to_string());
+                            }
+                            _ => {}
+                        }
                     }
                 }
                 _ => {}
@@ -723,6 +780,110 @@ fn item_body_end(ctx: &FileCtx<'_>, start: usize) -> Option<usize> {
     None
 }
 
+/// Index of the `=` of a `type Name<...> = ...;` alias, scanning from just
+/// past the alias name (skips generic parameters).
+fn alias_eq_idx(ctx: &FileCtx<'_>, start: usize) -> Option<usize> {
+    let sig = &ctx.sig;
+    let mut angle = 0i32;
+    let mut j = start;
+    while j < sig.len() {
+        match sig[j].text {
+            "<" => angle += 1,
+            "<<" => angle += 2,
+            ">" => angle -= 1,
+            ">>" => angle -= 2,
+            "=" if angle <= 0 => return Some(j),
+            ";" | "{" => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// True when the alias right-hand side starting at `start` mentions `dyn`
+/// before its terminating `;`.
+fn alias_rhs_has_dyn(ctx: &FileCtx<'_>, start: usize) -> bool {
+    let sig = &ctx.sig;
+    for s in sig.iter().skip(start) {
+        match s.text {
+            ";" => return false,
+            "dyn" => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// True when the item keyword at `kw_idx` is covered by a
+/// `#[derive(..., Copy, ...)]` attribute (scans backward over visibility
+/// modifiers and stacked attributes).
+fn has_copy_derive(ctx: &FileCtx<'_>, kw_idx: usize) -> bool {
+    let mut j = kw_idx;
+    // Step back over `pub`, `pub(crate)`, `pub(super)`, `pub(in ...)`.
+    loop {
+        if j == 0 {
+            return false;
+        }
+        let prev = ctx.text(j - 1);
+        if prev == "pub" {
+            j -= 1;
+        } else if prev == ")" {
+            match matching_backward(ctx, j - 1, "(", ")") {
+                Some(open) if open >= 1 && ctx.text(open - 1) == "pub" => j = open - 1,
+                _ => return false,
+            }
+        } else {
+            break;
+        }
+    }
+    // Walk the stack of preceding `#[...]` groups.
+    while j >= 2 && ctx.text(j - 1) == "]" {
+        let Some(open) = matching_backward(ctx, j - 1, "[", "]") else {
+            return false;
+        };
+        if open == 0 || ctx.text(open - 1) != "#" {
+            return false;
+        }
+        let mut saw_derive = false;
+        let mut saw_copy = false;
+        for t in open + 1..j - 1 {
+            match ctx.text(t) {
+                "derive" => saw_derive = true,
+                "Copy" => saw_copy = true,
+                _ => {}
+            }
+        }
+        if saw_derive && saw_copy {
+            return true;
+        }
+        j = open - 1;
+    }
+    false
+}
+
+/// Index of the token opening the group closed at `close_idx`.
+fn matching_backward(
+    ctx: &FileCtx<'_>,
+    close_idx: usize,
+    open: &str,
+    close: &str,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for j in (0..=close_idx).rev() {
+        let t = ctx.text(j);
+        if t == close {
+            depth += 1;
+        } else if t == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
 /// Index of the token closing the group opened at `open_idx`.
 fn matching_forward(ctx: &FileCtx<'_>, open_idx: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0i32;
@@ -919,6 +1080,28 @@ mod tests {
             module_path_of("crates/tps-sim/src/experiment/mod.rs", "tps-sim"),
             "tps_sim::experiment"
         );
+    }
+
+    #[test]
+    fn copy_derives_and_dyn_types_are_indexed() {
+        let (file, index) = build_one(
+            "tps-sim",
+            "crates/tps-sim/src/g.rs",
+            "#[derive(Clone, Copy, Debug)]\n\
+             pub struct Small { x: u32 }\n\
+             #[derive(Clone)]\n\
+             pub struct Big { data: Vec<u8>, cb: Box<dyn Fn(u32) -> u32> }\n\
+             pub type Probe<'a> = &'a dyn Fn(u64) -> bool;\n\
+             pub type Plain = u64;\n",
+        );
+        drop(file);
+        assert!(index.is_copy_type("Small"));
+        assert!(!index.is_copy_type("Big"));
+        assert!(index.is_dyn_alias("Probe"));
+        assert!(!index.is_dyn_alias("Plain"));
+        assert!(index.is_dyn_field("cb"));
+        assert!(!index.is_dyn_field("data"));
+        assert_eq!(index.field_head("tps-sim", "data"), Some("Vec"));
     }
 
     #[test]

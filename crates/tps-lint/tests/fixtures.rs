@@ -194,6 +194,26 @@ fn float_accum_order_fixtures() {
 }
 
 #[test]
+fn hot_path_alloc_fixtures() {
+    check_single_rule("hot-path-alloc");
+}
+
+#[test]
+fn hot_path_dyn_dispatch_fixtures() {
+    check_single_rule("hot-path-dyn-dispatch");
+}
+
+#[test]
+fn hot_path_lock_io_fixtures() {
+    check_single_rule("hot-path-lock-io");
+}
+
+#[test]
+fn hot_path_clone_fixtures() {
+    check_single_rule("hot-path-clone");
+}
+
+#[test]
 fn fault_site_coverage_fixtures() {
     check_multi_rule("fault-site-coverage");
 }

@@ -1,0 +1,19 @@
+// fixture: crate=tps-tlb path=crates/tps-tlb/src/hot_alloc.rs
+//! Heap allocation in functions hot-reachable from declared entry points
+//! (`lookup_l1` is an entry tail; `helper_step` is reached through it).
+
+pub fn lookup_l1(n: usize) -> usize {
+    let scratch = Vec::with_capacity(n); //~ ERROR hot-path-alloc
+    let label = format!("n={n}"); //~ ERROR hot-path-alloc
+    scratch.len() + label.len() + helper_step(n)
+}
+
+fn helper_step(n: usize) -> usize {
+    let owned = "tag".to_string(); //~ ERROR hot-path-alloc
+    owned.len() + n
+}
+
+fn report(n: usize) -> Vec<usize> {
+    // Not reachable from any entry point: allocation is fine here.
+    (0..n).collect::<Vec<usize>>()
+}

@@ -1,0 +1,20 @@
+// fixture: crate=tps-tlb path=crates/tps-tlb/src/hot_alloc_ok.rs
+//! Clean: allocation stays behind cold boundaries (constructors run at
+//! setup time); the hot lookup reuses preallocated state.
+
+pub struct Slots {
+    slots: Vec<u64>,
+}
+
+impl Slots {
+    pub fn new(n: usize) -> Slots {
+        // `new` is a declared cold boundary: setup-time allocation is fine.
+        Slots {
+            slots: Vec::with_capacity(n),
+        }
+    }
+}
+
+pub fn lookup_l1(s: &Slots, key: u64) -> bool {
+    s.slots.iter().any(|v| *v == key)
+}

@@ -1,0 +1,30 @@
+// fixture: crate=tps-tlb path=crates/tps-tlb/src/hot_clone.rs
+//! `.clone()` of heap containers and non-`Copy` workspace structs in
+//! hot-reachable functions.
+
+pub struct PendingRuns {
+    runs: Vec<u64>,
+}
+
+pub struct Snapshot {
+    hits: u64,
+    misses: u64,
+}
+
+pub fn fill_range(state: &PendingRuns) -> usize {
+    let copy = state.runs.clone(); //~ ERROR hot-path-clone
+    copy.len()
+}
+
+pub fn lookup_l1(seed: &Snapshot) -> u64 {
+    let snap: Snapshot = freeze(seed);
+    let again = snap.clone(); //~ ERROR hot-path-clone
+    snap.hits + again.misses
+}
+
+fn freeze(seed: &Snapshot) -> Snapshot {
+    Snapshot {
+        hits: seed.hits,
+        misses: seed.misses,
+    }
+}

@@ -1,0 +1,23 @@
+// fixture: crate=tps-tlb path=crates/tps-tlb/src/hot_dyn.rs
+//! Dyn dispatch in hot-reachable functions: a literal `dyn` parameter, a
+//! use of a type alias that expands to `dyn`, and a read of a struct
+//! field declared with a `dyn` type.
+
+type Probe<'a> = &'a dyn Fn(u64) -> bool;
+
+pub struct Caught {
+    pub hook: Box<dyn Fn(u64) -> u64>,
+}
+
+pub fn lookup_l2(p: Probe<'_>, x: u64) -> bool { //~ ERROR hot-path-dyn-dispatch
+    p(x)
+}
+
+pub fn fill_l2(c: &Caught, x: u64) -> u64 {
+    let f = &c.hook; //~ ERROR hot-path-dyn-dispatch
+    f(x)
+}
+
+pub fn walk(q: &dyn Fn(u64) -> u64, x: u64) -> u64 { //~ ERROR hot-path-dyn-dispatch
+    q(x)
+}

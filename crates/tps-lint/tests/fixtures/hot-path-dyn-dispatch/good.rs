@@ -1,0 +1,12 @@
+// fixture: crate=tps-tlb path=crates/tps-tlb/src/hot_dyn_ok.rs
+//! Clean: the hot probe is a generic parameter so it inlines; `dyn` stays
+//! in code no entry point reaches.
+
+pub fn lookup_l2(probe: impl Fn(u64) -> bool, x: u64) -> bool {
+    probe(x)
+}
+
+fn describe(hook: &dyn Fn(u64) -> u64, x: u64) -> u64 {
+    // Not hot-reachable: dyn dispatch in reporting code is fine.
+    hook(x)
+}

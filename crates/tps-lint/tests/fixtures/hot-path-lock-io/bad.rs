@@ -1,0 +1,20 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/hot_io.rs
+//! Locks, console output and filesystem access in hot-reachable functions
+//! (`access` is an entry tail; `step` is reached through it).
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    counter: Mutex<u64>,
+}
+
+pub fn access(s: &Shared, x: u64) -> u64 {
+    println!("translating {x}"); //~ ERROR hot-path-lock-io
+    step(s, x)
+}
+
+fn step(s: &Shared, x: u64) -> u64 {
+    let held = s.counter.lock(); //~ ERROR hot-path-lock-io
+    let spilled = std::fs::read("spill.bin"); //~ ERROR hot-path-lock-io
+    x + held.is_ok() as u64 + spilled.is_ok() as u64
+}

@@ -1,0 +1,18 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/hot_io_ok.rs
+//! Clean: the hot path never synchronizes or prints; reporting happens
+//! behind a declared cold boundary.
+
+pub fn access(x: u64) -> u64 {
+    let v = step(x);
+    page_census(v);
+    v
+}
+
+fn step(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9)
+}
+
+fn page_census(v: u64) {
+    // `page_census` is a declared cold boundary: reporting may print.
+    println!("census {v}");
+}

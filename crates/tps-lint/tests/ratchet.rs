@@ -82,6 +82,46 @@ fn determinism_rules_have_no_grandfathered_debt() {
 }
 
 #[test]
+fn hot_path_rules_have_no_grandfathered_debt() {
+    // The four hot-path rules shipped after their burn-down (the CoLT
+    // contiguity probe devirtualized, the walker's ref Vec replaced with
+    // an inline buffer) — zero grandfathered entries, forever. Audited
+    // sites use inline allow-with-reason, never the baseline.
+    let base = committed_baseline();
+    for rule in [
+        rules::HOT_PATH_ALLOC,
+        rules::HOT_PATH_DYN_DISPATCH,
+        rules::HOT_PATH_LOCK_IO,
+        rules::HOT_PATH_CLONE,
+    ] {
+        assert_eq!(
+            base.rule_total(rule),
+            0,
+            "hot-path rule {rule} must not carry grandfathered violations"
+        );
+    }
+}
+
+#[test]
+fn hot_path_contract_file_is_committed_and_populated() {
+    // `lint_workspace` prefers `<root>/hot-paths.toml`; the compiled-in
+    // builtin is an include_str! of the same file, so the committed copy
+    // is the single source of truth and must exist and declare entries.
+    let path = workspace_root().join("hot-paths.toml");
+    let text =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let hot = tps_lint::hot_paths::HotPaths::parse(&text).expect("committed hot-paths.toml parses");
+    assert!(
+        !hot.entry_points.is_empty(),
+        "hot-paths.toml declares no entry points — the reachability pass would be vacuous"
+    );
+    assert!(
+        hot.entry_points.keys().any(|k| k == "Mmu::access"),
+        "the per-access translation entry point must stay declared"
+    );
+}
+
+#[test]
 fn write_baseline_output_is_deterministic() {
     // `--write-baseline` must produce byte-identical output regardless of
     // the order files reach the linter, and must round-trip through parse —

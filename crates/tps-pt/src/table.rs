@@ -134,22 +134,31 @@ impl PageTable {
         pa
     }
 
-    /// Reads the entry at `(node, index)` the way the walker does.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `node` is not a live page-table node or `index >= 512`.
+    /// Reads the entry at `(node, index)` the way the walker does. A dead
+    /// node or out-of-range index reads as [`Pte::EMPTY`]: the walker sees
+    /// not-present and faults, the correct degradation for a stale node
+    /// reference mid-campaign (a panic here would corrupt replay state).
     pub fn read_entry(&self, node: PhysAddr, index: usize) -> Pte {
         self.nodes
             .get(&node.value())
-            .expect("walker reads only live nodes")[index]
+            .and_then(|entries| entries.get(index))
+            .copied()
+            .unwrap_or(Pte::EMPTY)
     }
 
+    /// Writes the entry at `(node, index)`. A dead node or out-of-range
+    /// index drops the store without counting a PTE write — the paired
+    /// [`Self::read_entry`] then reads not-present, so the table stays
+    /// self-consistent instead of panicking on the fault path.
     fn write_entry(&mut self, node: PhysAddr, index: usize, pte: Pte) {
-        self.nodes
+        if let Some(slot) = self
+            .nodes
             .get_mut(&node.value())
-            .expect("writes target live nodes")[index] = pte;
-        self.pte_writes += 1;
+            .and_then(|entries| entries.get_mut(index))
+        {
+            *slot = pte;
+            self.pte_writes += 1;
+        }
     }
 
     /// Ensures intermediate nodes exist down to `target_level`, returning

@@ -18,13 +18,82 @@ pub enum AliasPolicy {
     FullCopy,
 }
 
+/// The page-table accesses of one walk, in order, stored inline.
+///
+/// A walk performs at most 10 accesses — up to 4 before the single
+/// permitted fault-injected restart, 5 LA57 levels after it, and 1
+/// alias-PTE extra — so the buffer never spills in practice. The walker
+/// used to collect these into a `Vec`, which was the translation fast
+/// path's only per-access heap allocation (`hot-path-alloc`); the inline
+/// buffer saturates (with a `debug_assert`) instead of growing.
+#[derive(Clone, Copy)]
+pub struct WalkRefs {
+    buf: [PhysAddr; Self::MAX],
+    len: u8,
+}
+
+impl WalkRefs {
+    /// Inline capacity: the 10-access worst case plus headroom.
+    pub const MAX: usize = 12;
+
+    /// An empty access list.
+    pub fn new() -> Self {
+        WalkRefs {
+            buf: [PhysAddr::new(0); Self::MAX],
+            len: 0,
+        }
+    }
+
+    /// Appends an access, saturating at [`Self::MAX`]. Saturation would
+    /// mean the walker's access bound is wrong, so debug builds assert.
+    fn push(&mut self, pa: PhysAddr) {
+        debug_assert!(
+            (self.len as usize) < Self::MAX,
+            "walk exceeded the {}-access bound",
+            Self::MAX
+        );
+        if (self.len as usize) < Self::MAX {
+            self.buf[self.len as usize] = pa;
+            self.len += 1;
+        }
+    }
+}
+
+impl Default for WalkRefs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for WalkRefs {
+    type Target = [PhysAddr];
+
+    fn deref(&self) -> &[PhysAddr] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl std::fmt::Debug for WalkRefs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for WalkRefs {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for WalkRefs {}
+
 /// A successful walk.
 #[derive(Clone, Debug)]
 pub struct WalkOk {
     /// The decoded leaf.
     pub leaf: LeafInfo,
     /// Physical addresses of every page-table access performed, in order.
-    pub refs: Vec<PhysAddr>,
+    pub refs: WalkRefs,
     /// True if the final access landed on an alias PTE and (under
     /// [`AliasPolicy::Pointer`]) an extra access to the true PTE occurred.
     pub alias_extra: bool,
@@ -43,7 +112,7 @@ pub struct WalkFault {
     /// The level whose entry was not present.
     pub level: u8,
     /// Page-table accesses performed before faulting.
-    pub refs: Vec<PhysAddr>,
+    pub refs: WalkRefs,
 }
 
 /// The hardware page-table walker.
@@ -128,7 +197,7 @@ impl Walker {
         va: VirtAddr,
         mut caches: Option<&mut MmuCaches>,
     ) -> Result<WalkOk, WalkFault> {
-        let mut refs = Vec::with_capacity(6);
+        let mut refs = WalkRefs::new();
         let (mut level, mut node) = match caches.as_deref_mut().and_then(|c| c.lookup(asid, va)) {
             Some((lvl, node)) => (lvl, node),
             None => (pt.levels(), pt.root()),
@@ -221,6 +290,30 @@ mod tests {
         )
         .unwrap();
         pt
+    }
+
+    #[test]
+    fn walk_refs_push_saturates_at_capacity() {
+        let mut refs = WalkRefs::new();
+        assert!(refs.is_empty());
+        for i in 0..WalkRefs::MAX {
+            refs.push(PhysAddr::new((i as u64) * 8));
+        }
+        assert_eq!(refs.len(), WalkRefs::MAX);
+        assert_eq!(
+            refs[WalkRefs::MAX - 1].value(),
+            ((WalkRefs::MAX - 1) * 8) as u64
+        );
+        // Release-mode saturation: a 13th push is dropped, not UB. (Debug
+        // builds assert instead — construct past the bound only here.)
+        if cfg!(not(debug_assertions)) {
+            refs.push(PhysAddr::new(0xdead));
+            assert_eq!(refs.len(), WalkRefs::MAX);
+        }
+        // Equality and Debug go through the live prefix.
+        let other = refs;
+        assert_eq!(refs, other);
+        assert!(format!("{refs:?}").starts_with('['));
     }
 
     #[test]

@@ -221,7 +221,7 @@ impl Mmu {
 
         if self.perfect_l2 {
             let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
-            self.tlb.fill_l1(asid, va, &leaf, None);
+            self.tlb.fill_l1(asid, va, &leaf);
             let ad = u64::from(os.hw_mark_accessed(asid, va, write));
             return (
                 AccessOutcome {
@@ -269,7 +269,7 @@ impl Mmu {
                         PteFlags::PRESENT | PteFlags::USER
                     },
                 };
-                self.tlb.fill_l1(asid, va.align_down(12), &leaf, None);
+                self.tlb.fill_l1(asid, va.align_down(12), &leaf);
                 if self.verify {
                     self.verify_translation(os, asid, va, t.pfn);
                 }
@@ -371,10 +371,14 @@ impl Mmu {
         total
     }
 
-    /// Installs an L1 entry, giving CoLT its PTE-cache-line probe.
+    /// Installs an L1 entry, giving CoLT its PTE-cache-line probe. The
+    /// probe closure is passed as a generic parameter so the per-fill
+    /// neighbor checks inline into the run detection.
     fn fill_l1(&mut self, os: &Os, asid: Asid, va: VirtAddr, leaf: &LeafInfo) {
-        let probe = |upn: u64, order: PageOrder| os.probe_mapping_order(asid, upn, order);
-        self.tlb.fill_l1(asid, va, leaf, Some(&probe));
+        self.tlb
+            .fill_l1_with_probe(asid, va, leaf, |upn: u64, order: PageOrder| {
+                os.probe_mapping_order(asid, upn, order)
+            });
     }
 
     fn verify_translation(&self, os: &Os, asid: Asid, va: VirtAddr, pfn: u64) {

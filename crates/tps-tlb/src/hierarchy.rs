@@ -95,11 +95,6 @@ impl TlbConfig {
     }
 }
 
-/// CoLT's PTE-cache-line contiguity probe: maps a page number at a given
-/// granularity to its `(frame, writable)` mapping, if one of exactly that
-/// size exists.
-pub type ContiguityProbe<'a> = &'a dyn Fn(u64, PageOrder) -> Option<(u64, bool)>;
-
 /// The result a TLB structure produced for one access.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Translation {
@@ -312,18 +307,24 @@ impl TlbHierarchy {
         L2Hit::Miss
     }
 
-    /// Installs a walked leaf into the appropriate L1 structure.
-    ///
-    /// `contiguity` is the CoLT PTE-cache-line probe: for a page number at
-    /// the given granularity it returns the `(frame, writable)` mapping of
-    /// that neighbor if one of exactly that size exists. Ignored by the
-    /// other organizations.
-    pub fn fill_l1(
+    /// Installs a walked leaf into the appropriate L1 structure with no
+    /// contiguity information: CoLT fills degrade to single-page runs.
+    pub fn fill_l1(&mut self, asid: Asid, va: VirtAddr, leaf: &LeafInfo) {
+        self.fill_l1_with_probe(asid, va, leaf, |_, _| None);
+    }
+
+    /// [`Self::fill_l1`] with CoLT's PTE-cache-line contiguity probe: for
+    /// a page number at the given granularity, the probe returns the
+    /// `(frame, writable)` mapping of that neighbor if one of exactly that
+    /// size exists. Ignored by the other organizations. The probe is a
+    /// generic parameter (not `dyn`) so the per-fill neighbor checks
+    /// inline into the CoLT run detection.
+    pub fn fill_l1_with_probe(
         &mut self,
         asid: Asid,
         va: VirtAddr,
         leaf: &LeafInfo,
-        contiguity: Option<ContiguityProbe<'_>>,
+        contiguity: impl Fn(u64, PageOrder) -> Option<(u64, bool)>,
     ) {
         let entry = TlbEntry::from_leaf(asid, va, leaf);
         match self.kind {
@@ -345,10 +346,7 @@ impl TlbHierarchy {
                     let upn = va.base_page_number() >> g.get();
                     let ufn = entry.pfn >> g.get();
                     let writable = leaf.flags.contains(PteFlags::WRITABLE);
-                    let run = match contiguity {
-                        Some(probe) => detect_run(asid, g, upn, ufn, writable, |u| probe(u, g)),
-                        None => detect_run(asid, g, upn, ufn, writable, |_| None),
-                    };
+                    let run = detect_run(asid, g, upn, ufn, writable, |u| contiguity(u, g));
                     if g == PageOrder::P4K {
                         self.colt_l1.as_mut().expect("CoLT 4K L1 exists").fill(run);
                     } else {
@@ -585,7 +583,7 @@ mod tests {
         assert!(h.lookup_l1(0, va).is_none());
         assert_eq!(h.lookup_l2(0, va), L2Hit::Miss);
         let l = leaf(0x8000_0000, 0);
-        h.fill_l1(0, va, &l, None);
+        h.fill_l1(0, va, &l);
         h.fill_l2(0, va, &l);
         let t = h.lookup_l1(0, va).unwrap();
         assert_eq!(t.pfn, 0x8000_0000 >> 12);
@@ -602,7 +600,7 @@ mod tests {
         for i in 0..65u64 {
             let va = VirtAddr::new(i << 12);
             let l = leaf(i << 12, 0);
-            h.fill_l1(0, va, &l, None);
+            h.fill_l1(0, va, &l);
             h.fill_l2(0, va, &l);
         }
         // Page 0 was evicted from L1 but lives in the STLB.
@@ -616,7 +614,7 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Tps));
         let va = VirtAddr::new(GIB);
         let l = leaf(GIB, 14); // 64 MB tailored page
-        h.fill_l1(0, va, &l, None);
+        h.fill_l1(0, va, &l);
         h.fill_l2(0, va, &l);
         // Anywhere within 64 MB hits the single TPS entry.
         let deep = VirtAddr::new(GIB + (63 << 20));
@@ -629,7 +627,7 @@ mod tests {
     #[should_panic(expected = "cannot hold")]
     fn baseline_rejects_tailored_fill() {
         let mut h = TlbHierarchy::new(TlbConfig::default());
-        h.fill_l1(0, VirtAddr::new(0), &leaf(0, 3), None);
+        h.fill_l1(0, VirtAddr::new(0), &leaf(0, 3));
     }
 
     #[test]
@@ -637,7 +635,7 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Colt));
         // Pages 0..8 map contiguously to frames 0..8.
         let probe = |v: u64, g: PageOrder| (g == PageOrder::P4K && v < 8).then_some((v, true));
-        h.fill_l1(0, VirtAddr::new(0x3000), &leaf(0x3000, 0), Some(&probe));
+        h.fill_l1_with_probe(0, VirtAddr::new(0x3000), &leaf(0x3000, 0), &probe);
         // The single fill covers the whole window.
         for i in 0..8u64 {
             assert!(h.lookup_l1(0, VirtAddr::new(i << 12)).is_some(), "page {i}");
@@ -684,7 +682,7 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbConfig::default());
         let va = VirtAddr::new(0x7000);
         let l = leaf(0x9000, 0);
-        h.fill_l1(0, va, &l, None);
+        h.fill_l1(0, va, &l);
         h.fill_l2(0, va, &l);
         h.invalidate_page(0, va, PageOrder::P4K);
         assert!(h.lookup_l1(0, va).is_none());
@@ -696,7 +694,7 @@ mod tests {
         let mut h = TlbHierarchy::new(TlbConfig::with_kind(HierarchyKind::Tps));
         let va = VirtAddr::new(GIB);
         let l = leaf(GIB, 10);
-        h.fill_l1(1, va, &l, None);
+        h.fill_l1(1, va, &l);
         assert!(h.lookup_l1(2, va).is_none());
         assert!(h.lookup_l1(1, va).is_some());
         h.invalidate_asid(1);
@@ -710,7 +708,7 @@ mod tests {
         let mut h = TlbHierarchy::new(config);
         let va = VirtAddr::new(GIB);
         let l = leaf(GIB, 14);
-        h.fill_l1(0, va, &l, None);
+        h.fill_l1(0, va, &l);
         assert!(h.lookup_l1(0, VirtAddr::new(GIB + (63 << 20))).is_some());
         h.invalidate_page(0, va, PageOrder::new(14).unwrap());
         assert!(h.lookup_l1(0, va).is_none());

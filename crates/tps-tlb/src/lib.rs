@@ -24,7 +24,7 @@
 //!     flags: PteFlags::PRESENT | PteFlags::WRITABLE,
 //! };
 //! let va = VirtAddr::new(0x800_0000);
-//! h.fill_l1(0, va, &leaf, None);
+//! h.fill_l1(0, va, &leaf);
 //! assert!(h.lookup_l1(0, VirtAddr::new(0x803_f000)).is_some());
 //! ```
 

@@ -110,6 +110,19 @@ fi
 echo "==> scripts/lint-ratchet.sh (baseline may only shrink)"
 scripts/lint-ratchet.sh
 
+echo "==> hot-path zero-debt gate (no grandfathered hot-path-* entries)"
+# The four hot-path rules shipped with zero grandfathered debt; the
+# ratchet script's new-rule exception must never be used to smuggle a
+# section in for them. Audited sites use inline allow-with-reason.
+[ -f hot-paths.toml ] \
+    || { echo "verify: hot-paths.toml is missing — the reachability pass has no contract" >&2; exit 1; }
+if grep -q '^\[hot-path-' lint-baseline.toml; then
+    echo "verify: lint-baseline.toml grandfathers hot-path findings:" >&2
+    grep -A3 '^\[hot-path-' lint-baseline.toml >&2
+    echo "verify: burn the finding down or suppress it inline with an audit reason" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
