@@ -10,7 +10,7 @@
 use tps_bench::{pct, print_table, run_one_with, scale_from_env};
 use tps_os::{AliasPolicy, PolicyConfig, PolicyKind};
 use tps_pt::MmuCacheConfig;
-use tps_sim::{Machine, MachineConfig, Mechanism};
+use tps_sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps_wl::{Gups, GupsParams, Initialized};
 
 fn alias_policy_ablation() {
@@ -55,13 +55,17 @@ fn promotion_threshold_ablation() {
     for threshold in [1.0, 0.75, 0.5, 0.25] {
         let mut config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(512 << 20);
         config.policy = PolicyConfig::new(PolicyKind::Tps).with_threshold(threshold);
-        let mut machine = Machine::new(config);
-        let mut wl = Gups::new(GupsParams {
+        let wl = Gups::new(GupsParams {
             table_bytes: 128 << 20,
             updates: 60_000,
             seed: 77,
         });
-        let stats = machine.run(&mut wl);
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(wl))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         let bloat = stats.resident_bytes as f64 / stats.touched_bytes.max(1) as f64 - 1.0;
         rows.push(vec![
             format!("{:.0}%", threshold * 100.0),
@@ -115,13 +119,17 @@ fn mmu_cache_ablation() {
     ] {
         let mut config = MachineConfig::for_mechanism(Mechanism::Only4K).with_memory(512 << 20);
         config.mmu_cache = cfg;
-        let mut machine = Machine::new(config);
-        let mut wl = Initialized::new(Gups::new(GupsParams {
+        let wl = Initialized::new(Gups::new(GupsParams {
             table_bytes: 128 << 20,
             updates: 200_000,
             seed: 78,
         }));
-        let stats = machine.run(&mut wl);
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(wl))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         rows.push(vec![
             label.to_string(),
             format!("{}", stats.walk_refs),

@@ -6,7 +6,7 @@ use std::hint::black_box;
 use tps_core::{PageOrder, PhysAddr, PteFlags, VirtAddr, BASE_PAGE_SIZE, GIB};
 use tps_mem::BuddyAllocator;
 use tps_pt::{MmuCaches, PageTable, Walker};
-use tps_sim::{Machine, MachineConfig, Mechanism, RunCounters};
+use tps_sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps_tlb::{AnySizeTlb, DualStlb, SetAssocTlb, TlbEntry};
 use tps_wl::Event;
 
@@ -116,26 +116,28 @@ fn bench_walk(c: &mut Criterion) {
 fn bench_end_to_end(c: &mut Criterion) {
     c.bench_function("machine_access_tps", |b| {
         let mut machine =
-            Machine::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
-        let mut counters = RunCounters::default();
+            MachineBuilder::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20))
+                .tenant(TenantSpec::external("bench"))
+                .build()
+                .expect("one tenant builds");
         machine.step(
+            0,
             Event::Mmap {
                 region: 0,
                 bytes: 16 << 20,
             },
-            &mut counters,
         );
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let offset = (x >> 33) % (16 << 20);
             machine.step(
+                0,
                 Event::Access {
                     region: 0,
                     offset: offset & !7,
                     write: false,
                 },
-                &mut counters,
             );
         })
     });

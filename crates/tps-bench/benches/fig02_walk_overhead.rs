@@ -15,9 +15,9 @@ fn main() {
 
         let config = MachineConfig::for_mechanism(Mechanism::Thp)
             .with_memory(2 * scale.recommended_memory());
-        let mut a = build(name, scale);
-        let mut b = build(name, scale);
-        let smt = run_smt(config, &mut *a, &mut *b);
+        let a = build(name, scale);
+        let b = build(name, scale);
+        let smt = run_smt(config, a, b);
         let smt_frac = model.evaluate(&smt.primary, true).walk_active_fraction();
 
         let virt = run_one_with(name, Mechanism::Thp, scale, |c| MachineConfig {

@@ -9,9 +9,9 @@ fn main() {
     let model = TimingModel::default();
     let run = |name: &str, mech: Mechanism| -> RunStats {
         let config = MachineConfig::for_mechanism(mech).with_memory(2 * scale.recommended_memory());
-        let mut a = build(name, scale);
-        let mut b = build(name, scale);
-        run_smt(config, &mut *a, &mut *b).primary
+        let a = build(name, scale);
+        let b = build(name, scale);
+        run_smt(config, a, b).primary
     };
     let mechs = Mechanism::contenders();
     let mut rows = Vec::new();

@@ -12,7 +12,10 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;
-use tps_sim::{ExperimentReport, ExperimentSpec, Machine, MachineConfig, Mechanism, RunStats};
+use tps_sim::{
+    ExperimentReport, ExperimentSpec, MachineBuilder, MachineConfig, Mechanism, RunStats,
+    TenantSpec,
+};
 use tps_wl::{build, SuiteScale};
 
 /// Reads the suite scale from the `TPS_SCALE` environment variable.
@@ -27,9 +30,12 @@ pub fn scale_from_env() -> SuiteScale {
 /// Runs one suite benchmark under one mechanism.
 pub fn run_one(name: &str, mechanism: Mechanism, scale: SuiteScale) -> RunStats {
     let config = MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory());
-    let mut machine = Machine::new(config);
-    let mut workload = build(name, scale);
-    machine.run(&mut *workload)
+    MachineBuilder::new(config)
+        .tenant(TenantSpec::boxed(build(name, scale)))
+        .build()
+        .expect("one tenant builds")
+        .run()
+        .into_solo()
 }
 
 /// Runs one benchmark under one mechanism with a customized config
@@ -42,9 +48,12 @@ pub fn run_one_with(
 ) -> RunStats {
     let config =
         tweak(MachineConfig::for_mechanism(mechanism).with_memory(scale.recommended_memory()));
-    let mut machine = Machine::new(config);
-    let mut workload = build(name, scale);
-    machine.run(&mut *workload)
+    MachineBuilder::new(config)
+        .tenant(TenantSpec::boxed(build(name, scale)))
+        .build()
+        .expect("one tenant builds")
+        .run()
+        .into_solo()
 }
 
 /// Expands and runs one experiment spec on the worker pool.

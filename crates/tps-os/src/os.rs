@@ -82,6 +82,48 @@ pub struct OsStats {
     pub shootdowns_retried: u64,
 }
 
+impl OsStats {
+    /// Counter-wise difference `self - earlier`, for attributing OS work
+    /// to the tenant whose event triggered it: the multi-tenant machine
+    /// snapshots the machine-wide counters around each event and charges
+    /// the delta to the acting tenant.
+    pub fn delta_since(&self, earlier: &OsStats) -> OsStats {
+        OsStats {
+            mmaps: self.mmaps - earlier.mmaps,
+            munmaps: self.munmaps - earlier.munmaps,
+            faults: self.faults - earlier.faults,
+            promotions: self.promotions - earlier.promotions,
+            reservations_created: self.reservations_created - earlier.reservations_created,
+            fallback_4k: self.fallback_4k - earlier.fallback_4k,
+            shootdowns: self.shootdowns - earlier.shootdowns,
+            cow_faults: self.cow_faults - earlier.cow_faults,
+            cow_bytes_copied: self.cow_bytes_copied - earlier.cow_bytes_copied,
+            op_cycles: self.op_cycles - earlier.op_cycles,
+            oom_fallbacks: self.oom_fallbacks - earlier.oom_fallbacks,
+            compaction_aborts: self.compaction_aborts - earlier.compaction_aborts,
+            shootdowns_retried: self.shootdowns_retried - earlier.shootdowns_retried,
+        }
+    }
+
+    /// Adds `delta` into this counter set (the accumulation side of
+    /// [`OsStats::delta_since`]).
+    pub fn accumulate(&mut self, delta: &OsStats) {
+        self.mmaps += delta.mmaps;
+        self.munmaps += delta.munmaps;
+        self.faults += delta.faults;
+        self.promotions += delta.promotions;
+        self.reservations_created += delta.reservations_created;
+        self.fallback_4k += delta.fallback_4k;
+        self.shootdowns += delta.shootdowns;
+        self.cow_faults += delta.cow_faults;
+        self.cow_bytes_copied += delta.cow_bytes_copied;
+        self.op_cycles += delta.op_cycles;
+        self.oom_fallbacks += delta.oom_fallbacks;
+        self.compaction_aborts += delta.compaction_aborts;
+        self.shootdowns_retried += delta.shootdowns_retried;
+    }
+}
+
 /// One simulated process.
 #[derive(Clone, Debug)]
 pub struct Process {

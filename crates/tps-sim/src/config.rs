@@ -383,7 +383,10 @@ mod extra_tests {
         let c = MachineConfig::for_mechanism(Mechanism::Thp)
             .with_initial_memory(BuddyAllocator::new(32 << 20));
         assert_eq!(c.initial_memory.as_ref().unwrap().total_bytes(), 32 << 20);
-        let machine = crate::Machine::new(c);
+        let machine = crate::MachineBuilder::new(c)
+            .tenant(crate::TenantSpec::external("probe"))
+            .build()
+            .unwrap();
         assert_eq!(machine.os().buddy().total_bytes(), 32 << 20);
     }
 }

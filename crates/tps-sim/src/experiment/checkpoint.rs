@@ -29,10 +29,13 @@
 //!   which drops the damaged entries (re-running their cells) and
 //!   reports how many were dropped.
 //!
-//! Entries round-trip the **full** [`RunStats`] — not the abridged stats
-//! block of the report — so a resumed run's aggregated report, including
-//! derived metrics and the rendered JSON document, is byte-identical to
-//! an uninterrupted run's.
+//! Entries round-trip the **full** [`MachineRunStats`] — not the
+//! abridged stats block of the report — so a resumed run's aggregated
+//! report, including derived metrics, per-tenant breakdowns, and the
+//! rendered JSON document, is byte-identical to an uninterrupted run's.
+//! Solo cells journal only the rollup (the per-tenant vector is
+//! reconstructed on load), so single-process journals written before the
+//! multi-tenant machine replay unchanged.
 
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -43,7 +46,7 @@ use tps_os::OsStats;
 use tps_tlb::TlbStats;
 use tps_wl::WorkloadProfile;
 
-use crate::stats::{HwFaultStats, RunStats};
+use crate::stats::{HwFaultStats, MachineRunStats, RunStats};
 
 use super::io::{crc32, ArtifactIo, ArtifactSink};
 use super::json::Json;
@@ -59,7 +62,7 @@ pub const CHECKPOINT_SCHEMA: &str = "tps-experiment-checkpoint";
 pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// One journaled outcome, keyed by the cell's stable index.
-pub(crate) type ResumeMap = BTreeMap<u64, Result<RunStats, CellFailure>>;
+pub(crate) type ResumeMap = BTreeMap<u64, Result<MachineRunStats, CellFailure>>;
 
 /// Everything [`load`] recovered from a journal.
 #[derive(Debug)]
@@ -149,7 +152,7 @@ impl<'io> CheckpointWriter<'io> {
     pub(crate) fn record(
         &self,
         index: u64,
-        outcome: &Result<RunStats, CellFailure>,
+        outcome: &Result<MachineRunStats, CellFailure>,
     ) -> Result<(), TpsError> {
         let mut state = self.lock();
         let seq = state.next_seq;
@@ -358,7 +361,7 @@ fn check_header(header: &Json, matrix: &ExperimentMatrix) -> Result<(), TpsError
 }
 
 /// Renders one complete v2 entry line (without the trailing newline).
-fn entry_line(seq: u64, index: u64, outcome: &Result<RunStats, CellFailure>) -> String {
+fn entry_line(seq: u64, index: u64, outcome: &Result<MachineRunStats, CellFailure>) -> String {
     let body = entry_json(index, outcome).render_compact();
     let crc = crc32(format!("{seq}:{body}").as_bytes());
     format!("{{\"seq\":{seq},\"crc\":{crc},\"body\":{body}}}")
@@ -370,7 +373,7 @@ fn entry_line(seq: u64, index: u64, outcome: &Result<RunStats, CellFailure>) -> 
 fn parse_entry_line(
     line: &str,
     cell_count: u64,
-) -> Result<(u64, u64, Result<RunStats, CellFailure>), String> {
+) -> Result<(u64, u64, Result<MachineRunStats, CellFailure>), String> {
     let wrapper = Json::parse(line).map_err(|e| format!("malformed entry: {e}"))?;
     let seq = wrapper
         .get("seq")
@@ -389,13 +392,21 @@ fn parse_entry_line(
     Ok((seq, index, outcome))
 }
 
-fn entry_json(index: u64, outcome: &Result<RunStats, CellFailure>) -> Json {
+fn entry_json(index: u64, outcome: &Result<MachineRunStats, CellFailure>) -> Json {
     let mut entry = Json::object();
     entry.set("cell", Json::U64(index));
     match outcome {
-        Ok(stats) => {
+        Ok(machine) => {
             entry.set("ok", Json::Bool(true));
-            entry.set("stats", stats_to_json(stats));
+            entry.set("stats", stats_to_json(&machine.global));
+            // Solo cells journal only the rollup; the per-tenant vector
+            // is reconstructed on load. Keeps pre-tenant journals valid.
+            if machine.per_tenant.len() > 1 {
+                entry.set(
+                    "tenants",
+                    Json::Array(machine.per_tenant.iter().map(stats_to_json).collect()),
+                );
+            }
         }
         Err(failure) => {
             entry.set("ok", Json::Bool(false));
@@ -410,7 +421,7 @@ fn entry_json(index: u64, outcome: &Result<RunStats, CellFailure>) -> Json {
 fn parse_entry(
     entry: &Json,
     cell_count: u64,
-) -> Result<(u64, Result<RunStats, CellFailure>), String> {
+) -> Result<(u64, Result<MachineRunStats, CellFailure>), String> {
     let index = entry
         .get("cell")
         .and_then(Json::as_u64)
@@ -423,7 +434,16 @@ fn parse_entry(
         .and_then(Json::as_bool)
         .ok_or("missing ok")?;
     let outcome = if ok {
-        Ok(stats_from_json(entry.get("stats").ok_or("missing stats")?)?)
+        let global = stats_from_json(entry.get("stats").ok_or("missing stats")?)?;
+        let per_tenant = match entry.get("tenants") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(stats_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("tenants is not an array".to_string()),
+            None => vec![global.clone()],
+        };
+        Ok(MachineRunStats { global, per_tenant })
     } else {
         let cause = entry
             .get("cause")
@@ -664,6 +684,14 @@ mod tests {
         STATS.get_or_init(sample_stats)
     }
 
+    /// Wraps a rollup as the solo-machine outcome cells journal.
+    fn solo(stats: RunStats) -> MachineRunStats {
+        MachineRunStats {
+            per_tenant: vec![stats.clone()],
+            global: stats,
+        }
+    }
+
     #[test]
     fn stats_round_trip_exactly() {
         let stats = sample_stats();
@@ -682,6 +710,42 @@ mod tests {
     }
 
     #[test]
+    fn multi_tenant_entries_round_trip_per_tenant_stats() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-tenants");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        let mut a = cached_stats().clone();
+        a.walks += 1;
+        let mut b = cached_stats().clone();
+        b.os.faults += 7;
+        let outcome = MachineRunStats {
+            global: cached_stats().clone(),
+            per_tenant: vec![a.clone(), b.clone()],
+        };
+        {
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
+            writer.record(0, &Ok(outcome.clone())).unwrap();
+            writer.finish().unwrap();
+        }
+        let loaded = load(&path, &m, false).unwrap();
+        let replayed = loaded.done[&0].as_ref().unwrap();
+        assert_eq!(replayed.per_tenant.len(), 2);
+        assert_eq!(replayed.per_tenant[0].walks, a.walks);
+        assert_eq!(replayed.per_tenant[1].os.faults, b.os.faults);
+        assert_eq!(
+            stats_to_json(&replayed.global).render_compact(),
+            stats_to_json(&outcome.global).render_compact()
+        );
+        // An entry with the tenants array stripped — a pre-tenant journal
+        // line — still loads, reconstructing per_tenant from the rollup.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entry = text.lines().nth(1).unwrap();
+        assert!(entry.contains("\"tenants\":"), "two tenants are journaled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn journal_writes_and_loads() {
         let dir = std::env::temp_dir().join("tps-ckpt-test-basic");
         std::fs::create_dir_all(&dir).unwrap();
@@ -695,7 +759,7 @@ mod tests {
         };
         {
             let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
-            writer.record(1, &Ok(stats.clone())).unwrap();
+            writer.record(1, &Ok(solo(stats.clone()))).unwrap();
             writer.record(0, &Err(failure.clone())).unwrap();
             writer.finish().unwrap();
         }
@@ -711,8 +775,13 @@ mod tests {
         assert_eq!(loaded.done[&0].as_ref().unwrap_err(), &failure);
         let replayed = loaded.done[&1].as_ref().unwrap();
         assert_eq!(
-            stats_to_json(replayed).render_compact(),
+            stats_to_json(&replayed.global).render_compact(),
             stats_to_json(&stats).render_compact()
+        );
+        assert_eq!(
+            replayed.per_tenant.len(),
+            1,
+            "a solo entry loads with its rollup as the only tenant"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -782,7 +851,7 @@ mod tests {
                 Some(loaded.clean_len),
             )
             .unwrap();
-            writer.record(1, &Ok(cached_stats().clone())).unwrap();
+            writer.record(1, &Ok(solo(cached_stats().clone()))).unwrap();
         }
         let reloaded = load(&path, &m, false).unwrap();
         assert_eq!(reloaded.done.len(), 2, "resumed journal is fully clean");
@@ -798,8 +867,8 @@ mod tests {
         let m = matrix();
         {
             let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
-            writer.record(0, &Ok(cached_stats().clone())).unwrap();
-            writer.record(1, &Ok(cached_stats().clone())).unwrap();
+            writer.record(0, &Ok(solo(cached_stats().clone()))).unwrap();
+            writer.record(1, &Ok(solo(cached_stats().clone()))).unwrap();
         }
         // Flip one byte in the middle of the first entry's body.
         let mut bytes = std::fs::read(&path).unwrap();
@@ -953,7 +1022,7 @@ mod tests {
             let outcome = if kind == 0 {
                 let mut stats = cached_stats().clone();
                 stats.walks = walks; // vary one journaled field per case
-                Ok(stats)
+                Ok(solo(stats))
             } else {
                 Err(CellFailure {
                     cause: FailureCause::Panic,

@@ -62,7 +62,10 @@ pub use report::{
     CellFailure, CellReport, DerivedMetrics, ExperimentReport, FailureCause, REPORT_SCHEMA,
     REPORT_VERSION,
 };
-pub use spec::{ExperimentCell, ExperimentMatrix, ExperimentSpec, DEFAULT_EXPERIMENT_SEED};
+pub use spec::{
+    ExperimentCell, ExperimentMatrix, ExperimentSpec, TenantCount, DEFAULT_EXPERIMENT_SEED,
+    MAX_TENANTS,
+};
 
 /// Exit code of a run halted by [`RunOptions::halt_after`] — the
 /// deterministic stand-in for a mid-flight kill in crash/resume tests.

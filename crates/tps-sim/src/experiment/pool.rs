@@ -13,9 +13,9 @@
 
 #[cfg(test)]
 use crate::config::Mechanism;
-use crate::machine::Machine;
+use crate::machine::{MachineBuilder, TenantSpec};
 use crate::smt::run_smt;
-use crate::stats::RunStats;
+use crate::stats::MachineRunStats;
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -24,7 +24,7 @@ use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 use tps_core::rng::SplitMix64;
 use tps_core::{FaultPlan, InjectorHandle};
-use tps_wl::build_seeded;
+use tps_wl::{build_seeded, tenant_seeds};
 
 use super::checkpoint::{CheckpointWriter, ResumeMap};
 use super::report::{CellFailure, FailureCause};
@@ -48,10 +48,10 @@ pub(crate) fn run_cells(
     cells: &[ExperimentCell],
     threads: usize,
     hooks: &PoolHooks<'_, '_>,
-) -> Vec<Result<RunStats, CellFailure>> {
+) -> Vec<Result<MachineRunStats, CellFailure>> {
     let cursor = AtomicUsize::new(0);
     let completed = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<RunStats, CellFailure>>>> =
+    let slots: Vec<Mutex<Option<Result<MachineRunStats, CellFailure>>>> =
         cells.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -98,8 +98,8 @@ pub(crate) fn run_cells(
 }
 
 fn store(
-    slot: &Mutex<Option<Result<RunStats, CellFailure>>>,
-    outcome: Result<RunStats, CellFailure>,
+    slot: &Mutex<Option<Result<MachineRunStats, CellFailure>>>,
+    outcome: Result<MachineRunStats, CellFailure>,
 ) {
     match slot.lock() {
         Ok(mut guard) => *guard = Some(outcome),
@@ -117,7 +117,7 @@ fn store(
 pub(crate) fn run_cell_resilient(
     spec: &ExperimentSpec,
     cell: &ExperimentCell,
-) -> Result<RunStats, CellFailure> {
+) -> Result<MachineRunStats, CellFailure> {
     let budget = spec.retry_limit();
     let mut attempt = 1u32;
     loop {
@@ -143,7 +143,7 @@ fn run_attempt(
     spec: &ExperimentSpec,
     cell: &ExperimentCell,
     attempt: u32,
-) -> Result<RunStats, (FailureCause, String)> {
+) -> Result<MachineRunStats, (FailureCause, String)> {
     match spec.cell_timeout() {
         None => run_attempt_caught(spec, cell, attempt),
         Some(deadline) => run_attempt_watched(spec, cell, attempt, deadline),
@@ -159,7 +159,7 @@ fn run_attempt_watched(
     cell: &ExperimentCell,
     attempt: u32,
     deadline: Duration,
-) -> Result<RunStats, (FailureCause, String)> {
+) -> Result<MachineRunStats, (FailureCause, String)> {
     let (tx, rx) = mpsc::channel();
     let spec_owned = spec.clone();
     let cell_owned = cell.clone();
@@ -198,7 +198,7 @@ fn run_attempt_caught(
     spec: &ExperimentSpec,
     cell: &ExperimentCell,
     attempt: u32,
-) -> Result<RunStats, (FailureCause, String)> {
+) -> Result<MachineRunStats, (FailureCause, String)> {
     match catch_unwind(AssertUnwindSafe(|| run_cell(spec, cell, attempt))) {
         Ok(stats) => Ok(stats),
         Err(payload) => {
@@ -226,27 +226,47 @@ fn run_attempt_caught(
     }
 }
 
-/// Executes one cell attempt: a fresh machine, a freshly seeded workload,
-/// and (when configured) a fresh fault plan pinned to (cell, attempt).
-fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell, attempt: u32) -> RunStats {
+/// Executes one cell attempt: a fresh machine, freshly seeded workloads
+/// (one per tenant), and (when configured) a fresh fault plan pinned to
+/// (cell, attempt).
+fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell, attempt: u32) -> MachineRunStats {
     let config = spec.machine_config(cell.mechanism());
     let scale = spec.suite_scale();
     if spec.is_smt() {
         // Derive both sibling seeds from the cell seed so the pair is as
         // pinned as a native run. (Faults + SMT is rejected at build time.)
         let mut sm = SplitMix64::new(cell.seed());
-        let mut primary = build_seeded(cell.benchmark(), scale, sm.next_u64());
-        let mut sibling = build_seeded(cell.benchmark(), scale, sm.next_u64());
-        run_smt(config, &mut *primary, &mut *sibling).primary
+        let primary = build_seeded(cell.benchmark(), scale, sm.next_u64());
+        let sibling = build_seeded(cell.benchmark(), scale, sm.next_u64());
+        let smt = run_smt(config, primary, sibling);
+        // SMT cells report the primary thread, as they always have; the
+        // sibling rides along as the second tenant entry.
+        MachineRunStats {
+            global: smt.primary.clone(),
+            per_tenant: vec![smt.primary],
+        }
     } else {
-        let mut machine = Machine::new(config);
+        let tenants = spec.tenant_count();
+        let specs: Vec<TenantSpec> = if tenants.is_solo() {
+            // The classic single-process cell: the workload runs from the
+            // cell seed itself, byte-identical with the pre-tenant runner.
+            vec![TenantSpec::suite(cell.benchmark(), scale, cell.seed())]
+        } else {
+            tenant_seeds(cell.seed(), tenants.get())
+                .into_iter()
+                .map(|seed| TenantSpec::suite(cell.benchmark(), scale, seed))
+                .collect()
+        };
+        let mut machine = MachineBuilder::new(config)
+            .tenants(specs)
+            .build()
+            .expect("a validated spec builds a non-empty machine");
         if let Some(mut fault_cfg) = spec.fault_config() {
             fault_cfg.seed = attempt_fault_seed(fault_cfg.seed, cell.seed(), attempt);
             let plan = Rc::new(RefCell::new(FaultPlan::new(fault_cfg)));
             machine.set_fault_injector(Some(plan as InjectorHandle));
         }
-        let mut workload = build_seeded(cell.benchmark(), scale, cell.seed());
-        machine.run(&mut *workload)
+        machine.run()
     }
 }
 
@@ -268,7 +288,7 @@ pub(crate) fn run_single(
     benchmark: &str,
     mechanism: Mechanism,
     seed: u64,
-) -> Result<RunStats, CellFailure> {
+) -> Result<MachineRunStats, CellFailure> {
     run_cell_resilient(
         spec,
         &ExperimentCell {
@@ -290,7 +310,7 @@ mod tests {
     fn single_cell_runs_and_panics_are_caught() {
         let spec = ExperimentSpec::new().scale(SuiteScale::Test);
         let ok = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
-        assert!(ok.mem.accesses > 0);
+        assert!(ok.global.mem.accesses > 0);
         // 1 MB of physical memory cannot hold the test-scale GUPS table:
         // the machine panics inside mmap, which must surface as a cell
         // failure, not abort the process.
@@ -308,7 +328,22 @@ mod tests {
     fn smt_cells_run() {
         let spec = ExperimentSpec::new().scale(SuiteScale::Test).smt(true);
         let stats = run_single(&spec, "gups", Mechanism::Thp, 3).unwrap();
-        assert!(stats.mem.accesses > 0);
+        assert!(stats.global.mem.accesses > 0);
+    }
+
+    #[test]
+    fn multi_tenant_cells_attribute_per_tenant_stats() {
+        use super::super::spec::TenantCount;
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .tenants(TenantCount::new(4).unwrap());
+        let stats = run_single(&spec, "gups", Mechanism::Tps, 9).unwrap();
+        assert_eq!(stats.tenant_count(), 4);
+        for tenant in &stats.per_tenant {
+            assert!(tenant.mem.accesses > 0);
+        }
+        let sum: u64 = stats.per_tenant.iter().map(|s| s.mem.accesses).sum();
+        assert_eq!(stats.global.mem.accesses, sum);
     }
 
     #[test]
@@ -351,9 +386,9 @@ mod tests {
             .faults(cfg);
         let stats = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
         assert!(
-            stats.hw_faults.total() > 0,
+            stats.global.hw_faults.total() > 0,
             "hardware sites absorbed faults: {:?}",
-            stats.hw_faults
+            stats.global.hw_faults
         );
     }
 
@@ -366,7 +401,7 @@ mod tests {
         let a = run_single(&spec, "gups", Mechanism::Tps, 5);
         let b = run_single(&spec, "gups", Mechanism::Tps, 5);
         match (&a, &b) {
-            (Ok(x), Ok(y)) => assert_eq!(x.mem, y.mem),
+            (Ok(x), Ok(y)) => assert_eq!(x.global.mem, y.global.mem),
             (Err(x), Err(y)) => assert_eq!(x, y),
             _ => panic!("outcomes diverged between identical runs"),
         }
@@ -396,6 +431,6 @@ mod tests {
             11,
         )
         .unwrap();
-        assert_eq!(stats.mem, plain.mem);
+        assert_eq!(stats.global.mem, plain.global.mem);
     }
 }

@@ -1,12 +1,12 @@
 //! Aggregated experiment results and their versioned JSON serialization.
 
 use crate::config::Mechanism;
-use crate::stats::RunStats;
+use crate::stats::{MachineRunStats, RunStats};
 use crate::timing::TimingModel;
 use tps_wl::SuiteScale;
 
 use super::json::Json;
-use super::spec::ExperimentMatrix;
+use super::spec::{ExperimentMatrix, TenantCount};
 
 /// The `"schema"` marker every serialized report carries.
 pub const REPORT_SCHEMA: &str = "tps-experiment-report";
@@ -107,9 +107,10 @@ pub struct CellReport {
     pub mechanism: Mechanism,
     /// The cell's pinned workload seed.
     pub seed: u64,
-    /// The run's statistics, or the structured failure (a failed or
-    /// panicked cell never aborts the rest of the matrix).
-    pub result: Result<RunStats, CellFailure>,
+    /// The run's statistics — the machine-wide rollup plus per-tenant
+    /// breakdowns — or the structured failure (a failed or panicked cell
+    /// never aborts the rest of the matrix).
+    pub result: Result<MachineRunStats, CellFailure>,
     /// Derived paper metrics; `None` for failed cells.
     pub derived: Option<DerivedMetrics>,
 }
@@ -124,6 +125,7 @@ pub struct CellReport {
 pub struct ExperimentReport {
     scale: SuiteScale,
     smt: bool,
+    tenants: TenantCount,
     seed: u64,
     baseline: Option<Mechanism>,
     cells: Vec<CellReport>,
@@ -137,7 +139,7 @@ impl ExperimentReport {
     /// Aggregates pool results (in cell order) into a report.
     pub(crate) fn aggregate(
         matrix: &ExperimentMatrix,
-        results: Vec<Result<RunStats, CellFailure>>,
+        results: Vec<Result<MachineRunStats, CellFailure>>,
     ) -> ExperimentReport {
         let spec = matrix.spec();
         let baseline = spec.baseline_mechanism();
@@ -156,9 +158,12 @@ impl ExperimentReport {
             })
             .collect();
         for i in 0..cells.len() {
-            let Ok(stats) = &cells[i].result else {
+            // Derived metrics compare machine-wide rollups: the figures
+            // report whole-machine behavior whatever the tenant count.
+            let Ok(machine) = &cells[i].result else {
                 continue;
             };
+            let stats = &machine.global;
             let mut derived = DerivedMetrics {
                 memory_bloat: (stats.touched_bytes > 0)
                     .then(|| stats.resident_bytes as f64 / stats.touched_bytes as f64),
@@ -169,6 +174,7 @@ impl ExperimentReport {
                     .iter()
                     .find(|c| c.benchmark == cells[i].benchmark && c.mechanism == base)
                     .and_then(|c| c.result.as_ref().ok())
+                    .map(|m| &m.global)
             });
             if let Some(base) = base_stats {
                 let t = model.evaluate(stats, smt);
@@ -182,6 +188,7 @@ impl ExperimentReport {
         ExperimentReport {
             scale: spec.suite_scale(),
             smt,
+            tenants: spec.tenant_count(),
             seed: spec.base_seed(),
             baseline,
             cells,
@@ -211,6 +218,11 @@ impl ExperimentReport {
         self.smt
     }
 
+    /// How many tenant processes each cell's machine ran.
+    pub fn tenant_count(&self) -> TenantCount {
+        self.tenants
+    }
+
     /// The spec's base seed.
     pub fn base_seed(&self) -> u64 {
         self.seed
@@ -233,8 +245,13 @@ impl ExperimentReport {
             .find(|c| c.benchmark == benchmark && c.mechanism == mechanism)
     }
 
-    /// The statistics of one successful cell, if present.
+    /// The machine-wide statistics of one successful cell, if present.
     pub fn stats(&self, benchmark: &str, mechanism: Mechanism) -> Option<&RunStats> {
+        self.machine_stats(benchmark, mechanism).map(|m| &m.global)
+    }
+
+    /// The full per-tenant statistics of one successful cell, if present.
+    pub fn machine_stats(&self, benchmark: &str, mechanism: Mechanism) -> Option<&MachineRunStats> {
         self.get(benchmark, mechanism)
             .and_then(|c| c.result.as_ref().ok())
     }
@@ -256,6 +273,11 @@ impl ExperimentReport {
         doc.set("version", Json::U64(REPORT_VERSION));
         doc.set("scale", Json::Str(self.scale.label().to_string()));
         doc.set("smt", Json::Bool(self.smt));
+        if !self.tenants.is_solo() {
+            // Solo runs keep the pre-tenant document byte-for-byte; the
+            // axis appears only when it deviates from the classic machine.
+            doc.set("tenants", Json::U64(u64::from(self.tenants.get())));
+        }
         doc.set("seed", Json::U64(self.seed));
         doc.set(
             "baseline",
@@ -291,9 +313,13 @@ fn cell_json(cell: &CellReport) -> Json {
     obj.set("mechanism", Json::Str(cell.mechanism.label().to_string()));
     obj.set("seed", Json::U64(cell.seed));
     match &cell.result {
-        Ok(stats) => {
+        Ok(machine) => {
             obj.set("ok", Json::Bool(true));
-            obj.set("stats", stats_json(stats));
+            obj.set("stats", stats_json(&machine.global));
+            if machine.per_tenant.len() > 1 {
+                let tenants = machine.per_tenant.iter().map(stats_json).collect();
+                obj.set("tenants", Json::Array(tenants));
+            }
         }
         Err(failure) => {
             obj.set("ok", Json::Bool(false));
@@ -389,6 +415,26 @@ mod tests {
         assert!(d_tps.memory_bloat.unwrap() >= 1.0);
         assert!(report.stats("gups", Mechanism::Tps).is_some());
         assert!(report.stats("gups", Mechanism::Rmm).is_none());
+    }
+
+    #[test]
+    fn multi_tenant_reports_embed_per_tenant_stats() {
+        let report = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps)
+            .scale(SuiteScale::Test)
+            .tenants(TenantCount::new(2).unwrap())
+            .seed(42)
+            .threads(1)
+            .build()
+            .unwrap()
+            .run();
+        let json = report.to_json();
+        assert!(json.contains("\"tenants\": 2"), "{json}");
+        let machine = report.machine_stats("gups", Mechanism::Tps).unwrap();
+        assert_eq!(machine.tenant_count(), 2);
+        // A solo report keeps the pre-tenant document: no tenants keys.
+        assert!(!tiny_report().to_json().contains("\"tenants\""));
     }
 
     #[test]

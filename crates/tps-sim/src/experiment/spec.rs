@@ -8,6 +8,85 @@ use tps_wl::{profiling_names, suite_names, SuiteScale};
 /// Default base seed of an [`ExperimentSpec`] (spells "TPS matrix").
 pub const DEFAULT_EXPERIMENT_SEED: u64 = 0x7e57_3a72_1000_0001;
 
+/// Largest tenant count an [`ExperimentSpec`] accepts. Bounds worst-case
+/// memory and runtime of a single cell; far above the paper's workloads
+/// and the 1,000-tenant smoke test.
+// tps-lint::allow(no-magic-page-size, reason = "a process-count cap that coincides with a page-size value; not an address or size")
+pub const MAX_TENANTS: u32 = 4096;
+
+/// How many tenant processes each cell's machine runs: the `tenants` axis
+/// of an [`ExperimentSpec`]. Always in `1..=`[`MAX_TENANTS`].
+///
+/// Parses from and displays as the bare number, so CLI flags and JSON
+/// round-trip exactly:
+///
+/// ```
+/// use tps_sim::TenantCount;
+/// let n: TenantCount = "8".parse().unwrap();
+/// assert_eq!(n.get(), 8);
+/// assert_eq!(n.to_string(), "8");
+/// assert!("0".parse::<TenantCount>().is_err());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantCount(std::num::NonZeroU32);
+
+impl TenantCount {
+    /// One tenant: the classic single-process machine.
+    pub const SOLO: TenantCount = match std::num::NonZeroU32::new(1) {
+        Some(one) => TenantCount(one),
+        None => unreachable!(),
+    };
+
+    /// Validates a tenant count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpsError::InvalidSpec`] when `n` is zero or exceeds
+    /// [`MAX_TENANTS`].
+    pub fn new(n: u32) -> Result<Self, TpsError> {
+        match std::num::NonZeroU32::new(n) {
+            Some(n) if n.get() <= MAX_TENANTS => Ok(TenantCount(n)),
+            Some(n) => Err(TpsError::invalid_spec(format!(
+                "tenants {n} exceeds the maximum of {MAX_TENANTS}"
+            ))),
+            None => Err(TpsError::invalid_spec("tenants must be >= 1")),
+        }
+    }
+
+    /// The count as a plain integer.
+    pub fn get(self) -> u32 {
+        self.0.get()
+    }
+
+    /// Whether this is the single-tenant (classic) machine.
+    pub fn is_solo(self) -> bool {
+        self.get() == 1
+    }
+}
+
+impl Default for TenantCount {
+    fn default() -> Self {
+        TenantCount::SOLO
+    }
+}
+
+impl std::fmt::Display for TenantCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+impl std::str::FromStr for TenantCount {
+    type Err = TpsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let n: u32 = s
+            .parse()
+            .map_err(|_| TpsError::invalid_spec(format!("invalid tenant count {s:?}")))?;
+        TenantCount::new(n)
+    }
+}
+
 /// A declarative (benchmark × mechanism) experiment matrix, built with a
 /// fluent API and expanded by [`ExperimentSpec::build`].
 ///
@@ -39,6 +118,7 @@ pub struct ExperimentSpec {
     mechanisms: Vec<Mechanism>,
     scale: SuiteScale,
     smt: bool,
+    tenants: TenantCount,
     virtualized: bool,
     five_level: bool,
     perfect_l1: bool,
@@ -61,6 +141,7 @@ impl Default for ExperimentSpec {
             mechanisms: Vec::new(),
             scale: SuiteScale::Small,
             smt: false,
+            tenants: TenantCount::SOLO,
             virtualized: false,
             five_level: false,
             perfect_l1: false,
@@ -146,6 +227,17 @@ impl ExperimentSpec {
     #[must_use]
     pub fn smt(mut self, smt: bool) -> Self {
         self.smt = smt;
+        self
+    }
+
+    /// Runs each cell as `tenants` co-scheduled processes of the same
+    /// benchmark, each with its own address space and per-tenant seed,
+    /// sharing one machine's physical memory and translation hardware
+    /// (default [`TenantCount::SOLO`]). Modeled memory scales with the
+    /// tenant count unless [`ExperimentSpec::memory`] overrides it.
+    #[must_use]
+    pub fn tenants(mut self, tenants: TenantCount) -> Self {
+        self.tenants = tenants;
         self
     }
 
@@ -278,6 +370,11 @@ impl ExperimentSpec {
         self.smt
     }
 
+    /// How many tenant processes each cell's machine runs.
+    pub fn tenant_count(&self) -> TenantCount {
+        self.tenants
+    }
+
     /// The base seed.
     pub fn base_seed(&self) -> u64 {
         self.seed
@@ -320,10 +417,12 @@ impl ExperimentSpec {
     pub fn machine_config(&self, mech: Mechanism) -> MachineConfig {
         let memory = self.memory_bytes.unwrap_or_else(|| {
             let base = self.scale.recommended_memory();
+            // Each co-scheduled process (SMT sibling or tenant) brings its
+            // own working set, so the modeled memory scales with them.
             if self.smt {
                 2 * base
             } else {
-                base
+                base * u64::from(self.tenants.get())
             }
         });
         let mut config = MachineConfig::for_mechanism(mech).with_memory(memory);
@@ -370,6 +469,14 @@ impl ExperimentSpec {
             self.cell_timeout_ms,
             faults,
         );
+        // The tenants axis is appended only when it deviates from the
+        // classic single-tenant machine, so every fingerprint recorded
+        // before the axis existed stays valid.
+        let desc = if self.tenants.is_solo() {
+            desc
+        } else {
+            format!("{desc} tenants={}", self.tenants)
+        };
         // FNV-1a: tiny, dependency-free, and stable across builds (the
         // std hasher's keys are unspecified between releases).
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -427,6 +534,12 @@ impl ExperimentSpec {
             return Err(TpsError::invalid_spec(
                 "fault injection is not supported under SMT \
                  (sibling threads would share one fault stream)",
+            ));
+        }
+        if self.smt && !self.tenants.is_solo() {
+            return Err(TpsError::invalid_spec(
+                "smt and tenants > 1 are mutually exclusive \
+                 (SMT is the fixed two-tenant shared-core case)",
             ));
         }
         let mut cells = Vec::with_capacity(self.benchmarks.len() * self.mechanisms.len());
@@ -629,6 +742,48 @@ mod tests {
         );
         let tiny = ExperimentSpec::new().memory(1 << 20);
         assert_eq!(tiny.machine_config(Mechanism::Thp).memory_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn tenant_count_round_trips_exhaustively() {
+        // Every legal count survives Display → FromStr unchanged.
+        for n in 1..=MAX_TENANTS {
+            let count = TenantCount::new(n).unwrap();
+            let reparsed: TenantCount = count.to_string().parse().unwrap();
+            assert_eq!(count, reparsed);
+            assert_eq!(reparsed.get(), n);
+        }
+        // And everything outside the band is rejected.
+        for bad in ["0", "4097", "1000000000000", "-3", "eight", ""] {
+            assert!(bad.parse::<TenantCount>().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn tenants_axis_scales_memory_and_guards_smt() {
+        let spec = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .tenants(TenantCount::new(8).unwrap());
+        assert_eq!(
+            spec.machine_config(Mechanism::Tps).memory_bytes,
+            8 * SuiteScale::Test.recommended_memory()
+        );
+        let clash = spec
+            .clone()
+            .bench("gups")
+            .mechanism(Mechanism::Tps)
+            .smt(true)
+            .build();
+        assert!(matches!(clash, Err(TpsError::InvalidSpec { .. })));
+        // The fingerprint of a solo spec is unchanged by the axis' mere
+        // existence, and a multi-tenant spec fingerprints differently.
+        let solo = ExperimentSpec::new()
+            .bench("gups")
+            .mechanism(Mechanism::Tps);
+        let solo_explicit = solo.clone().tenants(TenantCount::SOLO);
+        assert_eq!(solo.fingerprint(), solo_explicit.fingerprint());
+        let multi = solo.clone().tenants(TenantCount::new(8).unwrap());
+        assert_ne!(solo.fingerprint(), multi.fingerprint());
     }
 
     #[test]

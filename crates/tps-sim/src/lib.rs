@@ -2,12 +2,15 @@
 //!
 //! Ties the substrates together into the paper's evaluation vehicle:
 //!
-//! * [`Machine`] — executes a [`tps_wl::Workload`] event stream against the
-//!   OS model and the MMU (TLB hierarchy + MMU caches + page walker),
-//!   producing [`RunStats`].
+//! * [`Machine`] — N tenant address spaces over one shared OS, buddy
+//!   allocator and MMU (TLB hierarchy + MMU caches + page walker), built
+//!   with [`MachineBuilder`] from [`TenantSpec`]s and interleaved by a
+//!   deterministic [`Scheduler`], producing [`MachineRunStats`]
+//!   (per-tenant [`RunStats`] plus the machine-wide rollup).
 //! * [`Mechanism`] / [`MachineConfig`] — the compared systems (THP
 //!   baseline, CoLT, RMM, TPS) over the paper's Table I hardware.
-//! * [`run_smt`] — two hardware threads sharing translation hardware.
+//! * [`run_smt`] — two hardware threads sharing translation hardware
+//!   (the degenerate two-tenant round-robin case).
 //! * [`NestedWalkModel`] — two-dimensional (virtualized) page walks.
 //! * [`TimingModel`] — the paper's `T = T_IDEAL + T_L1DTLBM + T_PW`
 //!   execution-time decomposition.
@@ -18,13 +21,17 @@
 //! # Example
 //!
 //! ```
-//! use tps_sim::{Machine, MachineConfig, Mechanism, TimingModel};
+//! use tps_sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec, TimingModel};
 //! use tps_wl::{Gups, GupsParams};
 //!
-//! let mut gups = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
-//! let mut machine = Machine::new(
-//!     MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
-//! let stats = machine.run(&mut gups);
+//! let gups = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
+//! let stats = MachineBuilder::new(
+//!     MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20))
+//!     .tenant(TenantSpec::workload(gups))
+//!     .build()
+//!     .unwrap()
+//!     .run()
+//!     .into_solo();
 //! let timing = TimingModel::default().evaluate(&stats, false);
 //! assert!(timing.total() > 0.0);
 //! ```
@@ -45,12 +52,14 @@ pub use config::{table1_rows, MachineConfig, Mechanism};
 pub use experiment::{
     write_atomic, ArtifactIo, ArtifactSink, CellFailure, CellReport, DerivedMetrics,
     ExperimentCell, ExperimentMatrix, ExperimentReport, ExperimentSpec, FailureCause, FaultyIo,
-    FaultyIoConfig, RealIo, RunOptions, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
-    DEFAULT_EXPERIMENT_SEED, HALT_EXIT_CODE, REPORT_SCHEMA, REPORT_VERSION,
+    FaultyIoConfig, RealIo, RunOptions, TenantCount, CHECKPOINT_SCHEMA, CHECKPOINT_VERSION,
+    DEFAULT_EXPERIMENT_SEED, HALT_EXIT_CODE, MAX_TENANTS, REPORT_SCHEMA, REPORT_VERSION,
 };
-pub use machine::{Machine, RunCounters, ThreadCounters};
+pub use machine::{
+    Machine, MachineBuilder, RunCounters, Scheduler, TenantScheduler, TenantSpec, ThreadCounters,
+};
 pub use mmu::{AccessLevel, AccessOutcome, Mmu};
 pub use nested::NestedWalkModel;
 pub use smt::{run_smt, SmtRunStats};
-pub use stats::{HwFaultStats, RunStats};
+pub use stats::{HwFaultStats, MachineRunStats, RunStats};
 pub use timing::{TimingBreakdown, TimingModel};

@@ -1,20 +1,27 @@
-//! The machine driver: executes a workload's event stream against the OS
-//! and MMU, gathering statistics.
+//! The machine driver: N tenant processes over one shared OS, buddy
+//! allocator and TLB hierarchy, interleaved by a deterministic scheduler.
+//!
+//! A machine is built with [`MachineBuilder`] from one [`TenantSpec`] per
+//! tenant. Each tenant is its own address space (ASID); all tenants share
+//! the physical memory pool and the translation hardware, so one tenant's
+//! promotions and shootdowns evict and invalidate another's TLB entries —
+//! the cross-talk the paper's fragmentation story is about.
 
 use crate::config::MachineConfig;
 use crate::mmu::{AccessLevel, Mmu};
-use crate::stats::{HwFaultStats, RunStats};
+use crate::stats::{HwFaultStats, MachineRunStats, RunStats};
 use std::collections::BTreeMap;
-use tps_core::{InjectorHandle, VirtAddr};
+use tps_core::rng::SplitMix64;
+use tps_core::{InjectorHandle, TpsError, VirtAddr};
 use tps_mem::BuddyAllocator;
-use tps_os::Os;
+use tps_os::{Os, OsStats};
 use tps_tlb::{Asid, TlbStats};
-use tps_wl::{Event, Workload};
+use tps_wl::{build_seeded, Event, SuiteScale, Workload, WorkloadProfile};
 
 /// Per-thread counters the machine accumulates while executing events.
 ///
 /// Most callers never touch this directly — [`Machine::run`] manages one
-/// internally. It is public for custom drivers built on [`Machine::step`].
+/// per tenant. It is public for custom drivers built on [`Machine::step`].
 #[derive(Clone, Debug, Default)]
 pub struct ThreadCounters {
     /// TLB hierarchy counters.
@@ -33,7 +40,7 @@ pub struct ThreadCounters {
     pub extra_insts: u64,
 }
 
-/// Measured-region plus full-run counters for one hardware thread.
+/// Measured-region plus full-run counters for one tenant.
 ///
 /// `full` accumulates from the first event; `measured` is reset at each
 /// [`Event::StatsBarrier`] so figures report steady-state behavior while
@@ -85,59 +92,377 @@ impl ThreadCounters {
     }
 }
 
-/// One simulated machine running one process (see [`crate::run_smt`] for the
-/// two-thread variant).
+/// Which deterministic interleaving the machine uses to pick the next
+/// tenant to run one event from.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Strict rotation over the live tenants, in tenant order. A retired
+    /// tenant drops out of the rotation; the order of the survivors is
+    /// preserved. With two tenants this is exactly the SMT alternation of
+    /// [`crate::run_smt`]; with one it degenerates to the old solo loop.
+    #[default]
+    RoundRobin,
+    /// Seeded uniform pick among the live tenants on every step (a
+    /// SplitMix64 stream over the given seed). Same seed, same tenant
+    /// set, same interleaving — byte-deterministic like `RoundRobin`,
+    /// but without rotation artifacts.
+    Seeded(u64),
+}
+
+/// The scheduler's run-time state: decides, per event slot, which live
+/// tenant executes next.
+///
+/// Declared as a hot-path entry point in `hot-paths.toml`: the decision
+/// sits on the per-event dispatch loop, so it must stay free of
+/// allocation, locks and dynamic dispatch.
+#[derive(Clone, Debug)]
+pub struct TenantScheduler {
+    kind: Scheduler,
+    rng: SplitMix64,
+    cursor: usize,
+}
+
+impl TenantScheduler {
+    fn new(kind: Scheduler) -> Self {
+        let seed = match kind {
+            Scheduler::RoundRobin => 0,
+            Scheduler::Seeded(seed) => seed,
+        };
+        TenantScheduler {
+            kind,
+            rng: SplitMix64::new(seed),
+            cursor: 0,
+        }
+    }
+
+    /// Picks the next tenant as an index into the machine's live list
+    /// (`0..live`). `live` must be non-zero.
+    #[inline]
+    pub fn next_tenant(&mut self, live: usize) -> usize {
+        match self.kind {
+            Scheduler::RoundRobin => {
+                if self.cursor >= live {
+                    self.cursor = 0;
+                }
+                let pick = self.cursor;
+                self.cursor += 1;
+                pick
+            }
+            Scheduler::Seeded(_) => (self.rng.next_u64() % live as u64) as usize,
+        }
+    }
+
+    /// Tells the scheduler the tenant it just picked retired (was removed
+    /// from the live list at `pick`), keeping the rotation aligned.
+    fn tenant_retired(&mut self, pick: usize) {
+        if pick < self.cursor {
+            self.cursor -= 1;
+        }
+    }
+}
+
+/// Where a tenant's event stream comes from.
+enum WorkloadSource {
+    /// A caller-provided workload object.
+    Boxed(Box<dyn Workload>),
+    /// A suite benchmark built at [`MachineBuilder::build`] time with a
+    /// per-tenant seed.
+    Suite {
+        name: String,
+        scale: SuiteScale,
+        seed: u64,
+    },
+    /// No events: the tenant is driven externally via [`Machine::step`].
+    External(WorkloadProfile),
+}
+
+/// One tenant of a multi-tenant machine: its workload, an optional label
+/// and an optional cap on how much of the shared physical memory it may
+/// map.
+pub struct TenantSpec {
+    source: WorkloadSource,
+    label: Option<String>,
+    memory_cap: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A tenant running the given workload object.
+    pub fn workload(workload: impl Workload + 'static) -> Self {
+        TenantSpec {
+            source: WorkloadSource::Boxed(Box::new(workload)),
+            label: None,
+            memory_cap: None,
+        }
+    }
+
+    /// A tenant running an already boxed workload.
+    pub fn boxed(workload: Box<dyn Workload>) -> Self {
+        TenantSpec {
+            source: WorkloadSource::Boxed(workload),
+            label: None,
+            memory_cap: None,
+        }
+    }
+
+    /// A tenant running one suite benchmark with its own seed — the
+    /// per-tenant seeded form experiment matrices use.
+    ///
+    /// The workload is built during [`MachineBuilder::build`]; an unknown
+    /// benchmark name panics there (the experiment layer validates names
+    /// before any machine is built).
+    pub fn suite(name: impl Into<String>, scale: SuiteScale, seed: u64) -> Self {
+        TenantSpec {
+            source: WorkloadSource::Suite {
+                name: name.into(),
+                scale,
+                seed,
+            },
+            label: None,
+            memory_cap: None,
+        }
+    }
+
+    /// A tenant with an empty event stream, for machines driven through
+    /// [`Machine::step`] by an external harness or test.
+    pub fn external(name: impl Into<String>) -> Self {
+        TenantSpec {
+            source: WorkloadSource::External(WorkloadProfile::named(name.into())),
+            label: None,
+            memory_cap: None,
+        }
+    }
+
+    /// Labels the tenant (defaults to the workload's benchmark name).
+    #[must_use]
+    pub fn named(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Caps the bytes of virtual memory this tenant may have mapped at
+    /// once — its share of the machine. Exceeding the cap panics, exactly
+    /// like exhausting physical memory does.
+    #[must_use]
+    pub fn memory_cap(mut self, bytes: u64) -> Self {
+        self.memory_cap = Some(bytes);
+        self
+    }
+}
+
+/// Builds a [`Machine`]: one shared [`MachineConfig`] plus one
+/// [`TenantSpec`] per tenant and a [`Scheduler`].
 ///
 /// # Example
 ///
 /// ```
-/// use tps_sim::{Machine, MachineConfig, Mechanism};
+/// use tps_sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 /// use tps_wl::{Gups, GupsParams, Initialized};
 ///
-/// let mut machine = Machine::new(
-///     MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20),
-/// );
+/// let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20);
 /// // Initialized adds the startup page-touch sweep real applications do,
 /// // so TPS promotions finish before the measured region begins.
-/// let mut wl = Initialized::new(
+/// let wl = Initialized::new(
 ///     Gups::new(GupsParams { table_bytes: 8 << 20, updates: 10_000, seed: 7 }));
-/// let stats = machine.run(&mut wl);
+/// let stats = MachineBuilder::new(config)
+///     .tenant(TenantSpec::workload(wl))
+///     .build()
+///     .expect("one tenant is a valid machine")
+///     .run()
+///     .into_solo();
 /// assert_eq!(stats.mem.accesses, 10_000);
 /// assert!(stats.mem.l1_hit_rate() > 0.99);
 /// ```
-#[derive(Clone, Debug)]
-pub struct Machine {
+pub struct MachineBuilder {
     config: MachineConfig,
-    os: Os,
-    asid: Asid,
-    mmu: Mmu,
-    regions: BTreeMap<u32, VirtAddr>,
+    scheduler: Scheduler,
+    reclaim_on_exit: bool,
+    tenants: Vec<TenantSpec>,
 }
 
-impl Machine {
-    /// Builds a machine from a configuration.
+impl MachineBuilder {
+    /// Starts a builder from a machine configuration.
     pub fn new(config: MachineConfig) -> Self {
-        let buddy = config
-            .initial_memory
-            .clone()
-            .unwrap_or_else(|| BuddyAllocator::new(config.memory_bytes));
-        let mut os = Os::with_buddy(buddy, config.policy);
-        os.set_background_noise(config.os_noise_period);
-        if config.five_level_paging {
-            os.set_page_table_levels(5);
-        }
-        os.set_fine_grained_ad(config.fine_grained_ad);
-        let asid = os.spawn();
-        let mmu = Mmu::new(&config);
-        Machine {
+        MachineBuilder {
             config,
-            os,
-            asid,
-            mmu,
-            regions: BTreeMap::new(),
+            scheduler: Scheduler::RoundRobin,
+            reclaim_on_exit: false,
+            tenants: Vec::new(),
         }
     }
 
+    /// Adds one tenant. Tenants get ASIDs in the order they are added.
+    #[must_use]
+    pub fn tenant(mut self, spec: TenantSpec) -> Self {
+        self.tenants.push(spec);
+        self
+    }
+
+    /// Adds several tenants at once.
+    #[must_use]
+    pub fn tenants(mut self, specs: impl IntoIterator<Item = TenantSpec>) -> Self {
+        self.tenants.extend(specs);
+        self
+    }
+
+    /// Selects the event interleaving (default [`Scheduler::RoundRobin`]).
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// When enabled, a tenant's remaining regions are unmapped the moment
+    /// its event stream ends — modeling process exit returning memory to
+    /// the shared pool (later tenants see the recovered, fragmented
+    /// contiguity). Off by default: the solo and SMT harnesses keep final
+    /// footprints inspectable after the run.
+    #[must_use]
+    pub fn reclaim_on_exit(mut self, reclaim: bool) -> Self {
+        self.reclaim_on_exit = reclaim;
+        self
+    }
+
+    /// Builds the machine: one shared OS over one buddy allocator, one
+    /// MMU, and one address space (ASID) per tenant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TpsError::InvalidSpec`] when no tenant was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`TenantSpec::suite`] names an unknown benchmark.
+    pub fn build(self) -> Result<Machine, TpsError> {
+        if self.tenants.is_empty() {
+            return Err(TpsError::invalid_spec(
+                "a machine needs at least one tenant",
+            ));
+        }
+        let buddy = self
+            .config
+            .initial_memory
+            .clone()
+            .unwrap_or_else(|| BuddyAllocator::new(self.config.memory_bytes));
+        let mut os = Os::with_buddy(buddy, self.config.policy);
+        os.set_background_noise(self.config.os_noise_period);
+        if self.config.five_level_paging {
+            os.set_page_table_levels(5);
+        }
+        os.set_fine_grained_ad(self.config.fine_grained_ad);
+        let mmu = Mmu::new(&self.config);
+        let mut tenants = Vec::with_capacity(self.tenants.len());
+        for spec in self.tenants {
+            let asid = os.spawn();
+            let workload: Box<dyn Workload> = match spec.source {
+                WorkloadSource::Boxed(workload) => workload,
+                WorkloadSource::Suite { name, scale, seed } => build_seeded(&name, scale, seed),
+                WorkloadSource::External(profile) => Box::new(ExternalTenant(profile)),
+            };
+            let label = spec
+                .label
+                .unwrap_or_else(|| workload.profile().name.clone());
+            tenants.push(Tenant {
+                asid,
+                label,
+                workload,
+                memory_cap: spec.memory_cap,
+                mapped_bytes: 0,
+                regions: BTreeMap::new(),
+                counters: RunCounters::default(),
+                os_attr: OsStats::default(),
+                hw_attr: HwAttribution::default(),
+                final_stats: None,
+            });
+        }
+        let live = (0..tenants.len()).collect();
+        Ok(Machine {
+            config: self.config,
+            os,
+            mmu,
+            scheduler: TenantScheduler::new(self.scheduler),
+            reclaim_on_exit: self.reclaim_on_exit,
+            tenants,
+            live,
+        })
+    }
+}
+
+/// The empty event stream behind [`TenantSpec::external`].
+struct ExternalTenant(WorkloadProfile);
+
+impl Workload for ExternalTenant {
+    fn profile(&self) -> WorkloadProfile {
+        self.0.clone()
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        None
+    }
+}
+
+/// Hardware counters attributed to one tenant by delta-snapshotting the
+/// machine-wide monotone counters around each of its events.
+#[derive(Clone, Copy, Debug, Default)]
+struct HwAttribution {
+    walk_restarts: u64,
+    mmu_cache_fill_drops: u64,
+    tlb_fill_drops: u64,
+    tlb_evict_abandons: u64,
+    stlb_probe_misses: u64,
+    cache_hits: (u64, u64, u64),
+}
+
+/// One tenant's run-time state.
+struct Tenant {
+    asid: Asid,
+    label: String,
+    workload: Box<dyn Workload>,
+    memory_cap: Option<u64>,
+    mapped_bytes: u64,
+    regions: BTreeMap<u32, (VirtAddr, u64)>,
+    counters: RunCounters,
+    os_attr: OsStats,
+    hw_attr: HwAttribution,
+    final_stats: Option<RunStats>,
+}
+
+/// Machine-wide monotone counter snapshot, taken around each event so the
+/// delta can be charged to the acting tenant.
+#[derive(Clone, Copy)]
+struct HwSnapshot {
+    os: OsStats,
+    walk_restarts: u64,
+    mmu_cache_fill_drops: u64,
+    tlb: tps_tlb::TlbFaultStats,
+    cache_hits: (u64, u64, u64),
+}
+
+/// One simulated machine: N tenant processes sharing the OS, the physical
+/// memory pool and the core's translation hardware. Built with
+/// [`MachineBuilder`]; [`crate::run_smt`] is the 2-tenant shared-core
+/// special case.
+pub struct Machine {
+    config: MachineConfig,
+    os: Os,
+    mmu: Mmu,
+    scheduler: TenantScheduler,
+    reclaim_on_exit: bool,
+    tenants: Vec<Tenant>,
+    /// Tenant slots whose event streams have not ended, in tenant order.
+    live: Vec<usize>,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("config", &self.config)
+            .field("tenants", &self.tenants.len())
+            .field("live", &self.live)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -153,6 +478,30 @@ impl Machine {
         &self.mmu
     }
 
+    /// Number of tenants (retired ones included).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// One tenant's label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn tenant_label(&self, tenant: usize) -> &str {
+        &self.tenants[tenant].label
+    }
+
+    /// One tenant's live counters, for custom drivers built on
+    /// [`Machine::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn counters(&self, tenant: usize) -> &RunCounters {
+        &self.tenants[tenant].counters
+    }
+
     /// Installs (or removes) a fault injector on every instrumented layer
     /// of this machine: the OS fault sites (buddy alloc, reserve spans,
     /// compaction steps, shootdown delivery) plus the hardware-model sites
@@ -165,7 +514,7 @@ impl Machine {
 
     /// Runs the memory-compaction daemon and applies the resulting TLB
     /// shootdowns (paper §III-B3). Subsequent `mmap`s find the recovered
-    /// contiguity.
+    /// contiguity. Machine-level work: charged to no tenant.
     ///
     /// # Errors
     ///
@@ -177,41 +526,92 @@ impl Machine {
         Ok(outcome)
     }
 
-    /// Merges buddy-pair mappings into larger pages (paper §III-B3). TLB
-    /// entries need no shootdown (smaller entries stay correct), but the
-    /// paging-structure caches are flushed: cross-level merges free
-    /// page-table nodes.
-    pub fn merge_pages(&mut self) -> u64 {
-        let merges = self.os.merge_pages(self.asid);
+    /// Merges buddy-pair mappings of one tenant into larger pages (paper
+    /// §III-B3). TLB entries need no shootdown (smaller entries stay
+    /// correct), but the paging-structure caches are flushed: cross-level
+    /// merges free page-table nodes. The OS work is charged to the tenant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenant` is out of range.
+    pub fn merge_pages(&mut self, tenant: usize) -> u64 {
+        let snap = self.snapshot();
+        let merges = self.os.merge_pages(self.tenants[tenant].asid);
         if merges > 0 {
             self.mmu.flush_structure_caches();
         }
+        self.attribute(tenant, &snap);
         merges
     }
 
-    /// Executes one event. Exposed for custom drivers; most callers use
-    /// [`Machine::run`].
+    fn snapshot(&self) -> HwSnapshot {
+        let (walk_restarts, mmu_cache_fill_drops, tlb) = self.mmu.hw_fault_counters();
+        HwSnapshot {
+            os: self.os.stats(),
+            walk_restarts,
+            mmu_cache_fill_drops,
+            tlb,
+            cache_hits: self.mmu.mmu_cache_hits(),
+        }
+    }
+
+    /// Charges every machine-wide counter movement since `snap` to
+    /// `tenant`.
+    fn attribute(&mut self, tenant: usize, snap: &HwSnapshot) {
+        let os_now = self.os.stats();
+        let (walk_restarts, mmu_cache_fill_drops, tlb) = self.mmu.hw_fault_counters();
+        let cache_hits = self.mmu.mmu_cache_hits();
+        let t = &mut self.tenants[tenant];
+        t.os_attr.accumulate(&os_now.delta_since(&snap.os));
+        t.hw_attr.walk_restarts += walk_restarts - snap.walk_restarts;
+        t.hw_attr.mmu_cache_fill_drops += mmu_cache_fill_drops - snap.mmu_cache_fill_drops;
+        t.hw_attr.tlb_fill_drops += tlb.fill_drops - snap.tlb.fill_drops;
+        t.hw_attr.tlb_evict_abandons += tlb.evict_abandons - snap.tlb.evict_abandons;
+        t.hw_attr.stlb_probe_misses += tlb.stlb_probe_misses - snap.tlb.stlb_probe_misses;
+        t.hw_attr.cache_hits.0 += cache_hits.0 - snap.cache_hits.0;
+        t.hw_attr.cache_hits.1 += cache_hits.1 - snap.cache_hits.1;
+        t.hw_attr.cache_hits.2 += cache_hits.2 - snap.cache_hits.2;
+    }
+
+    /// Executes one event on behalf of `tenant`. Exposed for custom
+    /// drivers; most callers use [`Machine::run`].
     ///
     /// # Panics
     ///
     /// Panics on workload errors: accessing an unmapped region, unmapping
-    /// an unknown region, or exhausting physical memory under an eager
-    /// policy.
-    pub fn step(&mut self, event: Event, counters: &mut RunCounters) {
+    /// an unknown region, exceeding the tenant's memory cap, exhausting
+    /// physical memory under an eager policy, or stepping a tenant that
+    /// already retired.
+    pub fn step(&mut self, tenant: usize, event: Event) {
+        assert!(
+            self.tenants[tenant].final_stats.is_none(),
+            "tenant {tenant} already retired"
+        );
+        let snap = self.snapshot();
         match event {
             Event::Mmap { region, bytes } => {
+                let t = &mut self.tenants[tenant];
+                if let Some(cap) = t.memory_cap {
+                    assert!(
+                        t.mapped_bytes + bytes <= cap,
+                        "tenant {tenant} ({}) exceeded its {cap}-byte memory share",
+                        t.label
+                    );
+                }
                 let vma = self
                     .os
-                    .mmap(self.asid, bytes)
+                    .mmap(t.asid, bytes)
                     .expect("machine out of physical memory");
-                self.regions.insert(region, vma.base());
+                let t = &mut self.tenants[tenant];
+                t.regions.insert(region, (vma.base(), bytes));
+                t.mapped_bytes += bytes;
             }
             Event::Munmap { region } => {
-                let base = self
-                    .regions
-                    .remove(&region)
-                    .expect("munmap of unknown region");
-                let shootdowns = self.os.munmap(self.asid, base).expect("region was mapped");
+                let t = &mut self.tenants[tenant];
+                let (base, bytes) = t.regions.remove(&region).expect("munmap of unknown region");
+                t.mapped_bytes -= bytes;
+                let asid = t.asid;
+                let shootdowns = self.os.munmap(asid, base).expect("region was mapped");
                 self.mmu.apply_shootdowns(&shootdowns);
             }
             Event::Access {
@@ -219,63 +619,206 @@ impl Machine {
                 offset,
                 write,
             } => {
-                let base = self.regions[&region];
+                let t = &mut self.tenants[tenant];
+                let (base, _) = t.regions[&region];
+                let asid = t.asid;
                 let va = VirtAddr::new(base.value() + offset);
-                let outcome = self.mmu.access(&mut self.os, self.asid, va, write);
-                counters.record(outcome.level, &outcome);
+                let outcome = self.mmu.access(&mut self.os, asid, va, write);
+                self.tenants[tenant]
+                    .counters
+                    .record(outcome.level, &outcome);
             }
-            Event::Compute { insts } => counters.compute(insts),
-            Event::StatsBarrier => counters.barrier(),
+            Event::Compute { insts } => self.tenants[tenant].counters.compute(insts),
+            Event::StatsBarrier => self.tenants[tenant].counters.barrier(),
+        }
+        self.attribute(tenant, &snap);
+    }
+
+    /// Runs every tenant's event stream to completion under the
+    /// scheduler, returning per-tenant statistics plus the machine-wide
+    /// rollup. Tenants that already retired (or were added as
+    /// [`TenantSpec::external`] and fully stepped) are finalized as-is.
+    pub fn run(&mut self) -> MachineRunStats {
+        while !self.live.is_empty() {
+            let pick = self.scheduler.next_tenant(self.live.len());
+            let slot = self.live[pick];
+            match self.tenants[slot].workload.next_event() {
+                Some(event) => self.step(slot, event),
+                None => {
+                    self.live.remove(pick);
+                    self.scheduler.tenant_retired(pick);
+                    self.retire(slot);
+                }
+            }
+        }
+        let per_tenant: Vec<RunStats> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                t.final_stats
+                    .clone()
+                    .expect("every tenant retired before collection")
+            })
+            .collect();
+        let global = self.rollup(&per_tenant);
+        MachineRunStats { global, per_tenant }
+    }
+
+    /// Finalizes a tenant whose event stream ended: freezes its
+    /// statistics, then flushes its ASID from the shared TLBs (its dead
+    /// translations stop occupying capacity the survivors could use) and,
+    /// with [`MachineBuilder::reclaim_on_exit`], unmaps its remaining
+    /// regions so the shared pool recovers the memory.
+    fn retire(&mut self, slot: usize) {
+        let stats = self.freeze(slot);
+        self.tenants[slot].final_stats = Some(stats);
+        let asid = self.tenants[slot].asid;
+        self.mmu.retire_asid(asid);
+        if self.reclaim_on_exit {
+            let regions = std::mem::take(&mut self.tenants[slot].regions);
+            for (base, _) in regions.into_values() {
+                let shootdowns = self.os.munmap(asid, base).expect("region was mapped");
+                self.mmu.apply_shootdowns(&shootdowns);
+            }
+            self.tenants[slot].mapped_bytes = 0;
         }
     }
 
-    /// Runs a workload to completion, returning the collected statistics.
-    pub fn run<W: Workload + ?Sized>(&mut self, workload: &mut W) -> RunStats {
-        let mut counters = RunCounters::default();
-        while let Some(event) = workload.next_event() {
-            self.step(event, &mut counters);
-        }
-        self.finish(workload, counters)
-    }
-
-    pub(crate) fn finish<W: Workload + ?Sized>(
-        &self,
-        workload: &W,
-        counters: RunCounters,
-    ) -> RunStats {
-        let profile = workload.profile();
+    /// Builds one tenant's final [`RunStats`] from its own counters and
+    /// the machine-wide work attributed to its events.
+    fn freeze(&self, slot: usize) -> RunStats {
+        let t = &self.tenants[slot];
+        let profile = t.workload.profile();
         let insts = |c: &ThreadCounters| {
             (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts
         };
-        let process = self.os.process(self.asid);
+        let process = self.os.process(t.asid);
+        let hw_faults = HwFaultStats {
+            walk_restarts: t.hw_attr.walk_restarts,
+            alias_install_retries: process.page_table().alias_install_retries(),
+            mmu_cache_fill_drops: t.hw_attr.mmu_cache_fill_drops,
+            tlb_fill_drops: t.hw_attr.tlb_fill_drops,
+            tlb_evict_abandons: t.hw_attr.tlb_evict_abandons,
+            stlb_probe_misses: t.hw_attr.stlb_probe_misses,
+        };
+        RunStats {
+            name: profile.name.clone(),
+            instructions: insts(&t.counters.measured),
+            full_instructions: insts(&t.counters.full),
+            profile,
+            mem: t.counters.measured.mem,
+            walks: t.counters.measured.walks,
+            walk_refs: t.counters.measured.walk_refs,
+            alias_extras: t.counters.measured.alias_extras,
+            ad_updates: t.counters.measured.ad_updates,
+            full_mem: t.counters.full.mem,
+            full_walk_refs: t.counters.full.walk_refs,
+            os: t.os_attr,
+            page_census: process.page_table().page_census(),
+            resident_bytes: process.resident_bytes(),
+            touched_bytes: process.touched_bytes(),
+            mmu_cache_hits: t.hw_attr.cache_hits,
+            hw_faults,
+        }
+    }
+
+    /// The machine-wide rollup: counter sums across tenants, with the OS,
+    /// MMU-cache and hardware-fault counters read machine-wide (for a
+    /// single tenant this is exactly what the old solo driver reported).
+    fn rollup(&self, per_tenant: &[RunStats]) -> RunStats {
         let (walk_restarts, mmu_cache_fill_drops, tlb) = self.mmu.hw_fault_counters();
         let hw_faults = HwFaultStats {
             walk_restarts,
-            alias_install_retries: process.page_table().alias_install_retries(),
+            alias_install_retries: self
+                .tenants
+                .iter()
+                .map(|t| self.os.process(t.asid).page_table().alias_install_retries())
+                .sum(),
             mmu_cache_fill_drops,
             tlb_fill_drops: tlb.fill_drops,
             tlb_evict_abandons: tlb.evict_abandons,
             stlb_probe_misses: tlb.stlb_probe_misses,
         };
+        if let [solo] = per_tenant {
+            // Byte-exact continuity with the old single-process driver:
+            // the rollup is the tenant's stats with the shared counters
+            // read machine-wide.
+            let mut global = solo.clone();
+            global.os = self.os.stats();
+            global.mmu_cache_hits = self.mmu.mmu_cache_hits();
+            global.hw_faults = hw_faults;
+            return global;
+        }
+        let sum_tlb = |field: fn(&RunStats) -> &TlbStats| {
+            let mut total = TlbStats::default();
+            for s in per_tenant {
+                let f = field(s);
+                total.accesses += f.accesses;
+                total.l1_hits += f.l1_hits;
+                total.stlb_hits += f.stlb_hits;
+                total.range_hits += f.range_hits;
+                total.l2_misses += f.l2_misses;
+            }
+            total
+        };
+        let mut page_census = BTreeMap::new();
+        for s in per_tenant {
+            for (order, count) in &s.page_census {
+                *page_census.entry(*order).or_insert(0) += count;
+            }
+        }
+        let name = if per_tenant.iter().all(|s| s.name == per_tenant[0].name) {
+            per_tenant[0].name.clone()
+        } else {
+            "mixed".to_string()
+        };
         RunStats {
-            name: profile.name.clone(),
-            instructions: insts(&counters.measured),
-            full_instructions: insts(&counters.full),
-            profile,
-            mem: counters.measured.mem,
-            walks: counters.measured.walks,
-            walk_refs: counters.measured.walk_refs,
-            alias_extras: counters.measured.alias_extras,
-            ad_updates: counters.measured.ad_updates,
-            full_mem: counters.full.mem,
-            full_walk_refs: counters.full.walk_refs,
+            name: name.clone(),
+            profile: weighted_profile(name, per_tenant),
+            mem: sum_tlb(|s| &s.mem),
+            walks: per_tenant.iter().map(|s| s.walks).sum(),
+            walk_refs: per_tenant.iter().map(|s| s.walk_refs).sum(),
+            alias_extras: per_tenant.iter().map(|s| s.alias_extras).sum(),
+            ad_updates: per_tenant.iter().map(|s| s.ad_updates).sum(),
             os: self.os.stats(),
-            page_census: process.page_table().page_census(),
-            resident_bytes: process.resident_bytes(),
-            touched_bytes: process.touched_bytes(),
+            instructions: per_tenant.iter().map(|s| s.instructions).sum(),
+            full_instructions: per_tenant.iter().map(|s| s.full_instructions).sum(),
+            full_mem: sum_tlb(|s| &s.full_mem),
+            full_walk_refs: per_tenant.iter().map(|s| s.full_walk_refs).sum(),
+            page_census,
+            resident_bytes: per_tenant.iter().map(|s| s.resident_bytes).sum(),
+            touched_bytes: per_tenant.iter().map(|s| s.touched_bytes).sum(),
             mmu_cache_hits: self.mmu.mmu_cache_hits(),
             hw_faults,
         }
+    }
+}
+
+/// Access-weighted mean of the tenants' timing profiles, so the global
+/// rollup remains evaluable by [`crate::TimingModel`]. Weights are
+/// full-run accesses; all-idle tenants fall back to an unweighted mean.
+/// The fold runs in tenant order, so the result is deterministic.
+fn weighted_profile(name: String, per_tenant: &[RunStats]) -> WorkloadProfile {
+    let weight = |s: &RunStats| s.full_mem.accesses as f64;
+    let mut total: f64 = per_tenant.iter().map(weight).sum();
+    let uniform = total == 0.0;
+    if uniform {
+        total = per_tenant.len() as f64;
+    }
+    let mean = |field: fn(&WorkloadProfile) -> f64| {
+        per_tenant
+            .iter()
+            .map(|s| field(&s.profile) * if uniform { 1.0 } else { weight(s) })
+            .sum::<f64>()
+            / total
+    };
+    WorkloadProfile {
+        name,
+        base_cpi: mean(|p| p.base_cpi),
+        insts_per_access: mean(|p| p.insts_per_access),
+        l1_miss_criticality: mean(|p| p.l1_miss_criticality),
+        walk_savable: mean(|p| p.walk_savable),
+        smt_slowdown: mean(|p| p.smt_slowdown),
     }
 }
 
@@ -304,20 +847,28 @@ mod tests {
         }))
     }
 
-    fn big_machine(mechanism: Mechanism) -> Machine {
-        Machine::new(
+    fn solo(mechanism: Mechanism, memory: u64, workload: impl Workload + 'static) -> RunStats {
+        MachineBuilder::new(
             MachineConfig::for_mechanism(mechanism)
-                .with_memory(512 << 20)
+                .with_memory(memory)
                 .with_verification(),
         )
+        .tenant(TenantSpec::workload(workload))
+        .build()
+        .expect("one tenant is a valid machine")
+        .run()
+        .into_solo()
     }
 
     fn machine(mechanism: Mechanism) -> Machine {
-        Machine::new(
+        MachineBuilder::new(
             MachineConfig::for_mechanism(mechanism)
                 .with_memory(128 << 20)
                 .with_verification(),
         )
+        .tenant(TenantSpec::external("driver"))
+        .build()
+        .expect("one tenant is a valid machine")
     }
 
     #[test]
@@ -331,8 +882,7 @@ mod tests {
             Mechanism::Only4K,
             Mechanism::Only2M,
         ] {
-            let mut m = machine(mech);
-            let stats = m.run(&mut gups(5_000));
+            let stats = solo(mech, 128 << 20, gups(5_000));
             // Measured region: the 5000 updates. Full run adds the 2048
             // init touches.
             assert_eq!(stats.mem.accesses, 5_000, "{mech}");
@@ -344,8 +894,8 @@ mod tests {
 
     #[test]
     fn tps_beats_thp_on_l1_misses() {
-        let thp = big_machine(Mechanism::Thp).run(&mut gups_big(20_000));
-        let tps = big_machine(Mechanism::Tps).run(&mut gups_big(20_000));
+        let thp = solo(Mechanism::Thp, 512 << 20, gups_big(20_000));
+        let tps = solo(Mechanism::Tps, 512 << 20, gups_big(20_000));
         assert!(
             tps.mem.l1_misses() < thp.mem.l1_misses() / 4,
             "tps {} vs thp {}",
@@ -358,8 +908,8 @@ mod tests {
 
     #[test]
     fn rmm_eliminates_walks_not_l1_misses() {
-        let thp = big_machine(Mechanism::Thp).run(&mut gups_big(20_000));
-        let rmm = big_machine(Mechanism::Rmm).run(&mut gups_big(20_000));
+        let thp = solo(Mechanism::Thp, 512 << 20, gups_big(20_000));
+        let rmm = solo(Mechanism::Rmm, 512 << 20, gups_big(20_000));
         // Range TLB: essentially no walks even counting initialization.
         assert!(
             rmm.full_walk_refs < thp.full_walk_refs / 4,
@@ -375,7 +925,12 @@ mod tests {
     fn perfect_l1_has_no_misses() {
         let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(64 << 20);
         config.perfect_l1 = true;
-        let stats = Machine::new(config).run(&mut gups(5_000));
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(5_000)))
+            .build()
+            .unwrap()
+            .run()
+            .into_solo();
         assert_eq!(stats.mem.l1_misses(), 0);
         assert_eq!(stats.walk_refs, 0);
     }
@@ -384,7 +939,12 @@ mod tests {
     fn perfect_l2_walks_never() {
         let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(64 << 20);
         config.perfect_l2 = true;
-        let stats = Machine::new(config).run(&mut gups(5_000));
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(5_000)))
+            .build()
+            .unwrap()
+            .run()
+            .into_solo();
         assert_eq!(stats.walks, 0);
         assert_eq!(stats.full_walk_refs, 0);
         assert!(
@@ -396,11 +956,16 @@ mod tests {
 
     #[test]
     fn virtualized_walks_are_amplified() {
-        let native = machine(Mechanism::Thp).run(&mut gups(10_000));
+        let native = solo(Mechanism::Thp, 128 << 20, gups(10_000));
         let mut config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(128 << 20);
         config.virtualized = true;
         config.verify_translations = true;
-        let virt = Machine::new(config).run(&mut gups(10_000));
+        let virt = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(10_000)))
+            .build()
+            .unwrap()
+            .run()
+            .into_solo();
         assert!(
             virt.full_walk_refs > native.full_walk_refs * 2,
             "2D walks amplify: {} vs {}",
@@ -412,7 +977,6 @@ mod tests {
 
     #[test]
     fn munmap_shoots_down_tlbs() {
-        use tps_wl::{Event, WorkloadProfile};
         struct MapUnmapMap {
             step: u32,
         }
@@ -446,8 +1010,7 @@ mod tests {
                 }
             }
         }
-        let mut m = machine(Mechanism::Tps);
-        let stats = m.run(&mut MapUnmapMap { step: 0 });
+        let stats = solo(Mechanism::Tps, 128 << 20, MapUnmapMap { step: 0 });
         assert_eq!(stats.mem.accesses, 32);
         assert!(stats.os.shootdowns > 0);
         // All memory from region 0 was freed and reused safely (verified
@@ -456,10 +1019,214 @@ mod tests {
 
     #[test]
     fn census_and_footprint_reported() {
-        let mut m = machine(Mechanism::Tps);
-        let stats = m.run(&mut gups(5_000));
+        let stats = solo(Mechanism::Tps, 128 << 20, gups(5_000));
         let total_pages: u64 = stats.page_census.values().sum();
         assert!(total_pages >= 1);
         assert_eq!(stats.touched_bytes, 8 << 20, "init sweep touched the table");
+    }
+
+    #[test]
+    fn step_driven_machine_matches_counters() {
+        let mut m = machine(Mechanism::Tps);
+        m.step(
+            0,
+            Event::Mmap {
+                region: 9,
+                bytes: 1 << 20,
+            },
+        );
+        for i in 0..256u64 {
+            m.step(
+                0,
+                Event::Access {
+                    region: 9,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            );
+        }
+        assert_eq!(m.counters(0).full.accesses, 256);
+        let census = m.os().process(0).page_table().page_census();
+        assert_eq!(census.len(), 1);
+    }
+
+    #[test]
+    fn per_tenant_stats_sum_to_global() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps)
+            .with_memory(256 << 20)
+            .with_verification();
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(2_000)))
+            .tenant(TenantSpec::workload(gups(3_000)))
+            .tenant(TenantSpec::workload(gups(1_000)))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(stats.tenant_count(), 3);
+        let per_sum: u64 = stats.per_tenant.iter().map(|s| s.mem.accesses).sum();
+        assert_eq!(stats.global.mem.accesses, per_sum);
+        assert_eq!(stats.tenant(0).mem.accesses, 2_000);
+        assert_eq!(stats.tenant(1).mem.accesses, 3_000);
+        assert_eq!(stats.tenant(2).mem.accesses, 1_000);
+        // Attributed OS work adds up to the machine-wide totals: every
+        // event belongs to exactly one tenant.
+        let fault_sum: u64 = stats.per_tenant.iter().map(|s| s.os.faults).sum();
+        assert_eq!(stats.global.os.faults, fault_sum);
+        let cycle_sum: u64 = stats.per_tenant.iter().map(|s| s.os.op_cycles).sum();
+        assert_eq!(stats.global.os.op_cycles, cycle_sum);
+    }
+
+    #[test]
+    fn round_robin_and_seeded_schedulers_are_deterministic() {
+        let run = |scheduler| {
+            let config = MachineConfig::for_mechanism(Mechanism::Tps)
+                .with_memory(256 << 20)
+                .with_verification();
+            MachineBuilder::new(config)
+                .tenant(TenantSpec::workload(gups(2_000)))
+                .tenant(TenantSpec::workload(gups(2_000)))
+                .scheduler(scheduler)
+                .build()
+                .unwrap()
+                .run()
+        };
+        for sched in [Scheduler::RoundRobin, Scheduler::Seeded(42)] {
+            let a = run(sched);
+            let b = run(sched);
+            assert_eq!(a.global.mem, b.global.mem, "{sched:?}");
+            assert_eq!(a.global.page_census, b.global.page_census, "{sched:?}");
+            for (x, y) in a.per_tenant.iter().zip(&b.per_tenant) {
+                assert_eq!(x.mem, y.mem, "{sched:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_cap_panics_when_exceeded() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20);
+        let mut m = MachineBuilder::new(config)
+            .tenant(TenantSpec::external("greedy").memory_cap(1 << 20))
+            .build()
+            .unwrap();
+        m.step(
+            0,
+            Event::Mmap {
+                region: 0,
+                bytes: 512 << 10,
+            },
+        );
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.step(
+                0,
+                Event::Mmap {
+                    region: 1,
+                    bytes: 1 << 20,
+                },
+            );
+        }));
+        assert!(err.is_err(), "cap must be enforced");
+    }
+
+    #[test]
+    fn reclaim_on_exit_returns_memory_to_the_pool() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(128 << 20);
+        let mut m = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(500)))
+            .reclaim_on_exit(true)
+            .build()
+            .unwrap();
+        let stats = m.run().into_solo();
+        // Stats were frozen at exit (the table was still resident)...
+        assert!(stats.resident_bytes >= 8 << 20);
+        // ...then the exit reclaimed it.
+        assert_eq!(m.os().process(0).resident_bytes(), 0);
+    }
+
+    #[test]
+    fn builder_rejects_zero_tenants() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20);
+        assert!(MachineBuilder::new(config).build().is_err());
+    }
+
+    #[test]
+    fn thousand_tenant_machine_completes_and_attributes_all_work() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(2 << 30);
+        let stats = MachineBuilder::new(config)
+            .tenants((0..1000).map(|i| {
+                TenantSpec::workload(Gups::new(GupsParams {
+                    table_bytes: 128 << 10,
+                    updates: 40,
+                    seed: 0x5eed + i,
+                }))
+            }))
+            .scheduler(Scheduler::Seeded(17))
+            .build()
+            .unwrap()
+            .run();
+        assert_eq!(stats.tenant_count(), 1000);
+        for (slot, t) in stats.per_tenant.iter().enumerate() {
+            assert!(t.mem.accesses > 0, "tenant {slot} did no work");
+        }
+        let sum: u64 = stats.per_tenant.iter().map(|t| t.mem.accesses).sum();
+        assert_eq!(sum, stats.global.mem.accesses);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(16))]
+        /// Tenant A's translations must never resolve through tenant B's
+        /// TLB entries, even while interleaved munmaps fire ASID-targeted
+        /// shootdowns through the shared hierarchy. Verification mode
+        /// cross-checks every TLB-provided translation against the acting
+        /// tenant's own page table, so one translation served from the
+        /// other address space's entry panics the machine.
+        #[test]
+        fn tenants_never_resolve_through_each_others_tlb_entries(
+            seed in 0u64..1 << 20,
+            script in proptest::collection::vec((0usize..2usize, 0u8..8u8), 40..160),
+        ) {
+            let config = MachineConfig::for_mechanism(Mechanism::Tps)
+                .with_memory(256 << 20)
+                .with_verification();
+            let mut m = MachineBuilder::new(config)
+                .tenant(TenantSpec::external("a"))
+                .tenant(TenantSpec::external("b"))
+                .build()
+                .unwrap();
+            let mut rng = SplitMix64::new(seed);
+            let mut live: [Vec<(u32, u64)>; 2] = [Vec::new(), Vec::new()];
+            let mut next_region = [0u32; 2];
+            for (tenant, op) in script {
+                match op {
+                    // Map a fresh region (64 KB .. 2 MB).
+                    0 | 1 if live[tenant].len() < 6 => {
+                        let bytes = (64 << 10) + rng.next_u64() % (2 << 20);
+                        let region = next_region[tenant];
+                        next_region[tenant] += 1;
+                        live[tenant].push((region, bytes));
+                        m.step(tenant, Event::Mmap { region, bytes });
+                    }
+                    // Unmap: shoots this ASID down in the shared TLBs.
+                    2 if !live[tenant].is_empty() => {
+                        let i = (rng.next_u64() % live[tenant].len() as u64) as usize;
+                        let (region, _) = live[tenant].swap_remove(i);
+                        m.step(tenant, Event::Munmap { region });
+                    }
+                    // Access a live region; verification asserts the
+                    // translation came from this tenant's page table.
+                    _ if !live[tenant].is_empty() => {
+                        let i = (rng.next_u64() % live[tenant].len() as u64) as usize;
+                        let (region, bytes) = live[tenant][i];
+                        let offset = rng.next_u64() % bytes;
+                        let write = rng.next_u64() % 2 == 0;
+                        m.step(tenant, Event::Access { region, offset, write });
+                    }
+                    _ => {}
+                }
+            }
+            // Both tenants did verified work through the shared hierarchy.
+            let a = m.counters(0).full.accesses;
+            let b = m.counters(1).full.accesses;
+            proptest::prop_assert_eq!(a + b, a.max(b) + a.min(b));
+        }
     }
 }

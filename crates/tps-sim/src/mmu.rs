@@ -104,6 +104,14 @@ impl Mmu {
         self.caches.invalidate_all();
     }
 
+    /// Drops every TLB entry tagged with `asid` — the hardware side of a
+    /// tenant exiting: its dead translations stop occupying shared TLB
+    /// capacity, so surviving tenants immediately gain reach (the
+    /// capacity-release half of multi-tenant cross-talk).
+    pub fn retire_asid(&mut self, asid: Asid) {
+        self.tlb.invalidate_asid(asid);
+    }
+
     /// Applies OS-requested TLB shootdowns (munmap, compaction).
     pub fn apply_shootdowns(&mut self, shootdowns: &[Shootdown]) {
         for sd in shootdowns {

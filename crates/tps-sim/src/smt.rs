@@ -1,18 +1,21 @@
 //! SMT model: two hardware threads sharing one core's TLB hierarchy and
 //! MMU caches, each running its own process (paper Figs. 2 and 14).
+//!
+//! This is the degenerate two-tenant case of the multi-tenant machine:
+//! [`run_smt`] builds a two-tenant [`crate::MachineBuilder`] under the
+//! round-robin scheduler, whose strict alternation is exactly the
+//! fine-grained SMT interleaving. All counters are defined once, in the
+//! machine; this module only re-labels the two tenants as hardware
+//! threads.
 
 use crate::config::MachineConfig;
-use crate::machine::{RunCounters, ThreadCounters};
-use crate::mmu::Mmu;
+use crate::machine::{MachineBuilder, TenantSpec};
 use crate::stats::RunStats;
-use std::collections::BTreeMap;
-use tps_core::VirtAddr;
-use tps_mem::BuddyAllocator;
-use tps_os::Os;
-use tps_tlb::Asid;
-use tps_wl::{Event, Workload};
+use tps_wl::Workload;
 
-/// Statistics of one SMT co-run: one [`RunStats`] per hardware thread.
+/// Statistics of one SMT co-run: one [`RunStats`] per hardware thread,
+/// with OS work and hardware-fault counters attributed to the thread
+/// whose event caused them.
 #[derive(Clone, Debug)]
 pub struct SmtRunStats {
     /// The primary thread's statistics.
@@ -35,149 +38,36 @@ pub struct SmtRunStats {
 /// use tps_wl::{Gups, GupsParams};
 ///
 /// let config = MachineConfig::for_mechanism(Mechanism::Thp).with_memory(64 << 20);
-/// let mut a = Gups::new(GupsParams { table_bytes: 4 << 20, updates: 5_000, seed: 1 });
-/// let mut b = Gups::new(GupsParams { table_bytes: 4 << 20, updates: 5_000, seed: 2 });
-/// let stats = run_smt(config, &mut a, &mut b);
+/// let a = Gups::new(GupsParams { table_bytes: 4 << 20, updates: 5_000, seed: 1 });
+/// let b = Gups::new(GupsParams { table_bytes: 4 << 20, updates: 5_000, seed: 2 });
+/// let stats = run_smt(config, a, b);
 /// assert_eq!(stats.primary.mem.accesses, 5_000);
 /// ```
-pub fn run_smt<A, B>(config: MachineConfig, primary: &mut A, sibling: &mut B) -> SmtRunStats
-where
-    A: Workload + ?Sized,
-    B: Workload + ?Sized,
-{
-    let buddy = config
-        .initial_memory
-        .clone()
-        .unwrap_or_else(|| BuddyAllocator::new(config.memory_bytes));
-    let mut os = Os::with_buddy(buddy, config.policy);
-    os.set_background_noise(config.os_noise_period);
-    let asid_a = os.spawn();
-    let asid_b = os.spawn();
-    let mut mmu = Mmu::new(&config);
-
-    let mut regions_a: BTreeMap<u32, VirtAddr> = BTreeMap::new();
-    let mut regions_b: BTreeMap<u32, VirtAddr> = BTreeMap::new();
-    let mut counters_a = RunCounters::default();
-    let mut counters_b = RunCounters::default();
-
-    let mut a_done = false;
-    let mut b_done = false;
-    while !(a_done && b_done) {
-        if !a_done {
-            match primary.next_event() {
-                Some(ev) => step(
-                    &mut os,
-                    &mut mmu,
-                    asid_a,
-                    &mut regions_a,
-                    &mut counters_a,
-                    ev,
-                ),
-                None => a_done = true,
-            }
-        }
-        if !b_done {
-            match sibling.next_event() {
-                Some(ev) => step(
-                    &mut os,
-                    &mut mmu,
-                    asid_b,
-                    &mut regions_b,
-                    &mut counters_b,
-                    ev,
-                ),
-                None => b_done = true,
-            }
-        }
-    }
-
-    SmtRunStats {
-        primary: finish(&os, &mmu, asid_a, primary, counters_a),
-        sibling: finish(&os, &mmu, asid_b, sibling, counters_b),
-    }
-}
-
-fn step(
-    os: &mut Os,
-    mmu: &mut Mmu,
-    asid: Asid,
-    regions: &mut BTreeMap<u32, VirtAddr>,
-    counters: &mut RunCounters,
-    event: Event,
-) {
-    match event {
-        Event::Mmap { region, bytes } => {
-            let vma = os
-                .mmap(asid, bytes)
-                .expect("machine out of physical memory");
-            regions.insert(region, vma.base());
-        }
-        Event::Munmap { region } => {
-            let base = regions.remove(&region).expect("munmap of unknown region");
-            let shootdowns = os.munmap(asid, base).expect("region was mapped");
-            mmu.apply_shootdowns(&shootdowns);
-        }
-        Event::Access {
-            region,
-            offset,
-            write,
-        } => {
-            let base = regions[&region];
-            let va = VirtAddr::new(base.value() + offset);
-            let outcome = mmu.access(os, asid, va, write);
-            counters.record(outcome.level, &outcome);
-        }
-        Event::Compute { insts } => counters.compute(insts),
-        Event::StatsBarrier => counters.barrier(),
-    }
-}
-
-fn finish<W: Workload + ?Sized>(
-    os: &Os,
-    mmu: &Mmu,
-    asid: Asid,
-    workload: &W,
-    counters: RunCounters,
-) -> RunStats {
-    let profile = workload.profile();
-    let insts =
-        |c: &ThreadCounters| (c.accesses as f64 * profile.insts_per_access) as u64 + c.extra_insts;
-    let process = os.process(asid);
-    let (walk_restarts, mmu_cache_fill_drops, tlb) = mmu.hw_fault_counters();
-    let hw_faults = crate::stats::HwFaultStats {
-        walk_restarts,
-        alias_install_retries: process.page_table().alias_install_retries(),
-        mmu_cache_fill_drops,
-        tlb_fill_drops: tlb.fill_drops,
-        tlb_evict_abandons: tlb.evict_abandons,
-        stlb_probe_misses: tlb.stlb_probe_misses,
-    };
-    RunStats {
-        name: profile.name.clone(),
-        instructions: insts(&counters.measured),
-        full_instructions: insts(&counters.full),
-        profile,
-        mem: counters.measured.mem,
-        walks: counters.measured.walks,
-        walk_refs: counters.measured.walk_refs,
-        alias_extras: counters.measured.alias_extras,
-        ad_updates: counters.measured.ad_updates,
-        full_mem: counters.full.mem,
-        full_walk_refs: counters.full.walk_refs,
-        os: os.stats(),
-        page_census: process.page_table().page_census(),
-        resident_bytes: process.resident_bytes(),
-        touched_bytes: process.touched_bytes(),
-        mmu_cache_hits: mmu.mmu_cache_hits(),
-        hw_faults,
-    }
+///
+/// # Panics
+///
+/// Panics on workload errors, exactly like [`crate::Machine::run`].
+pub fn run_smt(
+    config: MachineConfig,
+    primary: impl Workload + 'static,
+    sibling: impl Workload + 'static,
+) -> SmtRunStats {
+    let stats = MachineBuilder::new(config)
+        .tenant(TenantSpec::workload(primary))
+        .tenant(TenantSpec::workload(sibling))
+        .build()
+        .expect("two tenants form a valid machine")
+        .run();
+    let mut per_tenant = stats.per_tenant;
+    let sibling = per_tenant.pop().expect("two tenants ran");
+    let primary = per_tenant.pop().expect("two tenants ran");
+    SmtRunStats { primary, sibling }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Mechanism;
-    use crate::machine::Machine;
     use tps_wl::{Gups, GupsParams, Initialized};
 
     fn gups(seed: u64) -> Initialized<Gups> {
@@ -198,8 +88,13 @@ mod tests {
 
     #[test]
     fn smt_interference_increases_misses() {
-        let solo = Machine::new(config(Mechanism::Thp)).run(&mut gups(1));
-        let smt = run_smt(config(Mechanism::Thp), &mut gups(1), &mut gups(2));
+        let solo = MachineBuilder::new(config(Mechanism::Thp))
+            .tenant(TenantSpec::workload(gups(1)))
+            .build()
+            .unwrap()
+            .run()
+            .into_solo();
+        let smt = run_smt(config(Mechanism::Thp), gups(1), gups(2));
         assert_eq!(smt.primary.mem.accesses, solo.mem.accesses);
         assert!(
             smt.primary.mem.l1_misses() > solo.mem.l1_misses(),
@@ -212,20 +107,31 @@ mod tests {
     #[test]
     fn smt_threads_translate_correctly_in_isolation() {
         // verify_translations is on: any ASID mix-up would assert inside.
-        let stats = run_smt(config(Mechanism::Tps), &mut gups(3), &mut gups(4));
+        let stats = run_smt(config(Mechanism::Tps), gups(3), gups(4));
         assert_eq!(stats.primary.mem.accesses, stats.sibling.mem.accesses);
         assert!(stats.primary.mem.l1_hit_rate() > 0.9);
     }
 
     #[test]
     fn tps_suffers_less_under_smt_than_thp() {
-        let thp = run_smt(config(Mechanism::Thp), &mut gups(5), &mut gups(6));
-        let tps = run_smt(config(Mechanism::Tps), &mut gups(5), &mut gups(6));
+        let thp = run_smt(config(Mechanism::Thp), gups(5), gups(6));
+        let tps = run_smt(config(Mechanism::Tps), gups(5), gups(6));
         assert!(
             tps.primary.mem.l1_misses() < thp.primary.mem.l1_misses(),
             "tps {} vs thp {}",
             tps.primary.mem.l1_misses(),
             thp.primary.mem.l1_misses()
         );
+    }
+
+    #[test]
+    fn smt_os_work_is_attributed_not_duplicated() {
+        let stats = run_smt(config(Mechanism::Tps), gups(7), gups(8));
+        // Symmetric workloads: each thread owns roughly half the faults,
+        // and neither sees the machine-wide total (the old double-count).
+        let total = stats.primary.os.faults + stats.sibling.os.faults;
+        assert!(stats.primary.os.faults > 0);
+        assert!(stats.sibling.os.faults > 0);
+        assert!(stats.primary.os.faults < total);
     }
 }

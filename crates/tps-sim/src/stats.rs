@@ -85,6 +85,68 @@ pub struct RunStats {
     pub hw_faults: HwFaultStats,
 }
 
+/// Everything a multi-tenant machine run produced: one [`RunStats`] per
+/// tenant (in tenant order, attributed by the event scheduler) plus the
+/// machine-wide rollup.
+///
+/// For a single-tenant machine the rollup is exactly what the old
+/// single-process driver reported, so `into_solo()` is the drop-in
+/// replacement for the previous `Machine::run` return value.
+#[derive(Clone, Debug)]
+pub struct MachineRunStats {
+    /// Machine-wide rollup: counter sums across tenants, with the OS,
+    /// MMU-cache and hardware-fault counters read machine-wide.
+    pub global: RunStats,
+    /// Per-tenant statistics, indexed by tenant slot (== ASID).
+    pub per_tenant: Vec<RunStats>,
+}
+
+impl MachineRunStats {
+    /// Number of tenants that ran.
+    pub fn tenant_count(&self) -> usize {
+        self.per_tenant.len()
+    }
+
+    /// One tenant's statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn tenant(&self, slot: usize) -> &RunStats {
+        &self.per_tenant[slot]
+    }
+
+    /// Unwraps the statistics of a single-tenant run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine ran more than one tenant.
+    pub fn into_solo(self) -> RunStats {
+        assert_eq!(
+            self.per_tenant.len(),
+            1,
+            "into_solo on a {}-tenant run",
+            self.per_tenant.len()
+        );
+        self.global
+    }
+
+    /// Borrows the statistics of a single-tenant run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine ran more than one tenant.
+    pub fn solo(&self) -> &RunStats {
+        assert_eq!(
+            self.per_tenant.len(),
+            1,
+            "solo on a {}-tenant run",
+            self.per_tenant.len()
+        );
+        &self.global
+    }
+}
+
 impl RunStats {
     /// L1 DTLB misses per thousand instructions (Fig. 8).
     pub fn l1_mpki(&self) -> f64 {

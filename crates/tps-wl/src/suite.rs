@@ -102,6 +102,35 @@ pub fn build(name: &str, scale: SuiteScale) -> Box<dyn Workload> {
     build_seeded(name, scale, default_suite_seed(name))
 }
 
+/// Per-tenant workload seeds for a multi-tenant machine: a SplitMix64
+/// stream over `base`, one draw per tenant in slot order. Deterministic
+/// in `(base, count)` alone — never in scheduling — and the seeds are
+/// pairwise distinct with overwhelming probability, so co-scheduled
+/// tenants of the same benchmark walk different access streams.
+pub fn tenant_seeds(base: u64, count: u32) -> Vec<u64> {
+    let mut rng = tps_core::rng::SplitMix64::new(base);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+/// Builds `count` independently seeded copies of one suite benchmark —
+/// the per-tenant seeded form of [`build_seeded`], with seeds drawn from
+/// [`tenant_seeds`].
+///
+/// # Panics
+///
+/// Panics on an unknown benchmark name.
+pub fn build_tenants_seeded(
+    name: &str,
+    scale: SuiteScale,
+    base: u64,
+    count: u32,
+) -> Vec<Box<dyn Workload>> {
+    tenant_seeds(base, count)
+        .into_iter()
+        .map(|seed| build_seeded(name, scale, seed))
+        .collect()
+}
+
 /// [`build`] with an explicit workload seed, for experiment matrices that
 /// pin per-cell seeds. `build(name, scale)` is
 /// `build_seeded(name, scale, default_suite_seed(name))`.
@@ -260,6 +289,20 @@ mod tests {
             assert!(mmaps > 0, "{name}");
             assert!(accesses > 1000, "{name}: {accesses} accesses");
         }
+    }
+
+    #[test]
+    fn tenant_seeds_are_pinned_and_distinct() {
+        let a = tenant_seeds(0xfeed, 64);
+        let b = tenant_seeds(0xfeed, 64);
+        assert_eq!(a, b, "seeds depend on (base, count) alone");
+        let unique: std::collections::BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(unique.len(), 64, "tenants draw distinct streams");
+        // The first seeds of a shorter draw are a prefix of a longer one,
+        // so growing a tenant set never reshuffles existing tenants.
+        assert_eq!(tenant_seeds(0xfeed, 8), a[..8].to_vec());
+        let builds = build_tenants_seeded("gups", SuiteScale::Test, 0xfeed, 3);
+        assert_eq!(builds.len(), 3);
     }
 
     #[test]

@@ -128,9 +128,12 @@ fn main() {
         let config = MachineConfig::default()
             .with_policy(policy)
             .with_memory(GIB);
-        let mut machine = Machine::new(config);
-        let mut join = HashJoin::new(64, 128, 7);
-        let stats = machine.run(&mut join);
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(HashJoin::new(64, 128, 7)))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         println!(
             "{:<4}  L1 hit rate {:>7.3}%   misses {:>8}   walk refs {:>8}   pages {:?}",
             policy.label(),

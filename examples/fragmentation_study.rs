@@ -9,7 +9,7 @@
 
 use tps::core::PageOrder;
 use tps::mem::{compaction, BuddyAllocator, FragmentParams, Fragmenter};
-use tps::sim::{Machine, MachineConfig, Mechanism};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps::wl::{build, SuiteScale};
 
 fn coverage_report(buddy: &BuddyAllocator, title: &str) {
@@ -45,9 +45,12 @@ fn main() {
             let config = MachineConfig::for_mechanism(mech)
                 .with_memory(4 << 30)
                 .with_initial_memory(buddy.clone());
-            let mut machine = Machine::new(config);
-            let mut workload = build(name, SuiteScale::Small);
-            let stats = machine.run(&mut *workload);
+            let stats = MachineBuilder::new(config)
+                .tenant(TenantSpec::boxed(build(name, SuiteScale::Small)))
+                .build()
+                .expect("one tenant builds")
+                .run()
+                .into_solo();
             results.push((mech, stats));
         }
         let (_, thp) = &results[0];

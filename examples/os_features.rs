@@ -8,7 +8,7 @@
 
 use tps::core::{VirtAddr, BASE_PAGE_SIZE};
 use tps::os::{CowPolicy, Os, PolicyConfig, PolicyKind};
-use tps::sim::{Machine, MachineConfig, Mechanism, RunCounters};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps::wl::{replay, Event, Gups, GupsParams, Recorder, Workload, WorkloadProfile};
 
 fn main() {
@@ -98,26 +98,42 @@ fn trace_demo() {
         updates: 50_000,
         seed: 3,
     });
+    // Record while simulating: the recorder wraps the workload, and the
+    // step API drives an externally-fed tenant event by event.
     let mut buf = Vec::new();
     let mut recorder = Recorder::new(inner, &mut buf);
     let mut machine =
-        Machine::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
-    let live = machine.run(&mut recorder);
+        MachineBuilder::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20))
+            .tenant(TenantSpec::external("gups"))
+            .build()
+            .expect("one tenant builds");
+    while let Some(e) = recorder.next_event() {
+        machine.step(0, e);
+    }
+    let live = machine.counters(0).measured.mem.clone();
     let events = recorder.events_recorded();
     drop(recorder);
     println!(
         "  recorded {events} events ({} KB of trace) while simulating: {} L1 misses",
         buf.len() >> 10,
-        live.mem.l1_misses()
+        live.l1_misses()
     );
-    let mut replayed = replay(&buf[..], WorkloadProfile::named("gups")).unwrap();
-    let mut machine2 =
-        Machine::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20));
-    let again = machine2.run(&mut replayed);
+    let replayed = replay(
+        std::io::Cursor::new(buf.clone()),
+        WorkloadProfile::named("gups"),
+    )
+    .unwrap();
+    let again =
+        MachineBuilder::new(MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20))
+            .tenant(TenantSpec::workload(replayed))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
     println!(
         "  replay reproduces the run exactly: {} L1 misses ({})",
         again.mem.l1_misses(),
-        if again.mem == live.mem {
+        if again.mem == live {
             "identical"
         } else {
             "DIFFERENT!"
@@ -130,11 +146,15 @@ fn trace_demo() {
         WorkloadProfile::named("handwritten"),
     )
     .unwrap();
-    let mut m3 = Machine::new(MachineConfig::for_mechanism(Mechanism::Thp).with_memory(16 << 20));
-    let mut counters = RunCounters::default();
+    let mut m3 =
+        MachineBuilder::new(MachineConfig::for_mechanism(Mechanism::Thp).with_memory(16 << 20))
+            .tenant(TenantSpec::external("handwritten"))
+            .build()
+            .expect("one tenant builds");
     while let Some(e) = wl.next_event() {
-        m3.step(e, &mut counters);
+        m3.step(0, e);
     }
+    let counters = m3.counters(0);
     println!(
         "  hand-written trace: {} accesses, {} in measured region",
         counters.full.accesses, counters.measured.accesses

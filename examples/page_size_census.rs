@@ -7,7 +7,7 @@
 //! cargo run --release --example page_size_census
 //! ```
 
-use tps::sim::{Machine, MachineConfig, Mechanism};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps::wl::{build, suite_names, SuiteScale};
 
 fn main() {
@@ -19,9 +19,12 @@ fn main() {
     for name in suite_names() {
         let config =
             MachineConfig::for_mechanism(Mechanism::Tps).with_memory(scale.recommended_memory());
-        let mut machine = Machine::new(config);
-        let mut workload = build(name, scale);
-        let stats = machine.run(&mut *workload);
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::boxed(build(name, scale)))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         let total: u64 = stats.page_census.values().sum();
         let largest = stats
             .page_census

@@ -8,7 +8,7 @@
 //! `benchmark` is any suite name (`gups`, `graph500`, `xsbench`,
 //! `dbx1000`, `gcc`, `mcf`, ...); default `xsbench`.
 
-use tps::sim::{Machine, MachineConfig, Mechanism, TimingModel};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec, TimingModel};
 use tps::wl::{build, SuiteScale};
 
 fn main() {
@@ -33,9 +33,12 @@ fn main() {
     let mut baseline_total = None;
     for mech in mechanisms {
         let config = MachineConfig::for_mechanism(mech).with_memory(scale.recommended_memory());
-        let mut machine = Machine::new(config);
-        let mut workload = build(&name, scale);
-        let stats = machine.run(&mut *workload);
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::boxed(build(&name, scale)))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         let timing = model.evaluate(&stats, false);
         // Speedups are reported relative to the paper's baseline (THP).
         if mech == Mechanism::Thp {

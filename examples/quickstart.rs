@@ -15,18 +15,22 @@ fn main() {
     let config = MachineConfig::default()
         .with_policy(PolicyKind::Tps)
         .with_memory(GIB);
-    let mut machine = Machine::new(config);
 
     // GUPS: random read-modify-writes over a 256 MB table — the
     // adversarial TLB workload. `Initialized` adds the startup page-touch
     // sweep every real application performs.
-    let mut workload = tps::wl::Initialized::new(Gups::new(GupsParams {
+    let workload = tps::wl::Initialized::new(Gups::new(GupsParams {
         table_bytes: 256 << 20,
         updates: 500_000,
         seed: 42,
     }));
 
-    let stats = machine.run(&mut workload);
+    let stats = MachineBuilder::new(config)
+        .tenant(TenantSpec::workload(workload))
+        .build()
+        .expect("one tenant builds")
+        .run()
+        .into_solo();
 
     println!("workload:            {}", stats.name);
     println!("accesses (measured): {}", stats.mem.accesses);

@@ -31,6 +31,20 @@ trap 'rm -rf "$tmpdir"' EXIT
 cmp "$tmpdir/serial.json" "$tmpdir/parallel.json" \
     || { echo "verify: tps_run --threads changed the report bytes" >&2; exit 1; }
 
+echo "==> multi-tenant determinism gate (tenants 1 vs 8, threads 1 vs 4)"
+for tenants in 1 8; do
+    ./target/release/tps_run --bench gups --mech tps --mech thp --scale test \
+        --seed 7 --tenants "$tenants" --threads 1 \
+        --json "$tmpdir/tenants-$tenants-serial.json" >/dev/null
+    ./target/release/tps_run --bench gups --mech tps --mech thp --scale test \
+        --seed 7 --tenants "$tenants" --threads 4 \
+        --json "$tmpdir/tenants-$tenants-parallel.json" >/dev/null
+    cmp "$tmpdir/tenants-$tenants-serial.json" "$tmpdir/tenants-$tenants-parallel.json" \
+        || { echo "verify: --tenants $tenants report bytes changed with --threads" >&2; exit 1; }
+done
+cmp -s "$tmpdir/tenants-1-serial.json" "$tmpdir/tenants-8-serial.json" \
+    && { echo "verify: tenants=8 report is identical to tenants=1 (axis inert?)" >&2; exit 1; }
+
 echo "==> retry determinism gate (faults + retries, threads 1 vs 4)"
 # Cells may exhaust their retry budget under injected faults; exit 3
 # (structured cell failure, full JSON still written) is part of the
@@ -70,6 +84,20 @@ set -e
     --threads 1 --resume "$tmpdir/run.ckpt" --json "$tmpdir/resumed.json" >/dev/null
 cmp "$tmpdir/full.json" "$tmpdir/resumed.json" \
     || { echo "verify: resumed run differs from the uninterrupted run" >&2; exit 1; }
+# Same crash/resume contract with per-tenant stats in the journal.
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --tenants 8 --threads 1 --json "$tmpdir/t8-full.json" >/dev/null
+set +e
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --tenants 8 --threads 1 --checkpoint "$tmpdir/t8.ckpt" --halt-after 2 >/dev/null
+halt=$?
+set -e
+[ "$halt" -eq 5 ] \
+    || { echo "verify: tenants=8 --halt-after exited $halt, expected 5" >&2; exit 1; }
+./target/release/tps_run --bench gups --all --scale test --seed 7 \
+    --tenants 8 --threads 4 --resume "$tmpdir/t8.ckpt" --json "$tmpdir/t8-resumed.json" >/dev/null
+cmp "$tmpdir/t8-full.json" "$tmpdir/t8-resumed.json" \
+    || { echo "verify: tenants=8 resumed run differs from the uninterrupted run" >&2; exit 1; }
 
 echo "==> artifact chaos gate (pinned seeds: kill / corrupt / storm)"
 # Release build of the tps-check chaos campaign: ~240 deterministic

@@ -3,8 +3,8 @@
 //! ```text
 //! tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix]
 //!         [--scale test|small|paper] [--threads N] [--seed S]
-//!         [--smt] [--virtualized] [--five-level] [--threshold F]
-//!         [--verify] [--json PATH|-]
+//!         [--tenants N] [--smt] [--virtualized] [--five-level]
+//!         [--threshold F] [--verify] [--json PATH|-]
 //!         [--cell-timeout MS] [--retries N]
 //!         [--fault-rate P] [--fault-seed S]
 //!         [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH]
@@ -15,7 +15,11 @@
 //! (benchmark × mechanism) cells runs on a worker pool (`--threads`,
 //! default = available parallelism) with per-cell pinned seeds, so the
 //! output — including `--json` bytes — is identical at every thread
-//! count. `--cell-timeout`/`--retries` arm the per-cell watchdog and
+//! count. `--tenants N` runs every cell as an N-process machine — N
+//! seeded instances of the benchmark in their own address spaces over
+//! one shared allocator and TLB hierarchy, interleaved round-robin —
+//! and embeds the per-tenant stats breakdown in the report JSON.
+//! `--cell-timeout`/`--retries` arm the per-cell watchdog and
 //! retry budget; `--fault-rate` injects faults at every site with a
 //! per-cell derived seed; `--checkpoint`/`--resume` stream completed
 //! cells through an append-only journal (checksummed and fsynced per
@@ -32,6 +36,7 @@
 //! tps-run --bench gups --all --scale small
 //! tps-run --matrix --scale test --threads 8 --json report.json
 //! tps-run --bench xsbench --mech tps --smt
+//! tps-run --bench gups --mech tps --tenants 8 --json -
 //! tps-run --matrix --retries 2 --cell-timeout 60000 --checkpoint run.ckpt
 //! tps-run --matrix --resume run.ckpt --json report.json
 //! ```
@@ -43,7 +48,9 @@
 use std::path::{Path, PathBuf};
 
 use tps::core::{FaultPlanConfig, TpsError};
-use tps::sim::{write_atomic, ExperimentReport, ExperimentSpec, Mechanism, RealIo, RunOptions};
+use tps::sim::{
+    write_atomic, ExperimentReport, ExperimentSpec, Mechanism, RealIo, RunOptions, TenantCount,
+};
 use tps::wl::{suite_names, SuiteScale};
 
 /// One or more cells degraded to a structured failure entry.
@@ -65,7 +72,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix] \
-         [--scale test|small|paper] [--threads N] [--seed S] [--smt] \
+         [--scale test|small|paper] [--threads N] [--seed S] [--tenants N] [--smt] \
          [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-] \
          [--cell-timeout MS] [--retries N] [--fault-rate P] [--fault-seed S] \
          [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH] \
@@ -154,6 +161,16 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
                 spec = spec.seed(s);
+            }
+            "--tenants" => {
+                let t = args.next().unwrap_or_else(|| usage());
+                match t.parse::<TenantCount>() {
+                    Ok(tenants) => spec = spec.tenants(tenants),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        usage()
+                    }
+                }
             }
             "--smt" => spec = spec.smt(true),
             "--virtualized" => spec = spec.virtualized(true),
@@ -253,9 +270,10 @@ fn parse_args() -> Options {
 
 fn print_report(report: &ExperimentReport) {
     println!(
-        "scale: {}   smt: {}   seed: {:#x}   baseline: {}",
+        "scale: {}   smt: {}   tenants: {}   seed: {:#x}   baseline: {}",
         report.scale(),
         report.is_smt(),
+        report.tenant_count(),
         report.base_seed(),
         report
             .baseline_mechanism()
@@ -274,7 +292,8 @@ fn print_report(report: &ExperimentReport) {
     );
     for cell in report.cells() {
         match &cell.result {
-            Ok(stats) => {
+            Ok(machine) => {
+                let stats = &machine.global;
                 let speedup = cell
                     .derived
                     .and_then(|d| d.speedup_vs_baseline)

@@ -11,8 +11,8 @@
 //!   fault handling.
 //! * [`wl`] — deterministic workload generators (GUPS, Graph500, XSBench,
 //!   DBx1000, SPEC17-like kernels).
-//! * [`sim`] — the machine driver, SMT and virtualization models, and the
-//!   `T = T_IDEAL + T_L1DTLBM + T_PW` timing model.
+//! * [`sim`] — the multi-tenant machine driver, SMT and virtualization
+//!   models, and the `T = T_IDEAL + T_L1DTLBM + T_PW` timing model.
 //!
 //! ## Quickstart
 //!
@@ -21,11 +21,33 @@
 //!
 //! // Simulate a small GUPS run under the TPS paging policy.
 //! let config = MachineConfig::default().with_policy(PolicyKind::Tps);
-//! let mut machine = Machine::new(config);
-//! let mut wl = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
-//! let stats = machine.run(&mut wl);
+//! let wl = Gups::new(GupsParams { table_bytes: 8 << 20, updates: 20_000, seed: 1 });
+//! let stats = MachineBuilder::new(config)
+//!     .tenant(TenantSpec::workload(wl))
+//!     .build()?
+//!     .run()
+//!     .into_solo();
 //! assert!(stats.mem.accesses > 0);
 //! println!("L1 hit rate: {:.2}%", 100.0 * stats.mem.l1_hit_rate());
+//! # Ok::<(), tps::core::TpsError>(())
+//! ```
+//!
+//! Several tenants share one machine — one buddy allocator, one TLB
+//! hierarchy, ASID-tagged entries with real shootdown cross-talk:
+//!
+//! ```
+//! use tps::prelude::*;
+//!
+//! let config = MachineConfig::default().with_memory(128 << 20);
+//! let stats = MachineBuilder::new(config)
+//!     .tenants((0..4).map(|i| TenantSpec::suite("gups", SuiteScale::Test, 100 + i)))
+//!     .scheduler(Scheduler::RoundRobin)
+//!     .build()?
+//!     .run();
+//! assert_eq!(stats.tenant_count(), 4);
+//! let shared: u64 = stats.per_tenant.iter().map(|t| t.mem.accesses).sum();
+//! assert_eq!(shared, stats.global.mem.accesses);
+//! # Ok::<(), tps::core::TpsError>(())
 //! ```
 //!
 //! ## Experiment matrices
@@ -58,8 +80,9 @@ pub mod prelude {
     pub use tps_os::{AliasPolicy, PolicyKind};
     pub use tps_sim::{
         CellFailure, CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix,
-        ExperimentReport, ExperimentSpec, FailureCause, HwFaultStats, Machine, MachineConfig,
-        Mechanism, RunOptions, RunStats, DEFAULT_EXPERIMENT_SEED, REPORT_SCHEMA, REPORT_VERSION,
+        ExperimentReport, ExperimentSpec, FailureCause, HwFaultStats, Machine, MachineBuilder,
+        MachineConfig, MachineRunStats, Mechanism, RunOptions, RunStats, Scheduler, TenantCount,
+        TenantSpec, DEFAULT_EXPERIMENT_SEED, MAX_TENANTS, REPORT_SCHEMA, REPORT_VERSION,
     };
     pub use tps_wl::{
         Dbx1000, Dbx1000Params, Event, Graph500, Graph500Params, Gups, GupsParams, Spec17Kernel,

@@ -3,9 +3,17 @@
 //! through promotions, munmap/remap cycles and SMT sharing.
 
 use tps::core::{VirtAddr, BASE_PAGE_SIZE, GIB};
-use tps::sim::{run_smt, Machine, MachineConfig, Mechanism, RunCounters};
+use tps::sim::{run_smt, Machine, MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps::wl::{Event, Workload, WorkloadProfile};
 use tps_core::rng::Rng;
+
+/// A machine with one externally-driven tenant, for the step-API tests.
+fn stepper(config: MachineConfig) -> Machine {
+    MachineBuilder::new(config)
+        .tenant(TenantSpec::external("driver"))
+        .build()
+        .expect("one tenant builds")
+}
 
 /// A workload whose accesses are chosen adversarially: random sizes,
 /// overlapping lifetimes, map/unmap churn.
@@ -84,8 +92,12 @@ fn churn_translates_correctly_under_every_mechanism() {
         let config = MachineConfig::for_mechanism(mech)
             .with_memory(512 << 20)
             .with_verification();
-        let mut machine = Machine::new(config);
-        let stats = machine.run(&mut Churn::new(0xc0ffee, 3000));
+        let stats = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(Churn::new(0xc0ffee, 3000)))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo();
         assert!(stats.mem.accesses > 1000, "{mech}");
         assert!(stats.os.munmaps > 0, "{mech}: churn must unmap");
         assert!(stats.os.shootdowns > 0, "{mech}: unmaps require shootdowns");
@@ -125,8 +137,11 @@ fn memory_is_fully_reclaimed_after_unmapping_everything() {
         let config = MachineConfig::for_mechanism(mech)
             .with_memory(64 << 20)
             .with_verification();
-        let mut machine = Machine::new(config);
-        machine.run(&mut MapAll(events.clone()));
+        let mut machine = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(MapAll(events.clone())))
+            .build()
+            .expect("one tenant builds");
+        machine.run();
         let os = machine.os();
         assert_eq!(os.process(0).resident_bytes(), 0, "{mech}");
         // Everything except background-noise blocks is free again.
@@ -145,7 +160,7 @@ fn smt_churn_keeps_address_spaces_isolated() {
         .with_memory(GIB)
         .with_verification();
     // verify_translations catches any cross-ASID TLB pollution.
-    let stats = run_smt(config, &mut Churn::new(1, 2000), &mut Churn::new(2, 2000));
+    let stats = run_smt(config, Churn::new(1, 2000), Churn::new(2, 2000));
     assert!(stats.primary.mem.accesses > 1000);
     assert!(stats.sibling.mem.accesses > 1000);
 }
@@ -155,26 +170,25 @@ fn step_api_supports_custom_driving() {
     let config = MachineConfig::for_mechanism(Mechanism::Tps)
         .with_memory(64 << 20)
         .with_verification();
-    let mut machine = Machine::new(config);
-    let mut counters = RunCounters::default();
+    let mut machine = stepper(config);
     machine.step(
+        0,
         Event::Mmap {
             region: 9,
             bytes: 1 << 20,
         },
-        &mut counters,
     );
     for i in 0..256u64 {
         machine.step(
+            0,
             Event::Access {
                 region: 9,
                 offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
-            &mut counters,
         );
     }
-    assert_eq!(counters.full.accesses, 256);
+    assert_eq!(machine.counters(0).full.accesses, 256);
     // The full region is touched: TPS promoted it to a single 1 MB page.
     let census = machine.os().process(0).page_table().page_census();
     assert_eq!(census.len(), 1);
@@ -189,38 +203,37 @@ fn virtual_addresses_never_leak_between_regions() {
     let config = MachineConfig::for_mechanism(Mechanism::Tps)
         .with_memory(64 << 20)
         .with_verification();
-    let mut machine = Machine::new(config);
-    let mut counters = RunCounters::default();
+    let mut machine = stepper(config);
     machine.step(
+        0,
         Event::Mmap {
             region: 0,
             bytes: 256 << 10,
         },
-        &mut counters,
     );
     machine.step(
+        0,
         Event::Mmap {
             region: 1,
             bytes: 256 << 10,
         },
-        &mut counters,
     );
     for i in 0..64u64 {
         machine.step(
+            0,
             Event::Access {
                 region: 0,
                 offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
-            &mut counters,
         );
         machine.step(
+            0,
             Event::Access {
                 region: 1,
                 offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
-            &mut counters,
         );
     }
     let pt = machine.os().process(0).page_table();
@@ -247,38 +260,37 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
     let config = MachineConfig::for_mechanism(Mechanism::Only4K)
         .with_memory(64 << 20)
         .with_verification();
-    let mut machine = Machine::new(config);
-    let mut counters = RunCounters::default();
+    let mut machine = stepper(config);
     machine.step(
+        0,
         Event::Mmap {
             region: 0,
             bytes: 256 << 10,
         },
-        &mut counters,
     );
     for i in 0..64u64 {
         machine.step(
+            0,
             Event::Access {
                 region: 0,
                 offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
-            &mut counters,
         );
     }
-    let merges = machine.merge_pages();
+    let merges = machine.merge_pages(0);
     assert!(merges > 0, "contiguous 4K faults must merge");
     // Re-access everything: verification asserts every translation, and
     // stale (pre-merge) TLB entries must still be correct, as the paper
     // argues merges need no shootdowns.
     for i in 0..64u64 {
         machine.step(
+            0,
             Event::Access {
                 region: 0,
                 offset: i * BASE_PAGE_SIZE,
                 write: false,
             },
-            &mut counters,
         );
     }
     let census = machine.os().process(0).page_table().page_census();

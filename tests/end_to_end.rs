@@ -2,16 +2,19 @@
 //! with translation verification enabled — every TLB-provided translation
 //! is cross-checked against the page table on every access.
 
-use tps::sim::{Machine, MachineConfig, Mechanism};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, TenantSpec};
 use tps::wl::{build, suite_names, SuiteScale};
 
 fn run(name: &str, mech: Mechanism) -> tps::sim::RunStats {
     let config = MachineConfig::for_mechanism(mech)
         .with_memory(SuiteScale::Test.recommended_memory())
         .with_verification();
-    let mut machine = Machine::new(config);
-    let mut workload = build(name, SuiteScale::Test);
-    machine.run(&mut *workload)
+    MachineBuilder::new(config)
+        .tenant(TenantSpec::boxed(build(name, SuiteScale::Test)))
+        .build()
+        .expect("one tenant builds")
+        .run()
+        .into_solo()
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! `cargo test`.
 
 use tps::mem::{BuddyAllocator, FragmentParams, Fragmenter};
-use tps::sim::{run_smt, Machine, MachineConfig, Mechanism, TimingModel};
+use tps::sim::{run_smt, MachineBuilder, MachineConfig, Mechanism, TenantSpec, TimingModel};
 use tps::wl::{build, SuiteScale};
 use tps_bench_shapes::*;
 
@@ -23,9 +23,12 @@ mod tps_bench_shapes {
         let config = tweak(
             MachineConfig::for_mechanism(mech).with_memory(SuiteScale::Test.recommended_memory()),
         );
-        let mut machine = Machine::new(config);
-        let mut workload = build(name, SuiteScale::Test);
-        machine.run(&mut *workload)
+        MachineBuilder::new(config)
+            .tenant(TenantSpec::boxed(build(name, SuiteScale::Test)))
+            .build()
+            .expect("one tenant builds")
+            .run()
+            .into_solo()
     }
 }
 
@@ -90,9 +93,9 @@ fn fig14_shape_smt_hurts_baseline_more_than_tps() {
         MachineConfig::for_mechanism(mech).with_memory(2 * SuiteScale::Test.recommended_memory())
     };
     let smt_run = |mech| {
-        let mut a = build("xsbench", SuiteScale::Test);
-        let mut b = build("xsbench", SuiteScale::Test);
-        run_smt(config(mech), &mut *a, &mut *b).primary
+        let a = build("xsbench", SuiteScale::Test);
+        let b = build("xsbench", SuiteScale::Test);
+        run_smt(config(mech), a, b).primary
     };
     let thp_solo = run("xsbench", Mechanism::Thp);
     let thp_smt = smt_run(Mechanism::Thp);

@@ -3,9 +3,9 @@
 //! machine.
 
 use tps::core::BASE_PAGE_SIZE;
-use tps::sim::{Machine, MachineConfig, Mechanism};
+use tps::sim::{Machine, MachineBuilder, MachineConfig, Mechanism, RunStats, TenantSpec};
 use tps::wl::{
-    build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, WorkloadProfile,
+    build, replay, Gups, GupsParams, Initialized, Recorder, SuiteScale, Workload, WorkloadProfile,
 };
 
 fn base_config(mech: Mechanism) -> MachineConfig {
@@ -14,17 +14,26 @@ fn base_config(mech: Mechanism) -> MachineConfig {
         .with_verification()
 }
 
+fn solo(config: MachineConfig, spec: TenantSpec) -> Machine {
+    MachineBuilder::new(config)
+        .tenant(spec)
+        .build()
+        .expect("one tenant builds")
+}
+
+fn run_suite(config: MachineConfig, name: &str) -> RunStats {
+    solo(config, TenantSpec::boxed(build(name, SuiteScale::Test)))
+        .run()
+        .into_solo()
+}
+
 #[test]
 fn five_level_machine_runs_the_suite_correctly() {
     let mut config = base_config(Mechanism::Tps);
     config.five_level_paging = true;
-    let mut machine = Machine::new(config);
-    let mut wl = build("xsbench", SuiteScale::Test);
-    let five = machine.run(&mut *wl);
+    let five = run_suite(config, "xsbench");
 
-    let mut machine4 = Machine::new(base_config(Mechanism::Tps));
-    let mut wl4 = build("xsbench", SuiteScale::Test);
-    let four = machine4.run(&mut *wl4);
+    let four = run_suite(base_config(Mechanism::Tps), "xsbench");
 
     // Same translation behavior (hit counts identical)...
     assert_eq!(five.mem, four.mem);
@@ -36,13 +45,9 @@ fn five_level_machine_runs_the_suite_correctly() {
 fn skewed_tps_tlb_runs_verified_and_close_to_fa() {
     let mut config = base_config(Mechanism::Tps);
     config.tlb.tps_l1_skewed = true;
-    let mut machine = Machine::new(config);
-    let mut wl = build("gups", SuiteScale::Test);
-    let skewed = machine.run(&mut *wl);
+    let skewed = run_suite(config, "gups");
 
-    let mut machine_fa = Machine::new(base_config(Mechanism::Tps));
-    let mut wl_fa = build("gups", SuiteScale::Test);
-    let fa = machine_fa.run(&mut *wl_fa);
+    let fa = run_suite(base_config(Mechanism::Tps), "gups");
 
     // Verification (enabled) proves correctness; hit rates are close — a
     // single-page GUPS footprint fits either organization.
@@ -58,13 +63,13 @@ fn skewed_tps_tlb_runs_verified_and_close_to_fa() {
 fn fine_grained_ad_flag_plumbs_through_the_machine() {
     let mut config = base_config(Mechanism::Tps);
     config.fine_grained_ad = true;
-    let mut machine = Machine::new(config);
-    let mut wl = Initialized::new(Gups::new(GupsParams {
+    let wl = Initialized::new(Gups::new(GupsParams {
         table_bytes: 1 << 20,
         updates: 2_000,
         seed: 5,
     }));
-    machine.run(&mut wl);
+    let mut machine = solo(config, TenantSpec::workload(wl));
+    machine.run();
     // The 1 MB table promoted to one tailored page; writes recorded a
     // dirty vector on it.
     let process = machine.os().process(0);
@@ -79,47 +84,53 @@ fn fine_grained_ad_flag_plumbs_through_the_machine() {
 
 #[test]
 fn recorded_trace_replays_to_identical_statistics() {
-    let make_machine = || Machine::new(base_config(Mechanism::Tps));
     let inner = Initialized::new(Gups::new(GupsParams {
         table_bytes: 2 << 20,
         updates: 5_000,
         seed: 11,
     }));
+    // Record through the step API: an externally-driven tenant replays
+    // the recorder's event stream one event at a time.
     let mut buf = Vec::new();
     let mut recorder = Recorder::new(inner, &mut buf);
-    let live = make_machine().run(&mut recorder);
+    let mut live_machine = solo(base_config(Mechanism::Tps), TenantSpec::external("gups"));
+    while let Some(e) = recorder.next_event() {
+        live_machine.step(0, e);
+    }
+    let live = live_machine.counters(0).measured.clone();
+    let live_census = live_machine.os().process(0).page_table().page_census();
     drop(recorder);
 
-    let mut replayed = replay(&buf[..], WorkloadProfile::named("gups")).unwrap();
-    let again = make_machine().run(&mut replayed);
+    let replayed = replay(std::io::Cursor::new(buf), WorkloadProfile::named("gups")).unwrap();
+    let again = solo(base_config(Mechanism::Tps), TenantSpec::workload(replayed))
+        .run()
+        .into_solo();
     assert_eq!(live.mem, again.mem);
     assert_eq!(live.walk_refs, again.walk_refs);
-    assert_eq!(live.page_census, again.page_census);
+    assert_eq!(live_census, again.page_census);
 }
 
 #[test]
 fn mprotect_round_trip_through_verified_accesses() {
     use tps::core::VirtAddr;
-    use tps::sim::RunCounters;
     use tps::wl::Event;
 
-    let mut machine = Machine::new(base_config(Mechanism::Tps));
-    let mut counters = RunCounters::default();
+    let mut machine = solo(base_config(Mechanism::Tps), TenantSpec::external("driver"));
     machine.step(
+        0,
         Event::Mmap {
             region: 0,
             bytes: 64 << 10,
         },
-        &mut counters,
     );
     for i in 0..16u64 {
         machine.step(
+            0,
             Event::Access {
                 region: 0,
                 offset: i * BASE_PAGE_SIZE,
                 write: true,
             },
-            &mut counters,
         );
     }
     // mprotect at the OS level is visible in the page table; verified

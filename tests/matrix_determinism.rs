@@ -47,7 +47,10 @@ fn parallel_report_matches_serial_cell_for_cell() {
         assert_eq!(a.benchmark, b.benchmark);
         assert_eq!(a.mechanism, b.mechanism);
         assert_eq!(a.seed, b.seed);
-        let (sa, sb) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+        let (sa, sb) = (
+            &a.result.as_ref().unwrap().global,
+            &b.result.as_ref().unwrap().global,
+        );
         assert_eq!(sa.mem.accesses, sb.mem.accesses);
         assert_eq!(sa.mem.l1_misses(), sb.mem.l1_misses());
         assert_eq!(sa.walk_refs, sb.walk_refs);
