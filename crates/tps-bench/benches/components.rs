@@ -120,25 +120,29 @@ fn bench_end_to_end(c: &mut Criterion) {
                 .tenant(TenantSpec::external("bench"))
                 .build()
                 .expect("one tenant builds");
-        machine.step(
-            0,
-            Event::Mmap {
-                region: 0,
-                bytes: 16 << 20,
-            },
-        );
+        machine
+            .step(
+                0,
+                Event::Mmap {
+                    region: 0,
+                    bytes: 16 << 20,
+                },
+            )
+            .expect("bench event is well-formed");
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
             let offset = (x >> 33) % (16 << 20);
-            machine.step(
-                0,
-                Event::Access {
-                    region: 0,
-                    offset: offset & !7,
-                    write: false,
-                },
-            );
+            machine
+                .step(
+                    0,
+                    Event::Access {
+                        region: 0,
+                        offset: offset & !7,
+                        write: false,
+                    },
+                )
+                .expect("bench event is well-formed");
         })
     });
 }

@@ -90,7 +90,8 @@ fn run_mechanism(mechanism: Mechanism) -> Measurement {
     let mut off = 0;
     while off < VMA_SIZE {
         for base in &bases {
-            mmu.access(&mut os, asid, VirtAddr::new(base + off), true);
+            mmu.access(&mut os, asid, VirtAddr::new(base + off), true)
+                .expect("warm-up touches freshly mapped regions");
         }
         off += tps_core::BASE_PAGE_SIZE;
     }
@@ -110,7 +111,9 @@ fn run_mechanism(mechanism: Mechanism) -> Measurement {
         } else {
             bases[((r >> 32) % VMAS) as usize] + r % VMA_SIZE
         };
-        let out = mmu.access(&mut os, asid, VirtAddr::new(va), r & 1 == 0);
+        let out = mmu
+            .access(&mut os, asid, VirtAddr::new(va), r & 1 == 0)
+            .expect("benchmark accesses stay within mapped regions");
         if out.level == AccessLevel::Walk {
             walks += 1;
         }

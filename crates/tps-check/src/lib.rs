@@ -30,6 +30,13 @@
 //!   corrupted journals, proving every salvageable journal resumes
 //!   byte-identically and every corruption is detected — never a
 //!   silently wrong report.
+//! * [`containment`] — a multi-tenant fault-containment chaos campaign:
+//!   hundreds of seeded schedules mixing well-behaved tenants with
+//!   memory hogs, cap overrunners and malformed event streams, proving
+//!   the machine kills misbehaving tenants without panicking, returns
+//!   their frames to a conserved buddy state, keeps per-tenant
+//!   statistics summing exactly to the rollup, and reproduces the same
+//!   kill sequence on every re-run.
 //!
 //! Nothing here is in the simulator's hot path: production crates only
 //! carry the `Option<InjectorHandle>` hook, which stays `None` (one
@@ -41,6 +48,7 @@
 mod audit;
 pub mod campaign;
 pub mod chaos;
+pub mod containment;
 mod plan;
 pub mod shadow;
 

@@ -135,6 +135,94 @@ impl TpsError {
     }
 }
 
+/// Why a tenant's event could not be executed by the machine driver.
+///
+/// A fault is always scoped to the tenant that raised it: the machine
+/// contains the tenant (kills it and reclaims its memory) and the
+/// survivors run on. The cause is the stable, serializable part of a
+/// [`TenantFault`]; its `label`/`from_label` pair is the JSON encoding
+/// used by experiment reports and the checkpoint journal.
+#[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum TenantFaultCause {
+    /// The shared physical pool could not satisfy the tenant's request.
+    Oom,
+    /// The event would have pushed the tenant past its memory cap.
+    CapExceeded,
+    /// The event named a region the tenant has not mapped.
+    UnknownRegion,
+    /// The event was malformed: a duplicate region id, an out-of-bounds
+    /// offset, or an event for a tenant that already retired.
+    BadEvent,
+}
+
+impl TenantFaultCause {
+    /// The stable serialization label of this cause.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TenantFaultCause::Oom => "oom",
+            TenantFaultCause::CapExceeded => "cap-exceeded",
+            TenantFaultCause::UnknownRegion => "unknown-region",
+            TenantFaultCause::BadEvent => "bad-event",
+        }
+    }
+
+    /// Parses a label produced by [`TenantFaultCause::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        Some(match label {
+            "oom" => TenantFaultCause::Oom,
+            "cap-exceeded" => TenantFaultCause::CapExceeded,
+            "unknown-region" => TenantFaultCause::UnknownRegion,
+            "bad-event" => TenantFaultCause::BadEvent,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TenantFaultCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A contained, tenant-scoped failure raised by the machine's event path.
+///
+/// Returned by the machine's `step`; under `run` it triggers the kill of
+/// the faulting tenant (or, for [`TenantFaultCause::Oom`] under the
+/// kill-victim policy, of the largest tenant) instead of a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantFault {
+    cause: TenantFaultCause,
+    detail: String,
+}
+
+impl TenantFault {
+    /// Builds a fault with the given cause and human-readable detail.
+    pub fn new(cause: TenantFaultCause, detail: impl Into<String>) -> Self {
+        TenantFault {
+            cause,
+            detail: detail.into(),
+        }
+    }
+
+    /// The structured cause (what a kill policy dispatches on).
+    pub fn cause(&self) -> TenantFaultCause {
+        self.cause
+    }
+
+    /// The human-readable description of the fault.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for TenantFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant fault ({}): {}", self.cause, self.detail)
+    }
+}
+
+impl Error for TenantFault {}
+
 /// The layer at which a cross-layer invariant violation was detected.
 #[derive(Debug, Copy, Clone, PartialEq, Eq, Hash)]
 pub enum InvariantLayer {
@@ -257,6 +345,35 @@ mod tests {
     fn is_send_sync_error() {
         fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
         assert_traits::<TpsError>();
+        assert_traits::<TenantFault>();
+    }
+
+    #[test]
+    fn tenant_fault_cause_labels_round_trip() {
+        for cause in [
+            TenantFaultCause::Oom,
+            TenantFaultCause::CapExceeded,
+            TenantFaultCause::UnknownRegion,
+            TenantFaultCause::BadEvent,
+        ] {
+            let label = cause.label();
+            assert_eq!(label, label.to_lowercase(), "labels are lowercase");
+            assert_eq!(TenantFaultCause::from_label(label), Some(cause));
+            assert_eq!(cause.to_string(), label);
+        }
+        assert_eq!(TenantFaultCause::from_label("nonesuch"), None);
+    }
+
+    #[test]
+    fn tenant_fault_carries_cause_and_detail() {
+        let fault = TenantFault::new(TenantFaultCause::CapExceeded, "64 over a 32-byte cap");
+        assert_eq!(fault.cause(), TenantFaultCause::CapExceeded);
+        assert_eq!(fault.detail(), "64 over a 32-byte cap");
+        assert_eq!(
+            fault.to_string(),
+            "tenant fault (cap-exceeded): 64 over a 32-byte cap"
+        );
+        assert!(fault.source().is_none());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use addr::{
     PhysAddr, VirtAddr, BASE_PAGE_SHIFT, BASE_PAGE_SIZE, GIB, KIB, MIB, PAGE_1G_BYTES,
     PAGE_2M_BYTES, PA_BITS, VA_BITS,
 };
-pub use error::{InvariantLayer, TpsError};
+pub use error::{InvariantLayer, TenantFault, TenantFaultCause, TpsError};
 pub use inject::{FaultInjector, FaultPlan, FaultPlanConfig, FaultSite, InjectorHandle};
 pub use page::{
     level_base_order, level_for_order, PageOrder, PageSize, LEVELS, MAX_PAGE_ORDER, PT_ENTRIES,

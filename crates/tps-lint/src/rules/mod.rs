@@ -82,6 +82,13 @@ pub const RULES: [&str; 17] = [
 
 /// Crates forming the mmap/fault/munmap/compact path ([`PANIC_FREE`]).
 pub const FAULT_PATH_CRATES: [&str; 3] = ["tps-os", "tps-mem", "tps-pt"];
+/// Individual files on the tenant event path that must also stay
+/// panic-free ([`PANIC_FREE`]). These live in crates that are otherwise
+/// allowed to panic, so they are named file-by-file; in these files the
+/// rule additionally bans `assert!` and friends — a failed containment
+/// assertion would abort the very machine that is supposed to outlive a
+/// misbehaving tenant.
+pub const FAULT_PATH_FILES: [&str; 1] = ["crates/tps-sim/src/machine.rs"];
 /// The only crate allowed to spell out page-size constants.
 pub const CORE_CRATE: &str = "tps-core";
 /// Crates whose exported items must be documented ([`PUB_ITEM_DOCS`]).
@@ -127,9 +134,12 @@ pub fn explain(rule: &str) -> Option<&'static str> {
     Some(match rule {
         PANIC_FREE => {
             "panic-free-fault-path: `unwrap`, `expect`, `panic!`, indexing and friends are \
-             banned in tps-os/tps-mem/tps-pt non-test code. The mmap/fault/munmap/compact \
-             path must degrade into TpsError values — a panic mid-compaction corrupts the \
-             machine state the fault-injection campaigns replay."
+             banned in tps-os/tps-mem/tps-pt non-test code, and in the tenant event path \
+             (tps-sim's machine.rs) where `assert!`/`assert_eq!`/`assert_ne!` are banned \
+             too. The mmap/fault/munmap/compact path must degrade into TpsError values — a \
+             panic mid-compaction corrupts the machine state the fault-injection campaigns \
+             replay, and an abort on the tenant step path would take down the machine that \
+             fault containment promises will outlive a misbehaving tenant."
         }
         NO_MAGIC_PAGE_SIZE => {
             "no-magic-page-size: bare page-size literals (4096, 0x1000, 1 << 12, ...) are \

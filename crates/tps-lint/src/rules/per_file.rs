@@ -1,8 +1,8 @@
 //! Rules that inspect one file at a time.
 
 use super::{
-    ADDR_OPACITY, CORE_CRATE, DOC_CRATES, FAULT_PATH_CRATES, GUARDED_ENUMS, NO_MAGIC_PAGE_SIZE,
-    NO_WILDCARD_ENUM_MATCH, PANIC_FREE, PUB_ITEM_DOCS, RAW_ARTIFACT_IO,
+    ADDR_OPACITY, CORE_CRATE, DOC_CRATES, FAULT_PATH_CRATES, FAULT_PATH_FILES, GUARDED_ENUMS,
+    NO_MAGIC_PAGE_SIZE, NO_WILDCARD_ENUM_MATCH, PANIC_FREE, PUB_ITEM_DOCS, RAW_ARTIFACT_IO,
 };
 use crate::diag::Diagnostic;
 use crate::file::{FileCtx, Sig};
@@ -18,10 +18,24 @@ const PAGE_SIZE_SHIFTS: [u128; 3] = [12, 21, 30];
 /// Macros that abort instead of returning an error.
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
+/// Assertion macros additionally banned in [`FAULT_PATH_FILES`]: a failed
+/// assertion on the tenant step path aborts the machine that containment
+/// promises will outlive the faulting tenant.
+const ASSERT_MACROS: [&str; 6] = [
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
 /// [`PANIC_FREE`]: no `unwrap`/`expect` calls or aborting macros in
-/// non-test code of the fault-path crates.
+/// non-test code of the fault-path crates, nor in the named tenant
+/// event-path files (where assertions are banned too).
 pub fn panic_free(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    if !FAULT_PATH_CRATES.contains(&ctx.crate_name) {
+    let fault_path_file = FAULT_PATH_FILES.contains(&ctx.rel_path);
+    if !fault_path_file && !FAULT_PATH_CRATES.contains(&ctx.crate_name) {
         return;
     }
     for i in 0..ctx.sig.len() {
@@ -34,14 +48,22 @@ pub fn panic_free(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             && ctx.text(i - 1) == "."
             && ctx.text(i + 1) == "(";
         let abort_macro = PANIC_MACROS.contains(&t) && ctx.text(i + 1) == "!";
+        let assert_macro = fault_path_file && ASSERT_MACROS.contains(&t) && ctx.text(i + 1) == "!";
         if method_call {
+            let site = if fault_path_file {
+                format!("{} is on the tenant event path", ctx.rel_path)
+            } else {
+                format!(
+                    "{} is on the mmap/fault/munmap/compact path",
+                    ctx.crate_name
+                )
+            };
             out.push(ctx.diag(
                 i,
                 PANIC_FREE,
                 format!(
-                    "`.{t}()` on the fault path ({} is on the mmap/fault/munmap/compact path); \
-                     return a TpsError (e.g. TpsError::invariant) instead",
-                    ctx.crate_name
+                    "`.{t}()` on the fault path ({site}); \
+                     return a TpsError (e.g. TpsError::invariant) instead"
                 ),
             ));
         } else if abort_macro {
@@ -50,6 +72,16 @@ pub fn panic_free(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
                 PANIC_FREE,
                 format!(
                     "`{t}!` aborts the simulation; fault-path crates must surface a TpsError instead"
+                ),
+            ));
+        } else if assert_macro {
+            out.push(ctx.diag(
+                i,
+                PANIC_FREE,
+                format!(
+                    "`{t}!` on the tenant event path aborts the whole machine on a single \
+                     tenant's misbehavior; surface a TenantFault / TpsError so the kill \
+                     path can contain it"
                 ),
             ));
         }

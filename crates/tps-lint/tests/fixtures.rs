@@ -140,7 +140,7 @@ fn check_multi_rule(rule: &str) {
 
 #[test]
 fn panic_free_fault_path_fixtures() {
-    check_single_rule("panic-free-fault-path");
+    check_multi_rule("panic-free-fault-path");
 }
 
 #[test]

@@ -1,0 +1,13 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/machine.rs
+
+fn step(slot: Option<usize>, live: &[usize]) -> usize {
+    let slot = slot.unwrap(); //~ ERROR panic-free-fault-path
+    assert!(slot < 64); //~ ERROR panic-free-fault-path
+    assert_eq!(live.len(), 64); //~ ERROR panic-free-fault-path
+    assert_ne!(slot, 63); //~ ERROR panic-free-fault-path
+    debug_assert!(live.contains(&slot)); //~ ERROR panic-free-fault-path
+    if !live.contains(&slot) {
+        panic!("tenant vanished"); //~ ERROR panic-free-fault-path
+    }
+    slot
+}

@@ -1,0 +1,8 @@
+// fixture: crate=tps-sim path=crates/tps-sim/src/scheduler.rs
+
+// A tps-sim file off the tenant event path: asserts are allowed, so this
+// file contributes no expected diagnostics even in the bad corpus.
+fn pick(slots: &[usize]) -> usize {
+    assert!(!slots.is_empty());
+    slots[0]
+}

@@ -41,12 +41,12 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::sync::Mutex;
 
-use tps_core::{PageOrder, TpsError};
+use tps_core::{PageOrder, TenantFaultCause, TpsError};
 use tps_os::OsStats;
 use tps_tlb::TlbStats;
 use tps_wl::WorkloadProfile;
 
-use crate::stats::{HwFaultStats, MachineRunStats, RunStats};
+use crate::stats::{HwFaultStats, MachineRunStats, RunStats, TenantOutcome};
 
 use super::io::{crc32, ArtifactIo, ArtifactSink};
 use super::json::Json;
@@ -407,6 +407,15 @@ fn entry_json(index: u64, outcome: &Result<MachineRunStats, CellFailure>) -> Jso
                     Json::Array(machine.per_tenant.iter().map(stats_to_json).collect()),
                 );
             }
+            // Same conditional-compat rule as the tenants array: the
+            // outcomes key appears only when the machine killed someone,
+            // so fault-free entries match pre-outcome journals exactly.
+            if machine.outcomes.iter().any(|o| o.is_killed()) {
+                entry.set(
+                    "outcomes",
+                    Json::Array(machine.outcomes.iter().map(outcome_json).collect()),
+                );
+            }
         }
         Err(failure) => {
             entry.set("ok", Json::Bool(false));
@@ -443,7 +452,21 @@ fn parse_entry(
             Some(_) => return Err("tenants is not an array".to_string()),
             None => vec![global.clone()],
         };
-        Ok(MachineRunStats { global, per_tenant })
+        let outcomes = match entry.get("outcomes") {
+            Some(Json::Array(items)) => items
+                .iter()
+                .map(outcome_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("outcomes is not an array".to_string()),
+            // Entries journaled before outcomes existed — or by any
+            // fault-free run since — report every tenant as completed.
+            None => vec![TenantOutcome::Completed; per_tenant.len()],
+        };
+        Ok(MachineRunStats {
+            global,
+            per_tenant,
+            outcomes,
+        })
     } else {
         let cause = entry
             .get("cause")
@@ -467,6 +490,39 @@ fn parse_entry(
         })
     };
     Ok((index, outcome))
+}
+
+/// Renders one tenant outcome. Shared with the report serializer so a
+/// kill reads identically in the journal and the aggregated document.
+pub(crate) fn outcome_json(outcome: &TenantOutcome) -> Json {
+    let mut obj = Json::object();
+    match outcome {
+        TenantOutcome::Completed => {
+            obj.set("outcome", Json::Str("completed".to_string()));
+        }
+        TenantOutcome::Killed { cause, at_event } => {
+            obj.set("outcome", Json::Str("killed".to_string()));
+            obj.set("cause", Json::Str(cause.label().to_string()));
+            obj.set("at_event", Json::U64(*at_event));
+        }
+    }
+    obj
+}
+
+fn outcome_from_json(obj: &Json) -> Result<TenantOutcome, String> {
+    match obj.get("outcome").and_then(Json::as_str) {
+        Some("completed") => Ok(TenantOutcome::Completed),
+        Some("killed") => {
+            let cause = obj
+                .get("cause")
+                .and_then(Json::as_str)
+                .and_then(TenantFaultCause::from_label)
+                .ok_or("missing or unknown kill cause")?;
+            let at_event = u64_field(obj, "at_event")?;
+            Ok(TenantOutcome::Killed { cause, at_event })
+        }
+        other => Err(format!("unknown outcome {other:?}")),
+    }
 }
 
 // --- full RunStats codec ------------------------------------------------
@@ -686,10 +742,7 @@ mod tests {
 
     /// Wraps a rollup as the solo-machine outcome cells journal.
     fn solo(stats: RunStats) -> MachineRunStats {
-        MachineRunStats {
-            per_tenant: vec![stats.clone()],
-            global: stats,
-        }
+        MachineRunStats::solo_completed(stats)
     }
 
     #[test]
@@ -722,6 +775,7 @@ mod tests {
         let outcome = MachineRunStats {
             global: cached_stats().clone(),
             per_tenant: vec![a.clone(), b.clone()],
+            outcomes: vec![TenantOutcome::Completed; 2],
         };
         {
             let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
@@ -742,6 +796,54 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let entry = text.lines().nth(1).unwrap();
         assert!(entry.contains("\"tenants\":"), "two tenants are journaled");
+        assert!(
+            !entry.contains("\"outcomes\":"),
+            "a fault-free entry journals no outcomes key"
+        );
+        assert_eq!(
+            replayed.outcomes,
+            vec![TenantOutcome::Completed; 2],
+            "missing outcomes key loads as all-completed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn killed_outcomes_round_trip_through_the_journal() {
+        let dir = std::env::temp_dir().join("tps-ckpt-test-killed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let m = matrix();
+        let outcome = MachineRunStats {
+            global: cached_stats().clone(),
+            per_tenant: vec![cached_stats().clone(), cached_stats().clone()],
+            outcomes: vec![
+                TenantOutcome::Killed {
+                    cause: TenantFaultCause::CapExceeded,
+                    at_event: 37,
+                },
+                TenantOutcome::Completed,
+            ],
+        };
+        {
+            let writer = CheckpointWriter::create(&RealIo, &path, &m, false).unwrap();
+            writer.record(0, &Ok(outcome.clone())).unwrap();
+            writer.finish().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let entry = text.lines().nth(1).unwrap();
+        assert!(entry.contains("\"outcomes\":"), "{entry}");
+        assert!(entry.contains("\"cause\":\"cap-exceeded\""), "{entry}");
+        let loaded = load(&path, &m, false).unwrap();
+        let replayed = loaded.done[&0].as_ref().unwrap();
+        assert_eq!(replayed.outcomes, outcome.outcomes);
+        assert_eq!(
+            replayed.outcome(0),
+            TenantOutcome::Killed {
+                cause: TenantFaultCause::CapExceeded,
+                at_event: 37,
+            }
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

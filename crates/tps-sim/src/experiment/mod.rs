@@ -198,10 +198,11 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_cell_degrades_without_killing_the_matrix() {
+    fn oom_starved_matrix_contains_every_cell() {
         // 1 MB of physical memory cannot hold any test-scale workload, so
-        // every cell panics inside the machine — and every cell must still
-        // be reported, as a structured failure entry.
+        // every cell's machine kills its tenant at the first mmap — and
+        // every cell still completes, carrying the kill as a structured
+        // outcome in the serialized document.
         let report = ExperimentSpec::new()
             .bench("gups")
             .mechanisms([Mechanism::Thp, Mechanism::Tps])
@@ -212,18 +213,14 @@ mod tests {
             .unwrap()
             .run();
         assert_eq!(report.cells().len(), 2);
-        assert_eq!(report.error_count(), 2);
+        assert_eq!(report.error_count(), 0, "containment, not cell failure");
         for cell in report.cells() {
-            let failure = cell.result.as_ref().unwrap_err();
-            assert_eq!(failure.cause, FailureCause::Panic, "{failure}");
-            assert_eq!(failure.attempts, 1);
-            assert!(cell.derived.is_none());
+            let machine = cell.result.as_ref().unwrap();
+            assert_eq!(machine.killed_count(), 1);
         }
         let json = report.to_json();
-        assert!(json.contains("\"ok\": false"));
-        assert!(json.contains("\"cause\": \"panic\""));
-        assert!(json.contains("\"attempts\": 1"));
-        assert!(json.contains("worker thread panicked"));
+        assert!(json.contains("\"outcome\": \"killed\""), "{json}");
+        assert!(json.contains("\"cause\": \"oom\""), "{json}");
     }
 
     #[test]
@@ -278,13 +275,13 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("matrix.ckpt");
         std::fs::remove_file(&path).ok(); // leftover journal would trip the clobber guard
-                                          // Every cell panics (1 MB memory); the journal must replay the
-                                          // failures exactly, attempts and all.
+                                          // Every cell times out (0 ms deadline); the journal must replay
+                                          // the failures exactly, attempts and all.
         let matrix = ExperimentSpec::new()
             .bench("gups")
             .mechanisms([Mechanism::Thp, Mechanism::Tps])
             .scale(SuiteScale::Test)
-            .memory(1 << 20)
+            .cell_timeout_ms(0)
             .retries(1)
             .threads(1)
             .build()

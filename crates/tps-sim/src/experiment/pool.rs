@@ -15,7 +15,7 @@
 use crate::config::Mechanism;
 use crate::machine::{MachineBuilder, TenantSpec};
 use crate::smt::run_smt;
-use crate::stats::MachineRunStats;
+use crate::stats::{MachineRunStats, TenantOutcome};
 use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
@@ -244,6 +244,7 @@ fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell, attempt: u32) -> Machi
         MachineRunStats {
             global: smt.primary.clone(),
             per_tenant: vec![smt.primary],
+            outcomes: vec![TenantOutcome::Completed],
         }
     } else {
         let tenants = spec.tenant_count();
@@ -257,8 +258,18 @@ fn run_cell(spec: &ExperimentSpec, cell: &ExperimentCell, attempt: u32) -> Machi
                 .map(|seed| TenantSpec::suite(cell.benchmark(), scale, seed))
                 .collect()
         };
+        let cap = spec.tenant_cap_config();
+        let specs: Vec<TenantSpec> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(slot, tenant)| match cap {
+                Some((capped, bytes)) if slot == capped as usize => tenant.memory_cap(bytes),
+                _ => tenant,
+            })
+            .collect();
         let mut machine = MachineBuilder::new(config)
             .tenants(specs)
+            .on_oom(spec.oom_policy())
             .build()
             .expect("a validated spec builds a non-empty machine");
         if let Some(mut fault_cfg) = spec.fault_config() {
@@ -311,17 +322,33 @@ mod tests {
         let spec = ExperimentSpec::new().scale(SuiteScale::Test);
         let ok = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap();
         assert!(ok.global.mem.accesses > 0);
-        // 1 MB of physical memory cannot hold the test-scale GUPS table:
-        // the machine panics inside mmap, which must surface as a cell
-        // failure, not abort the process.
-        let tiny = ExperimentSpec::new()
-            .scale(SuiteScale::Test)
-            .memory(1 << 20);
-        let failure = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
+        // A panic below the runner — here a bogus benchmark name reaching
+        // the workload factory, bypassing spec validation — must surface
+        // as a cell failure, not abort the process.
+        let failure = run_single(&spec, "nonesuch", Mechanism::Tps, 11).unwrap_err();
         assert_eq!(failure.cause, FailureCause::Panic);
         assert_eq!(failure.attempts, 1);
         assert!(failure.message.contains("worker thread panicked"));
-        assert!(failure.message.contains("gups"));
+        assert!(failure.message.contains("nonesuch"));
+    }
+
+    #[test]
+    fn oom_cells_contain_instead_of_panicking() {
+        // 1 MB of physical memory cannot hold the test-scale GUPS table:
+        // the machine kills the tenant at its first mmap and completes the
+        // run with a structured outcome instead of panicking the cell.
+        let tiny = ExperimentSpec::new()
+            .scale(SuiteScale::Test)
+            .memory(1 << 20);
+        let stats = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap();
+        assert_eq!(stats.killed_count(), 1);
+        assert!(matches!(
+            stats.outcome(0),
+            crate::stats::TenantOutcome::Killed {
+                cause: tps_core::TenantFaultCause::Oom,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -347,12 +374,30 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_panic_exhausts_the_retry_budget() {
-        let tiny = ExperimentSpec::new()
+    fn capped_tenants_and_oom_policy_reach_the_machine() {
+        use super::super::spec::TenantCount;
+        // The cap knob lands on the right slot: tenant 0 dies at its first
+        // mmap (16 MB table, 1 MB cap), tenant 1 runs to completion.
+        let spec = ExperimentSpec::new()
             .scale(SuiteScale::Test)
-            .memory(1 << 20)
-            .retries(2);
-        let failure = run_single(&tiny, "gups", Mechanism::Tps, 11).unwrap_err();
+            .tenants(TenantCount::new(2).unwrap())
+            .tenant_cap(0, 1 << 20);
+        let stats = run_single(&spec, "gups", Mechanism::Tps, 9).unwrap();
+        assert!(matches!(
+            stats.outcome(0),
+            crate::stats::TenantOutcome::Killed {
+                cause: tps_core::TenantFaultCause::CapExceeded,
+                ..
+            }
+        ));
+        assert!(!stats.outcome(1).is_killed());
+        assert!(stats.per_tenant[1].mem.accesses > 0);
+    }
+
+    #[test]
+    fn deterministic_panic_exhausts_the_retry_budget() {
+        let spec = ExperimentSpec::new().scale(SuiteScale::Test).retries(2);
+        let failure = run_single(&spec, "nonesuch", Mechanism::Tps, 11).unwrap_err();
         assert_eq!(failure.attempts, 3, "original attempt + 2 retries");
         assert_eq!(failure.cause, FailureCause::Panic);
     }
@@ -361,9 +406,8 @@ mod tests {
     fn panics_under_fault_injection_classify_as_faults() {
         let spec = ExperimentSpec::new()
             .scale(SuiteScale::Test)
-            .memory(1 << 20)
             .faults(FaultPlanConfig::disabled(1));
-        let failure = run_single(&spec, "gups", Mechanism::Tps, 11).unwrap_err();
+        let failure = run_single(&spec, "nonesuch", Mechanism::Tps, 11).unwrap_err();
         assert_eq!(failure.cause, FailureCause::Fault);
     }
 

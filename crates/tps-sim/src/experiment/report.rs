@@ -5,6 +5,7 @@ use crate::stats::{MachineRunStats, RunStats};
 use crate::timing::TimingModel;
 use tps_wl::SuiteScale;
 
+use super::checkpoint::outcome_json;
 use super::json::Json;
 use super::spec::{ExperimentMatrix, TenantCount};
 
@@ -319,6 +320,12 @@ fn cell_json(cell: &CellReport) -> Json {
             if machine.per_tenant.len() > 1 {
                 let tenants = machine.per_tenant.iter().map(stats_json).collect();
                 obj.set("tenants", Json::Array(tenants));
+            }
+            // As with the tenants array: kill-free cells keep the
+            // pre-outcome document byte-for-byte.
+            if machine.outcomes.iter().any(|o| o.is_killed()) {
+                let outcomes = machine.outcomes.iter().map(outcome_json).collect();
+                obj.set("outcomes", Json::Array(outcomes));
             }
         }
         Err(failure) => {

@@ -1,6 +1,7 @@
 //! Declarative experiment specification and its expansion into cells.
 
 use crate::config::{MachineConfig, Mechanism};
+use crate::machine::OnOom;
 use tps_core::rng::SplitMix64;
 use tps_core::{FaultPlanConfig, TpsError};
 use tps_wl::{profiling_names, suite_names, SuiteScale};
@@ -119,6 +120,8 @@ pub struct ExperimentSpec {
     scale: SuiteScale,
     smt: bool,
     tenants: TenantCount,
+    on_oom: OnOom,
+    tenant_cap: Option<(u32, u64)>,
     virtualized: bool,
     five_level: bool,
     perfect_l1: bool,
@@ -142,6 +145,8 @@ impl Default for ExperimentSpec {
             scale: SuiteScale::Small,
             smt: false,
             tenants: TenantCount::SOLO,
+            on_oom: OnOom::FailFast,
+            tenant_cap: None,
             virtualized: false,
             five_level: false,
             perfect_l1: false,
@@ -238,6 +243,23 @@ impl ExperimentSpec {
     #[must_use]
     pub fn tenants(mut self, tenants: TenantCount) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Sets the machine-level OOM policy every cell's machine runs under
+    /// (default [`OnOom::FailFast`]).
+    #[must_use]
+    pub fn on_oom(mut self, policy: OnOom) -> Self {
+        self.on_oom = policy;
+        self
+    }
+
+    /// Caps tenant `slot`'s mapped bytes at `bytes` in every cell —
+    /// exceeding it raises a cap fault and the machine kills that tenant.
+    /// The knob behind the noisy-neighbor containment gates.
+    #[must_use]
+    pub fn tenant_cap(mut self, slot: u32, bytes: u64) -> Self {
+        self.tenant_cap = Some((slot, bytes));
         self
     }
 
@@ -375,6 +397,16 @@ impl ExperimentSpec {
         self.tenants
     }
 
+    /// The machine-level OOM policy cells run under.
+    pub fn oom_policy(&self) -> OnOom {
+        self.on_oom
+    }
+
+    /// The per-tenant memory cap, if one is configured: `(slot, bytes)`.
+    pub fn tenant_cap_config(&self) -> Option<(u32, u64)> {
+        self.tenant_cap
+    }
+
     /// The base seed.
     pub fn base_seed(&self) -> u64 {
         self.seed
@@ -477,6 +509,18 @@ impl ExperimentSpec {
         } else {
             format!("{desc} tenants={}", self.tenants)
         };
+        // Containment knobs follow the same rule: appended only when they
+        // deviate from the defaults, so pre-containment fingerprints (and
+        // the journals carrying them) stay valid.
+        let desc = if self.on_oom == OnOom::FailFast {
+            desc
+        } else {
+            format!("{desc} on_oom={}", self.on_oom)
+        };
+        let desc = match self.tenant_cap {
+            None => desc,
+            Some((slot, bytes)) => format!("{desc} cap={slot}:{bytes}"),
+        };
         // FNV-1a: tiny, dependency-free, and stable across builds (the
         // std hasher's keys are unspecified between releases).
         let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
@@ -541,6 +585,23 @@ impl ExperimentSpec {
                 "smt and tenants > 1 are mutually exclusive \
                  (SMT is the fixed two-tenant shared-core case)",
             ));
+        }
+        if let Some((slot, bytes)) = self.tenant_cap {
+            if slot >= self.tenants.get() {
+                return Err(TpsError::invalid_spec(format!(
+                    "tenant cap targets slot {slot}, but the machine runs {} tenant{}",
+                    self.tenants,
+                    if self.tenants.is_solo() { "" } else { "s" }
+                )));
+            }
+            if bytes == 0 {
+                return Err(TpsError::invalid_spec("tenant cap must be >= 1 byte"));
+            }
+            if self.smt {
+                return Err(TpsError::invalid_spec(
+                    "tenant caps are not supported under SMT",
+                ));
+            }
         }
         let mut cells = Vec::with_capacity(self.benchmarks.len() * self.mechanisms.len());
         for bench in &self.benchmarks {

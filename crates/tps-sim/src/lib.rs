@@ -56,10 +56,11 @@ pub use experiment::{
     DEFAULT_EXPERIMENT_SEED, HALT_EXIT_CODE, MAX_TENANTS, REPORT_SCHEMA, REPORT_VERSION,
 };
 pub use machine::{
-    Machine, MachineBuilder, RunCounters, Scheduler, TenantScheduler, TenantSpec, ThreadCounters,
+    Machine, MachineBuilder, OnOom, RunCounters, Scheduler, TenantScheduler, TenantSpec,
+    ThreadCounters,
 };
 pub use mmu::{AccessLevel, AccessOutcome, Mmu};
 pub use nested::NestedWalkModel;
 pub use smt::{run_smt, SmtRunStats};
-pub use stats::{HwFaultStats, MachineRunStats, RunStats};
+pub use stats::{HwFaultStats, MachineRunStats, RunStats, TenantOutcome};
 pub use timing::{TimingBreakdown, TimingModel};

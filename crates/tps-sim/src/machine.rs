@@ -9,10 +9,10 @@
 
 use crate::config::MachineConfig;
 use crate::mmu::{AccessLevel, Mmu};
-use crate::stats::{HwFaultStats, MachineRunStats, RunStats};
+use crate::stats::{HwFaultStats, MachineRunStats, RunStats, TenantOutcome};
 use std::collections::BTreeMap;
 use tps_core::rng::SplitMix64;
-use tps_core::{InjectorHandle, TpsError, VirtAddr};
+use tps_core::{InjectorHandle, TenantFault, TenantFaultCause, TpsError, VirtAddr};
 use tps_mem::BuddyAllocator;
 use tps_os::{Os, OsStats};
 use tps_tlb::{Asid, TlbStats};
@@ -89,6 +89,55 @@ impl ThreadCounters {
         self.walk_refs += outcome.walk_refs;
         self.alias_extras += u64::from(outcome.alias_extra);
         self.ad_updates += outcome.ad_updates;
+    }
+}
+
+/// Machine-level policy for a shared-pool out-of-memory fault raised by a
+/// tenant's `mmap`.
+///
+/// Either way the decision is a pure function of machine state, so runs
+/// (and their kill sequences) stay byte-deterministic at any thread count
+/// and across checkpoint resume.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum OnOom {
+    /// Kill the tenant whose request failed. Nobody else is disturbed;
+    /// the faulter's memory returns to the pool.
+    #[default]
+    FailFast,
+    /// Kill the tenant with the most mapped bytes (lowest slot on a tie)
+    /// and retry the failed request — a deterministic OOM killer. When
+    /// the faulter itself is the largest tenant, it is the victim and the
+    /// request dies with it.
+    KillVictim,
+}
+
+impl OnOom {
+    /// Stable label used by CLI flags and spec fingerprints.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OnOom::FailFast => "fail-fast",
+            OnOom::KillVictim => "kill-victim",
+        }
+    }
+}
+
+impl std::fmt::Display for OnOom {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for OnOom {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fail-fast" => Ok(OnOom::FailFast),
+            "kill-victim" => Ok(OnOom::KillVictim),
+            other => Err(format!(
+                "unknown OOM policy \"{other}\" (expected fail-fast or kill-victim)"
+            )),
+        }
     }
 }
 
@@ -240,8 +289,10 @@ impl TenantSpec {
     }
 
     /// Caps the bytes of virtual memory this tenant may have mapped at
-    /// once — its share of the machine. Exceeding the cap panics, exactly
-    /// like exhausting physical memory does.
+    /// once — its share of the machine. Exceeding the cap raises a
+    /// [`TenantFaultCause::CapExceeded`] fault: [`Machine::step`] returns
+    /// it, and [`Machine::run`] kills the tenant and runs the survivors
+    /// on.
     #[must_use]
     pub fn memory_cap(mut self, bytes: u64) -> Self {
         self.memory_cap = Some(bytes);
@@ -276,6 +327,7 @@ pub struct MachineBuilder {
     config: MachineConfig,
     scheduler: Scheduler,
     reclaim_on_exit: bool,
+    on_oom: OnOom,
     tenants: Vec<TenantSpec>,
 }
 
@@ -286,6 +338,7 @@ impl MachineBuilder {
             config,
             scheduler: Scheduler::RoundRobin,
             reclaim_on_exit: false,
+            on_oom: OnOom::FailFast,
             tenants: Vec::new(),
         }
     }
@@ -319,6 +372,14 @@ impl MachineBuilder {
     #[must_use]
     pub fn reclaim_on_exit(mut self, reclaim: bool) -> Self {
         self.reclaim_on_exit = reclaim;
+        self
+    }
+
+    /// Selects the machine's shared-pool OOM policy (default
+    /// [`OnOom::FailFast`]).
+    #[must_use]
+    pub fn on_oom(mut self, policy: OnOom) -> Self {
+        self.on_oom = policy;
         self
     }
 
@@ -371,6 +432,8 @@ impl MachineBuilder {
                 counters: RunCounters::default(),
                 os_attr: OsStats::default(),
                 hw_attr: HwAttribution::default(),
+                events: 0,
+                killed: None,
                 final_stats: None,
             });
         }
@@ -381,6 +444,7 @@ impl MachineBuilder {
             mmu,
             scheduler: TenantScheduler::new(self.scheduler),
             reclaim_on_exit: self.reclaim_on_exit,
+            on_oom: self.on_oom,
             tenants,
             live,
         })
@@ -423,6 +487,12 @@ struct Tenant {
     counters: RunCounters,
     os_attr: OsStats,
     hw_attr: HwAttribution,
+    /// Events executed so far (the 0-based index of the next event).
+    events: u64,
+    /// Set when the machine killed this tenant: the fault cause and the
+    /// index of the event it was executing (for an OOM-killer victim, the
+    /// number of events it had executed when it was chosen).
+    killed: Option<(TenantFaultCause, u64)>,
     final_stats: Option<RunStats>,
 }
 
@@ -447,6 +517,7 @@ pub struct Machine {
     mmu: Mmu,
     scheduler: TenantScheduler,
     reclaim_on_exit: bool,
+    on_oom: OnOom,
     tenants: Vec<Tenant>,
     /// Tenant slots whose event streams have not ended, in tenant order.
     live: Vec<usize>,
@@ -576,74 +647,187 @@ impl Machine {
     /// Executes one event on behalf of `tenant`. Exposed for custom
     /// drivers; most callers use [`Machine::run`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on workload errors: accessing an unmapped region, unmapping
-    /// an unknown region, exceeding the tenant's memory cap, exhausting
-    /// physical memory under an eager policy, or stepping a tenant that
-    /// already retired.
-    pub fn step(&mut self, tenant: usize, event: Event) {
-        assert!(
-            self.tenants[tenant].final_stats.is_none(),
-            "tenant {tenant} already retired"
-        );
+    /// Returns a [`TenantFault`] on workload errors: accessing or
+    /// unmapping an unknown region, re-mapping a live region id, an
+    /// out-of-bounds access offset, exceeding the tenant's memory cap,
+    /// exhausting shared physical memory, or stepping a tenant that
+    /// already retired (`tenant` out of range reports the same way). A
+    /// faulting event leaves the tenant's regions untouched; whatever
+    /// machine-wide counter movement the attempt caused is still
+    /// attributed to the tenant. The machine itself never panics on a
+    /// tenant-originated fault — [`Machine::run`] contains it by killing
+    /// the tenant.
+    pub fn step(&mut self, tenant: usize, event: Event) -> Result<(), TenantFault> {
+        if tenant >= self.tenants.len() {
+            return Err(TenantFault::new(
+                TenantFaultCause::BadEvent,
+                format!("tenant slot {tenant} does not exist"),
+            ));
+        }
+        if self.tenants[tenant].final_stats.is_some() {
+            return Err(TenantFault::new(
+                TenantFaultCause::BadEvent,
+                format!("tenant {tenant} already retired"),
+            ));
+        }
         let snap = self.snapshot();
+        let result = self.dispatch(tenant, event);
+        // Partial machine-wide movement (e.g. a failed eager mmap's
+        // alloc-then-rollback churn) is charged to the tenant that
+        // caused it, fault or not.
+        self.attribute(tenant, &snap);
+        if result.is_ok() {
+            self.tenants[tenant].events += 1;
+        }
+        result
+    }
+
+    /// The event interpreter behind [`Machine::step`]: every workload
+    /// error degrades into a [`TenantFault`] instead of a panic.
+    fn dispatch(&mut self, tenant: usize, event: Event) -> Result<(), TenantFault> {
         match event {
             Event::Mmap { region, bytes } => {
-                let t = &mut self.tenants[tenant];
-                if let Some(cap) = t.memory_cap {
-                    assert!(
-                        t.mapped_bytes + bytes <= cap,
-                        "tenant {tenant} ({}) exceeded its {cap}-byte memory share",
-                        t.label
-                    );
+                let t = &self.tenants[tenant];
+                if t.regions.contains_key(&region) {
+                    return Err(TenantFault::new(
+                        TenantFaultCause::BadEvent,
+                        format!("mmap of already-mapped region {region}"),
+                    ));
                 }
-                let vma = self
-                    .os
-                    .mmap(t.asid, bytes)
-                    .expect("machine out of physical memory");
+                if let Some(cap) = t.memory_cap {
+                    if t.mapped_bytes.saturating_add(bytes) > cap {
+                        return Err(TenantFault::new(
+                            TenantFaultCause::CapExceeded,
+                            format!(
+                                "mapping {bytes} more bytes over {} already mapped exceeds \
+                                 the {cap}-byte memory share",
+                                t.mapped_bytes
+                            ),
+                        ));
+                    }
+                }
+                let asid = t.asid;
+                let vma = self.os.mmap(asid, bytes).map_err(|e| match e {
+                    TpsError::OutOfMemory { .. } => TenantFault::new(
+                        TenantFaultCause::Oom,
+                        format!("shared pool cannot back a {bytes}-byte mapping: {e}"),
+                    ),
+                    other => TenantFault::new(
+                        TenantFaultCause::BadEvent,
+                        format!("mmap of {bytes} bytes rejected: {other}"),
+                    ),
+                })?;
                 let t = &mut self.tenants[tenant];
                 t.regions.insert(region, (vma.base(), bytes));
                 t.mapped_bytes += bytes;
+                Ok(())
             }
             Event::Munmap { region } => {
-                let t = &mut self.tenants[tenant];
-                let (base, bytes) = t.regions.remove(&region).expect("munmap of unknown region");
-                t.mapped_bytes -= bytes;
+                let t = &self.tenants[tenant];
+                let Some(&(base, bytes)) = t.regions.get(&region) else {
+                    return Err(TenantFault::new(
+                        TenantFaultCause::UnknownRegion,
+                        format!("munmap of unknown region {region}"),
+                    ));
+                };
                 let asid = t.asid;
-                let shootdowns = self.os.munmap(asid, base).expect("region was mapped");
+                let shootdowns = self.os.munmap(asid, base).map_err(|e| {
+                    TenantFault::new(
+                        TenantFaultCause::BadEvent,
+                        format!("munmap of region {region} rejected: {e}"),
+                    )
+                })?;
                 self.mmu.apply_shootdowns(&shootdowns);
+                let t = &mut self.tenants[tenant];
+                t.regions.remove(&region);
+                t.mapped_bytes -= bytes;
+                Ok(())
             }
             Event::Access {
                 region,
                 offset,
                 write,
             } => {
-                let t = &mut self.tenants[tenant];
-                let (base, _) = t.regions[&region];
+                let t = &self.tenants[tenant];
+                let Some(&(base, bytes)) = t.regions.get(&region) else {
+                    return Err(TenantFault::new(
+                        TenantFaultCause::UnknownRegion,
+                        format!("access to unknown region {region}"),
+                    ));
+                };
+                if offset >= bytes {
+                    return Err(TenantFault::new(
+                        TenantFaultCause::BadEvent,
+                        format!(
+                            "access at offset {offset:#x} beyond the {bytes}-byte region {region}"
+                        ),
+                    ));
+                }
                 let asid = t.asid;
                 let va = VirtAddr::new(base.value() + offset);
-                let outcome = self.mmu.access(&mut self.os, asid, va, write);
+                let outcome =
+                    self.mmu
+                        .access(&mut self.os, asid, va, write)
+                        .map_err(|e| match e {
+                            TpsError::OutOfMemory { .. } => TenantFault::new(
+                                TenantFaultCause::Oom,
+                                format!("shared pool cannot back the demand fault at {va}: {e}"),
+                            ),
+                            other => TenantFault::new(
+                                TenantFaultCause::BadEvent,
+                                format!("access at {va} rejected: {other}"),
+                            ),
+                        })?;
                 self.tenants[tenant]
                     .counters
                     .record(outcome.level, &outcome);
+                Ok(())
             }
-            Event::Compute { insts } => self.tenants[tenant].counters.compute(insts),
-            Event::StatsBarrier => self.tenants[tenant].counters.barrier(),
+            Event::Compute { insts } => {
+                self.tenants[tenant].counters.compute(insts);
+                Ok(())
+            }
+            Event::StatsBarrier => {
+                self.tenants[tenant].counters.barrier();
+                Ok(())
+            }
         }
-        self.attribute(tenant, &snap);
+    }
+
+    /// Kills one tenant exactly as [`Machine::run`]'s containment path
+    /// does: statistics frozen at the current point, ASID flushed from
+    /// the shared TLBs, regions returned to the shared buddy with real
+    /// shootdowns, the reclaim work attributed to the victim. For custom
+    /// drivers built on [`Machine::step`] that implement their own fault
+    /// policy; a slot that is out of range or already finalized is
+    /// ignored.
+    pub fn kill_tenant(&mut self, tenant: usize, cause: TenantFaultCause) {
+        if tenant >= self.tenants.len() || self.tenants[tenant].final_stats.is_some() {
+            return;
+        }
+        self.kill(tenant, cause);
     }
 
     /// Runs every tenant's event stream to completion under the
-    /// scheduler, returning per-tenant statistics plus the machine-wide
-    /// rollup. Tenants that already retired (or were added as
-    /// [`TenantSpec::external`] and fully stepped) are finalized as-is.
+    /// scheduler, returning per-tenant statistics, per-tenant
+    /// [`TenantOutcome`]s and the machine-wide rollup. Tenants that
+    /// already retired (or were added as [`TenantSpec::external`] and
+    /// fully stepped) are finalized as-is.
+    ///
+    /// A [`TenantFault`] never propagates out of `run`: the faulting
+    /// tenant (or, for an OOM under [`OnOom::KillVictim`], the largest
+    /// tenant) is killed — its statistics frozen at the fault point, its
+    /// ASID flushed, its regions returned to the shared pool with real
+    /// shootdowns, the reclaim work attributed to the victim — and the
+    /// survivors run on deterministically.
     pub fn run(&mut self) -> MachineRunStats {
         while !self.live.is_empty() {
             let pick = self.scheduler.next_tenant(self.live.len());
             let slot = self.live[pick];
             match self.tenants[slot].workload.next_event() {
-                Some(event) => self.step(slot, event),
+                Some(event) => self.execute_contained(slot, event),
                 None => {
                     self.live.remove(pick);
                     self.scheduler.tenant_retired(pick);
@@ -651,17 +835,85 @@ impl Machine {
                 }
             }
         }
+        // Every slot left the live list through retire() or kill(), both
+        // of which freeze final_stats; freeze any straggler defensively
+        // so collection stays total.
+        for slot in 0..self.tenants.len() {
+            if self.tenants[slot].final_stats.is_none() {
+                let stats = self.freeze(slot);
+                self.tenants[slot].final_stats = Some(stats);
+            }
+        }
         let per_tenant: Vec<RunStats> = self
             .tenants
             .iter()
-            .map(|t| {
-                t.final_stats
-                    .clone()
-                    .expect("every tenant retired before collection")
+            .filter_map(|t| t.final_stats.clone())
+            .collect();
+        let outcomes = self
+            .tenants
+            .iter()
+            .map(|t| match t.killed {
+                Some((cause, at_event)) => TenantOutcome::Killed { cause, at_event },
+                None => TenantOutcome::Completed,
             })
             .collect();
         let global = self.rollup(&per_tenant);
-        MachineRunStats { global, per_tenant }
+        MachineRunStats {
+            global,
+            per_tenant,
+            outcomes,
+        }
+    }
+
+    /// Executes one scheduled event under fault containment: a fault
+    /// kills a tenant (per [`OnOom`]) instead of propagating.
+    fn execute_contained(&mut self, slot: usize, event: Event) {
+        let mut pending = Some(event);
+        while let Some(event) = pending.take() {
+            let Err(fault) = self.step(slot, event) else {
+                return;
+            };
+            match (fault.cause(), self.on_oom) {
+                (TenantFaultCause::Oom, OnOom::KillVictim) => {
+                    let victim = self.select_victim();
+                    self.kill(victim, TenantFaultCause::Oom);
+                    if victim != slot {
+                        // The faulter survives; retry its event against
+                        // the memory the victim's death just freed.
+                        pending = Some(event);
+                    }
+                }
+                _ => self.kill(slot, fault.cause()),
+            }
+        }
+    }
+
+    /// The OOM killer's deterministic victim: the live tenant with the
+    /// most mapped bytes, lowest slot on a tie.
+    fn select_victim(&self) -> usize {
+        let mut victim = self.live[0];
+        for &slot in &self.live {
+            if self.tenants[slot].mapped_bytes > self.tenants[victim].mapped_bytes {
+                victim = slot;
+            }
+        }
+        victim
+    }
+
+    /// Kills one live tenant: freezes its statistics at the fault point,
+    /// unmaps its regions back into the shared buddy with real
+    /// shootdowns (attributing the reclaim work to the victim), and
+    /// flushes its ASID from the shared TLBs. The survivors keep
+    /// running.
+    fn kill(&mut self, slot: usize, cause: TenantFaultCause) {
+        if let Some(pos) = self.live.iter().position(|&s| s == slot) {
+            self.live.remove(pos);
+            self.scheduler.tenant_retired(pos);
+        }
+        let at_event = self.tenants[slot].events;
+        let stats = self.finalize(slot, true);
+        self.tenants[slot].killed = Some((cause, at_event));
+        self.tenants[slot].final_stats = Some(stats);
     }
 
     /// Finalizes a tenant whose event stream ended: freezes its
@@ -670,18 +922,44 @@ impl Machine {
     /// with [`MachineBuilder::reclaim_on_exit`], unmaps its remaining
     /// regions so the shared pool recovers the memory.
     fn retire(&mut self, slot: usize) {
-        let stats = self.freeze(slot);
+        let stats = self.finalize(slot, self.reclaim_on_exit);
         self.tenants[slot].final_stats = Some(stats);
+    }
+
+    /// Shared retire/kill mechanics: freeze statistics first (footprint
+    /// and census are reported as of the exit point), then optionally
+    /// reclaim the tenant's regions, charging the munmaps and shootdowns
+    /// to the departing tenant so the per-tenant rollup still sums
+    /// exactly to the machine-wide counters, and finally retire the
+    /// ASID. The frozen statistics are patched with the reclaim work
+    /// before being returned.
+    fn finalize(&mut self, slot: usize, reclaim: bool) -> RunStats {
+        let mut stats = self.freeze(slot);
         let asid = self.tenants[slot].asid;
         self.mmu.retire_asid(asid);
-        if self.reclaim_on_exit {
+        if reclaim {
+            let snap = self.snapshot();
             let regions = std::mem::take(&mut self.tenants[slot].regions);
             for (base, _) in regions.into_values() {
-                let shootdowns = self.os.munmap(asid, base).expect("region was mapped");
-                self.mmu.apply_shootdowns(&shootdowns);
+                // A region recorded here is mapped by construction; if
+                // the OS disagrees the munmap is skipped rather than
+                // panicking mid-reclaim.
+                if let Ok(shootdowns) = self.os.munmap(asid, base) {
+                    self.mmu.apply_shootdowns(&shootdowns);
+                }
             }
             self.tenants[slot].mapped_bytes = 0;
+            self.attribute(slot, &snap);
+            let t = &self.tenants[slot];
+            stats.os = t.os_attr;
+            stats.mmu_cache_hits = t.hw_attr.cache_hits;
+            stats.hw_faults.walk_restarts = t.hw_attr.walk_restarts;
+            stats.hw_faults.mmu_cache_fill_drops = t.hw_attr.mmu_cache_fill_drops;
+            stats.hw_faults.tlb_fill_drops = t.hw_attr.tlb_fill_drops;
+            stats.hw_faults.tlb_evict_abandons = t.hw_attr.tlb_evict_abandons;
+            stats.hw_faults.stlb_probe_misses = t.hw_attr.stlb_probe_misses;
         }
+        stats
     }
 
     /// Builds one tenant's final [`RunStats`] from its own counters and
@@ -1034,7 +1312,8 @@ mod tests {
                 region: 9,
                 bytes: 1 << 20,
             },
-        );
+        )
+        .unwrap();
         for i in 0..256u64 {
             m.step(
                 0,
@@ -1043,7 +1322,8 @@ mod tests {
                     offset: i * BASE_PAGE_SIZE,
                     write: true,
                 },
-            );
+            )
+            .unwrap();
         }
         assert_eq!(m.counters(0).full.accesses, 256);
         let census = m.os().process(0).page_table().page_census();
@@ -1102,7 +1382,7 @@ mod tests {
     }
 
     #[test]
-    fn memory_cap_panics_when_exceeded() {
+    fn memory_cap_overrun_faults_without_panicking() {
         let config = MachineConfig::for_mechanism(Mechanism::Tps).with_memory(64 << 20);
         let mut m = MachineBuilder::new(config)
             .tenant(TenantSpec::external("greedy").memory_cap(1 << 20))
@@ -1114,17 +1394,253 @@ mod tests {
                 region: 0,
                 bytes: 512 << 10,
             },
-        );
-        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.step(
+        )
+        .unwrap();
+        let fault = m
+            .step(
                 0,
                 Event::Mmap {
                     region: 1,
                     bytes: 1 << 20,
                 },
-            );
-        }));
-        assert!(err.is_err(), "cap must be enforced");
+            )
+            .unwrap_err();
+        assert_eq!(fault.cause(), TenantFaultCause::CapExceeded);
+        // The failed mmap changed nothing: the tenant still holds exactly
+        // its first region and can keep executing within its share.
+        m.step(
+            0,
+            Event::Access {
+                region: 0,
+                offset: 0,
+                write: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(m.counters(0).full.accesses, 1);
+    }
+
+    #[test]
+    fn malformed_events_fault_with_structured_causes() {
+        let mut m = machine(Mechanism::Tps);
+        let step_err = |m: &mut Machine, e| m.step(0, e).unwrap_err().cause();
+        assert_eq!(
+            step_err(&mut m, Event::Munmap { region: 7 }),
+            TenantFaultCause::UnknownRegion
+        );
+        assert_eq!(
+            step_err(
+                &mut m,
+                Event::Access {
+                    region: 7,
+                    offset: 0,
+                    write: false,
+                }
+            ),
+            TenantFaultCause::UnknownRegion
+        );
+        m.step(
+            0,
+            Event::Mmap {
+                region: 7,
+                bytes: 64 << 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            step_err(
+                &mut m,
+                Event::Mmap {
+                    region: 7,
+                    bytes: 64 << 10,
+                }
+            ),
+            TenantFaultCause::BadEvent
+        );
+        assert_eq!(
+            step_err(
+                &mut m,
+                Event::Access {
+                    region: 7,
+                    offset: 64 << 10,
+                    write: false,
+                }
+            ),
+            TenantFaultCause::BadEvent
+        );
+        // Out-of-range and retired-tenant steps degrade the same way.
+        assert!(m.step(99, Event::StatsBarrier).is_err());
+        let stats = m.run();
+        assert_eq!(stats.outcomes, vec![TenantOutcome::Completed]);
+        assert!(m.step(0, Event::StatsBarrier).is_err(), "already retired");
+    }
+
+    /// A workload that maps `chunk`-byte regions forever without ever
+    /// unmapping — guaranteed to hit a cap or exhaust the pool.
+    struct Hog {
+        chunk: u64,
+        touches: u32,
+        step: u64,
+    }
+
+    impl Workload for Hog {
+        fn profile(&self) -> WorkloadProfile {
+            WorkloadProfile::named("hog")
+        }
+
+        fn next_event(&mut self) -> Option<Event> {
+            let step = self.step;
+            self.step += 1;
+            let period = u64::from(self.touches) + 1;
+            let chunk_no = step / period;
+            Some(match step % period {
+                0 => Event::Mmap {
+                    region: chunk_no as u32,
+                    bytes: self.chunk,
+                },
+                i => Event::Access {
+                    region: chunk_no as u32,
+                    offset: (i - 1) * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            })
+        }
+    }
+
+    #[test]
+    fn run_contains_a_cap_overrun_and_survivors_complete() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps)
+            .with_memory(128 << 20)
+            .with_verification();
+        let stats = MachineBuilder::new(config)
+            .tenant(
+                TenantSpec::workload(Hog {
+                    chunk: 1 << 20,
+                    touches: 4,
+                    step: 0,
+                })
+                .named("noisy")
+                .memory_cap(4 << 20),
+            )
+            .tenant(TenantSpec::workload(gups(2_000)))
+            .build()
+            .unwrap()
+            .run();
+        let TenantOutcome::Killed { cause, at_event } = stats.outcomes[0] else {
+            panic!("the hog must be killed, got {:?}", stats.outcomes[0]);
+        };
+        assert_eq!(cause, TenantFaultCause::CapExceeded);
+        assert!(at_event > 0, "the hog executed events before its kill");
+        assert_eq!(stats.outcomes[1], TenantOutcome::Completed);
+        assert_eq!(stats.tenant(1).mem.accesses, 2_000, "survivor unharmed");
+        assert_eq!(stats.killed_count(), 1);
+        // The victim's memory went back to the shared pool.
+        assert!(stats.tenant(0).resident_bytes > 0, "frozen at fault point");
+        assert_eq!(stats.tenant(0).os.munmaps, 4, "reclaim charged to victim");
+    }
+
+    #[test]
+    fn oom_fail_fast_kills_the_faulter_and_kill_victim_kills_the_largest() {
+        let hog = || {
+            TenantSpec::workload(Hog {
+                chunk: 2 << 20,
+                touches: 2,
+                step: 0,
+            })
+        };
+        let small = || TenantSpec::workload(gups(300));
+        let run = |policy| {
+            let config = MachineConfig::for_mechanism(Mechanism::TpsEager)
+                .with_memory(32 << 20)
+                .with_verification();
+            MachineBuilder::new(config)
+                .tenant(small())
+                .tenant(hog())
+                .on_oom(policy)
+                .build()
+                .unwrap()
+                .run()
+        };
+        // Fail-fast: whoever's mmap fails dies — here the hog, whose
+        // endless mapping is what exhausts the pool.
+        let ff = run(OnOom::FailFast);
+        assert!(ff.killed_count() >= 1, "someone must die");
+        // Kill-victim: the hog is always the largest mapper, so the gups
+        // tenant survives to completion.
+        let kv = run(OnOom::KillVictim);
+        let TenantOutcome::Killed { cause, .. } = kv.outcomes[1] else {
+            panic!("the hog must be the OOM victim, got {:?}", kv.outcomes[1]);
+        };
+        assert_eq!(cause, TenantFaultCause::Oom);
+        assert_eq!(kv.outcomes[0], TenantOutcome::Completed);
+        assert_eq!(kv.tenant(0).mem.accesses, 300);
+    }
+
+    #[test]
+    fn kill_sequences_are_deterministic() {
+        let run = || {
+            let config = MachineConfig::for_mechanism(Mechanism::TpsEager)
+                .with_memory(24 << 20)
+                .with_verification();
+            MachineBuilder::new(config)
+                .tenant(TenantSpec::workload(gups(500)))
+                .tenant(TenantSpec::workload(Hog {
+                    chunk: 2 << 20,
+                    touches: 2,
+                    step: 0,
+                }))
+                .tenant(TenantSpec::workload(gups(700)))
+                .scheduler(Scheduler::Seeded(99))
+                .on_oom(OnOom::KillVictim)
+                .build()
+                .unwrap()
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert!(a.killed_count() >= 1);
+        for (x, y) in a.per_tenant.iter().zip(&b.per_tenant) {
+            assert_eq!(x.mem, y.mem);
+            assert_eq!(x.os, y.os);
+        }
+    }
+
+    #[test]
+    fn per_tenant_os_work_sums_to_machine_totals_with_reclaim_and_kills() {
+        let config = MachineConfig::for_mechanism(Mechanism::Tps)
+            .with_memory(128 << 20)
+            .with_verification();
+        let mut m = MachineBuilder::new(config)
+            .tenant(TenantSpec::workload(gups(1_000)))
+            .tenant(
+                TenantSpec::workload(Hog {
+                    chunk: 1 << 20,
+                    touches: 4,
+                    step: 0,
+                })
+                .memory_cap(3 << 20),
+            )
+            .tenant(TenantSpec::workload(gups(2_000)))
+            .reclaim_on_exit(true)
+            .build()
+            .unwrap();
+        let stats = m.run();
+        assert_eq!(stats.killed_count(), 1);
+        // Every OS counter — including the munmaps and shootdowns of the
+        // exit/kill reclaims — is attributed to exactly one tenant.
+        let machine_wide = m.os().stats();
+        let sum = |f: fn(&OsStats) -> u64| stats.per_tenant.iter().map(|s| f(&s.os)).sum::<u64>();
+        assert_eq!(sum(|o| o.mmaps), machine_wide.mmaps);
+        assert_eq!(sum(|o| o.munmaps), machine_wide.munmaps);
+        assert_eq!(sum(|o| o.faults), machine_wide.faults);
+        assert_eq!(sum(|o| o.shootdowns), machine_wide.shootdowns);
+        assert_eq!(sum(|o| o.op_cycles), machine_wide.op_cycles);
+        assert_eq!(stats.global.os.munmaps, machine_wide.munmaps);
+        // Reclaim really happened: nobody holds memory after the run.
+        for slot in 0..3 {
+            assert_eq!(m.os().process(slot as Asid).resident_bytes(), 0);
+        }
     }
 
     #[test]
@@ -1203,13 +1719,13 @@ mod tests {
                         let region = next_region[tenant];
                         next_region[tenant] += 1;
                         live[tenant].push((region, bytes));
-                        m.step(tenant, Event::Mmap { region, bytes });
+                        m.step(tenant, Event::Mmap { region, bytes }).unwrap();
                     }
                     // Unmap: shoots this ASID down in the shared TLBs.
                     2 if !live[tenant].is_empty() => {
                         let i = (rng.next_u64() % live[tenant].len() as u64) as usize;
                         let (region, _) = live[tenant].swap_remove(i);
-                        m.step(tenant, Event::Munmap { region });
+                        m.step(tenant, Event::Munmap { region }).unwrap();
                     }
                     // Access a live region; verification asserts the
                     // translation came from this tenant's page table.
@@ -1218,7 +1734,8 @@ mod tests {
                         let (region, bytes) = live[tenant][i];
                         let offset = rng.next_u64() % bytes;
                         let write = rng.next_u64() % 2 == 0;
-                        m.step(tenant, Event::Access { region, offset, write });
+                        m.step(tenant, Event::Access { region, offset, write })
+                            .unwrap();
                     }
                     _ => {}
                 }

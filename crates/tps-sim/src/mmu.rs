@@ -3,7 +3,7 @@
 
 use crate::config::MachineConfig;
 use crate::nested::NestedWalkModel;
-use tps_core::{LeafInfo, PageOrder, PteFlags, VirtAddr};
+use tps_core::{LeafInfo, PageOrder, PteFlags, TpsError, VirtAddr};
 use tps_os::{Os, Shootdown};
 use tps_pt::{MmuCaches, Walker};
 use tps_tlb::{Asid, L2Hit, TlbHierarchy};
@@ -131,16 +131,14 @@ impl Mmu {
         asid: Asid,
         va: VirtAddr,
         write: bool,
-    ) -> (LeafInfo, u32, bool) {
+    ) -> Result<(LeafInfo, u32, bool), TpsError> {
         let mut faults = 0u32;
         let mut promoted = false;
         loop {
             if let Some(leaf) = os.page_table(asid).lookup(va) {
-                return (leaf, faults, promoted);
+                return Ok((leaf, faults, promoted));
             }
-            let outcome = os
-                .handle_fault(asid, va, write)
-                .expect("workload accessed an unmapped region (segfault)");
+            let outcome = os.handle_fault(asid, va, write)?;
             faults += 1;
             promoted |= outcome.promoted;
         }
@@ -149,15 +147,28 @@ impl Mmu {
     /// Translates one access, performing fills, walks, faults and
     /// copy-on-write resolution.
     ///
+    /// # Errors
+    ///
+    /// Propagates the OS fault handler's error when the access cannot be
+    /// served — the pool is out of memory, or the address lies outside
+    /// every region (segfault). The machine converts these into tenant
+    /// faults; they never panic.
+    ///
     /// # Panics
     ///
-    /// Panics if the workload touches memory outside any region (segfault)
-    /// or — with `verify_translations` — if a cached translation disagrees
-    /// with the page table.
-    pub fn access(&mut self, os: &mut Os, asid: Asid, va: VirtAddr, write: bool) -> AccessOutcome {
+    /// With `verify_translations`, panics if a cached translation
+    /// disagrees with the page table (a simulator invariant, not a
+    /// tenant-reachable fault).
+    pub fn access(
+        &mut self,
+        os: &mut Os,
+        asid: Asid,
+        va: VirtAddr,
+        write: bool,
+    ) -> Result<AccessOutcome, TpsError> {
         let mut agg: Option<AccessOutcome> = None;
         loop {
-            let (outcome, writable) = self.access_attempt(os, asid, va, write);
+            let (outcome, writable) = self.access_attempt(os, asid, va, write)?;
             let merged = match agg.take() {
                 None => outcome,
                 Some(prev) => AccessOutcome {
@@ -171,9 +182,7 @@ impl Mmu {
             };
             if write && !writable {
                 // Protection fault: resolve copy-on-write and retry.
-                let shootdowns = os
-                    .handle_cow_fault(asid, va)
-                    .expect("write fault on an unmapped page");
+                let shootdowns = os.handle_cow_fault(asid, va)?;
                 self.apply_shootdowns(&shootdowns);
                 agg = Some(AccessOutcome {
                     faults: merged.faults + 1,
@@ -181,7 +190,7 @@ impl Mmu {
                 });
                 continue;
             }
-            return merged;
+            return Ok(merged);
         }
     }
 
@@ -193,11 +202,11 @@ impl Mmu {
         asid: Asid,
         va: VirtAddr,
         write: bool,
-    ) -> (AccessOutcome, bool) {
+    ) -> Result<(AccessOutcome, bool), TpsError> {
         if self.perfect_l1 {
-            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write)?;
             let writable = leaf.flags.contains(PteFlags::WRITABLE);
-            return (
+            return Ok((
                 AccessOutcome {
                     level: AccessLevel::L1,
                     walk_refs: 0,
@@ -207,14 +216,14 @@ impl Mmu {
                     ad_updates: 0,
                 },
                 writable,
-            );
+            ));
         }
 
         if let Some(t) = self.tlb.lookup_l1(asid, va) {
             if self.verify {
                 self.verify_translation(os, asid, va, t.pfn);
             }
-            return (
+            return Ok((
                 AccessOutcome {
                     level: AccessLevel::L1,
                     walk_refs: 0,
@@ -224,14 +233,14 @@ impl Mmu {
                     ad_updates: 0,
                 },
                 t.writable,
-            );
+            ));
         }
 
         if self.perfect_l2 {
-            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+            let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write)?;
             self.tlb.fill_l1(asid, va, &leaf);
             let ad = u64::from(os.hw_mark_accessed(asid, va, write));
-            return (
+            return Ok((
                 AccessOutcome {
                     level: AccessLevel::Stlb,
                     walk_refs: 0,
@@ -241,14 +250,14 @@ impl Mmu {
                     ad_updates: ad,
                 },
                 leaf.flags.contains(PteFlags::WRITABLE),
-            );
+            ));
         }
 
-        match self.tlb.lookup_l2(asid, va) {
+        let attempt = match self.tlb.lookup_l2(asid, va) {
             L2Hit::Stlb(t) => {
                 // Refill L1 from the (functionally looked-up) leaf: the
                 // hardware already has everything it needs in the entry.
-                let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write);
+                let (leaf, faults, promoted) = self.ensure_mapped(os, asid, va, write)?;
                 self.fill_l1(os, asid, va, &leaf);
                 if self.verify {
                     self.verify_translation(os, asid, va, t.pfn);
@@ -294,11 +303,9 @@ impl Mmu {
                     t.writable,
                 )
             }
-            L2Hit::Miss => {
-                let (outcome, writable) = self.walk_and_fill(os, asid, va, write);
-                (outcome, writable)
-            }
-        }
+            L2Hit::Miss => self.walk_and_fill(os, asid, va, write)?,
+        };
+        Ok(attempt)
     }
 
     /// Page walk, handling faults and promotions, then fill all levels.
@@ -308,7 +315,7 @@ impl Mmu {
         asid: Asid,
         va: VirtAddr,
         write: bool,
-    ) -> (AccessOutcome, bool) {
+    ) -> Result<(AccessOutcome, bool), TpsError> {
         let mut walk_refs = 0u64;
         let mut faults = 0u32;
         let mut promoted = false;
@@ -327,9 +334,7 @@ impl Mmu {
                 }
                 Err(fault) => {
                     walk_refs += self.charge_refs(&fault.refs);
-                    let outcome = os
-                        .handle_fault(asid, va, write)
-                        .expect("workload accessed an unmapped region (segfault)");
+                    let outcome = os.handle_fault(asid, va, write)?;
                     faults += 1;
                     if outcome.promoted {
                         promoted = true;
@@ -355,7 +360,7 @@ impl Mmu {
             self.verify_translation(os, asid, va, pfn);
         }
         let ad = u64::from(os.hw_mark_accessed(asid, va, write));
-        (
+        Ok((
             AccessOutcome {
                 level: AccessLevel::Walk,
                 walk_refs,
@@ -365,7 +370,7 @@ impl Mmu {
                 ad_updates: ad,
             },
             leaf.flags.contains(PteFlags::WRITABLE),
-        )
+        ))
     }
 
     /// Counts guest refs plus nested (host) amplification when virtualized.
@@ -428,31 +433,38 @@ mod tests {
         // Parent touches everything (writable), warming its TLB entries.
         for i in 0..16u64 {
             let va = VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE);
-            mmu.access(&mut os, parent, va, true);
+            mmu.access(&mut os, parent, va, true).unwrap();
         }
         let (child, shootdowns) = os.fork(parent);
         mmu.apply_shootdowns(&shootdowns);
 
         // Child reads: hits shared read-only frames; verification checks
         // the translation against the child's page table.
-        let out = mmu.access(&mut os, child, vma.base(), false);
+        let out = mmu.access(&mut os, child, vma.base(), false).unwrap();
         assert_eq!(out.faults, 0);
 
         // Child writes: the CoW fault resolves inside Mmu::access.
-        let out = mmu.access(&mut os, child, vma.base() + 0x2000, true);
+        let out = mmu
+            .access(&mut os, child, vma.base() + 0x2000, true)
+            .unwrap();
         assert!(out.faults >= 1, "CoW fault must be taken");
         assert!(os.stats().cow_faults >= 1);
 
         // Parent writes after the child diverged: sole-owner re-protect.
-        let out = mmu.access(&mut os, parent, vma.base() + 0x2000, true);
+        let out = mmu
+            .access(&mut os, parent, vma.base() + 0x2000, true)
+            .unwrap();
         assert!(out.faults >= 1);
         // Subsequent writes are fault-free in both.
         assert_eq!(
-            mmu.access(&mut os, child, vma.base() + 0x2000, true).faults,
+            mmu.access(&mut os, child, vma.base() + 0x2000, true)
+                .unwrap()
+                .faults,
             0
         );
         assert_eq!(
             mmu.access(&mut os, parent, vma.base() + 0x2000, true)
+                .unwrap()
                 .faults,
             0
         );
@@ -469,26 +481,30 @@ mod tests {
                 parent,
                 VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 true,
-            );
+            )
+            .unwrap();
         }
         let (child, sds) = os.fork(parent);
         mmu.apply_shootdowns(&sds);
         // One child write splits the shared 32K page; every later access
         // still translates correctly (verification is on).
-        mmu.access(&mut os, child, vma.base() + 0x3000, true);
+        mmu.access(&mut os, child, vma.base() + 0x3000, true)
+            .unwrap();
         for i in 0..8u64 {
             mmu.access(
                 &mut os,
                 child,
                 VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 false,
-            );
+            )
+            .unwrap();
             mmu.access(
                 &mut os,
                 parent,
                 VirtAddr::new(vma.base().value() + i * BASE_PAGE_SIZE),
                 false,
-            );
+            )
+            .unwrap();
         }
         assert_eq!(os.stats().cow_bytes_copied, BASE_PAGE_SIZE);
     }

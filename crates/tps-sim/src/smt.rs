@@ -44,9 +44,9 @@ pub struct SmtRunStats {
 /// assert_eq!(stats.primary.mem.accesses, 5_000);
 /// ```
 ///
-/// # Panics
-///
-/// Panics on workload errors, exactly like [`crate::Machine::run`].
+/// Tenant faults are contained exactly like [`crate::Machine::run`]:
+/// a sibling that overruns memory is killed and the other thread's run
+/// completes. SMT cells report only the primary thread's statistics.
 pub fn run_smt(
     config: MachineConfig,
     primary: impl Workload + 'static,

@@ -1,10 +1,34 @@
 //! Run statistics collected by the machine.
 
 use std::collections::BTreeMap;
-use tps_core::PageOrder;
+use tps_core::{PageOrder, TenantFaultCause};
 use tps_os::OsStats;
 use tps_tlb::TlbStats;
 use tps_wl::WorkloadProfile;
+
+/// How one tenant's run ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TenantOutcome {
+    /// The tenant's event stream ran to completion.
+    Completed,
+    /// The machine killed the tenant: its statistics were frozen at the
+    /// fault point and its memory returned to the shared pool.
+    Killed {
+        /// The fault that triggered the kill.
+        cause: TenantFaultCause,
+        /// The 0-based index of the event the tenant was executing when
+        /// it faulted; for an OOM-killer victim, the number of events it
+        /// had executed when it was chosen.
+        at_event: u64,
+    },
+}
+
+impl TenantOutcome {
+    /// Whether the tenant was killed.
+    pub fn is_killed(&self) -> bool {
+        matches!(self, TenantOutcome::Killed { .. })
+    }
+}
 
 /// Degradation counters from injected hardware-model faults.
 ///
@@ -99,12 +123,39 @@ pub struct MachineRunStats {
     pub global: RunStats,
     /// Per-tenant statistics, indexed by tenant slot (== ASID).
     pub per_tenant: Vec<RunStats>,
+    /// Per-tenant outcomes, indexed like `per_tenant`. All
+    /// [`TenantOutcome::Completed`] on a fault-free run.
+    pub outcomes: Vec<TenantOutcome>,
 }
 
 impl MachineRunStats {
+    /// Wraps a single-tenant run that completed normally — the inverse of
+    /// [`MachineRunStats::into_solo`].
+    pub fn solo_completed(stats: RunStats) -> Self {
+        MachineRunStats {
+            global: stats.clone(),
+            per_tenant: vec![stats],
+            outcomes: vec![TenantOutcome::Completed],
+        }
+    }
+
     /// Number of tenants that ran.
     pub fn tenant_count(&self) -> usize {
         self.per_tenant.len()
+    }
+
+    /// One tenant's outcome. Tenants of runs recorded before outcomes
+    /// existed (or slots out of range) report `Completed`.
+    pub fn outcome(&self, slot: usize) -> TenantOutcome {
+        self.outcomes
+            .get(slot)
+            .copied()
+            .unwrap_or(TenantOutcome::Completed)
+    }
+
+    /// Number of tenants the machine killed.
+    pub fn killed_count(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_killed()).count()
     }
 
     /// One tenant's statistics.

@@ -1,24 +1,67 @@
 //! Multi-tenant machine: 64 address spaces sharing one physical memory
-//! and one ASID-tagged TLB hierarchy.
+//! and one ASID-tagged TLB hierarchy — plus one memory-capped noisy
+//! neighbor that the machine kills mid-run without disturbing anyone.
 //!
 //! Each tenant runs a different suite benchmark at test scale with its
-//! own seed. After the run, we report per-tenant TLB reach (derived from
-//! each address space's page census) and a snapshot of how fragmented
-//! the shared buddy allocator ended up.
+//! own seed; the extra 65th tenant maps and scribbles memory without
+//! bound until its per-tenant cap fires. After the run, we report the
+//! kill, per-tenant TLB reach (derived from each address space's page
+//! census) and a snapshot of how fragmented the shared buddy allocator
+//! ended up.
 //!
 //! ```sh
 //! cargo run --release --example multi_tenant
 //! ```
 
-use tps::core::PageOrder;
-use tps::sim::{MachineBuilder, MachineConfig, Mechanism, Scheduler, TenantSpec};
+use tps::core::{PageOrder, TenantFaultCause};
+use tps::sim::{MachineBuilder, MachineConfig, Mechanism, Scheduler, TenantOutcome, TenantSpec};
 use tps::tlb::Asid;
-use tps::wl::{suite_names, SuiteScale};
+use tps::wl::{suite_names, Event, SuiteScale, Workload, WorkloadProfile};
 
 const TENANTS: usize = 64;
+/// Slot of the capped noisy neighbor (the 65th tenant).
+const NOISY: usize = TENANTS;
 /// Entry count of the modeled L1 data TLB, used to turn a mean page
 /// size into a reach figure.
 const L1_ENTRIES: u64 = 64;
+/// The noisy neighbor's per-tenant memory cap.
+const NOISY_CAP: u64 = 8 << 20;
+
+/// A tenant that maps a fresh 2 MB region, writes it end to end, and
+/// repeats forever — only its memory cap stops it.
+struct NoisyNeighbor {
+    region: u32,
+    step: u64,
+}
+
+impl Workload for NoisyNeighbor {
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile::named("hog")
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        const REGION_BYTES: u64 = 2 << 20;
+        const WRITES_PER_REGION: u64 = 32;
+        let phase = self.step % (WRITES_PER_REGION + 1);
+        self.step += 1;
+        if phase == 0 {
+            Some(Event::Mmap {
+                region: self.region,
+                bytes: REGION_BYTES,
+            })
+        } else {
+            let event = Event::Access {
+                region: self.region,
+                offset: (phase - 1) * (REGION_BYTES / WRITES_PER_REGION),
+                write: true,
+            };
+            if phase == WRITES_PER_REGION {
+                self.region += 1;
+            }
+            Some(event)
+        }
+    }
+}
 
 fn main() {
     let names = suite_names();
@@ -28,9 +71,34 @@ fn main() {
         let name = names[i % names.len()];
         builder = builder.tenant(TenantSpec::suite(name, SuiteScale::Test, 0xbee5 + i as u64));
     }
-    let mut machine = builder.build().expect("64 tenants fit in 8 GB");
+    builder = builder
+        .tenant(TenantSpec::workload(NoisyNeighbor { region: 0, step: 0 }).memory_cap(NOISY_CAP));
+    let mut machine = builder.build().expect("65 tenants fit in 8 GB");
     let stats = machine.run();
-    assert_eq!(stats.tenant_count(), TENANTS);
+    assert_eq!(stats.tenant_count(), TENANTS + 1);
+
+    // The noisy neighbor died at its cap, mid-run, and nobody else
+    // noticed: every suite tenant still completed.
+    assert_eq!(stats.killed_count(), 1, "exactly the hog dies");
+    match stats.outcome(NOISY) {
+        TenantOutcome::Killed { cause, at_event } => {
+            assert_eq!(cause, TenantFaultCause::CapExceeded);
+            println!(
+                "noisy neighbor (slot {NOISY}) killed at event {at_event}: {cause} \
+                 (cap {} MB); {} survivors unaffected\n",
+                NOISY_CAP >> 20,
+                TENANTS
+            );
+        }
+        TenantOutcome::Completed => panic!("the hog must hit its cap"),
+    }
+    for t in 0..TENANTS {
+        assert_eq!(
+            stats.outcome(t),
+            TenantOutcome::Completed,
+            "survivor {t} was disturbed by the kill"
+        );
+    }
 
     // Per-tenant TLB reach: the page census of each address space gives
     // the mean mapped page size; a 64-entry L1 full of pages that size
@@ -75,8 +143,13 @@ fn main() {
         "only {tailored_tenants}/{TENANTS} tenants got pages beyond 4 KB"
     );
 
-    // Fragmentation snapshot of the shared buddy allocator.
+    // Fragmentation snapshot of the shared buddy allocator. The hog's
+    // frames went back to these free lists when it was killed, so the
+    // conservation check below covers the kill-reclaim path too.
     let buddy = machine.os().buddy();
+    buddy
+        .check_invariants()
+        .expect("buddy stays conserved after the kill");
     let hist = buddy.histogram();
     println!(
         "\nshared buddy after run: {:.1}% of {} MB free",
@@ -101,7 +174,10 @@ fn main() {
     let sum: u64 = stats.per_tenant.iter().map(|s| s.mem.accesses).sum();
     assert_eq!(sum, stats.global.mem.accesses, "per-tenant rollup mismatch");
     println!(
-        "\n{} tenants, {} total accesses, rollup exact; all assertions passed",
-        TENANTS, stats.global.mem.accesses
+        "\n{} tenants ({} killed at its cap), {} total accesses, rollup exact; \
+         all assertions passed",
+        TENANTS + 1,
+        1,
+        stats.global.mem.accesses
     );
 }

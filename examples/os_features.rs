@@ -108,7 +108,7 @@ fn trace_demo() {
             .build()
             .expect("one tenant builds");
     while let Some(e) = recorder.next_event() {
-        machine.step(0, e);
+        machine.step(0, e).expect("replayed event is well-formed");
     }
     let live = machine.counters(0).measured.mem.clone();
     let events = recorder.events_recorded();
@@ -152,7 +152,7 @@ fn trace_demo() {
             .build()
             .expect("one tenant builds");
     while let Some(e) = wl.next_event() {
-        m3.step(0, e);
+        m3.step(0, e).expect("replayed event is well-formed");
     }
     let counters = m3.counters(0);
     println!(

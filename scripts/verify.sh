@@ -108,6 +108,43 @@ echo "==> artifact chaos gate (pinned seeds: kill / corrupt / storm)"
 # under `cargo test --workspace` above.
 cargo test --release -q -p tps-check --test chaos
 
+echo "==> tenant containment gate (chaos campaign + capped-tenant determinism)"
+# Release build of the multi-tenant containment campaign: 240 seeded
+# schedules mixing hogs, cap overrunners and malformed event streams
+# under injected allocation faults, asserting zero panics, buddy
+# conservation after every kill, exact per-tenant→rollup sums and
+# byte-identical kill sequences. Also runs (slower) under
+# `cargo test --workspace` above.
+cargo test --release -q -p tps-check --test containment
+# A matrix with one capped tenant must record the kill in the report and
+# stay byte-identical across thread counts.
+for threads in 1 4; do
+    ./target/release/tps_run --bench gups --mech tps --mech thp --scale test \
+        --seed 7 --tenants 8 --tenant-cap 3:4194304 --on-oom kill-victim \
+        --threads "$threads" --json "$tmpdir/cap-t$threads.json" >/dev/null
+done
+cmp "$tmpdir/cap-t1.json" "$tmpdir/cap-t4.json" \
+    || { echo "verify: capped-tenant report bytes changed with --threads" >&2; exit 1; }
+grep -q '"outcome": "killed"' "$tmpdir/cap-t1.json" \
+    || { echo "verify: capped-tenant run recorded no kill (cap inert?)" >&2; exit 1; }
+grep -q '"cause": "cap-exceeded"' "$tmpdir/cap-t1.json" \
+    || { echo "verify: kill cause is not cap-exceeded" >&2; exit 1; }
+# The same capped matrix killed mid-flight must resume to the same bytes,
+# carrying the Killed outcomes through the journal.
+set +e
+./target/release/tps_run --bench gups --mech tps --mech thp --scale test \
+    --seed 7 --tenants 8 --tenant-cap 3:4194304 --on-oom kill-victim \
+    --threads 1 --checkpoint "$tmpdir/cap.ckpt" --halt-after 1 >/dev/null
+halt=$?
+set -e
+[ "$halt" -eq 5 ] \
+    || { echo "verify: capped --halt-after exited $halt, expected 5" >&2; exit 1; }
+./target/release/tps_run --bench gups --mech tps --mech thp --scale test \
+    --seed 7 --tenants 8 --tenant-cap 3:4194304 --on-oom kill-victim \
+    --threads 4 --resume "$tmpdir/cap.ckpt" --json "$tmpdir/cap-resumed.json" >/dev/null
+cmp "$tmpdir/cap-t1.json" "$tmpdir/cap-resumed.json" \
+    || { echo "verify: capped-tenant resume differs from the uninterrupted run" >&2; exit 1; }
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

@@ -5,6 +5,7 @@
 //!         [--scale test|small|paper] [--threads N] [--seed S]
 //!         [--tenants N] [--smt] [--virtualized] [--five-level]
 //!         [--threshold F] [--verify] [--json PATH|-]
+//!         [--on-oom fail-fast|kill-victim] [--tenant-cap SLOT:BYTES]
 //!         [--cell-timeout MS] [--retries N]
 //!         [--fault-rate P] [--fault-seed S]
 //!         [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH]
@@ -19,6 +20,13 @@
 //! seeded instances of the benchmark in their own address spaces over
 //! one shared allocator and TLB hierarchy, interleaved round-robin —
 //! and embeds the per-tenant stats breakdown in the report JSON.
+//! `--tenant-cap SLOT:BYTES` pins a per-tenant memory budget on one
+//! slot and `--on-oom` picks the containment policy when a tenant
+//! faults for memory: `fail-fast` (default) kills the faulting tenant,
+//! `kill-victim` kills the largest-mapped tenant and retries the event.
+//! A killed tenant's pages return to the shared pool and its row in the
+//! report carries a structured `{"outcome": "killed", ...}` record;
+//! survivors run to completion.
 //! `--cell-timeout`/`--retries` arm the per-cell watchdog and
 //! retry budget; `--fault-rate` injects faults at every site with a
 //! per-cell derived seed; `--checkpoint`/`--resume` stream completed
@@ -49,7 +57,8 @@ use std::path::{Path, PathBuf};
 
 use tps::core::{FaultPlanConfig, TpsError};
 use tps::sim::{
-    write_atomic, ExperimentReport, ExperimentSpec, Mechanism, RealIo, RunOptions, TenantCount,
+    write_atomic, ExperimentReport, ExperimentSpec, Mechanism, OnOom, RealIo, RunOptions,
+    TenantCount,
 };
 use tps::wl::{suite_names, SuiteScale};
 
@@ -74,6 +83,7 @@ fn usage() -> ! {
         "usage: tps-run [--bench NAME]... [--mech MECH]... [--all] [--matrix] \
          [--scale test|small|paper] [--threads N] [--seed S] [--tenants N] [--smt] \
          [--virtualized] [--five-level] [--threshold F] [--verify] [--json PATH|-] \
+         [--on-oom fail-fast|kill-victim] [--tenant-cap SLOT:BYTES] \
          [--cell-timeout MS] [--retries N] [--fault-rate P] [--fault-seed S] \
          [--checkpoint PATH] [--resume PATH] [--resume-salvage PATH] \
          [--force-checkpoint] [--halt-after N]\n\
@@ -87,6 +97,12 @@ fn usage() -> ! {
             .join(", ")
     );
     std::process::exit(2)
+}
+
+/// Parses a `SLOT:BYTES` tenant-cap argument.
+fn parse_tenant_cap(text: &str) -> Option<(u32, u64)> {
+    let (slot, bytes) = text.split_once(':')?;
+    Some((slot.parse().ok()?, bytes.parse().ok()?))
 }
 
 /// A fault plan arming every OS and hardware site at probability `rate`.
@@ -183,6 +199,26 @@ fn parse_args() -> Options {
                 spec = spec.threshold(v);
             }
             "--verify" => spec = spec.verify(true),
+            "--on-oom" => {
+                let p = args.next().unwrap_or_else(|| usage());
+                match p.parse::<OnOom>() {
+                    Ok(policy) => spec = spec.on_oom(policy),
+                    Err(err) => {
+                        eprintln!("{err}");
+                        usage()
+                    }
+                }
+            }
+            "--tenant-cap" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match parse_tenant_cap(&v) {
+                    Some((slot, bytes)) => spec = spec.tenant_cap(slot, bytes),
+                    None => {
+                        eprintln!("--tenant-cap expects SLOT:BYTES, got {v:?}");
+                        usage()
+                    }
+                }
+            }
             "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
             "--cell-timeout" => {
                 let ms: u64 = args
@@ -298,8 +334,14 @@ fn print_report(report: &ExperimentReport) {
                     .derived
                     .and_then(|d| d.speedup_vs_baseline)
                     .map_or("-".into(), |s| format!("{s:.3}x"));
+                let kills = machine.killed_count();
+                let killed = if kills > 0 {
+                    format!("  [{kills} tenant(s) killed]")
+                } else {
+                    String::new()
+                };
                 println!(
-                    "{:>10} {:>10} {:>12} {:>8.2}% {:>12} {:>9} {:>10} {:>8}",
+                    "{:>10} {:>10} {:>12} {:>8.2}% {:>12} {:>9} {:>10} {:>8}{killed}",
                     cell.benchmark,
                     cell.mechanism.label(),
                     stats.mem.l1_misses(),

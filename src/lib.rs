@@ -76,13 +76,17 @@ pub use tps_wl as wl;
 
 /// Commonly used items, importable with `use tps::prelude::*`.
 pub mod prelude {
-    pub use tps_core::{PageOrder, PageSize, PhysAddr, Pte, PteFlags, TpsError, VirtAddr};
+    pub use tps_core::{
+        PageOrder, PageSize, PhysAddr, Pte, PteFlags, TenantFault, TenantFaultCause, TpsError,
+        VirtAddr,
+    };
     pub use tps_os::{AliasPolicy, PolicyKind};
     pub use tps_sim::{
         CellFailure, CellReport, DerivedMetrics, ExperimentCell, ExperimentMatrix,
         ExperimentReport, ExperimentSpec, FailureCause, HwFaultStats, Machine, MachineBuilder,
-        MachineConfig, MachineRunStats, Mechanism, RunOptions, RunStats, Scheduler, TenantCount,
-        TenantSpec, DEFAULT_EXPERIMENT_SEED, MAX_TENANTS, REPORT_SCHEMA, REPORT_VERSION,
+        MachineConfig, MachineRunStats, Mechanism, OnOom, RunOptions, RunStats, Scheduler,
+        TenantCount, TenantOutcome, TenantSpec, DEFAULT_EXPERIMENT_SEED, MAX_TENANTS,
+        REPORT_SCHEMA, REPORT_VERSION,
     };
     pub use tps_wl::{
         Dbx1000, Dbx1000Params, Event, Graph500, Graph500Params, Gups, GupsParams, Spec17Kernel,

@@ -171,22 +171,26 @@ fn step_api_supports_custom_driving() {
         .with_memory(64 << 20)
         .with_verification();
     let mut machine = stepper(config);
-    machine.step(
-        0,
-        Event::Mmap {
-            region: 9,
-            bytes: 1 << 20,
-        },
-    );
-    for i in 0..256u64 {
-        machine.step(
+    machine
+        .step(
             0,
-            Event::Access {
+            Event::Mmap {
                 region: 9,
-                offset: i * BASE_PAGE_SIZE,
-                write: true,
+                bytes: 1 << 20,
             },
-        );
+        )
+        .expect("scripted event is well-formed");
+    for i in 0..256u64 {
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 9,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .expect("scripted event is well-formed");
     }
     assert_eq!(machine.counters(0).full.accesses, 256);
     // The full region is touched: TPS promoted it to a single 1 MB page.
@@ -204,37 +208,45 @@ fn virtual_addresses_never_leak_between_regions() {
         .with_memory(64 << 20)
         .with_verification();
     let mut machine = stepper(config);
-    machine.step(
-        0,
-        Event::Mmap {
-            region: 0,
-            bytes: 256 << 10,
-        },
-    );
-    machine.step(
-        0,
-        Event::Mmap {
-            region: 1,
-            bytes: 256 << 10,
-        },
-    );
-    for i in 0..64u64 {
-        machine.step(
+    machine
+        .step(
             0,
-            Event::Access {
+            Event::Mmap {
                 region: 0,
-                offset: i * BASE_PAGE_SIZE,
-                write: true,
+                bytes: 256 << 10,
             },
-        );
-        machine.step(
+        )
+        .expect("scripted event is well-formed");
+    machine
+        .step(
             0,
-            Event::Access {
+            Event::Mmap {
                 region: 1,
-                offset: i * BASE_PAGE_SIZE,
-                write: true,
+                bytes: 256 << 10,
             },
-        );
+        )
+        .expect("scripted event is well-formed");
+    for i in 0..64u64 {
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 0,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .expect("scripted event is well-formed");
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 1,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .expect("scripted event is well-formed");
     }
     let pt = machine.os().process(0).page_table();
     // Census: both regions promoted independently; physical ranges disjoint.
@@ -261,22 +273,26 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
         .with_memory(64 << 20)
         .with_verification();
     let mut machine = stepper(config);
-    machine.step(
-        0,
-        Event::Mmap {
-            region: 0,
-            bytes: 256 << 10,
-        },
-    );
-    for i in 0..64u64 {
-        machine.step(
+    machine
+        .step(
             0,
-            Event::Access {
+            Event::Mmap {
                 region: 0,
-                offset: i * BASE_PAGE_SIZE,
-                write: true,
+                bytes: 256 << 10,
             },
-        );
+        )
+        .expect("scripted event is well-formed");
+    for i in 0..64u64 {
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 0,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .expect("scripted event is well-formed");
     }
     let merges = machine.merge_pages(0);
     assert!(merges > 0, "contiguous 4K faults must merge");
@@ -284,14 +300,16 @@ fn page_merging_keeps_translations_valid_through_the_machine() {
     // stale (pre-merge) TLB entries must still be correct, as the paper
     // argues merges need no shootdowns.
     for i in 0..64u64 {
-        machine.step(
-            0,
-            Event::Access {
-                region: 0,
-                offset: i * BASE_PAGE_SIZE,
-                write: false,
-            },
-        );
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 0,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: false,
+                },
+            )
+            .expect("scripted event is well-formed");
     }
     let census = machine.os().process(0).page_table().page_census();
     assert!(census.keys().any(|o| o.get() >= 4), "census {census:?}");

@@ -95,7 +95,9 @@ fn recorded_trace_replays_to_identical_statistics() {
     let mut recorder = Recorder::new(inner, &mut buf);
     let mut live_machine = solo(base_config(Mechanism::Tps), TenantSpec::external("gups"));
     while let Some(e) = recorder.next_event() {
-        live_machine.step(0, e);
+        live_machine
+            .step(0, e)
+            .expect("scripted event is well-formed");
     }
     let live = live_machine.counters(0).measured.clone();
     let live_census = live_machine.os().process(0).page_table().page_census();
@@ -116,22 +118,26 @@ fn mprotect_round_trip_through_verified_accesses() {
     use tps::wl::Event;
 
     let mut machine = solo(base_config(Mechanism::Tps), TenantSpec::external("driver"));
-    machine.step(
-        0,
-        Event::Mmap {
-            region: 0,
-            bytes: 64 << 10,
-        },
-    );
-    for i in 0..16u64 {
-        machine.step(
+    machine
+        .step(
             0,
-            Event::Access {
+            Event::Mmap {
                 region: 0,
-                offset: i * BASE_PAGE_SIZE,
-                write: true,
+                bytes: 64 << 10,
             },
-        );
+        )
+        .expect("scripted event is well-formed");
+    for i in 0..16u64 {
+        machine
+            .step(
+                0,
+                Event::Access {
+                    region: 0,
+                    offset: i * BASE_PAGE_SIZE,
+                    write: true,
+                },
+            )
+            .expect("scripted event is well-formed");
     }
     // mprotect at the OS level is visible in the page table; verified
     // reads still succeed afterwards. (Writes to the read-only part would

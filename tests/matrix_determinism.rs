@@ -1,13 +1,13 @@
 //! Integration gate for the experiment runner's determinism contract:
 //! the aggregated JSON of a parallel run must be byte-identical to the
 //! serial run of the same spec — including under fault injection with
-//! retries — a panicking cell must surface as a per-cell failure without
-//! aborting the rest of the matrix, and a resumed run must reproduce an
-//! uninterrupted run byte-for-byte.
+//! retries — a memory-starved cell must contain the kill as a structured
+//! tenant outcome without aborting the rest of the matrix, and a resumed
+//! run must reproduce an uninterrupted run byte-for-byte.
 
-use tps::core::FaultPlanConfig;
+use tps::core::{FaultPlanConfig, TenantFaultCause};
 use tps::prelude::*;
-use tps::sim::{FailureCause, RunOptions};
+use tps::sim::{RunOptions, TenantOutcome};
 
 /// The pinned seed every test in this file uses, so the gate exercises
 /// one fixed matrix rather than whatever the default happens to be.
@@ -59,10 +59,12 @@ fn parallel_report_matches_serial_cell_for_cell() {
 }
 
 #[test]
-fn worker_panic_surfaces_as_per_cell_failure() {
+fn memory_starved_cell_is_contained_not_failed() {
     // 1 MiB of physical memory cannot hold even the test-scale GUPS
-    // table, so every cell's machine panics out of physical memory. The
-    // pool must catch each panic and keep running the remaining cells.
+    // table, so every cell's machine kills its tenant at the first
+    // allocation it cannot back. The kill is containment, not a cell
+    // failure: the cell completes with a structured `Killed` outcome
+    // and the rest of the matrix keeps running.
     let report = ExperimentSpec::new()
         .bench("gups")
         .mechanisms([Mechanism::Thp, Mechanism::Tps])
@@ -74,22 +76,21 @@ fn worker_panic_surfaces_as_per_cell_failure() {
         .expect("static spec is valid")
         .run();
     assert_eq!(report.cells().len(), 2, "no cell was dropped");
-    assert_eq!(report.error_count(), 2);
+    assert_eq!(report.error_count(), 0, "containment is not a failure");
     for cell in report.cells() {
-        let failure = cell.result.as_ref().expect_err("cell must fail");
-        assert_eq!(failure.cause, FailureCause::Panic);
-        assert_eq!(failure.attempts, 1, "no retries were configured");
-        assert!(
-            failure.message.contains("gups"),
-            "failure names the cell: {failure}"
-        );
-        assert!(cell.derived.is_none(), "failed cells carry no metrics");
+        let machine = cell.result.as_ref().expect("cell must complete");
+        assert_eq!(machine.killed_count(), 1);
+        match machine.outcome(0) {
+            TenantOutcome::Killed { cause, .. } => {
+                assert_eq!(cause, TenantFaultCause::Oom)
+            }
+            TenantOutcome::Completed => panic!("tenant must be killed"),
+        }
     }
     let json = report.to_json();
-    assert!(json.contains("\"ok\": false"));
-    assert!(json.contains("\"cause\": \"panic\""));
-    assert!(json.contains("\"attempts\": 1"));
-    assert!(json.contains("worker thread panicked"));
+    assert!(json.contains("\"outcome\": \"killed\""));
+    assert!(json.contains("\"cause\": \"oom\""));
+    assert!(!json.contains("\"cause\": \"panic\""));
 }
 
 /// A spec with faults armed on every OS and hardware site plus a retry
